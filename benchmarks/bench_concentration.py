@@ -1,0 +1,103 @@
+"""E18: do the "with high probability" claims hold? (Monte-Carlo)
+
+The randomized summaries promise error <= eps*n with probability
+1 - delta.  This experiment runs 60 independent seeded trials per
+configuration and reports the empirical error distribution and failure
+rate, which must stay below delta (the paper's probabilistic claims,
+actually measured rather than taken on faith).
+
+Run:  python benchmarks/bench_concentration.py
+      pytest benchmarks/bench_concentration.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BottomKSample, KLLQuantiles, MergeableQuantiles
+from repro.analysis import print_table, run_trials
+from repro.core import merge_random_tree
+from repro.workloads import value_stream
+
+N = 2**14
+TRIALS = 60
+EPS = 0.02
+DELTA = 0.05
+
+
+def _quantile_trial_factory(summary_factory):
+    data = value_stream(N, "uniform", rng=123)
+    data_sorted = np.sort(data)
+    probes = np.quantile(data, np.linspace(0.05, 0.95, 19))
+    shards = np.array_split(data_sorted, 16)
+
+    def trial(seed: int) -> float:
+        parts = [
+            summary_factory(seed * 1000 + i).extend(shard)
+            for i, shard in enumerate(shards)
+        ]
+        merged = merge_random_tree(parts, rng=seed)
+        return max(
+            abs(
+                merged.rank(x)
+                - float(np.searchsorted(data_sorted, x, side="right"))
+            )
+            for x in probes
+        )
+
+    return trial
+
+
+def run_experiment():
+    candidates = {
+        "MergeableQuantiles (Sec 3.2)": lambda seed: MergeableQuantiles.from_epsilon(
+            EPS, delta=DELTA, rng=seed
+        ),
+        "KLL": lambda seed: KLLQuantiles.from_epsilon(EPS, delta=DELTA, rng=seed),
+        "BottomKSample (folklore)": lambda seed: BottomKSample.from_epsilon(
+            EPS, rng=seed
+        ),
+    }
+    rows = []
+    for name, factory in candidates.items():
+        stats = run_trials(
+            _quantile_trial_factory(factory),
+            seeds=range(TRIALS),
+            threshold=EPS * N,
+        )
+        rows.append([
+            name, stats.trials,
+            f"{stats.mean:.0f}", f"{stats.p90:.0f}", f"{stats.maximum:.0f}",
+            f"{EPS * N:.0f}",
+            f"{stats.exceed_rate:.3f}", DELTA,
+            "OK" if stats.within(DELTA) else "VIOLATED",
+        ])
+    print_table(
+        ["summary", "trials", "mean err", "p90 err", "max err", "eps*n",
+         "failure rate", "delta", "verdict"],
+        rows,
+        caption=f"E18: concentration over {TRIALS} independent trials, "
+                f"n={N}, eps={EPS}, delta={DELTA}, 16 sorted shards, "
+                "random merge trees",
+    )
+    return rows
+
+
+def test_e18_one_trial(benchmark):
+    trial = _quantile_trial_factory(
+        lambda seed: MergeableQuantiles.from_epsilon(EPS, rng=seed)
+    )
+    error = benchmark(lambda: trial(7))
+    assert error >= 0
+
+
+def test_e18_run_trials_overhead(benchmark):
+    stats = benchmark(
+        lambda: run_trials(lambda seed: float(seed % 3), seeds=range(100), threshold=1.5)
+    )
+    assert stats.trials == 100
+    assert 0 < stats.exceed_rate < 1
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,150 @@
+"""E13/E14 (extensions): distinct counting and time-decayed heavy hitters.
+
+E13 — the paper's Section 1 cites F0 sketches as known mergeable
+summaries; this experiment validates that claim end-to-end for KMV and
+HyperLogLog: merged estimates must equal sequential estimates (lossless
+lattice merges) and stay within the sketches' relative-error envelopes.
+
+E14 — the paper's future-work direction: exponentially time-decayed
+Misra-Gries.  Validates that (a) the decayed error bound
+``N_decayed/(k+1)`` holds under merging of summaries with *different*
+reference times, and (b) the summary tracks shifting item popularity
+that an undecayed MG misses.
+
+Run:  python benchmarks/bench_distinct_decay.py
+      pytest benchmarks/bench_distinct_decay.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DecayedMisraGries, HyperLogLog, KMinValues, MisraGries
+from repro.analysis import print_table
+from repro.core import merge_all
+from repro.workloads import zipf_stream
+
+N = 2**17
+
+
+def run_distinct_experiment():
+    rows = []
+    rng = np.random.default_rng(1)
+    for cardinality in (1_000, 50_000, 500_000):
+        items = rng.integers(0, cardinality * 2, size=N).tolist()
+        true_d = len(set(items))
+        for name, factory in (
+            ("KMV(k=1024)", lambda: KMinValues(1024, seed=7)),
+            ("HLL(p=12)", lambda: HyperLogLog(p=12, seed=7)),
+        ):
+            sequential = factory().extend(items)
+            parts = [factory().extend(items[i::16]) for i in range(16)]
+            merged = merge_all(parts, strategy="random", rng=2)
+            lossless = sequential.distinct() == merged.distinct()
+            rel = abs(merged.distinct() - true_d) / true_d
+            rows.append([
+                f"~{cardinality}", name, merged.size(),
+                f"{merged.distinct():.0f}", true_d,
+                f"{rel:.4f}", f"{3 * merged.relative_error:.4f}",
+                "yes" if lossless else "NO",
+                "OK" if rel <= 3 * merged.relative_error else "VIOLATED",
+            ])
+    print_table(
+        ["cardinality", "sketch", "size", "merged estimate", "true distinct",
+         "rel err", "3x expected", "merge lossless", "verdict"],
+        rows,
+        caption=f"E13: distinct counting under 16-way random merges, n={N}",
+    )
+    return rows
+
+
+def run_decay_experiment():
+    half_life = 1_000.0
+    k = 32
+    rows = []
+    # regime change: item A dominates early, item B late
+    events = []
+    for t in range(20_000):
+        events.append(("A" if t < 10_000 else "B", float(t)))
+        events.append((f"noise{t % 500}", float(t)))
+
+    # distributed: shard by time ranges (different reference times)
+    for shards in (1, 4, 16):
+        bounds = np.linspace(0, len(events), shards + 1).astype(int)
+        parts = []
+        for i in range(shards):
+            part = DecayedMisraGries(k, half_life)
+            for item, t in events[bounds[i] : bounds[i + 1]]:
+                part.observe(item, t)
+            parts.append(part)
+        merged = merge_all(parts, strategy="tree")
+        now = merged.reference_time
+        decayed_truth = {}
+        for item, t in events:
+            decayed_truth[item] = decayed_truth.get(item, 0.0) + 0.5 ** (
+                (now - t) / half_life
+            )
+        max_err = max(
+            decayed_truth[item] - merged.estimate(item) for item in decayed_truth
+        )
+        hh = merged.heavy_hitters(0.2)
+        rows.append([
+            shards, f"{merged.decayed_total:.0f}",
+            f"{max_err:.1f}", f"{merged.error_bound:.1f}",
+            "OK" if max_err <= merged.error_bound + 1e-6 else "VIOLATED",
+            "B" in hh and "A" not in hh,
+        ])
+    # contrast: undecayed MG still reports A as heavy
+    plain = MisraGries(k)
+    for item, _t in events:
+        plain.update(item)
+    rows_caption = (
+        f"E14: decayed MG (half-life={half_life:.0f}), regime change at t=10000 — "
+        f"plain MG reports A as top ({'A' in plain.heavy_hitters(0.2)}), "
+        "decayed must report only B"
+    )
+    print_table(
+        ["shards", "decayed total", "max err", "bound N_d/(k+1)", "verdict",
+         "only-B heavy"],
+        rows,
+        caption=rows_caption,
+    )
+    return rows
+
+
+def test_e13_kmv_build(benchmark):
+    items = zipf_stream(2**14, rng=3).tolist()
+    sketch = benchmark(lambda: KMinValues(1024, seed=1).extend(items))
+    assert sketch.size() <= 1024
+
+
+def test_e13_hll_build(benchmark):
+    items = zipf_stream(2**14, rng=4).tolist()
+    sketch = benchmark(lambda: HyperLogLog(p=12, seed=1).extend(items))
+    assert sketch.n == len(items)
+
+
+def test_e13_hll_merge(benchmark):
+    import copy
+
+    items = zipf_stream(2**14, rng=5).tolist()
+    a = HyperLogLog(p=12, seed=1).extend(items[: 2**13])
+    b = HyperLogLog(p=12, seed=1).extend(items[2**13 :])
+    merged = benchmark(lambda: copy.deepcopy(a).merge(b))
+    assert merged.n == len(items)
+
+
+def test_e14_decayed_observe(benchmark):
+    def run():
+        dmg = DecayedMisraGries(32, half_life=100.0)
+        for t in range(5_000):
+            dmg.observe(t % 100, float(t))
+        return dmg
+
+    dmg = benchmark(run)
+    assert dmg.size() <= 32
+
+
+if __name__ == "__main__":
+    run_distinct_experiment()
+    run_decay_experiment()

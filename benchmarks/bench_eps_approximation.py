@@ -1,0 +1,124 @@
+"""E9 (Section 4): eps-approximations of range spaces via merge-reduce.
+
+For each range family (intervals, rectangles, halfplanes):
+
+- measure the range-counting error of the merged approximation against
+  exact counts (must be <= eps-level for the configured block size);
+- compare against a random sample of the *same size* (the baseline the
+  discrepancy-based construction beats);
+- compare the two halving colorings (random pairs vs greedy).
+
+Run:  python benchmarks/bench_eps_approximation.py
+      pytest benchmarks/bench_eps_approximation.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EpsApproximation
+from repro.analysis import print_table
+from repro.core import merge_all
+from repro.ranges import get_range_space
+
+N = 2**14
+SHARDS = 16
+S = 256
+
+
+def _test_ranges(space_name, pts, rng):
+    space = get_range_space(space_name)
+    if space_name == "intervals_1d":
+        return space, [(-np.inf, b) for b in np.linspace(0.05, 0.95, 30)]
+    if space_name == "rectangles_2d":
+        return space, [
+            (-np.inf, x, -np.inf, y) for x, y in rng.random((30, 2))
+        ]
+    ranges = space.canonical_ranges(pts, budget=30, rng=rng)
+    return space, ranges
+
+
+def _points(space_name, rng):
+    if space_name == "intervals_1d":
+        return rng.random(N)
+    return rng.random((N, 2))
+
+
+def _exact_count(space, pts, r):
+    return space.count(space.check_points(pts), r)
+
+
+def run_experiment():
+    rng = np.random.default_rng(1)
+    rows = []
+    for space_name in ("intervals_1d", "rectangles_2d", "halfplanes_2d"):
+        pts = _points(space_name, rng)
+        space, ranges = _test_ranges(space_name, pts, rng)
+        chunks = np.array_split(pts, SHARDS)
+        for method in ("pair_random", "greedy"):
+            parts = [
+                EpsApproximation(space_name, s=S, method=method, rng=100 + i)
+                .extend_points(c)
+                for i, c in enumerate(chunks)
+            ]
+            merged = merge_all(parts, strategy="random", rng=2)
+            worst = max(
+                abs(merged.count(r) - _exact_count(space, pts, r)) for r in ranges
+            )
+            rows.append([
+                space_name, method, merged.size(),
+                f"{worst:.0f}", f"{worst / N:.4f}",
+            ])
+        # random-sample baseline at the same size
+        sample_size = merged.size()
+        idx = rng.choice(N, size=sample_size, replace=False)
+        sample = np.asarray(pts)[idx]
+        scale = N / sample_size
+        worst = max(
+            abs(scale * _exact_count(space, sample, r) - _exact_count(space, pts, r))
+            for r in ranges
+        )
+        rows.append([
+            space_name, "random sample (baseline)", sample_size,
+            f"{worst:.0f}", f"{worst / N:.4f}",
+        ])
+    print_table(
+        ["range space", "method", "size", "worst count err", "err / n"],
+        rows,
+        caption=f"E9: eps-approximation error after {SHARDS}-way merge, "
+                f"n={N}, s={S} — merge-reduce beats same-size sampling",
+    )
+    return rows
+
+
+def test_e9_build_rectangles(benchmark):
+    rng = np.random.default_rng(3)
+    pts = rng.random((2**12, 2))
+
+    def run():
+        return EpsApproximation("rectangles_2d", s=128, rng=4).extend_points(pts)
+
+    ea = benchmark(run)
+    assert ea.n == len(pts)
+
+
+def test_e9_greedy_halving(benchmark):
+    from repro.ranges import halve_points
+
+    rng = np.random.default_rng(5)
+    pts = rng.random((512, 2))
+    space = get_range_space("rectangles_2d")
+    kept = benchmark(lambda: halve_points(pts, space, rng=6, method="greedy"))
+    assert len(kept) == 256
+
+
+def test_e9_count_query(benchmark):
+    rng = np.random.default_rng(7)
+    pts = rng.random((2**13, 2))
+    ea = EpsApproximation("rectangles_2d", s=128, rng=8).extend_points(pts)
+    count = benchmark(lambda: ea.count((-np.inf, 0.5, -np.inf, 0.5)))
+    assert 0 <= count <= len(pts)
+
+
+if __name__ == "__main__":
+    run_experiment()

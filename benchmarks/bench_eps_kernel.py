@@ -1,0 +1,130 @@
+"""E10 (Section 5): eps-kernels for directional width under merging.
+
+Three point-cloud shapes (disc, thin ellipse, clustered) summarized by
+the mergeable grid kernel; at every direction of a dense probe grid the
+width error must stay within eps * diameter (raw frame) and within the
+relative bound when a shared fat reference frame is supplied — and a
+merged kernel must equal the one-shot kernel exactly (slot-wise max is
+lossless).
+
+Run:  python benchmarks/bench_eps_kernel.py
+      pytest benchmarks/bench_eps_kernel.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EpsKernel
+from repro.analysis import print_table
+from repro.core import merge_all
+from repro.kernels import compute_eps_kernel, diameter, directional_width, fat_frame
+
+N = 8_000
+EPS = 0.02
+PROBES = [np.array([np.cos(a), np.sin(a)]) for a in np.linspace(0, np.pi, 181)]
+
+
+def _clouds(rng):
+    theta = rng.random(N) * 2 * np.pi
+    radius = np.sqrt(rng.random(N))
+    disc = np.stack([radius * np.cos(theta), radius * np.sin(theta)], axis=1)
+    ellipse = disc * np.array([8.0, 0.5])
+    centers = rng.random((6, 2)) * 10
+    clustered = centers[rng.integers(0, 6, N)] + rng.normal(0, 0.3, (N, 2))
+    return {"disc": disc, "thin ellipse": ellipse, "clustered": clustered}
+
+
+def run_experiment():
+    rng = np.random.default_rng(1)
+    rows = []
+    for shape, pts in _clouds(rng).items():
+        diam = diameter(pts)
+        whole = EpsKernel(EPS).extend_points(pts)
+        parts = [EpsKernel(EPS).extend_points(c) for c in np.array_split(pts, 16)]
+        merged = merge_all(parts, strategy="random", rng=2)
+        lossless = np.allclose(
+            np.sort(merged.kernel_points(), axis=0),
+            np.sort(whole.kernel_points(), axis=0),
+        )
+        worst_abs = max(
+            directional_width(pts, u) - merged.width(u) for u in PROBES
+        )
+        offline = compute_eps_kernel(pts, EPS)
+        worst_rel_offline = max(
+            1 - directional_width(offline, u) / directional_width(pts, u)
+            for u in PROBES
+        )
+        rows.append([
+            shape, merged.size(), "yes" if lossless else "NO",
+            f"{worst_abs:.4f}", f"{EPS * diam:.4f}",
+            len(offline), f"{worst_rel_offline:.4f}",
+        ])
+    print_table(
+        ["cloud", "kernel size", "merge lossless", "width err (merged)",
+         "eps*diam bound", "offline kernel size", "offline rel err"],
+        rows,
+        caption=f"E10: eps-kernels, n={N}, eps={EPS}, 16-way random merge",
+    )
+    return rows
+
+
+def run_frame_experiment():
+    """Relative guarantee with a shared reference frame on thin data."""
+    rng = np.random.default_rng(3)
+    theta = rng.random(N) * 2 * np.pi
+    pts = np.stack([10 * np.cos(theta), 0.1 * np.sin(theta)], axis=1)
+    frame = fat_frame(pts)
+    parts = [
+        EpsKernel(EPS, frame=frame).extend_points(c)
+        for c in np.array_split(pts, 8)
+    ]
+    merged = merge_all(parts, strategy="tree")
+    from repro.kernels import apply_frame
+
+    normalized = apply_frame(pts, frame)
+    normalized_kernel = apply_frame(merged.kernel_points(), frame)
+    worst_rel = max(
+        1 - directional_width(normalized_kernel, u) / directional_width(normalized, u)
+        for u in PROBES
+    )
+    print_table(
+        ["frame", "kernel size", "worst relative width err", "target ~4*eps"],
+        [["shared fat frame", merged.size(), f"{worst_rel:.4f}", f"{4 * EPS:.4f}"]],
+        caption="E10b: relative guarantee on a thin ellipse with a shared frame",
+    )
+    return worst_rel
+
+
+def test_e10_kernel_build(benchmark):
+    rng = np.random.default_rng(4)
+    pts = rng.random((N, 2))
+    kernel = benchmark(lambda: EpsKernel(EPS).extend_points(pts))
+    assert kernel.n == N
+
+
+def test_e10_kernel_merge(benchmark):
+    rng = np.random.default_rng(5)
+    pts = rng.random((N, 2))
+    parts_proto = [EpsKernel(EPS).extend_points(c) for c in np.array_split(pts, 16)]
+
+    def run():
+        import copy
+
+        parts = [copy.deepcopy(p) for p in parts_proto]
+        return merge_all(parts, strategy="tree")
+
+    merged = benchmark(run)
+    assert merged.n == N
+
+
+def test_e10_width_query(benchmark):
+    rng = np.random.default_rng(6)
+    kernel = EpsKernel(EPS).extend_points(rng.random((N, 2)))
+    width = benchmark(lambda: kernel.width(np.array([1.0, 1.0])))
+    assert width > 0
+
+
+if __name__ == "__main__":
+    run_experiment()
+    run_frame_experiment()

@@ -1,0 +1,134 @@
+"""E21 (composition): dyadic hierarchy — range counts and hierarchical HH.
+
+Mergeable summaries compose: one MG summary per dyadic level of an
+integer domain answers range-count and hierarchical-heavy-hitter
+queries, and merging the composite is just a level-wise MG merge, so
+every guarantee survives arbitrary merge sequences.  This experiment
+measures, across merge topologies:
+
+- range-count bracketing (lower <= truth <= upper) and realized error
+  vs the ``2 * bits * n/(k+1)`` composition bound;
+- hierarchical heavy-hitter recall (no-false-negative at every level).
+
+Run:  python benchmarks/bench_hierarchical.py
+      pytest benchmarks/bench_hierarchical.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.core import merge_all
+from repro.frequency import DyadicHierarchy
+from repro.workloads import zipf_stream
+
+BITS = 14
+K = 64
+N = 2**17
+
+
+def run_experiment():
+    stream = zipf_stream(N, alpha=1.1, universe=1 << BITS, rng=1).tolist()
+    truth = Counter(stream)
+    prefix_sums = np.zeros((1 << BITS) + 1, dtype=np.int64)
+    for x, c in truth.items():
+        prefix_sums[x + 1] += c
+    prefix_sums = np.cumsum(prefix_sums)
+
+    def true_range(lo, hi):
+        return int(prefix_sums[hi + 1] - prefix_sums[lo])
+
+    rng = np.random.default_rng(2)
+    queries = [
+        tuple(sorted(rng.integers(0, 1 << BITS, 2).tolist())) for _ in range(200)
+    ]
+
+    rows = []
+    for strategy, shards in (("sequential", 1), ("tree", 16), ("chain", 64)):
+        if shards == 1:
+            hierarchy = DyadicHierarchy(K, BITS)
+            for x in stream:
+                hierarchy.update(x)
+        else:
+            parts = [DyadicHierarchy(K, BITS) for _ in range(shards)]
+            for i, x in enumerate(stream):
+                parts[i % shards].update(x)
+            hierarchy = merge_all(parts, strategy=strategy)
+        bracketing_ok = 0
+        worst = 0
+        for lo, hi in queries:
+            true = true_range(lo, hi)
+            low = hierarchy.range_count(lo, hi)
+            high = hierarchy.range_count_upper(lo, hi)
+            if low <= true <= high:
+                bracketing_ok += 1
+            worst = max(worst, true - low)
+        # heavy-hitter recall over levels
+        phi = 0.05
+        reported = hierarchy.hierarchical_heavy_hitters(phi)
+        missed = 0
+        for level in range(BITS + 1):
+            block_truth = Counter()
+            for x, c in truth.items():
+                block_truth[x >> level] += c
+            for prefix, count in block_truth.items():
+                if count >= phi * N and (level, prefix) not in reported:
+                    missed += 1
+        bound = 2 * BITS * N / (K + 1)
+        rows.append([
+            f"{strategy} ({shards} shards)", hierarchy.size(),
+            f"{bracketing_ok}/{len(queries)}",
+            worst, f"{bound:.0f}",
+            "0 (guaranteed)" if missed == 0 else f"{missed} MISSED",
+        ])
+    print_table(
+        ["mode", "size", "range brackets hold", "worst range undercount",
+         "bound 2*bits*n/(k+1)", "HHH false negatives"],
+        rows,
+        caption=f"E21: dyadic hierarchy over [0, 2^{BITS}), n={N}, k={K} "
+                "per level — composition survives merging",
+    )
+    return rows
+
+
+def test_e21_hierarchy_build(benchmark):
+    stream = zipf_stream(2**12, universe=1 << 10, rng=3).tolist()
+
+    def run():
+        h = DyadicHierarchy(32, 10)
+        for x in stream:
+            h.update(x)
+        return h
+
+    hierarchy = benchmark(run)
+    assert hierarchy.n == len(stream)
+
+
+def test_e21_range_query(benchmark):
+    stream = zipf_stream(2**13, universe=1 << 12, rng=4).tolist()
+    h = DyadicHierarchy(32, 12)
+    for x in stream:
+        h.update(x)
+    count = benchmark(lambda: h.range_count(100, 3000))
+    assert count >= 0
+
+
+def test_e21_hierarchy_merge(benchmark):
+    import copy
+
+    stream = zipf_stream(2**12, universe=1 << 10, rng=5).tolist()
+    a = DyadicHierarchy(32, 10)
+    b = DyadicHierarchy(32, 10)
+    for x in stream[: 2**11]:
+        a.update(x)
+    for x in stream[2**11 :]:
+        b.update(x)
+    merged = benchmark(lambda: copy.deepcopy(a).merge(b))
+    assert merged.n == len(stream)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,93 @@
+"""E2 (Theorem, Section 2): MG merge error <= n/(k+1) under any topology.
+
+Sweeps k and the merge topology over Zipf workloads, measuring the
+worst per-item estimation error at the aggregation root and comparing
+it against the theorem's bound — the merged bound must match the
+single-stream bound (that is the definition of mergeability).
+
+Run:  python benchmarks/bench_mg_merge_error.py
+      pytest benchmarks/bench_mg_merge_error.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import MisraGries
+from repro.analysis import frequency_errors, mg_error_bound, print_table
+from repro.distributed import (
+    ContiguousPartitioner,
+    build_topology,
+    run_aggregation,
+)
+from repro.workloads import adversarial_mg_stream, zipf_stream
+
+N = 2**18
+NODES = 32
+TOPOLOGIES = ("balanced", "chain", "star", "random")
+
+
+def run_experiment():
+    rows = []
+    workloads = {
+        "zipf(1.1)": zipf_stream(N, alpha=1.1, universe=50_000, rng=1),
+        "zipf(1.5)": zipf_stream(N, alpha=1.5, universe=50_000, rng=2),
+        "adversarial": adversarial_mg_stream(N, k=64, rng=3),
+    }
+    for workload_name, data in workloads.items():
+        truth = Counter(data.tolist())
+        for k in (16, 64, 256):
+            sequential = MisraGries(k).extend(data.tolist())
+            seq_error = frequency_errors(sequential, truth).max_error
+            for topology in TOPOLOGIES:
+                schedule = build_topology(topology, NODES, rng=4)
+                result = run_aggregation(
+                    data, ContiguousPartitioner(), lambda: MisraGries(k), schedule
+                )
+                report = frequency_errors(result.summary, truth)
+                bound = mg_error_bound(k, N)
+                rows.append([
+                    workload_name, k, topology, schedule.depth,
+                    report.max_error, seq_error, f"{bound:.0f}",
+                    "OK" if report.max_error <= bound else "VIOLATED",
+                ])
+    print_table(
+        ["workload", "k", "topology", "depth", "merged max err",
+         "sequential max err", "bound n/(k+1)", "verdict"],
+        rows,
+        caption=f"E2: Misra-Gries merge error vs topology, n={N}, {NODES} nodes",
+    )
+    return rows
+
+
+def test_e2_mg_merge_chain(benchmark):
+    data = zipf_stream(2**15, rng=5)
+    parts_data = [data[i::8] for i in range(8)]
+
+    def merge_chain_run():
+        parts = [MisraGries(64).extend(c) for c in parts_data]
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = acc.merge(p)
+        return acc
+
+    merged = benchmark(merge_chain_run)
+    assert merged.deduction <= mg_error_bound(64, len(data))
+
+
+def test_e2_mg_single_merge_operation(benchmark):
+    data = zipf_stream(2**15, rng=6)
+    a = MisraGries(256).extend(data[: 2**14].tolist())
+    b = MisraGries(256).extend(data[2**14 :].tolist())
+
+    def one_merge():
+        import copy
+
+        return copy.deepcopy(a).merge(b)
+
+    merged = benchmark(one_merge)
+    assert merged.n == len(data)
+
+
+if __name__ == "__main__":
+    run_experiment()

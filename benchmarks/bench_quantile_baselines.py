@@ -1,0 +1,97 @@
+"""E8: why mergeability is nontrivial — baseline degradation.
+
+Three baselines against the fully mergeable summary, all at (roughly)
+matched space, merged over m sorted shards along a chain (the
+adversarial layout + topology):
+
+- GK: deterministic, excellent sequentially, but every merge generation
+  adds fresh error — error grows with m;
+- MRL deterministic halving: bias accumulates across levels instead of
+  cancelling;
+- bottom-k random sample: mergeable, but needs Theta(1/eps^2) samples
+  for the same guarantee — at matched space its error is much larger.
+
+Run:  python benchmarks/bench_quantile_baselines.py
+      pytest benchmarks/bench_quantile_baselines.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BottomKSample, GKQuantiles, MergeableQuantiles, MRLQuantiles
+from repro.analysis import print_table, rank_errors
+from repro.core import merge_chain
+from repro.workloads import value_stream
+
+N = 2**16
+EPS = 0.01
+
+
+def _merged(factory, shards):
+    return merge_chain([factory(i).extend(s) for i, s in enumerate(shards)])
+
+
+def run_experiment():
+    data = value_stream(N, "uniform", rng=1)
+    probes = np.quantile(data, np.linspace(0.02, 0.98, 49))
+    reference = MergeableQuantiles.from_epsilon(EPS, rng=0).extend(data)
+    size_budget = reference.size()
+    rows = []
+    for m in (4, 16, 64):
+        shards = np.array_split(np.sort(data), m)  # adversarial placement
+        candidates = {
+            "mergeable (Sec 3.2)": lambda i: MergeableQuantiles.from_epsilon(
+                EPS, rng=10 + i
+            ),
+            "GK (one-way merge)": lambda i: GKQuantiles(EPS),
+            "MRL (deterministic)": lambda i: MRLQuantiles(
+                max(16, size_budget // 8)
+            ),
+            "bottom-k sample": lambda i: BottomKSample(size_budget, rng=50 + i),
+        }
+        for name, factory in candidates.items():
+            merged = _merged(factory, shards)
+            report = rank_errors(merged, data, probes)
+            rows.append([
+                m, name, merged.size(),
+                f"{report.max_error:.0f}", f"{report.mean_error:.0f}",
+                f"{EPS * N:.0f}",
+                "OK" if report.max_error <= EPS * N else "exceeds",
+            ])
+    print_table(
+        ["shards m", "summary", "size", "max rank err", "mean rank err",
+         "eps*n", "within eps*n?"],
+        rows,
+        caption=f"E8: chain merge over m sorted shards, n={N}, eps={EPS} — "
+                "only the mergeable summary stays flat as m grows",
+    )
+    return rows
+
+
+def test_e8_gk_chain_merge(benchmark):
+    data = value_stream(2**13, "uniform", rng=2)
+    shards = np.array_split(np.sort(data), 16)
+
+    def run():
+        return merge_chain([GKQuantiles(EPS).extend(s) for s in shards])
+
+    merged = benchmark(run)
+    assert merged.n == len(data)
+
+
+def test_e8_sample_chain_merge(benchmark):
+    data = value_stream(2**13, "uniform", rng=3)
+    shards = np.array_split(np.sort(data), 16)
+
+    def run():
+        return merge_chain(
+            [BottomKSample(1_000, rng=60 + i).extend(s) for i, s in enumerate(shards)]
+        )
+
+    merged = benchmark(run)
+    assert merged.size() == 1_000
+
+
+if __name__ == "__main__":
+    run_experiment()

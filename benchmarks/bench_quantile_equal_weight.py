@@ -1,0 +1,84 @@
+"""E5 (Section 3.1): equal-weight random merges keep rank error eps*n.
+
+Builds 2^j equal base summaries and merges them in a balanced tree (the
+model of Section 3.1), sweeping the number of levels; the rank error at
+the root must stay below eps*n *independent of the number of levels* —
+the cancellation-of-random-halvings phenomenon the section proves.
+
+Run:  python benchmarks/bench_quantile_equal_weight.py
+      pytest benchmarks/bench_quantile_equal_weight.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EqualWeightQuantiles
+from repro.analysis import print_table, rank_errors
+from repro.core import merge_tree
+from repro.workloads import value_stream
+
+EPS = 0.02
+DELTA = 0.05
+
+
+def _build_and_merge(data, s, seed):
+    m = len(data) // s
+    parts = [
+        EqualWeightQuantiles(s, rng=seed * 1000 + i).extend(data[i * s : (i + 1) * s])
+        for i in range(m)
+    ]
+    return merge_tree(parts)
+
+
+def run_experiment():
+    s = EqualWeightQuantiles.from_epsilon(EPS, DELTA).s
+    rows = []
+    for levels in (4, 6, 8):
+        m = 2**levels
+        n = s * m
+        for dist in ("uniform", "lognormal"):
+            data = value_stream(n, dist, rng=levels)
+            worst = 0.0
+            for seed in range(3):
+                merged = _build_and_merge(data, s, seed)
+                probes = np.quantile(data, np.linspace(0.02, 0.98, 49))
+                report = rank_errors(merged, data, probes)
+                worst = max(worst, report.max_error)
+            rows.append([
+                dist, levels, m, n, s,
+                f"{worst:.0f}", f"{EPS * n:.0f}",
+                "OK" if worst <= EPS * n else "VIOLATED",
+            ])
+    print_table(
+        ["distribution", "merge levels", "shards", "n", "s",
+         "worst rank err (3 seeds)", "eps*n", "verdict"],
+        rows,
+        caption=f"E5: equal-weight merges (Sec 3.1), eps={EPS}, delta={DELTA} "
+                f"-> s={s}; error must not grow with levels",
+    )
+    return rows
+
+
+def test_e5_equal_weight_merge_tree(benchmark):
+    s = 128
+    data = value_stream(s * 64, "uniform", rng=1)
+
+    def run():
+        return _build_and_merge(data, s, seed=2)
+
+    merged = benchmark(run)
+    assert merged.n == len(data)
+    assert merged.size() == s
+
+
+def test_e5_rank_query(benchmark):
+    s = 256
+    data = value_stream(s * 64, "uniform", rng=3)
+    merged = _build_and_merge(data, s, seed=4)
+    result = benchmark(lambda: merged.rank(0.5))
+    assert 0 <= result <= len(data)
+
+
+if __name__ == "__main__":
+    run_experiment()

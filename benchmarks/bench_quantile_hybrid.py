@@ -1,0 +1,94 @@
+"""E7 (Section 3.3): the hybrid summary's size is independent of n.
+
+Sweeps n over three orders of magnitude at fixed eps and reports the
+size of the hybrid vs the logarithmic-method summary: the latter grows
+by one block per doubling of n, the hybrid's GK top absorbs the growth
+(paper bound O((1/eps) log^1.5(1/eps))).  Realized rank error is
+reported alongside to show the size cap does not cost accuracy beyond
+the documented GK-merge deviation.
+
+Run:  python benchmarks/bench_quantile_hybrid.py
+      pytest benchmarks/bench_quantile_hybrid.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HybridQuantiles, MergeableQuantiles
+from repro.analysis import print_table, quantile_hybrid_size, rank_errors
+from repro.core import merge_tree
+from repro.workloads import chunk_evenly, value_stream
+
+EPS = 0.02
+
+
+def run_experiment():
+    rows = []
+    for exponent in (13, 15, 17):
+        n = 2**exponent
+        data = value_stream(n, "uniform", rng=exponent)
+        probes = np.quantile(data, np.linspace(0.05, 0.95, 19))
+
+        hybrid = HybridQuantiles(EPS, rng=1).extend(data)
+        log_method = MergeableQuantiles.from_epsilon(EPS, rng=2).extend(data)
+        hybrid_report = rank_errors(hybrid, data, probes)
+        log_report = rank_errors(log_method, data, probes)
+        rows.append([
+            f"2^{exponent}", "sequential",
+            hybrid.size(), log_method.size(),
+            quantile_hybrid_size(EPS),
+            f"{hybrid_report.max_error:.0f}", f"{log_report.max_error:.0f}",
+            f"{EPS * n:.0f}",
+        ])
+
+        # the same comparison after a 16-way merge
+        shards = chunk_evenly(data, 16)
+        hybrid_m = merge_tree(
+            [HybridQuantiles(EPS, rng=100 + i).extend(s) for i, s in enumerate(shards)]
+        )
+        log_m = merge_tree(
+            [
+                MergeableQuantiles.from_epsilon(EPS, rng=200 + i).extend(s)
+                for i, s in enumerate(shards)
+            ]
+        )
+        rows.append([
+            f"2^{exponent}", "16-way merge",
+            hybrid_m.size(), log_m.size(),
+            quantile_hybrid_size(EPS),
+            f"{rank_errors(hybrid_m, data, probes).max_error:.0f}",
+            f"{rank_errors(log_m, data, probes).max_error:.0f}",
+            f"{EPS * n:.0f}",
+        ])
+    print_table(
+        ["n", "mode", "hybrid size", "log-method size", "hybrid bound",
+         "hybrid max err", "log max err", "eps*n"],
+        rows,
+        caption=f"E7: hybrid (Sec 3.3) vs logarithmic method (Sec 3.2), "
+                f"eps={EPS} — hybrid size must flatten as n grows",
+    )
+    return rows
+
+
+def test_e7_hybrid_build(benchmark):
+    data = value_stream(2**14, "uniform", rng=3)
+    result = benchmark(lambda: HybridQuantiles(EPS, rng=4).extend(data))
+    assert result.n == len(data)
+
+
+def test_e7_hybrid_merge(benchmark):
+    data = value_stream(2**14, "uniform", rng=5)
+    chunks = chunk_evenly(data, 8)
+
+    def run():
+        return merge_tree(
+            [HybridQuantiles(EPS, rng=20 + i).extend(c) for i, c in enumerate(chunks)]
+        )
+
+    merged = benchmark(run)
+    assert merged.n == len(data)
+
+
+if __name__ == "__main__":
+    run_experiment()

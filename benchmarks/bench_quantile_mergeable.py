@@ -1,0 +1,93 @@
+"""E6 (Section 3.2): fully mergeable quantiles — error independent of
+the merge sequence.
+
+The adversary controls both the data placement (value-sorted shards:
+every node owns a disjoint range) and the merge tree (chain vs balanced
+vs random, plus wildly unequal shard sizes).  A mergeable summary must
+deliver the same eps*n rank error in every cell of the sweep.
+
+Run:  python benchmarks/bench_quantile_mergeable.py
+      pytest benchmarks/bench_quantile_mergeable.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MergeableQuantiles
+from repro.analysis import print_table, rank_errors
+from repro.distributed import (
+    ContiguousPartitioner,
+    SkewedSizePartitioner,
+    SortedPartitioner,
+    build_topology,
+    run_aggregation,
+)
+from repro.workloads import value_stream
+
+N = 2**16
+NODES = 32
+EPS = 0.02
+
+
+def run_experiment():
+    data = value_stream(N, "uniform", rng=1)
+    probes = np.quantile(data, np.linspace(0.02, 0.98, 49))
+    partitioners = {
+        "contiguous": ContiguousPartitioner(),
+        "sorted (adversarial)": SortedPartitioner(),
+        "skewed sizes": SkewedSizePartitioner(alpha=1.2, rng=2),
+    }
+    rows = []
+    for part_name, partitioner in partitioners.items():
+        for topology in ("balanced", "chain", "random"):
+            schedule = build_topology(topology, NODES, rng=3)
+            result = run_aggregation(
+                data,
+                partitioner,
+                lambda: MergeableQuantiles.from_epsilon(EPS, rng=4),
+                schedule,
+            )
+            report = rank_errors(result.summary, data, probes)
+            rows.append([
+                part_name, topology, schedule.depth,
+                result.summary.size(),
+                f"{report.max_error:.0f}", f"{EPS * N:.0f}",
+                "OK" if report.max_error <= EPS * N else "VIOLATED",
+            ])
+    print_table(
+        ["partition", "topology", "depth", "root size", "max rank err",
+         "eps*n", "verdict"],
+        rows,
+        caption=f"E6: fully mergeable quantiles (Sec 3.2), n={N}, "
+                f"{NODES} nodes, eps={EPS} — error must be flat across cells",
+    )
+    return rows
+
+
+def test_e6_merge_chain(benchmark):
+    data = value_stream(2**14, "uniform", rng=5)
+    chunks = np.array_split(np.sort(data), 16)
+
+    def run():
+        from repro.core import merge_chain
+
+        parts = [
+            MergeableQuantiles(128, rng=10 + i).extend(c)
+            for i, c in enumerate(chunks)
+        ]
+        return merge_chain(parts)
+
+    merged = benchmark(run)
+    assert merged.n == len(data)
+
+
+def test_e6_quantile_query(benchmark):
+    data = value_stream(2**15, "uniform", rng=6)
+    summary = MergeableQuantiles.from_epsilon(0.01, rng=7).extend(data)
+    value = benchmark(lambda: summary.quantile(0.99))
+    assert 0 <= value <= 1
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,81 @@
+"""E22 (operational): wall-time scaling of builds, merges and queries.
+
+Complements the per-operation timings of E11 with *scaling shape*:
+build time should grow linearly in n (amortized O(log k) per update for
+MG), merge time should be independent of n (it touches only summary
+state), and query time should depend only on summary size.  Printed as
+measured seconds across a sweep so regressions in asymptotics — not
+just constants — are visible.
+
+Run:  python benchmarks/bench_scalability.py
+      pytest benchmarks/bench_scalability.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import MergeableQuantiles, MisraGries
+from repro.analysis import print_table
+from repro.workloads import value_stream, zipf_stream
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_experiment():
+    rows = []
+    for exponent in (14, 16, 18):
+        n = 2**exponent
+        items = zipf_stream(n, alpha=1.2, universe=10**6, rng=exponent).tolist()
+        values = value_stream(n, "uniform", rng=exponent)
+
+        mg_a, build_mg = _timed(lambda: MisraGries(256).extend(items[: n // 2]))
+        mg_b, _ = _timed(lambda: MisraGries(256).extend(items[n // 2 :]))
+        _, merge_mg = _timed(lambda: mg_a.merge(mg_b))
+        _, query_mg = _timed(lambda: [mg_a.estimate(i) for i in range(100)])
+
+        mq_a, build_mq = _timed(
+            lambda: MergeableQuantiles(256, rng=1).extend(values[: n // 2])
+        )
+        mq_b, _ = _timed(
+            lambda: MergeableQuantiles(256, rng=2).extend(values[n // 2 :])
+        )
+        _, merge_mq = _timed(lambda: mq_a.merge(mq_b))
+        _, query_mq = _timed(lambda: mq_a.quantile(0.99))
+
+        rows.append([
+            f"2^{exponent}",
+            f"{build_mg:.3f}", f"{merge_mg * 1000:.2f}", f"{query_mg * 1000:.2f}",
+            f"{build_mq:.3f}", f"{merge_mq * 1000:.2f}", f"{query_mq * 1000:.2f}",
+        ])
+    print_table(
+        ["n", "MG build (s, half n)", "MG merge (ms)", "MG 100 queries (ms)",
+         "MQ build (s, half n)", "MQ merge (ms)", "MQ quantile (ms)"],
+        rows,
+        caption="E22: scaling shape — builds linear in n; merges and "
+                "queries depend only on summary size (k=256 / s=256)",
+    )
+    return rows
+
+
+def test_e22_mg_build_scales(benchmark):
+    items = zipf_stream(2**14, rng=1).tolist()
+    summary = benchmark(lambda: MisraGries(256).extend(items))
+    assert summary.n == len(items)
+
+
+def test_e22_merge_independent_of_n(benchmark):
+    import copy
+
+    big = MisraGries(64).extend(zipf_stream(2**16, rng=2).tolist())
+    small = MisraGries(64).extend(zipf_stream(2**10, rng=3).tolist())
+    merged = benchmark(lambda: copy.deepcopy(big).merge(small))
+    assert merged.size() <= 64
+
+
+if __name__ == "__main__":
+    run_experiment()

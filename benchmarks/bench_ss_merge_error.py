@@ -1,0 +1,100 @@
+"""E3 (Lemmas 2.2/2.3): SpaceSaving mergeability via the MG isomorphism.
+
+Two claims are validated:
+
+1. the isomorphism itself — classic SpaceSaving(k) state equals the
+   Misra-Gries(k-1) state shifted by the SS minimum, measured over many
+   streams;
+2. merged SpaceSaving keeps the n/k over-estimation bound under every
+   topology, exactly like MG.
+
+Run:  python benchmarks/bench_ss_merge_error.py
+      pytest benchmarks/bench_ss_merge_error.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import SpaceSaving
+from repro.analysis import frequency_errors, print_table, ss_error_bound
+from repro.distributed import (
+    ContiguousPartitioner,
+    build_topology,
+    run_aggregation,
+)
+from repro.frequency import verify_isomorphism
+from repro.workloads import uniform_stream, zipf_stream
+
+N = 2**17
+NODES = 32
+
+
+def run_experiment():
+    # claim 1: the isomorphism
+    iso_rows = []
+    for seed in range(5):
+        stream = zipf_stream(20_000, alpha=1.3, universe=2_000, rng=seed).tolist()
+        for k in (8, 32, 128):
+            report = verify_isomorphism(stream, k)
+            iso_rows.append([
+                seed, k, report["shift"],
+                "exact" if report["matches"] else "ties-only",
+                "OK" if report["bounds_consistent"] else "VIOLATED",
+            ])
+    print_table(
+        ["stream seed", "k", "SS min shift", "state match", "bound consistency"],
+        iso_rows,
+        caption="E3a: MG(k-1) vs classic SS(k) isomorphism (Lemma 2.2/2.3)",
+    )
+
+    # claim 2: merged SS error
+    rows = []
+    workloads = {
+        "zipf(1.2)": zipf_stream(N, alpha=1.2, universe=50_000, rng=7),
+        "uniform": uniform_stream(N, universe=5_000, rng=8),
+    }
+    for workload_name, data in workloads.items():
+        truth = Counter(data.tolist())
+        for k in (16, 64, 256):
+            for topology in ("balanced", "chain", "random"):
+                schedule = build_topology(topology, NODES, rng=9)
+                result = run_aggregation(
+                    data, ContiguousPartitioner(), lambda: SpaceSaving(k), schedule
+                )
+                report = frequency_errors(result.summary, truth)
+                bound = ss_error_bound(k, N)
+                rows.append([
+                    workload_name, k, topology, report.max_error,
+                    f"{bound:.0f}",
+                    "OK" if report.max_error <= bound else "VIOLATED",
+                ])
+    print_table(
+        ["workload", "k", "topology", "merged max err", "bound n/k", "verdict"],
+        rows,
+        caption=f"E3b: SpaceSaving merge error vs topology, n={N}, {NODES} nodes",
+    )
+    return rows
+
+
+def test_e3_ss_build(benchmark):
+    data = zipf_stream(2**14, rng=10).tolist()
+    result = benchmark(lambda: SpaceSaving(128).extend(data))
+    assert result.n == len(data)
+
+
+def test_e3_ss_merge_tree(benchmark):
+    data = zipf_stream(2**15, rng=11)
+    chunks = [data[i::16] for i in range(16)]
+
+    def run():
+        from repro.core import merge_tree
+
+        return merge_tree([SpaceSaving(64).extend(c) for c in chunks])
+
+    merged = benchmark(run)
+    assert merged.deduction <= ss_error_bound(64, len(data))
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,134 @@
+"""E1 (paper Table 1): measured summary sizes vs the claimed bounds.
+
+The paper's Table 1 lists, per problem, the summary size needed for
+error ``eps * n`` under arbitrary merges.  This experiment builds every
+summary at a sweep of ``eps``, runs it over a fixed workload with
+merging, and reports measured size next to the theoretical bound.
+
+Script mode prints the table; pytest mode benchmarks summary
+construction at a representative eps.
+
+Run:  python benchmarks/bench_table1_sizes.py
+      pytest benchmarks/bench_table1_sizes.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BottomKSample,
+    EpsApproximation,
+    EpsKernel,
+    HybridQuantiles,
+    MergeableQuantiles,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.analysis import (
+    eps_kernel_size_2d,
+    mg_size_bound,
+    print_table,
+    quantile_hybrid_size,
+    quantile_mergeable_size,
+    sample_size_bound,
+    ss_size_bound,
+)
+from repro.core import merge_all
+from repro.workloads import chunk_evenly, value_stream, zipf_stream
+
+N = 2**17
+EPSILONS = [1 / 16, 1 / 64, 1 / 256]
+
+
+def _merged_size(factory, data, shards=16, seed=0):
+    parts = [factory(i).extend(chunk) for i, chunk in enumerate(chunk_evenly(data, shards))]
+    return merge_all(parts, strategy="random", rng=seed).size()
+
+
+def run_experiment():
+    items = zipf_stream(N, alpha=1.2, universe=100_000, rng=1)
+    values = value_stream(N, "uniform", rng=2)
+    rng = np.random.default_rng(3)
+    points = rng.random((N // 8, 2))
+
+    rows = []
+    for eps in EPSILONS:
+        inv = f"1/{round(1 / eps)}"
+        rows.append([
+            "frequency / MG", inv,
+            _merged_size(lambda i: MisraGries.from_epsilon(eps), items),
+            mg_size_bound(eps), "ceil(1/eps)",
+        ])
+        rows.append([
+            "frequency / SS", inv,
+            _merged_size(lambda i: SpaceSaving.from_epsilon(eps), items),
+            ss_size_bound(eps), "ceil(1/eps)",
+        ])
+        rows.append([
+            "quantiles / mergeable", inv,
+            _merged_size(
+                lambda i: MergeableQuantiles.from_epsilon(eps, rng=10 + i), values
+            ),
+            quantile_mergeable_size(eps, 0.01, N), "(1/eps) log(eps n) sqrt(log 1/d)",
+        ])
+        rows.append([
+            "quantiles / hybrid", inv,
+            _merged_size(lambda i: HybridQuantiles(eps, rng=20 + i), values),
+            quantile_hybrid_size(eps), "(1/eps) log^1.5(1/eps)",
+        ])
+        rows.append([
+            "quantiles / sample", inv,
+            _merged_size(lambda i: BottomKSample.from_epsilon(eps, rng=30 + i), values),
+            sample_size_bound(eps), "1/eps^2",
+        ])
+    # geometric summaries at one eps (slower): eps = 1/16
+    eps = 1 / 16
+    rows.append([
+        "eps-approx rect (d=2)", "1/16",
+        EpsApproximation.from_epsilon("rectangles_2d", eps, rng=4)
+        .extend_points(points)
+        .size(),
+        "-", "O~(eps^-2d/(d+1))",
+    ])
+    rows.append([
+        "eps-kernel (d=2)", "1/16",
+        EpsKernel(eps).extend_points(points).size(),
+        2 * eps_kernel_size_2d(eps) * 4, "O(eps^-1/2) dirs x 2",
+    ])
+    print_table(
+        ["summary", "eps", "measured size", "bound formula value", "paper bound"],
+        rows,
+        caption=f"E1 / Table 1: summary sizes after 16-way random-tree merge, n={N}",
+    )
+    return rows
+
+
+def test_e1_mg_build(benchmark):
+    items = zipf_stream(2**14, rng=1)
+    result = benchmark(lambda: MisraGries(64).extend(items))
+    assert result.size() <= 64
+
+
+def test_e1_mergeable_quantile_build(benchmark):
+    values = value_stream(2**14, "uniform", rng=2)
+    result = benchmark(lambda: MergeableQuantiles(256, rng=3).extend(values))
+    assert result.n == 2**14
+
+
+def test_e1_sizes_respect_bounds(benchmark):
+    items = zipf_stream(2**14, rng=4)
+
+    def build_and_merge():
+        parts = [
+            MisraGries.from_epsilon(1 / 64).extend(c)
+            for c in chunk_evenly(items, 8)
+        ]
+        return merge_all(parts, strategy="tree")
+
+    merged = benchmark(build_and_merge)
+    assert merged.size() <= mg_size_bound(1 / 64)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,133 @@
+"""E11: update / merge / query throughput of every summary family.
+
+Pure pytest-benchmark timings at fixed, representative parameters;
+this is the operational cost table a practitioner reads before
+deploying, and the regression guard for the implementations' amortized
+complexity claims (MG updates are O(log k) amortized, kernel updates
+O(1/sqrt(eps)), etc.).
+
+Run:  pytest benchmarks/bench_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import (
+    BottomKSample,
+    CountMin,
+    EpsApproximation,
+    EpsKernel,
+    GKQuantiles,
+    MergeableQuantiles,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.workloads import value_stream, zipf_stream
+
+N_ITEMS = 2**15
+ITEMS = zipf_stream(N_ITEMS, alpha=1.2, universe=20_000, rng=1).tolist()
+VALUES = value_stream(N_ITEMS, "uniform", rng=2)
+POINTS = np.random.default_rng(3).random((2**13, 2))
+
+
+# ---------------------------------------------------------------------------
+# update throughput
+# ---------------------------------------------------------------------------
+
+def test_update_misra_gries(benchmark):
+    benchmark(lambda: MisraGries(256).extend(ITEMS))
+
+
+def test_update_space_saving(benchmark):
+    benchmark(lambda: SpaceSaving(256).extend(ITEMS))
+
+
+def test_update_count_min(benchmark):
+    small = ITEMS[: 2**12]
+    benchmark(lambda: CountMin(512, 4, seed=1).extend(small))
+
+
+def test_update_gk(benchmark):
+    benchmark(lambda: GKQuantiles(0.01).extend(VALUES))
+
+
+def test_update_mergeable_quantiles(benchmark):
+    benchmark(lambda: MergeableQuantiles(256, rng=4).extend(VALUES))
+
+
+def test_update_bottom_k(benchmark):
+    benchmark(lambda: BottomKSample(1_000, rng=5).extend(VALUES))
+
+
+def test_update_eps_kernel_bulk(benchmark):
+    benchmark(lambda: EpsKernel(0.01).extend_points(POINTS))
+
+
+def test_update_eps_approximation(benchmark):
+    benchmark(
+        lambda: EpsApproximation("rectangles_2d", s=128, rng=6).extend_points(POINTS)
+    )
+
+
+# ---------------------------------------------------------------------------
+# merge throughput
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def mg_pair():
+    a = MisraGries(256).extend(ITEMS[: N_ITEMS // 2])
+    b = MisraGries(256).extend(ITEMS[N_ITEMS // 2 :])
+    return a, b
+
+
+def test_merge_misra_gries(benchmark, mg_pair):
+    a, b = mg_pair
+    benchmark(lambda: copy.deepcopy(a).merge(b))
+
+
+def test_merge_mergeable_quantiles(benchmark):
+    a = MergeableQuantiles(256, rng=7).extend(VALUES[: N_ITEMS // 2])
+    b = MergeableQuantiles(256, rng=8).extend(VALUES[N_ITEMS // 2 :])
+    benchmark(lambda: copy.deepcopy(a).merge(b))
+
+
+def test_merge_count_min(benchmark):
+    a = CountMin(512, 4, seed=9).extend(ITEMS[: 2**12])
+    b = CountMin(512, 4, seed=9).extend(ITEMS[2**12 : 2**13])
+    benchmark(lambda: copy.deepcopy(a).merge(b))
+
+
+def test_merge_eps_kernel(benchmark):
+    a = EpsKernel(0.01).extend_points(POINTS[: len(POINTS) // 2])
+    b = EpsKernel(0.01).extend_points(POINTS[len(POINTS) // 2 :])
+    benchmark(lambda: copy.deepcopy(a).merge(b))
+
+
+# ---------------------------------------------------------------------------
+# query throughput
+# ---------------------------------------------------------------------------
+
+def test_query_mg_estimate(benchmark):
+    mg = MisraGries(256).extend(ITEMS)
+    benchmark(lambda: mg.estimate(0))
+
+
+def test_query_quantile(benchmark):
+    mq = MergeableQuantiles(256, rng=10).extend(VALUES)
+    benchmark(lambda: mq.quantile(0.99))
+
+
+def test_query_rank(benchmark):
+    mq = MergeableQuantiles(256, rng=11).extend(VALUES)
+    benchmark(lambda: mq.rank(0.5))
+
+
+def test_query_serialization_roundtrip(benchmark):
+    from repro.core import dumps, loads
+
+    mg = MisraGries(256).extend(ITEMS)
+    benchmark(lambda: loads(dumps(mg)))

@@ -1,0 +1,77 @@
+"""Run every experiment (E1-E12) and print all paper-style tables.
+
+The timing side of the harness lives in pytest-benchmark
+(``pytest benchmarks/ --benchmark-only``); this driver produces the
+accuracy/size tables recorded in EXPERIMENTS.md.
+
+Run:  python benchmarks/run_experiments.py           # all experiments
+      python benchmarks/run_experiments.py E2 E6     # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import bench_ablation_prune
+import bench_communication
+import bench_concentration
+import bench_conservative_update
+import bench_delivery_semantics
+import bench_distinct_decay
+import bench_eps_approximation
+import bench_eps_kernel
+import bench_heavy_hitters
+import bench_hierarchical
+import bench_kll_window
+import bench_mg_merge_error
+import bench_quantile_baselines
+import bench_scalability
+import bench_quantile_equal_weight
+import bench_quantile_hybrid
+import bench_quantile_mergeable
+import bench_ss_merge_error
+import bench_table1_sizes
+
+EXPERIMENTS = {
+    "E1": bench_table1_sizes.run_experiment,
+    "E2": bench_mg_merge_error.run_experiment,
+    "E3": bench_ss_merge_error.run_experiment,
+    "E4": bench_heavy_hitters.run_experiment,
+    "E5": bench_quantile_equal_weight.run_experiment,
+    "E6": bench_quantile_mergeable.run_experiment,
+    "E7": bench_quantile_hybrid.run_experiment,
+    "E8": bench_quantile_baselines.run_experiment,
+    "E9": bench_eps_approximation.run_experiment,
+    "E10": bench_eps_kernel.run_experiment,
+    "E10b": bench_eps_kernel.run_frame_experiment,
+    "E12": bench_ablation_prune.run_experiment,
+    "E12b": bench_ablation_prune.run_merge_only_experiment,
+    "E13": bench_distinct_decay.run_distinct_experiment,
+    "E14": bench_distinct_decay.run_decay_experiment,
+    "E15": bench_communication.run_experiment,
+    "E16": bench_kll_window.run_kll_experiment,
+    "E17": bench_kll_window.run_window_experiment,
+    "E18": bench_concentration.run_experiment,
+    "E19": bench_delivery_semantics.run_experiment,
+    "E20": bench_conservative_update.run_experiment,
+    "E21": bench_hierarchical.run_experiment,
+    "E22": bench_scalability.run_experiment,
+}
+
+
+def main(argv: list[str]) -> None:
+    selected = argv or list(EXPERIMENTS)
+    for name in selected:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; available: {list(EXPERIMENTS)}")
+            continue
+        start = time.perf_counter()
+        print(f"===== {name} " + "=" * 50)
+        runner()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,56 @@
+"""Quickstart: mergeable heavy hitters and quantiles in ten lines each.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MergeableQuantiles, MisraGries, merge_all
+from repro.workloads import chunk_evenly, value_stream, zipf_stream
+
+
+def heavy_hitters_demo() -> None:
+    """Find frequent items across 16 'machines' with 64 counters each."""
+    stream = zipf_stream(200_000, alpha=1.3, universe=50_000, rng=7)
+
+    # each machine summarizes its own shard...
+    shards = chunk_evenly(stream, 16)
+    summaries = [MisraGries(64).extend(shard) for shard in shards]
+
+    # ...and the summaries merge in any order without losing the guarantee
+    merged = merge_all(summaries, strategy="random", rng=7)
+
+    print(f"heavy hitters over n={merged.n} items "
+          f"(error <= n/(k+1) = {merged.n / 65:.0f}):")
+    for item, estimate in sorted(
+        merged.heavy_hitters(phi=0.02).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  item {item:>6}  estimate {estimate:>7}  "
+              f"(true count within +{merged.deduction})")
+
+
+def quantiles_demo() -> None:
+    """Track latency percentiles across shards, merged along a chain."""
+    latencies = value_stream(2**17, "lognormal", rng=3) * 10.0
+
+    shards = chunk_evenly(latencies, 32)
+    summaries = [
+        MergeableQuantiles.from_epsilon(0.01, rng=100 + i).extend(shard)
+        for i, shard in enumerate(shards)
+    ]
+    merged = merge_all(summaries, strategy="chain")
+
+    print(f"\nlatency percentiles from a {merged.size()}-sample summary "
+          f"of n={merged.n} measurements:")
+    for q in (0.5, 0.9, 0.99):
+        estimate = merged.quantile(q)
+        true = float(np.quantile(latencies, q))
+        print(f"  p{int(q * 100):<3} estimate {estimate:8.2f} ms   "
+              f"(exact {true:8.2f} ms)")
+
+
+if __name__ == "__main__":
+    heavy_hitters_demo()
+    quantiles_demo()

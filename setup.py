@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP-517 editable installs (`pip install -e .`) cannot build a wheel.
+`python setup.py develop` (or `pip install -e . --no-build-isolation`
+once wheel is available) installs the package; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

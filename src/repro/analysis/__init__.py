@@ -1,0 +1,47 @@
+"""Error metrics, theoretical bounds and table emitters."""
+
+from .bounds import (
+    eps_approx_size_1d,
+    eps_kernel_size_2d,
+    mg_error_bound,
+    mg_size_bound,
+    quantile_equal_weight_size,
+    quantile_hybrid_size,
+    quantile_mergeable_size,
+    sample_size_bound,
+    ss_error_bound,
+    ss_size_bound,
+)
+from .error import (
+    FrequencyErrorReport,
+    RankErrorReport,
+    frequency_errors,
+    quantile_value_errors,
+    rank_errors,
+)
+from .tables import format_table, print_table, to_csv
+from .validation import TrialStats, failure_rate, run_trials
+
+__all__ = [
+    "frequency_errors",
+    "FrequencyErrorReport",
+    "rank_errors",
+    "quantile_value_errors",
+    "RankErrorReport",
+    "mg_error_bound",
+    "ss_error_bound",
+    "mg_size_bound",
+    "ss_size_bound",
+    "quantile_equal_weight_size",
+    "quantile_mergeable_size",
+    "quantile_hybrid_size",
+    "sample_size_bound",
+    "eps_approx_size_1d",
+    "eps_kernel_size_2d",
+    "format_table",
+    "print_table",
+    "to_csv",
+    "TrialStats",
+    "run_trials",
+    "failure_rate",
+]

@@ -1,0 +1,96 @@
+"""Closed-form theoretical bounds from the paper.
+
+Each function returns the guarantee the corresponding theorem promises
+for given parameters; tests assert measured errors stay below them and
+the benchmark tables print them next to the measurements ("paper line"
+vs "measured line").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "mg_error_bound",
+    "ss_error_bound",
+    "mg_size_bound",
+    "ss_size_bound",
+    "quantile_equal_weight_size",
+    "quantile_mergeable_size",
+    "quantile_hybrid_size",
+    "sample_size_bound",
+    "eps_approx_size_1d",
+    "eps_kernel_size_2d",
+]
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value!r}")
+
+
+def mg_error_bound(k: int, n: int) -> float:
+    """Misra-Gries per-item error after any merge sequence: ``n / (k+1)``."""
+    _check_positive("k", k)
+    return n / (k + 1)
+
+
+def ss_error_bound(k: int, n: int) -> float:
+    """SpaceSaving per-item error after any merge sequence: ``n / k``."""
+    _check_positive("k", k)
+    return n / k
+
+
+def mg_size_bound(epsilon: float) -> int:
+    """Counters needed by MG for error ``eps * n``: ``ceil(1/eps)``."""
+    _check_positive("epsilon", epsilon)
+    return math.ceil(1.0 / epsilon)
+
+
+def ss_size_bound(epsilon: float) -> int:
+    """Counters needed by SS for error ``eps * n``: ``ceil(1/eps)``."""
+    _check_positive("epsilon", epsilon)
+    return math.ceil(1.0 / epsilon)
+
+
+def quantile_equal_weight_size(epsilon: float, delta: float) -> int:
+    """Section 3.1 summary size ``O((1/eps) sqrt(log(1/delta)))``."""
+    _check_positive("epsilon", epsilon)
+    _check_positive("delta", delta)
+    return math.ceil((1.0 / epsilon) * math.sqrt(max(1.0, math.log2(1.0 / delta))))
+
+
+def quantile_mergeable_size(epsilon: float, delta: float, n: int) -> int:
+    """Section 3.2 size ``O((1/eps) log(eps n) sqrt(log(1/delta)))``."""
+    _check_positive("epsilon", epsilon)
+    _check_positive("delta", delta)
+    _check_positive("n", n)
+    levels = max(1.0, math.log2(max(2.0, epsilon * n)))
+    return math.ceil(quantile_equal_weight_size(epsilon, delta) * levels)
+
+
+def quantile_hybrid_size(epsilon: float) -> int:
+    """Section 3.3 size ``O((1/eps) log^1.5(1/eps))`` — n-independent."""
+    _check_positive("epsilon", epsilon)
+    inv = 1.0 / epsilon
+    return math.ceil(inv * max(1.0, math.log2(inv)) ** 1.5)
+
+
+def sample_size_bound(epsilon: float) -> int:
+    """Folklore random-sample size for rank error ``eps * n``: ``1/eps^2``."""
+    _check_positive("epsilon", epsilon)
+    return math.ceil(1.0 / (epsilon * epsilon))
+
+
+def eps_approx_size_1d(epsilon: float) -> int:
+    """eps-approximation size for 1-D intervals: ``O(1/eps)``."""
+    _check_positive("epsilon", epsilon)
+    return math.ceil(1.0 / epsilon)
+
+
+def eps_kernel_size_2d(epsilon: float) -> int:
+    """2-D eps-kernel size ``O(1/sqrt(eps))`` (paper Section 5, d=2)."""
+    _check_positive("epsilon", epsilon)
+    return math.ceil(1.0 / math.sqrt(epsilon))

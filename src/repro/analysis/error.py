@@ -1,0 +1,138 @@
+"""Error metrics: the quantities the paper's theorems bound.
+
+Frequency summaries are scored by per-item absolute estimation error
+against exact counts; quantile summaries by rank error at probe values;
+range-space approximations by range-counting error; kernels by relative
+directional-width error.  Every metric returns both the worst case (what
+the theorems bound) and summary statistics (what practitioners care
+about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "FrequencyErrorReport",
+    "frequency_errors",
+    "RankErrorReport",
+    "rank_errors",
+    "quantile_value_errors",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyErrorReport:
+    """Per-item estimation error of a frequency summary vs ground truth."""
+
+    n: int
+    items_checked: int
+    max_error: int
+    mean_error: float
+    total_error: int
+    #: fraction of items with any error at all
+    error_rate: float
+
+    def normalized_max(self) -> float:
+        """Worst error as a fraction of n (compare against eps)."""
+        return self.max_error / self.n if self.n else 0.0
+
+
+def frequency_errors(summary: Any, truth: Dict[Any, int]) -> FrequencyErrorReport:
+    """Score ``summary.estimate`` against exact ``truth`` counts.
+
+    Evaluates every item in the ground truth plus every monitored item,
+    so both under-estimation (MG) and over-estimation (SS, CountMin)
+    are captured; errors are absolute values.
+    """
+    if not truth:
+        raise ParameterError("ground truth is empty")
+    items = set(truth)
+    counters = getattr(summary, "counters", None)
+    if callable(counters):
+        items |= set(counters())
+    errors = [abs(summary.estimate(item) - truth.get(item, 0)) for item in items]
+    errors_arr = np.array(errors, dtype=np.int64)
+    return FrequencyErrorReport(
+        n=summary.n,
+        items_checked=len(items),
+        max_error=int(errors_arr.max()),
+        mean_error=float(errors_arr.mean()),
+        total_error=int(errors_arr.sum()),
+        error_rate=float((errors_arr > 0).mean()),
+    )
+
+
+@dataclass(frozen=True)
+class RankErrorReport:
+    """Rank error of a quantile summary at a set of probe values."""
+
+    n: int
+    probes: int
+    max_error: float
+    mean_error: float
+    #: fraction-of-n form of max_error (compare against eps)
+    max_normalized: float
+    mean_normalized: float
+
+
+def rank_errors(
+    summary: Any, data: np.ndarray, probes: Sequence[float]
+) -> RankErrorReport:
+    """Rank error of ``summary`` vs exact ranks over ``data`` at ``probes``."""
+    data_sorted = np.sort(np.asarray(data, dtype=np.float64))
+    n = len(data_sorted)
+    if n == 0:
+        raise ParameterError("data is empty")
+    errs = []
+    for x in probes:
+        true_rank = float(np.searchsorted(data_sorted, float(x), side="right"))
+        errs.append(abs(summary.rank(x) - true_rank))
+    errs_arr = np.array(errs, dtype=np.float64)
+    return RankErrorReport(
+        n=n,
+        probes=len(errs),
+        max_error=float(errs_arr.max()),
+        mean_error=float(errs_arr.mean()),
+        max_normalized=float(errs_arr.max() / n),
+        mean_normalized=float(errs_arr.mean() / n),
+    )
+
+
+def quantile_value_errors(
+    summary: Any, data: np.ndarray, qs: Iterable[float]
+) -> RankErrorReport:
+    """Rank error of the *values returned by* ``summary.quantile``.
+
+    For each ``q`` the summary's answer is mapped back to its true rank
+    in ``data``; the error is ``|true_rank - q * n|`` (the guarantee a
+    quantile summary makes about its outputs).
+    """
+    data_sorted = np.sort(np.asarray(data, dtype=np.float64))
+    n = len(data_sorted)
+    if n == 0:
+        raise ParameterError("data is empty")
+    errs = []
+    qs = list(qs)
+    for q in qs:
+        value = summary.quantile(q)
+        # the returned value occupies the rank interval [low, high]
+        # (duplicates collapse); error is the distance to the target rank
+        low = float(np.searchsorted(data_sorted, float(value), side="left")) + 1
+        high = float(np.searchsorted(data_sorted, float(value), side="right"))
+        target = q * n
+        errs.append(max(0.0, low - target, target - high))
+    errs_arr = np.array(errs, dtype=np.float64)
+    return RankErrorReport(
+        n=n,
+        probes=len(errs),
+        max_error=float(errs_arr.max()),
+        mean_error=float(errs_arr.mean()),
+        max_normalized=float(errs_arr.max() / n),
+        mean_normalized=float(errs_arr.mean() / n),
+    )

@@ -1,0 +1,70 @@
+"""ASCII / CSV table emitters for the benchmark harness.
+
+Every experiment prints a paper-style table: a caption naming the claim
+it validates, aligned columns, and (optionally) a CSV copy for further
+processing.  Kept deliberately dependency-free (no tabulate/rich).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, List, Sequence
+
+__all__ = ["format_table", "print_table", "to_csv"]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    caption: str = "",
+) -> str:
+    """Render an aligned ASCII table with an optional caption line."""
+    rendered: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if caption:
+        out.write(caption + "\n")
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    out.write(line.rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rendered:
+        out.write(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    caption: str = "",
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(headers, rows, caption=caption))
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """CSV rendering (comma-separated, newline-terminated rows)."""
+    out = io.StringIO()
+    out.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        out.write(",".join(_render_cell(c) for c in row) + "\n")
+    return out.getvalue()

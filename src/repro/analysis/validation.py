@@ -1,0 +1,82 @@
+"""Monte-Carlo validation of probabilistic guarantees.
+
+The randomized summaries (Sections 3-4) promise error ``<= eps * n``
+*with probability* ``1 - delta``.  A single seeded run cannot validate
+that; this module runs many independent trials and reports the
+empirical error distribution and failure rate, which the tests and
+benchmark E18 compare against ``delta``.
+
+The harness is deliberately generic: a trial is any seeded callable
+returning a scalar "error" — so the same machinery validates quantile
+rank error, range-count error, distinct-count error, and anything a
+future summary adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["TrialStats", "run_trials", "failure_rate"]
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Empirical distribution of a per-trial error metric."""
+
+    trials: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    #: empirical quantiles of the error: (p50, p90, p99)
+    p50: float
+    p90: float
+    p99: float
+    #: fraction of trials whose error exceeded the threshold (if given)
+    exceed_rate: float
+    threshold: float
+
+    def within(self, delta: float) -> bool:
+        """True when the empirical failure rate is at most ``delta``
+        (with one-trial slack for small sample counts)."""
+        slack = 1.0 / self.trials
+        return self.exceed_rate <= delta + slack
+
+
+def run_trials(
+    trial: Callable[[int], float],
+    seeds: Sequence[int],
+    threshold: float = float("inf"),
+) -> TrialStats:
+    """Run ``trial(seed)`` for every seed; summarize the returned errors.
+
+    ``threshold`` is the guarantee being validated (e.g. ``eps * n``);
+    the returned stats include the fraction of trials exceeding it.
+    """
+    if not seeds:
+        raise ParameterError("run_trials needs at least one seed")
+    errors = np.array([float(trial(int(seed))) for seed in seeds])
+    return TrialStats(
+        trials=len(errors),
+        mean=float(errors.mean()),
+        std=float(errors.std()),
+        minimum=float(errors.min()),
+        maximum=float(errors.max()),
+        p50=float(np.quantile(errors, 0.50)),
+        p90=float(np.quantile(errors, 0.90)),
+        p99=float(np.quantile(errors, 0.99)),
+        exceed_rate=float((errors > threshold).mean()),
+        threshold=float(threshold),
+    )
+
+
+def failure_rate(
+    trial: Callable[[int], float], seeds: Sequence[int], threshold: float
+) -> float:
+    """Shorthand: fraction of trials whose error exceeds ``threshold``."""
+    return run_trials(trial, seeds, threshold).exceed_rate

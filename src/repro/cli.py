@@ -1,0 +1,208 @@
+"""Command-line interface: build, merge, and query summaries from files.
+
+A thin production-style front end over the library, mirroring how the
+sketches ship in systems like Apache DataSketches: summaries are built
+from newline-delimited item files, persisted in the library's JSON wire
+format, merged across files, and queried — so a shell pipeline can run
+a whole distributed-aggregation experiment.
+
+Examples
+--------
+::
+
+    python -m repro build --type misra_gries --arg k=64 \
+        --input shard0.txt --out s0.json
+    python -m repro build --type misra_gries --arg k=64 \
+        --input shard1.txt --out s1.json
+    python -m repro merge s0.json s1.json --out merged.json
+    python -m repro query merged.json --heavy-hitters 0.01
+    python -m repro inspect merged.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .core import (
+    ReproError,
+    dumps,
+    get_summary_class,
+    loads,
+    merge_all,
+    registered_names,
+)
+
+__all__ = ["main"]
+
+
+def _parse_item(token: str) -> Any:
+    """Interpret a file line as int, then float, then raw string."""
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_args_kv(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    """Parse repeated ``--arg name=value`` options into constructor kwargs."""
+    kwargs: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--arg expects name=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        try:
+            kwargs[name] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            kwargs[name] = raw
+    return kwargs
+
+
+def _read_items(path: str) -> List[Any]:
+    text = Path(path).read_text()
+    return [_parse_item(line) for line in text.splitlines() if line.strip()]
+
+
+def _load_summary(path: str):
+    return loads(Path(path).read_text())
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    cls = get_summary_class(args.type)
+    kwargs = _parse_args_kv(args.arg)
+    summary = cls(**kwargs)
+    summary.extend(_read_items(args.input))
+    Path(args.out).write_text(dumps(summary))
+    print(f"built {args.type}: n={summary.n} size={summary.size()} -> {args.out}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    summaries = [_load_summary(path) for path in args.inputs]
+    merged = merge_all(summaries, strategy=args.strategy, rng=args.seed)
+    Path(args.out).write_text(dumps(merged))
+    print(
+        f"merged {len(args.inputs)} summaries ({args.strategy}): "
+        f"n={merged.n} size={merged.size()} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    summary = _load_summary(args.summary)
+    ran_query = False
+    if args.heavy_hitters is not None:
+        ran_query = True
+        for item, estimate in sorted(
+            summary.heavy_hitters(args.heavy_hitters).items(), key=lambda kv: -kv[1]
+        ):
+            print(f"{item}\t{estimate}")
+    if args.quantile is not None:
+        ran_query = True
+        print(summary.quantile(args.quantile))
+    if args.rank is not None:
+        ran_query = True
+        print(summary.rank(args.rank))
+    if args.estimate is not None:
+        ran_query = True
+        print(summary.estimate(_parse_item(args.estimate)))
+    if args.distinct:
+        ran_query = True
+        print(summary.distinct())
+    if not ran_query:
+        raise SystemExit(
+            "query needs one of --heavy-hitters/--quantile/--rank/"
+            "--estimate/--distinct"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    summary = _load_summary(args.summary)
+    print(f"type: {summary.registry_name}")
+    print(f"n: {summary.n}")
+    print(f"size: {summary.size()}")
+    for attr in ("k", "epsilon", "s", "deduction", "error_bound"):
+        value = getattr(summary, attr, None)
+        if value is not None and not callable(value):
+            print(f"{attr}: {value}")
+    return 0
+
+
+def _cmd_types(_args: argparse.Namespace) -> int:
+    for name in registered_names():
+        print(name)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="mergeable summaries toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a summary from an item file")
+    build.add_argument("--type", required=True, help="registered summary name")
+    build.add_argument("--input", required=True, help="newline-delimited items")
+    build.add_argument("--out", required=True, help="output JSON path")
+    build.add_argument(
+        "--arg", action="append", help="constructor argument name=value", default=None
+    )
+    build.set_defaults(func=_cmd_build)
+
+    merge = sub.add_parser("merge", help="merge summary files")
+    merge.add_argument("inputs", nargs="+", help="summary JSON files")
+    merge.add_argument("--out", required=True)
+    merge.add_argument(
+        "--strategy", default="tree", choices=["tree", "chain", "random"]
+    )
+    merge.add_argument("--seed", type=int, default=0)
+    merge.set_defaults(func=_cmd_merge)
+
+    query = sub.add_parser("query", help="query a summary file")
+    query.add_argument("summary")
+    query.add_argument("--heavy-hitters", type=float, default=None, metavar="PHI")
+    query.add_argument("--quantile", type=float, default=None, metavar="Q")
+    query.add_argument("--rank", type=float, default=None, metavar="X")
+    query.add_argument("--estimate", default=None, metavar="ITEM")
+    query.add_argument("--distinct", action="store_true")
+    query.set_defaults(func=_cmd_query)
+
+    inspect = sub.add_parser("inspect", help="show a summary's metadata")
+    inspect.add_argument("summary")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    types = sub.add_parser("types", help="list registered summary types")
+    types.set_defaults(func=_cmd_types)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (AttributeError, TypeError) as exc:
+        print(f"error: unsupported operation for this summary type: {exc}",
+              file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

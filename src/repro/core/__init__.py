@@ -1,0 +1,40 @@
+"""Core framework: the mergeable-summary protocol and merge executors."""
+
+from .base import Summary
+from .bundle import SummaryBundle
+from .exceptions import (
+    EmptySummaryError,
+    MergeError,
+    ParameterError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+from .merge import merge_all, merge_chain, merge_random_tree, merge_tree
+from .registry import get_summary_class, register_summary, registered_names
+from .rng import resolve_rng, spawn
+from .serialization import dumps, from_envelope, loads, to_envelope
+
+__all__ = [
+    "Summary",
+    "SummaryBundle",
+    "ReproError",
+    "ParameterError",
+    "MergeError",
+    "QueryError",
+    "SerializationError",
+    "EmptySummaryError",
+    "merge_all",
+    "merge_chain",
+    "merge_tree",
+    "merge_random_tree",
+    "register_summary",
+    "get_summary_class",
+    "registered_names",
+    "resolve_rng",
+    "spawn",
+    "dumps",
+    "loads",
+    "to_envelope",
+    "from_envelope",
+]

@@ -1,0 +1,154 @@
+"""The :class:`Summary` abstract base class.
+
+A *summary* in the sense of the paper is a small data structure ``S(D)``
+computed from a dataset ``D`` that supports three operations:
+
+``update``
+    fold one more item into the summary (streaming insertion);
+
+``merge``
+    combine this summary with another summary of the *same type and
+    parameters* so that the result summarizes the union of the two
+    underlying datasets — with **no loss of guarantee**: the error
+    parameter and the size bound of the merged summary equal those of
+    the inputs, no matter how many merges happened before (this is the
+    paper's definition of *mergeability*);
+
+``query``-style accessors
+    summary-type specific (frequency estimates, rank/quantile estimates,
+    range counts, directional width), defined by subclasses.
+
+Implementations must keep :attr:`n` equal to the total weight of all
+items folded in through ``update`` and ``merge`` — every error bound in
+the paper is relative to this quantity.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable
+
+from .exceptions import MergeError
+
+__all__ = ["Summary"]
+
+
+class Summary(abc.ABC):
+    """Abstract mergeable summary.
+
+    Subclasses must implement :meth:`update`, :meth:`_merge_same_type`,
+    :meth:`size`, :meth:`to_dict` and :meth:`from_dict`, and must keep
+    the item count :attr:`n` correct.  The public :meth:`merge` performs
+    the type/compatibility checks common to all summaries and then
+    delegates to ``_merge_same_type``.
+    """
+
+    #: total weight (number of item occurrences) summarized so far.
+    _n: int
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total weight of the summarized dataset (the paper's ``n``)."""
+        return self._n
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no items have been folded in yet."""
+        return self._n == 0
+
+    def extend(self, items: Iterable[Any]) -> "Summary":
+        """Fold every item of ``items`` into the summary; return ``self``."""
+        for item in items:
+            self.update(item)
+        return self
+
+    @classmethod
+    def from_items(cls, items: Iterable[Any], /, **kwargs: Any) -> "Summary":
+        """Build a summary of ``items`` with constructor ``kwargs``."""
+        summary = cls(**kwargs)
+        summary.extend(items)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Abstract surface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, item: Any, weight: int = 1) -> None:
+        """Fold ``weight`` occurrences of ``item`` into the summary."""
+
+    @abc.abstractmethod
+    def _merge_same_type(self, other: "Summary") -> None:
+        """Merge ``other`` (already checked to be compatible) into ``self``."""
+
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of stored entries (counters, samples, points, ...).
+
+        This is the quantity bounded by the paper's Table 1 — *not* the
+        byte size of the Python object.
+        """
+
+    @abc.abstractmethod
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize state to a JSON-compatible dictionary.
+
+        The dictionary must round-trip through :meth:`from_dict` and is
+        what :mod:`repro.core.serialization` embeds in its envelope.
+        """
+
+    @classmethod
+    @abc.abstractmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Summary":
+        """Reconstruct a summary from :meth:`to_dict` output."""
+
+    # ------------------------------------------------------------------
+    # Merge protocol
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Summary") -> "Summary":
+        """Merge ``other`` into ``self`` and return ``self``.
+
+        ``other`` is left unchanged.  Raises :class:`MergeError` when the
+        operands are of different concrete types or carry incompatible
+        parameters (as reported by :meth:`compatible_with`).
+        """
+        if type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}; "
+                "mergeability requires identical summary types"
+            )
+        problem = self.compatible_with(other)
+        if problem is not None:
+            raise MergeError(
+                f"incompatible {type(self).__name__} operands: {problem}"
+            )
+        self._merge_same_type(other)
+        return self
+
+    def compatible_with(self, other: "Summary") -> str | None:
+        """Return ``None`` when ``other`` can merge into ``self``.
+
+        Otherwise return a human-readable description of the mismatch.
+        Subclasses with parameters (``k``, ``epsilon``, hash seeds, range
+        spaces, ...) override this; the default accepts any same-type
+        operand.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} n={self._n} size={self.size()}>"

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  Internal
+assertion failures (bugs) intentionally do *not* use this hierarchy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "MergeError",
+    "QueryError",
+    "SerializationError",
+    "EmptySummaryError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error deliberately raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A constructor or method received an invalid parameter value.
+
+    Examples: non-positive ``k`` for a counter summary, ``epsilon``
+    outside ``(0, 1)``, a quantile ``q`` outside ``[0, 1]``.
+    """
+
+
+class MergeError(ReproError):
+    """Two summaries cannot be merged.
+
+    Raised when the operands are of different types or were configured
+    with incompatible parameters (different ``k``, ``epsilon``, range
+    space, hash seeds, ...).  Mergeability in the paper's sense requires
+    identically parameterized summaries.
+    """
+
+
+class QueryError(ReproError):
+    """A query cannot be answered by this summary in its current state."""
+
+
+class SerializationError(ReproError):
+    """A summary payload could not be serialized or deserialized."""
+
+
+class EmptySummaryError(QueryError):
+    """A query that needs at least one item was issued on an empty summary."""

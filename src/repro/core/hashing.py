@@ -1,0 +1,47 @@
+"""Stable, process-independent hashing of stream items.
+
+Python's built-in ``hash`` is salted per process for strings, which
+would make serialized sketches (CountMin/CountSketch) irreproducible
+across processes.  The linear sketches therefore hash through
+:func:`stable_hash`, a BLAKE2b-based 64-bit hash that is deterministic
+across runs, platforms, and processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["stable_hash"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _item_bytes(item: Any) -> bytes:
+    """Canonical byte encoding of a stream item.
+
+    Integers are encoded by value (so ``5`` and ``numpy.int64(5)`` hash
+    identically); everything else falls back to ``repr`` which is stable
+    for the str/tuple/bytes items the library supports.
+    """
+    if isinstance(item, np.generic):
+        item = item.item()
+    if isinstance(item, bool):
+        return b"b" + (b"1" if item else b"0")
+    if isinstance(item, int):
+        return b"i" + item.to_bytes((item.bit_length() + 8) // 8 + 1, "little", signed=True)
+    if isinstance(item, bytes):
+        return b"y" + item
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    return b"r" + repr(item).encode("utf-8")
+
+
+def stable_hash(item: Any, seed: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``item`` under ``seed``."""
+    h = hashlib.blake2b(
+        _item_bytes(item), digest_size=8, key=seed.to_bytes(8, "little")
+    )
+    return int.from_bytes(h.digest(), "little") & _MASK64

@@ -1,0 +1,23 @@
+"""Item normalization helpers.
+
+Streams frequently arrive as ``numpy`` arrays, so summaries see
+``numpy.int64``/``numpy.float64`` scalars.  Those hash and compare like
+their Python counterparts (so the algorithms are unaffected), but they
+are not JSON-serializable; :func:`plain` converts them at serialization
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["plain"]
+
+
+def plain(item: Any) -> Any:
+    """Convert numpy scalars to native Python values; pass others through."""
+    if isinstance(item, np.generic):
+        return item.item()
+    return item

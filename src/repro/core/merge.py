@@ -1,0 +1,121 @@
+"""Generic merge executors.
+
+The paper's central claim is that its summaries keep their guarantees
+under *any* merge sequence.  This module provides the reduction
+strategies used throughout the tests and benchmarks to realize those
+sequences over a list of summaries:
+
+- :func:`merge_chain` — the caterpillar/left-fold order, the worst case
+  for non-mergeable summaries whose error grows per merge;
+- :func:`merge_tree` — balanced binary reduction, the friendly case
+  (all merges roughly equal weight);
+- :func:`merge_random_tree` — a uniformly random binary merge tree, the
+  "arbitrary sequence" the definition of mergeability quantifies over;
+- :func:`merge_all` — strategy dispatcher.
+
+All executors mutate the *first* operand of every pairwise merge and
+never touch later inputs more than once, mirroring how an in-network
+aggregation consumes child summaries.  Callers that need the inputs
+preserved should pass copies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import Summary
+from .exceptions import MergeError, ParameterError
+from .rng import RngLike, resolve_rng
+
+__all__ = [
+    "merge_chain",
+    "merge_tree",
+    "merge_random_tree",
+    "merge_all",
+    "MERGE_STRATEGIES",
+]
+
+
+def _require_nonempty(summaries: Sequence[Summary]) -> None:
+    if not summaries:
+        raise MergeError("cannot merge an empty list of summaries")
+
+
+def merge_chain(summaries: Sequence[Summary]) -> Summary:
+    """Left-fold merge: ``((s0 ⊎ s1) ⊎ s2) ⊎ ...``.
+
+    Produces a maximally unbalanced (depth ``m-1``) merge tree — the
+    adversarial shape for summaries that are only "one-way" mergeable.
+    """
+    _require_nonempty(summaries)
+    acc = summaries[0]
+    for s in summaries[1:]:
+        acc = acc.merge(s)
+    return acc
+
+
+def merge_tree(summaries: Sequence[Summary]) -> Summary:
+    """Balanced binary reduction (depth ``ceil(log2 m)``).
+
+    Every merge combines summaries of (nearly) equal total weight when
+    the inputs have equal weight — the "equal-weight merge" model of
+    paper Section 3.1.
+    """
+    _require_nonempty(summaries)
+    level: List[Summary] = list(summaries)
+    while len(level) > 1:
+        nxt: List[Summary] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i].merge(level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def merge_random_tree(summaries: Sequence[Summary], rng: RngLike = None) -> Summary:
+    """Merge along a uniformly random binary tree.
+
+    Repeatedly picks two distinct surviving summaries at random and
+    merges them, realizing an arbitrary merge sequence.  Deterministic
+    under a fixed ``rng`` seed.
+    """
+    _require_nonempty(summaries)
+    gen = resolve_rng(rng)
+    pool: List[Summary] = list(summaries)
+    while len(pool) > 1:
+        i, j = gen.choice(len(pool), size=2, replace=False)
+        i, j = int(i), int(j)
+        if i > j:
+            i, j = j, i
+        right = pool.pop(j)
+        pool[i] = pool[i].merge(right)
+    return pool[0]
+
+
+MERGE_STRATEGIES = {
+    "chain": merge_chain,
+    "tree": merge_tree,
+    "random": merge_random_tree,
+}
+
+
+def merge_all(
+    summaries: Sequence[Summary],
+    strategy: str = "tree",
+    rng: RngLike = None,
+) -> Summary:
+    """Merge ``summaries`` with the named strategy.
+
+    ``strategy`` is one of ``"chain"``, ``"tree"``, ``"random"``; the
+    ``rng`` argument only affects ``"random"``.
+    """
+    try:
+        fn = MERGE_STRATEGIES[strategy]
+    except KeyError:
+        raise ParameterError(
+            f"unknown merge strategy {strategy!r}; choose from {sorted(MERGE_STRATEGIES)}"
+        ) from None
+    if strategy == "random":
+        return fn(summaries, rng)
+    return fn(summaries)

@@ -1,0 +1,56 @@
+"""Name → summary-class registry.
+
+Registered names give every summary a stable identifier used by the
+serialization envelope (:mod:`repro.core.serialization`), the benchmark
+harness tables, and the examples.  Registration is explicit via the
+:func:`register_summary` decorator applied at class-definition time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type, TypeVar
+
+from .base import Summary
+from .exceptions import SerializationError
+
+__all__ = ["register_summary", "get_summary_class", "registered_names"]
+
+_REGISTRY: Dict[str, Type[Summary]] = {}
+
+S = TypeVar("S", bound=Type[Summary])
+
+
+def register_summary(name: str) -> Callable[[S], S]:
+    """Class decorator registering a summary under ``name``.
+
+    The name must be unique across the library; re-registering the same
+    class under the same name is a no-op (supports module reloads), but
+    registering a *different* class under an existing name raises.
+    """
+
+    def decorator(cls: S) -> S:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"summary name {name!r} already registered to {existing.__name__}"
+            )
+        _REGISTRY[name] = cls
+        cls.registry_name = name
+        return cls
+
+    return decorator
+
+
+def get_summary_class(name: str) -> Type[Summary]:
+    """Look up a registered summary class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SerializationError(
+            f"unknown summary name {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_names() -> list[str]:
+    """Sorted list of all registered summary names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,51 @@
+"""Deterministic random-number plumbing.
+
+Every randomized summary in the library accepts either ``None`` (fresh
+OS entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+This module centralizes the conversion so behaviour is uniform and tests
+can pin seeds everywhere.
+
+The randomized quantile summaries of the paper (Sections 3.1-3.3) need
+fresh, *independent* randomness at every merge; :func:`spawn` derives a
+child generator from a parent so that a single seed still yields a fully
+reproducible run of an arbitrarily deep merge tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["RngLike", "resolve_rng", "spawn"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` draws a fresh seed from OS entropy; an ``int`` seeds a new
+    PCG64 generator; an existing generator is returned unchanged (shared,
+    not copied, so interleaved draws stay reproducible).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy.random.Generator, got {type(rng)!r}"
+    )
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a summary hands private randomness to a sub-structure
+    (e.g. one generator per weight class in the logarithmic-method
+    quantile summary) so that draws in one sub-structure do not perturb
+    another's sequence.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,71 @@
+"""JSON round-trip for any registered summary.
+
+Summaries travel between nodes in a distributed aggregation: a sensor
+serializes its local summary, ships it up the tree, and the parent
+deserializes and merges.  The envelope written here is what the
+:mod:`repro.distributed` simulator (and a real deployment) would put on
+the wire.
+
+Envelope format::
+
+    {"format": 1, "type": "<registry name>", "state": {...to_dict()...}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .base import Summary
+from .exceptions import SerializationError
+from .registry import get_summary_class
+
+__all__ = ["dumps", "loads", "to_envelope", "from_envelope"]
+
+_FORMAT_VERSION = 1
+
+
+def to_envelope(summary: Summary) -> Dict[str, Any]:
+    """Wrap a summary's state in the versioned transport envelope."""
+    name = getattr(summary, "registry_name", None)
+    if name is None:
+        raise SerializationError(
+            f"{type(summary).__name__} is not registered; apply "
+            "@register_summary before serializing"
+        )
+    return {"format": _FORMAT_VERSION, "type": name, "state": summary.to_dict()}
+
+
+def from_envelope(envelope: Dict[str, Any]) -> Summary:
+    """Reconstruct a summary from :func:`to_envelope` output."""
+    try:
+        version = envelope["format"]
+        name = envelope["type"]
+        state = envelope["state"]
+    except (TypeError, KeyError) as exc:
+        raise SerializationError(f"malformed summary envelope: {exc!r}") from exc
+    if version != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported envelope format {version!r} (supported: {_FORMAT_VERSION})"
+        )
+    cls = get_summary_class(name)
+    return cls.from_dict(state)
+
+
+def dumps(summary: Summary) -> str:
+    """Serialize ``summary`` to a JSON string."""
+    try:
+        return json.dumps(to_envelope(summary), separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"summary state of {type(summary).__name__} is not JSON-compatible: {exc}"
+        ) from exc
+
+
+def loads(payload: str) -> Summary:
+    """Deserialize a summary from :func:`dumps` output."""
+    try:
+        envelope = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON payload: {exc}") from exc
+    return from_envelope(envelope)

@@ -1,0 +1,6 @@
+"""Time-decayed and sliding-window mergeable summaries (paper future work)."""
+
+from .decayed_mg import DecayedMisraGries
+from .windowed_mg import WindowedMisraGries, WindowQueryResult
+
+__all__ = ["DecayedMisraGries", "WindowedMisraGries", "WindowQueryResult"]

@@ -1,0 +1,243 @@
+"""Time-decayed mergeable heavy hitters (paper future-work extension).
+
+The paper's conclusion raises time-decayed and sliding-window
+mergeability as open directions.  This module implements the
+exponential-decay case, which composes cleanly with the Misra-Gries
+merge because exponential decay is a *linear* operation:
+
+    decayed weight of an occurrence at time t, observed at time T:
+        w * 0.5 ** ((T - t) / half_life)
+
+Scaling every counter (and the deduction) by the same factor commutes
+with both the MG decrement and the combine+prune merge, so all MG
+guarantees carry over verbatim in decayed units::
+
+    f_decayed(x) - N_decayed/(k+1)  <=  estimate(x)  <=  f_decayed(x)
+
+where ``N_decayed`` is the total decayed weight — under arbitrary
+merges, with each summary carrying its own reference time and merges
+aligning the operands to the later one.
+
+Implementation: counters store values normalized to the summary's
+*reference time*; advancing the reference rescales counters, deduction
+and the decayed total by the elapsed decay factor.  Out-of-order
+arrivals are handled by decaying the incoming weight instead of
+rewinding the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.items import plain
+from ..core.registry import register_summary
+
+__all__ = ["DecayedMisraGries"]
+
+#: counters below this decayed weight are dropped as numerically dead
+_EPSILON_WEIGHT = 1e-12
+
+
+@register_summary("decayed_misra_gries")
+class DecayedMisraGries(Summary):
+    """Misra-Gries under exponential time decay.
+
+    Parameters
+    ----------
+    k:
+        Number of counters.
+    half_life:
+        Time for an occurrence's weight to halve (same unit as the
+        timestamps passed to :meth:`observe`).
+    """
+
+    def __init__(self, k: int, half_life: float) -> None:
+        super().__init__()
+        if not isinstance(k, int) or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k!r}")
+        if half_life <= 0:
+            raise ParameterError(f"half_life must be positive, got {half_life!r}")
+        self.k = k
+        self.half_life = float(half_life)
+        self._counters: Dict[Any, float] = {}
+        self._deduction = 0.0
+        self._decayed_total = 0.0
+        self._reference_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Time handling
+    # ------------------------------------------------------------------
+
+    @property
+    def reference_time(self) -> float:
+        """The time all stored weights are normalized to."""
+        return self._reference_time
+
+    @property
+    def decayed_total(self) -> float:
+        """Total decayed weight ``N_decayed`` (the bound's denominator)."""
+        return self._decayed_total
+
+    def _factor(self, elapsed: float) -> float:
+        return 0.5 ** (elapsed / self.half_life)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the reference time forward, decaying all state."""
+        if timestamp <= self._reference_time:
+            return
+        factor = self._factor(timestamp - self._reference_time)
+        for item in list(self._counters):
+            self._counters[item] *= factor
+            if self._counters[item] <= _EPSILON_WEIGHT:
+                del self._counters[item]
+        self._deduction *= factor
+        self._decayed_total *= factor
+        self._reference_time = timestamp
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(self, item: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Fold in ``weight`` occurrences of ``item`` at ``timestamp``.
+
+        Late (out-of-order) arrivals are accepted: their weight is
+        decayed to the current reference instead of rewinding time.
+        """
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        self._n += 1
+        self.advance_to(timestamp)
+        decayed = weight * self._factor(self._reference_time - timestamp)
+        self._decayed_total += decayed
+        counters = self._counters
+        if item in counters:
+            counters[item] += decayed
+            return
+        if len(counters) < self.k:
+            counters[item] = decayed
+            return
+        minimum = min(counters.values())
+        decrement = min(decayed, minimum)
+        self._deduction += decrement
+        for key in list(counters):
+            counters[key] -= decrement
+            if counters[key] <= _EPSILON_WEIGHT:
+                del counters[key]
+        if decayed > decrement:
+            counters[item] = decayed - decrement
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        """Timestamp-less update: observe at the current reference time."""
+        self.observe(item, self._reference_time, float(weight))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def deduction(self) -> float:
+        """Maximum under-estimation, in decayed units at the reference."""
+        return self._deduction
+
+    @property
+    def error_bound(self) -> float:
+        """The guarantee ``N_decayed / (k + 1)``."""
+        return self._decayed_total / (self.k + 1)
+
+    def estimate(self, item: Any, at: Optional[float] = None) -> float:
+        """Lower-bound decayed frequency at ``at`` (default: reference)."""
+        value = self._counters.get(item, 0.0)
+        if at is not None:
+            if at < self._reference_time:
+                raise ParameterError(
+                    f"query time {at} precedes reference {self._reference_time}"
+                )
+            value *= self._factor(at - self._reference_time)
+        return value
+
+    def counters(self) -> Dict[Any, float]:
+        """Snapshot of monitored items with decayed estimates."""
+        return dict(self._counters)
+
+    def heavy_hitters(self, phi: float) -> Dict[Any, float]:
+        """Items possibly holding ``>= phi`` of the decayed total weight."""
+        if not 0 < phi <= 1:
+            raise ParameterError(f"phi must be in (0, 1], got {phi!r}")
+        threshold = phi * self._decayed_total
+        return {
+            item: value
+            for item, value in self._counters.items()
+            if value + self._deduction >= threshold
+        }
+
+    def size(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._counters
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "DecayedMisraGries") -> Optional[str]:
+        assert isinstance(other, DecayedMisraGries)
+        if self.k != other.k:
+            return f"k mismatch: {self.k} vs {other.k}"
+        if abs(self.half_life - other.half_life) > 1e-12:
+            return f"half_life mismatch: {self.half_life} vs {other.half_life}"
+        return None
+
+    def _merge_same_type(self, other: "DecayedMisraGries") -> None:
+        assert isinstance(other, DecayedMisraGries)
+        # align both operands to the later reference time; `other` is
+        # not mutated, so its state is decayed into a local view
+        target = max(self._reference_time, other._reference_time)
+        self.advance_to(target)
+        factor = other._factor(target - other._reference_time)
+        combined = dict(self._counters)
+        for item, value in other._counters.items():
+            decayed = value * factor
+            if decayed > _EPSILON_WEIGHT:
+                combined[item] = combined.get(item, 0.0) + decayed
+        deduction = self._deduction + other._deduction * factor
+        if len(combined) > self.k:
+            cut = sorted(combined.values(), reverse=True)[self.k]
+            combined = {
+                item: value - cut
+                for item, value in combined.items()
+                if value - cut > _EPSILON_WEIGHT
+            }
+            deduction += cut
+        self._counters = combined
+        self._deduction = deduction
+        self._decayed_total += other._decayed_total * factor
+        self._n += other._n
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "half_life": self.half_life,
+            "n": self._n,
+            "deduction": self._deduction,
+            "decayed_total": self._decayed_total,
+            "reference_time": self._reference_time,
+            "counters": [[plain(i), v] for i, v in self._counters.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DecayedMisraGries":
+        summary = cls(k=payload["k"], half_life=payload["half_life"])
+        summary._counters = {item: value for item, value in payload["counters"]}
+        summary._deduction = payload["deduction"]
+        summary._decayed_total = payload["decayed_total"]
+        summary._reference_time = payload["reference_time"]
+        summary._n = payload["n"]
+        return summary

@@ -1,0 +1,246 @@
+"""Sliding-window heavy hitters via time-bucketed Misra-Gries summaries.
+
+The second future-work direction in the paper's conclusion is sliding
+windows.  Exact sliding-window mergeability is impossible with small
+space (expired items must be *subtracted*, and MG-style summaries only
+add), so this module implements the standard practical compromise used
+by production systems (time-bucketed roll-ups, Druid/M3-style):
+
+- time is divided into fixed-width *buckets*; each live bucket holds an
+  independent MG(k) summary of the items that arrived in it;
+- at most ``num_buckets`` recent buckets are retained, bounding both
+  space (``num_buckets * k`` counters) and the queryable horizon;
+- a window query merges the summaries of the covered buckets — since
+  per-bucket MG summaries are fully mergeable, the merged result
+  carries the exact MG guarantee over the *covered bucket span*;
+- two windowed summaries merge bucket-by-bucket (aligned by absolute
+  bucket index), so the structure is itself mergeable.
+
+The only approximation versus a true sliding window is *bucket
+granularity*: a query window is rounded outward to whole buckets, so
+up to one bucket's worth of stale items may be included.  That slack is
+reported explicitly by :meth:`query` so callers can account for it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError, QueryError
+from ..core.registry import register_summary
+from ..frequency.misra_gries import MisraGries
+
+__all__ = ["WindowedMisraGries", "WindowQueryResult"]
+
+
+class WindowQueryResult:
+    """Outcome of a sliding-window heavy-hitter query."""
+
+    def __init__(
+        self,
+        summary: MisraGries,
+        buckets_covered: int,
+        window_start: float,
+        window_end: float,
+    ) -> None:
+        #: merged MG summary over the covered buckets
+        self.summary = summary
+        self.buckets_covered = buckets_covered
+        #: actual (bucket-aligned) span the answer covers
+        self.window_start = window_start
+        self.window_end = window_end
+
+    def heavy_hitters(self, phi: float) -> Dict[Any, int]:
+        """phi-heavy hitters over the covered span (no false negatives)."""
+        return self.summary.heavy_hitters(phi)
+
+    def estimate(self, item: Any) -> int:
+        return self.summary.estimate(item)
+
+    @property
+    def n(self) -> int:
+        """Items in the covered span."""
+        return self.summary.n
+
+    @property
+    def error_bound(self) -> float:
+        return self.summary.error_bound
+
+
+@register_summary("windowed_misra_gries")
+class WindowedMisraGries(Summary):
+    """Bucketed sliding-window Misra-Gries.
+
+    Parameters
+    ----------
+    k:
+        Counters per bucket.
+    bucket_width:
+        Time width of one bucket (same unit as timestamps).
+    num_buckets:
+        Retained horizon, in buckets; older buckets are evicted.
+    """
+
+    def __init__(self, k: int, bucket_width: float, num_buckets: int) -> None:
+        super().__init__()
+        if not isinstance(k, int) or k < 1:
+            raise ParameterError(f"k must be a positive integer, got {k!r}")
+        if bucket_width <= 0:
+            raise ParameterError(f"bucket_width must be positive, got {bucket_width!r}")
+        if num_buckets < 1:
+            raise ParameterError(f"num_buckets must be >= 1, got {num_buckets!r}")
+        self.k = k
+        self.bucket_width = float(bucket_width)
+        self.num_buckets = int(num_buckets)
+        # absolute bucket index -> MG summary
+        self._buckets: Dict[int, MisraGries] = {}
+        # highest bucket index ever evicted (None until first eviction);
+        # distinguishes "expired data" from "before any data arrived"
+        self._evicted_through: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _bucket_index(self, timestamp: float) -> int:
+        return int(math.floor(timestamp / self.bucket_width))
+
+    def observe(self, item: Any, timestamp: float, weight: int = 1) -> None:
+        """Record ``weight`` occurrences of ``item`` at ``timestamp``."""
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        index = self._bucket_index(timestamp)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = MisraGries(self.k)
+        bucket.update(item, weight)
+        self._n += weight
+        self._evict_expired()
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        """Timestamp-less update lands in the most recent bucket."""
+        latest = max(self._buckets, default=0)
+        self.observe(item, latest * self.bucket_width, weight)
+
+    def _evict_expired(self) -> None:
+        if not self._buckets:
+            return
+        horizon = max(self._buckets) - self.num_buckets + 1
+        for index in [i for i in self._buckets if i < horizon]:
+            self._n -= self._buckets[index].n
+            del self._buckets[index]
+            if self._evicted_through is None or index > self._evicted_through:
+                self._evicted_through = index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Queryable time span: ``num_buckets * bucket_width``."""
+        return self.num_buckets * self.bucket_width
+
+    def live_buckets(self) -> Dict[int, int]:
+        """Bucket index -> item count (diagnostics)."""
+        return {index: bucket.n for index, bucket in sorted(self._buckets.items())}
+
+    def query(self, window_end: float, window_length: float) -> WindowQueryResult:
+        """Heavy-hitter summary of ``[window_end - window_length, window_end]``.
+
+        The window is rounded outward to whole buckets; the result
+        reports the actual covered span.  Raises :class:`QueryError`
+        when the requested window reaches past the retained horizon.
+        """
+        if window_length <= 0:
+            raise ParameterError(
+                f"window_length must be positive, got {window_length!r}"
+            )
+        if not self._buckets:
+            raise QueryError("windowed summary holds no data")
+        last_index = self._bucket_index(window_end)
+        first_index = self._bucket_index(window_end - window_length)
+        if self._evicted_through is not None and first_index <= self._evicted_through:
+            raise QueryError(
+                f"window reaches bucket {first_index} but buckets up to "
+                f"{self._evicted_through} have expired (horizon {self.horizon})"
+            )
+        merged = MisraGries(self.k)
+        covered = 0
+        for index in range(first_index, last_index + 1):
+            bucket = self._buckets.get(index)
+            if bucket is not None:
+                merged.merge(bucket)
+                covered += 1
+        return WindowQueryResult(
+            summary=merged,
+            buckets_covered=covered,
+            window_start=first_index * self.bucket_width,
+            window_end=(last_index + 1) * self.bucket_width,
+        )
+
+    def size(self) -> int:
+        return sum(bucket.size() for bucket in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "WindowedMisraGries") -> Optional[str]:
+        assert isinstance(other, WindowedMisraGries)
+        mine = (self.k, self.bucket_width, self.num_buckets)
+        theirs = (other.k, other.bucket_width, other.num_buckets)
+        if mine != theirs:
+            return f"window geometry mismatch: {mine} vs {theirs}"
+        return None
+
+    def _merge_same_type(self, other: "WindowedMisraGries") -> None:
+        assert isinstance(other, WindowedMisraGries)
+        for index, bucket in other._buckets.items():
+            mine = self._buckets.get(index)
+            if mine is None:
+                clone = MisraGries.from_dict(bucket.to_dict())
+                self._buckets[index] = clone
+            else:
+                mine.merge(bucket)
+            self._n += bucket.n
+        if other._evicted_through is not None and (
+            self._evicted_through is None
+            or other._evicted_through > self._evicted_through
+        ):
+            self._evicted_through = other._evicted_through
+        self._evict_expired()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "bucket_width": self.bucket_width,
+            "num_buckets": self.num_buckets,
+            "n": self._n,
+            "evicted_through": self._evicted_through,
+            "buckets": {
+                str(index): bucket.to_dict()
+                for index, bucket in self._buckets.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WindowedMisraGries":
+        summary = cls(
+            k=payload["k"],
+            bucket_width=payload["bucket_width"],
+            num_buckets=payload["num_buckets"],
+        )
+        summary._buckets = {
+            int(index): MisraGries.from_dict(state)
+            for index, state in payload["buckets"].items()
+        }
+        summary._n = payload["n"]
+        summary._evicted_through = payload.get("evicted_through")
+        return summary

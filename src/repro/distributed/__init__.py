@@ -1,0 +1,45 @@
+"""Distributed-aggregation substrate: partitioners, topologies, simulator."""
+
+from .continuous import ContinuousAggregation, EpochReport
+from .node import Node
+from .partition import (
+    PARTITIONERS,
+    ContiguousPartitioner,
+    Partitioner,
+    SkewedSizePartitioner,
+    SortedPartitioner,
+    UniformRandomPartitioner,
+)
+from .simulator import AggregationResult, run_aggregation
+from .topology import (
+    TOPOLOGIES,
+    MergeSchedule,
+    balanced_tree,
+    build_topology,
+    chain,
+    kary_tree,
+    random_tree,
+    star,
+)
+
+__all__ = [
+    "Node",
+    "Partitioner",
+    "ContiguousPartitioner",
+    "UniformRandomPartitioner",
+    "SortedPartitioner",
+    "SkewedSizePartitioner",
+    "PARTITIONERS",
+    "MergeSchedule",
+    "balanced_tree",
+    "chain",
+    "star",
+    "kary_tree",
+    "random_tree",
+    "build_topology",
+    "TOPOLOGIES",
+    "AggregationResult",
+    "run_aggregation",
+    "ContinuousAggregation",
+    "EpochReport",
+]

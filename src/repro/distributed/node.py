@@ -1,0 +1,55 @@
+"""A simulated aggregation node.
+
+Each node owns a local data shard, builds its local summary, and — when
+the merge schedule says so — receives a child's *serialized* summary,
+deserializes it, and merges it in.  Serializing on every hop is how a
+real deployment works and doubles as a continuous integration test of
+the wire format; it can be disabled for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core import Summary, dumps, loads
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One participant in a simulated distributed aggregation."""
+
+    node_id: int
+    shard: np.ndarray
+    summary: Optional[Summary] = None
+    #: bytes "sent" upstream by this node (0 until it ships its summary)
+    bytes_sent: int = 0
+    merges_performed: int = field(default=0)
+
+    def build(self, summary_factory: Callable[[], Summary]) -> Summary:
+        """Build the local summary over this node's shard."""
+        self.summary = summary_factory()
+        self.summary.extend(self.shard)
+        return self.summary
+
+    def emit(self, serialize: bool = True) -> Any:
+        """Ship this node's summary upstream (optionally over the wire format)."""
+        if self.summary is None:
+            raise RuntimeError(f"node {self.node_id} has no summary built")
+        if serialize:
+            payload = dumps(self.summary)
+            self.bytes_sent += len(payload)
+            return payload
+        return self.summary
+
+    def absorb(self, payload: Any, serialized: bool = True) -> None:
+        """Merge a child's emitted summary into this node's summary."""
+        if self.summary is None:
+            raise RuntimeError(f"node {self.node_id} has no summary built")
+        child = loads(payload) if serialized else payload
+        self.summary.merge(child)
+        self.merges_performed += 1

@@ -1,0 +1,121 @@
+"""Dataset partitioners: how a logical dataset lands on nodes.
+
+Mergeability must hold for *any* partition of the data; the
+partitioners below realize the layouts that stress different failure
+modes:
+
+- :class:`UniformRandomPartitioner` — iid shards (the easy case);
+- :class:`ContiguousPartitioner` — stream order split (the MapReduce
+  case);
+- :class:`SortedPartitioner` — value-sorted contiguous shards: every
+  node sees a disjoint value range, the adversarial layout for quantile
+  and sample-based summaries;
+- :class:`SkewedSizePartitioner` — power-law shard sizes, producing the
+  highly unequal-weight merges that break equal-weight-only schemes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.rng import RngLike, resolve_rng
+
+__all__ = [
+    "Partitioner",
+    "UniformRandomPartitioner",
+    "ContiguousPartitioner",
+    "SortedPartitioner",
+    "SkewedSizePartitioner",
+    "PARTITIONERS",
+]
+
+
+class Partitioner(abc.ABC):
+    """Splits a dataset array into per-node shards."""
+
+    @abc.abstractmethod
+    def split(self, data: np.ndarray, parts: int) -> List[np.ndarray]:
+        """Partition ``data`` into exactly ``parts`` non-empty shards."""
+
+    @staticmethod
+    def _validate(data: np.ndarray, parts: int) -> None:
+        if parts < 1:
+            raise ParameterError(f"parts must be >= 1, got {parts!r}")
+        if parts > len(data):
+            raise ParameterError(
+                f"cannot make {parts} non-empty shards from {len(data)} records"
+            )
+
+
+class ContiguousPartitioner(Partitioner):
+    """Consecutive equal-size chunks in stream order."""
+
+    def split(self, data: np.ndarray, parts: int) -> List[np.ndarray]:
+        self._validate(data, parts)
+        return [np.array(c) for c in np.array_split(data, parts)]
+
+
+class UniformRandomPartitioner(Partitioner):
+    """Each record lands on a uniformly random node (seeded)."""
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._rng = resolve_rng(rng)
+
+    def split(self, data: np.ndarray, parts: int) -> List[np.ndarray]:
+        self._validate(data, parts)
+        permuted = np.array(data)
+        self._rng.shuffle(permuted)
+        return [np.array(c) for c in np.array_split(permuted, parts)]
+
+
+class SortedPartitioner(Partitioner):
+    """Value-sorted contiguous shards (each node owns a value range)."""
+
+    def split(self, data: np.ndarray, parts: int) -> List[np.ndarray]:
+        self._validate(data, parts)
+        ordered = np.sort(np.array(data))
+        return [np.array(c) for c in np.array_split(ordered, parts)]
+
+
+class SkewedSizePartitioner(Partitioner):
+    """Power-law shard sizes: shard ``i`` gets mass proportional to ``1/i**alpha``."""
+
+    def __init__(self, alpha: float = 1.0, rng: RngLike = None) -> None:
+        if alpha < 0:
+            raise ParameterError(f"alpha must be >= 0, got {alpha!r}")
+        self.alpha = float(alpha)
+        self._rng = resolve_rng(rng)
+
+    def split(self, data: np.ndarray, parts: int) -> List[np.ndarray]:
+        self._validate(data, parts)
+        permuted = np.array(data)
+        self._rng.shuffle(permuted)
+        weights = np.arange(1, parts + 1, dtype=np.float64) ** -self.alpha
+        sizes = np.maximum(1, np.floor(weights / weights.sum() * len(data))).astype(int)
+        # fix rounding so sizes sum to len(data) while every shard stays >= 1
+        excess = sizes.sum() - len(data)
+        i = 0
+        while excess > 0:
+            if sizes[i % parts] > 1:
+                sizes[i % parts] -= 1
+                excess -= 1
+            i += 1
+        sizes[0] += len(data) - sizes.sum()
+        out: List[np.ndarray] = []
+        offset = 0
+        for size in sizes:
+            out.append(permuted[offset : offset + size])
+            offset += size
+        return out
+
+
+PARTITIONERS = {
+    "contiguous": ContiguousPartitioner,
+    "uniform": UniformRandomPartitioner,
+    "sorted": SortedPartitioner,
+    "skewed": SkewedSizePartitioner,
+}

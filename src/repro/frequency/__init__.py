@@ -1,0 +1,50 @@
+"""Frequency-estimation summaries (paper Section 2) and baselines.
+
+Mergeable summaries:
+
+- :class:`MisraGries` — the paper's central deterministic result;
+- :class:`SpaceSaving` — mergeable via the MG isomorphism;
+- :class:`MajorityVote` — the single-counter special case;
+- :class:`CountMin`, :class:`CountSketch` — linear-sketch baselines;
+- :class:`ExactCounter` — ground truth.
+"""
+
+from .conservative import ConservativeCountMin
+from .count_min import CountMin
+from .count_sketch import CountSketch
+from .exact import ExactCounter
+from .heavy_hitters import HeavyHitterReport, evaluate_heavy_hitters
+from .hierarchical import DyadicHierarchy
+from .isomorphism import (
+    classic_space_saving,
+    mg_image_of_classic_ss,
+    verify_isomorphism,
+)
+from .majority import MajorityVote
+from .misra_gries import MisraGries
+from .prune import PRUNE_RULES, get_prune_rule, prune_cafaro, prune_paper
+from .space_saving import SpaceSaving
+from .topk import TopKEntry, TopKReport, top_k
+
+__all__ = [
+    "MisraGries",
+    "SpaceSaving",
+    "MajorityVote",
+    "CountMin",
+    "ConservativeCountMin",
+    "DyadicHierarchy",
+    "CountSketch",
+    "ExactCounter",
+    "HeavyHitterReport",
+    "evaluate_heavy_hitters",
+    "classic_space_saving",
+    "mg_image_of_classic_ss",
+    "verify_isomorphism",
+    "prune_paper",
+    "prune_cafaro",
+    "get_prune_rule",
+    "PRUNE_RULES",
+    "top_k",
+    "TopKReport",
+    "TopKEntry",
+]

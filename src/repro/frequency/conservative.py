@@ -1,0 +1,119 @@
+"""CountMin with conservative update — a *non-mergeable* cautionary tale.
+
+Conservative update (Estan & Varghese) tightens CountMin's streaming
+accuracy: on an update, only the cells equal to the current minimum
+estimate are incremented, so collisions inflate counters far less.
+
+The catch — and the reason this class exists in a mergeable-summaries
+library — is that conservative update **breaks linearity**: the sketch
+is no longer a linear function of the frequency vector, so adding two
+tables is *not* the sketch of the union.  The sum remains a sound upper
+bound (both operands over-estimate), but the accuracy advantage over
+plain CountMin evaporates at the first merge and keeps eroding with
+depth.  Benchmark E20 quantifies exactly this: conservative update wins
+sequentially and converges to (or past) plain CountMin after merging —
+a concrete instance of the paper's theme that streaming accuracy tricks
+do not automatically survive mergeability requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.hashing import stable_hash
+from ..core.registry import register_summary
+
+__all__ = ["ConservativeCountMin"]
+
+
+@register_summary("conservative_count_min")
+class ConservativeCountMin(Summary):
+    """CountMin with conservative update (non-linear; merge degrades).
+
+    Same geometry/seed parameters as :class:`repro.frequency.CountMin`;
+    ``merge_generations`` counts how many merges contributed, since
+    each one costs part of the conservative-update advantage.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        super().__init__()
+        if width < 1 or depth < 1:
+            raise ParameterError(
+                f"width and depth must be >= 1, got {width!r} x {depth!r}"
+            )
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.merge_generations = 0
+
+    def _row_indices(self, item: Any) -> np.ndarray:
+        return np.array(
+            [
+                stable_hash(item, seed=self.seed * 1_000_003 + row) % self.width
+                for row in range(self.depth)
+            ],
+            dtype=np.int64,
+        )
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        rows = np.arange(self.depth)
+        cols = self._row_indices(item)
+        cells = self._table[rows, cols]
+        # conservative rule: raise every cell only as far as the new
+        # lower bound (current estimate + weight) requires
+        target = cells.min() + weight
+        self._table[rows, cols] = np.maximum(cells, target)
+        self._n += weight
+
+    def estimate(self, item: Any) -> int:
+        cols = self._row_indices(item)
+        return int(self._table[np.arange(self.depth), cols].min())
+
+    def upper_bound(self, item: Any) -> int:
+        return self.estimate(item)
+
+    def size(self) -> int:
+        return self.width * self.depth
+
+    def compatible_with(self, other: "ConservativeCountMin") -> Optional[str]:
+        assert isinstance(other, ConservativeCountMin)
+        mine = (self.width, self.depth, self.seed)
+        theirs = (other.width, other.depth, other.seed)
+        if mine != theirs:
+            return f"sketch geometry/seed mismatch: {mine} vs {theirs}"
+        return None
+
+    def _merge_same_type(self, other: "ConservativeCountMin") -> None:
+        # table addition: sound (both over-estimate) but no longer a
+        # conservative-update sketch of the union — see module docstring
+        assert isinstance(other, ConservativeCountMin)
+        self._table += other._table
+        self._n += other._n
+        self.merge_generations = (
+            max(self.merge_generations, other.merge_generations) + 1
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "n": self._n,
+            "merge_generations": self.merge_generations,
+            "table": self._table.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConservativeCountMin":
+        sketch = cls(payload["width"], payload["depth"], payload["seed"])
+        sketch._table = np.array(payload["table"], dtype=np.int64)
+        sketch._n = payload["n"]
+        sketch.merge_generations = payload["merge_generations"]
+        return sketch

@@ -1,0 +1,133 @@
+"""CountMin sketch — the linear-sketch baseline for frequency estimation.
+
+CountMin (Cormode & Muthukrishnan) is a *linear* sketch: the sketch of
+``A union B`` is the entry-wise sum of the sketches, so it is trivially
+mergeable — the paper cites linear sketches as the easy-but-costly
+mergeable baseline: width ``2/eps`` and depth ``log(1/delta)`` counters
+versus Misra-Gries' deterministic ``1/eps`` counters, plus randomness
+and the need for shared hash functions across all sites.
+
+The benchmark ``bench_heavy_hitters`` quantifies this trade-off
+empirically against MG/SS.
+
+Guarantee: for every item, ``f(x) <= estimate(x)``, and with probability
+``1 - delta``, ``estimate(x) <= f(x) + eps * n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.hashing import stable_hash
+from ..core.registry import register_summary
+
+__all__ = ["CountMin"]
+
+
+@register_summary("count_min")
+class CountMin(Summary):
+    """CountMin sketch with ``depth`` rows of ``width`` counters.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; choose ``ceil(2/eps)`` for additive error
+        ``eps * n``.
+    depth:
+        Independent rows; choose ``ceil(log2(1/delta))`` for failure
+        probability ``delta``.
+    seed:
+        Hash seed.  Two sketches merge only when built with identical
+        ``width``, ``depth`` and ``seed`` — the coordination cost of
+        linear sketches that deterministic mergeable summaries avoid.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        super().__init__()
+        if width < 1 or depth < 1:
+            raise ParameterError(
+                f"width and depth must be >= 1, got {width!r} x {depth!r}"
+            )
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+
+    @classmethod
+    def from_error(cls, epsilon: float, delta: float, seed: int = 0) -> "CountMin":
+        """Sketch with additive error ``eps * n`` w.p. ``1 - delta``."""
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        if not 0 < delta < 1:
+            raise ParameterError(f"delta must be in (0, 1), got {delta!r}")
+        width = math.ceil(math.e / epsilon)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def _row_indices(self, item: Any) -> np.ndarray:
+        return np.array(
+            [
+                stable_hash(item, seed=self.seed * 1_000_003 + row) % self.width
+                for row in range(self.depth)
+            ],
+            dtype=np.int64,
+        )
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        cols = self._row_indices(item)
+        self._table[np.arange(self.depth), cols] += weight
+        self._n += weight
+
+    def estimate(self, item: Any) -> int:
+        """Upper-bound frequency estimate (min over rows)."""
+        cols = self._row_indices(item)
+        return int(self._table[np.arange(self.depth), cols].min())
+
+    def upper_bound(self, item: Any) -> int:
+        return self.estimate(item)
+
+    def lower_bound(self, item: Any) -> int:
+        """CountMin offers no nontrivial per-item lower bound."""
+        return 0
+
+    def size(self) -> int:
+        """Number of stored counters (``width * depth``)."""
+        return self.width * self.depth
+
+    def compatible_with(self, other: "Summary") -> Optional[str]:
+        assert isinstance(other, CountMin)
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            return (
+                f"sketch geometry/seed mismatch: "
+                f"({self.width},{self.depth},{self.seed}) vs "
+                f"({other.width},{other.depth},{other.seed})"
+            )
+        return None
+
+    def _merge_same_type(self, other: "Summary") -> None:
+        assert isinstance(other, CountMin)
+        self._table += other._table
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "n": self._n,
+            "table": self._table.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CountMin":
+        sketch = cls(payload["width"], payload["depth"], payload["seed"])
+        sketch._table = np.array(payload["table"], dtype=np.int64)
+        sketch._n = payload["n"]
+        return sketch

@@ -1,0 +1,110 @@
+"""CountSketch — the unbiased linear-sketch baseline.
+
+CountSketch (Charikar, Chen, Farach-Colton) hashes each item to one
+counter per row with a random sign; the median-of-rows estimator is
+unbiased with standard deviation ``O(sqrt(F2)/sqrt(width))``.  Like
+CountMin it is a linear sketch and therefore trivially mergeable by
+entry-wise addition; it appears in the benchmarks as the second
+linear-sketch baseline, stronger on low-skew streams (error scales with
+the residual L2 norm rather than L1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.hashing import stable_hash
+from ..core.registry import register_summary
+
+__all__ = ["CountSketch"]
+
+
+@register_summary("count_sketch")
+class CountSketch(Summary):
+    """CountSketch with ``depth`` rows of ``width`` signed counters."""
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        super().__init__()
+        if width < 1 or depth < 1:
+            raise ParameterError(
+                f"width and depth must be >= 1, got {width!r} x {depth!r}"
+            )
+        if depth % 2 == 0:
+            # an odd depth makes the median an actual table entry
+            depth += 1
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+
+    @classmethod
+    def from_error(cls, epsilon: float, delta: float, seed: int = 0) -> "CountSketch":
+        """Sketch with additive error ``eps * sqrt(F2)`` w.p. ``1 - delta``."""
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        if not 0 < delta < 1:
+            raise ParameterError(f"delta must be in (0, 1), got {delta!r}")
+        width = math.ceil(3.0 / (epsilon * epsilon))
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def _bucket_and_sign(self, item: Any, row: int) -> tuple[int, int]:
+        h = stable_hash(item, seed=self.seed * 1_000_003 + row)
+        bucket = h % self.width
+        sign = 1 if (h >> 32) & 1 else -1
+        return bucket, sign
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        for row in range(self.depth):
+            bucket, sign = self._bucket_and_sign(item, row)
+            self._table[row, bucket] += sign * weight
+        self._n += weight
+
+    def estimate(self, item: Any) -> int:
+        """Median-of-rows unbiased frequency estimate (may be negative)."""
+        values = []
+        for row in range(self.depth):
+            bucket, sign = self._bucket_and_sign(item, row)
+            values.append(sign * self._table[row, bucket])
+        return int(np.median(values))
+
+    def size(self) -> int:
+        return self.width * self.depth
+
+    def compatible_with(self, other: "Summary") -> Optional[str]:
+        assert isinstance(other, CountSketch)
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            return (
+                f"sketch geometry/seed mismatch: "
+                f"({self.width},{self.depth},{self.seed}) vs "
+                f"({other.width},{other.depth},{other.seed})"
+            )
+        return None
+
+    def _merge_same_type(self, other: "Summary") -> None:
+        assert isinstance(other, CountSketch)
+        self._table += other._table
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "n": self._n,
+            "table": self._table.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CountSketch":
+        sketch = cls(payload["width"], payload["depth"], payload["seed"])
+        sketch._table = np.array(payload["table"], dtype=np.int64)
+        sketch._n = payload["n"]
+        return sketch

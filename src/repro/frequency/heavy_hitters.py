@@ -1,0 +1,78 @@
+"""phi-heavy-hitter extraction and quality accounting.
+
+The heavy-hitters problem asks for every item with true frequency at
+least ``phi * n``.  Any frequency summary with additive error
+``eps * n`` (``eps < phi``) answers it with the classic two-sided
+guarantee: report every item whose upper bound reaches ``phi * n`` —
+then no true heavy hitter is missed, and nothing with frequency below
+``(phi - eps) * n`` is reported.
+
+This module turns that guarantee into measurable quantities for the
+benchmark harness: given a summary, the ground truth and ``phi``, it
+computes the reported set, precision, recall, and whether the
+no-false-negative guarantee held (it must, whenever ``eps <= phi``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["HeavyHitterReport", "evaluate_heavy_hitters"]
+
+
+@dataclass
+class HeavyHitterReport:
+    """Outcome of a heavy-hitter query against ground truth."""
+
+    phi: float
+    n: int
+    reported: Dict[Any, int]
+    true_heavy: Set[Any] = field(repr=False)
+    precision: float = 0.0
+    recall: float = 0.0
+    false_positives: Set[Any] = field(default_factory=set, repr=False)
+    false_negatives: Set[Any] = field(default_factory=set, repr=False)
+
+    @property
+    def guarantee_held(self) -> bool:
+        """True when every true heavy hitter was reported."""
+        return not self.false_negatives
+
+
+def evaluate_heavy_hitters(
+    summary: Any, truth: Dict[Any, int], phi: float
+) -> HeavyHitterReport:
+    """Evaluate ``summary.heavy_hitters(phi)`` against exact counts.
+
+    ``summary`` is any object exposing ``heavy_hitters(phi)`` and ``n``
+    (all frequency summaries in this library); ``truth`` maps items to
+    exact frequencies over the same data.
+    """
+    if not 0 < phi <= 1:
+        raise ParameterError(f"phi must be in (0, 1], got {phi!r}")
+    n = summary.n
+    if n != sum(truth.values()):
+        raise ParameterError(
+            f"summary n={n} does not match ground-truth total {sum(truth.values())}; "
+            "heavy-hitter evaluation requires the same underlying dataset"
+        )
+    threshold = phi * n
+    true_heavy = {item for item, count in truth.items() if count >= threshold}
+    reported = summary.heavy_hitters(phi)
+    reported_set = set(reported)
+    tp = len(reported_set & true_heavy)
+    precision = tp / len(reported_set) if reported_set else 1.0
+    recall = tp / len(true_heavy) if true_heavy else 1.0
+    return HeavyHitterReport(
+        phi=phi,
+        n=n,
+        reported=reported,
+        true_heavy=true_heavy,
+        precision=precision,
+        recall=recall,
+        false_positives=reported_set - true_heavy,
+        false_negatives=true_heavy - reported_set,
+    )

@@ -1,0 +1,121 @@
+"""Explicit MG <-> SpaceSaving isomorphism (paper Section 2).
+
+The paper proves that running Misra-Gries with ``k - 1`` counters and
+classic SpaceSaving with ``k`` counters over the *same* stream produces
+isomorphic states: for every item monitored by both,
+
+    ss_count(x) - ss_min_equivalent == mg_count(x)
+
+where the shift is the total decrement performed by MG (equivalently,
+the mass SpaceSaving attributes to evictions).  This module provides
+
+- :func:`classic_space_saving` — an independent, textbook reference
+  implementation of the SpaceSaving stream algorithm (kept deliberately
+  separate from :class:`repro.frequency.SpaceSaving`, which stores the
+  MG image internally), used by tests to validate the isomorphism;
+- :func:`mg_image_of_classic_ss` — derive the MG-style lower-bound state
+  from a classic SS state;
+- :func:`verify_isomorphism` — run both algorithms on a stream and check
+  the correspondence, returning a report dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from ..core.exceptions import ParameterError
+from .misra_gries import MisraGries
+
+__all__ = [
+    "classic_space_saving",
+    "mg_image_of_classic_ss",
+    "verify_isomorphism",
+]
+
+
+def classic_space_saving(stream: Iterable[Any], k: int) -> Dict[Any, Tuple[int, int]]:
+    """Textbook SpaceSaving: returns ``{item: (count, error)}``.
+
+    ``count`` upper-bounds the item's true frequency; ``error`` is the
+    count the item inherited when it evicted the previous minimum, so
+    ``count - error`` lower-bounds the true frequency.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k!r}")
+    counters: Dict[Any, List[int]] = {}
+    for item in stream:
+        if item in counters:
+            counters[item][0] += 1
+        elif len(counters) < k:
+            counters[item] = [1, 0]
+        else:
+            victim = min(counters, key=lambda key: counters[key][0])
+            floor = counters[victim][0]
+            del counters[victim]
+            counters[item] = [floor + 1, floor]
+    return {item: (count, error) for item, (count, error) in counters.items()}
+
+
+def mg_image_of_classic_ss(
+    ss_state: Dict[Any, Tuple[int, int]], k: int
+) -> Dict[Any, int]:
+    """MG-style lower-bound counters derived from a classic SS state.
+
+    Subtracts the SS minimum counter value (the paper's shift) from
+    every counter and drops the non-positive results; when the SS
+    summary is not yet full no shift is applied (the counts are exact).
+    """
+    if not ss_state:
+        return {}
+    shift = min(count for count, _ in ss_state.values()) if len(ss_state) >= k else 0
+    return {
+        item: count - shift
+        for item, (count, _) in ss_state.items()
+        if count - shift > 0
+    }
+
+
+def verify_isomorphism(stream: Iterable[Any], k: int) -> Dict[str, Any]:
+    """Run MG(k-1) and classic SS(k) on ``stream``; compare their states.
+
+    Returns a report with the two states, the shift, and ``matches``
+    (True when the MG image of the SS state equals the MG state).  The
+    correspondence is exact whenever the stream fills the SS summary and
+    tie-breaking never matters (distinct counter values at eviction
+    time); ties can make the *monitored sets* differ while the
+    guarantees still hold, so the report also carries
+    ``bounds_consistent`` which checks the guarantee-level agreement and
+    never depends on tie-breaking.
+    """
+    items = list(stream)
+    mg = MisraGries(k - 1)
+    mg.extend(items)
+    ss_state = classic_space_saving(items, k)
+    image = mg_image_of_classic_ss(ss_state, k)
+    mg_counters = mg.counters()
+
+    shift = (
+        min(count for count, _ in ss_state.values())
+        if len(ss_state) >= k and ss_state
+        else 0
+    )
+    exact = dict(image) == dict(mg_counters)
+
+    # Guarantee-level consistency: both states bound every monitored
+    # item's true frequency within n/k of each other.
+    n = len(items)
+    bound = n / k
+    keys = set(image) | set(mg_counters)
+    bounds_consistent = all(
+        abs(image.get(key, 0) - mg_counters.get(key, 0)) <= bound for key in keys
+    )
+    return {
+        "n": n,
+        "k": k,
+        "shift": shift,
+        "mg_counters": mg_counters,
+        "ss_state": ss_state,
+        "ss_mg_image": image,
+        "matches": exact,
+        "bounds_consistent": bounds_consistent,
+    }

@@ -1,0 +1,98 @@
+"""Prune rules for the combine-and-prune merge of counter summaries.
+
+The merge of two Misra-Gries summaries first *combines* (adds counters
+item-wise — error free) and then, when more than ``kappa`` counters
+survive, *prunes* back to at most ``kappa``.  Both rules below reduce
+the stored mass by exactly ``(kappa + 1) * cut`` where ``cut`` is the
+``(kappa + 1)``-st largest combined value, so both preserve the paper's
+inductive invariant ``(kappa + 1) * deduction <= n - stored_mass`` and
+hence the ``n/(kappa + 1)`` error bound under arbitrary merge
+sequences.  They differ in how the removed mass is distributed:
+
+``paper`` (Agarwal et al., PODS'12)
+    subtract ``cut`` from *every* counter and drop the non-positive
+    ones.  Every surviving counter loses exactly ``cut``.
+
+``cafaro`` (Cafaro, Tempesta & Pulimeno — **extension, not part of the
+PODS'12 claims**; this is the closed-form from the mismatched paper
+text shipped with this task)
+    emulate a run of the Frequent algorithm over the combined counters:
+    with combined values ``f_1 <= ... <= f_L`` (padded with zeros to
+    ``L = 2 * kappa``), the survivors are the top ``kappa`` values and
+    the ``i``-th smallest survivor keeps
+    ``f_{kappa+i} - f_kappa + f_{i-1}`` (``f_0 = 0``) — i.e. part of the
+    subtracted mass is added back, reducing the *total* error while the
+    per-item worst case stays ``cut``.
+
+Both rules return the surviving counters plus the per-item deduction
+increase (``cut``), which the caller folds into the summary's running
+``deduction``.  Benchmark E12 (``bench_ablation_prune``) measures the
+total-error gap between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["prune_paper", "prune_cafaro", "get_prune_rule", "PRUNE_RULES"]
+
+PruneResult = Tuple[Dict[Any, int], int]
+
+
+def prune_paper(combined: Dict[Any, int], kappa: int) -> PruneResult:
+    """Agarwal et al. prune: subtract the ``(kappa+1)``-st largest value."""
+    if len(combined) <= kappa:
+        return dict(combined), 0
+    values = sorted(combined.values(), reverse=True)
+    cut = values[kappa]
+    pruned = {item: value - cut for item, value in combined.items() if value > cut}
+    return pruned, cut
+
+
+def prune_cafaro(combined: Dict[Any, int], kappa: int) -> PruneResult:
+    """Cafaro et al. closed-form prune (extension / ablation).
+
+    Emulates running the Frequent algorithm with ``kappa`` counters over
+    the combined counters, giving the same per-item worst-case deduction
+    as :func:`prune_paper` but a strictly smaller total error whenever
+    any of the ``kappa - 1`` smallest combined values is nonzero.
+    """
+    if len(combined) <= kappa:
+        return dict(combined), 0
+    # ascending order; pad with zeros to exactly 2*kappa entries
+    ascending = sorted(combined.items(), key=lambda kv: kv[1])
+    pad = 2 * kappa - len(ascending)
+    if pad < 0:
+        raise ParameterError(
+            f"combined summary has {len(ascending)} counters; a combine of two "
+            f"kappa={kappa} summaries can hold at most {2 * kappa}"
+        )
+    values = [0] * pad + [value for _, value in ascending]
+    items = [None] * pad + [item for item, _ in ascending]
+    cut = values[kappa - 1]  # f_kappa in 1-indexed notation
+    pruned: Dict[Any, int] = {}
+    for i in range(1, kappa + 1):  # survivor index, 1-indexed
+        item = items[kappa + i - 1]
+        carried_back = values[i - 2] if i >= 2 else 0  # f_{i-1}, f_0 = 0
+        value = values[kappa + i - 1] - cut + carried_back
+        if item is not None and value > 0:
+            pruned[item] = value
+    return pruned, cut
+
+
+PRUNE_RULES: Dict[str, Callable[[Dict[Any, int], int], PruneResult]] = {
+    "paper": prune_paper,
+    "cafaro": prune_cafaro,
+}
+
+
+def get_prune_rule(name: str) -> Callable[[Dict[Any, int], int], PruneResult]:
+    """Look up a prune rule by name (``"paper"`` or ``"cafaro"``)."""
+    try:
+        return PRUNE_RULES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown prune rule {name!r}; choose from {sorted(PRUNE_RULES)}"
+        ) from None

@@ -1,0 +1,111 @@
+"""Top-k reporting with order guarantees from any frequency summary.
+
+Heavy-hitter summaries give per-item *intervals* ``[lower, upper]``
+around every frequency.  That is enough to say more than "here are the
+candidates": if ``lower(a) > upper(b)`` then ``a`` truly occurs more
+often than ``b`` — the order is *certified*, not just estimated.
+
+:class:`TopKReport` computes, from any summary exposing ``counters()``,
+``lower_bound`` and ``upper_bound`` (MisraGries, SpaceSaving,
+DecayedMisraGries after adaptation), the best-effort top-k list along
+with exactly which of its order relations are guaranteed and which
+could flip under the summary's error — the report a monitoring UI
+actually needs to render "#1 vs #2 (too close to call)" honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["TopKEntry", "TopKReport", "top_k"]
+
+
+@dataclass(frozen=True)
+class TopKEntry:
+    """One ranked item with its frequency interval."""
+
+    rank: int
+    item: Any
+    estimate: int
+    lower: int
+    upper: int
+
+    @property
+    def uncertainty(self) -> int:
+        return self.upper - self.lower
+
+
+@dataclass
+class TopKReport:
+    """Ranked candidates plus certified/ambiguous order relations."""
+
+    k: int
+    entries: List[TopKEntry]
+    #: adjacent pairs (rank i, rank i+1) whose order is guaranteed
+    certified_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    #: adjacent pairs that could swap within the error intervals
+    ambiguous_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    #: True when the *membership* of the top-k set is guaranteed, i.e.
+    #: every reported item's lower bound beats the best excluded upper
+    membership_certified: bool = False
+
+    @property
+    def fully_certified(self) -> bool:
+        """True when membership and the entire order are guaranteed."""
+        return self.membership_certified and not self.ambiguous_pairs
+
+    def items(self) -> List[Any]:
+        return [entry.item for entry in self.entries]
+
+
+def top_k(summary: Any, k: int) -> TopKReport:
+    """Best-effort top-``k`` with certified-order accounting.
+
+    ``summary`` must expose ``counters()`` (monitored items with
+    estimates), ``lower_bound(item)`` and ``upper_bound(item)``.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k!r}")
+    counters = summary.counters()
+    ranked = sorted(counters.items(), key=lambda kv: -kv[1])
+    top = ranked[:k]
+    rest = ranked[k:]
+
+    entries = [
+        TopKEntry(
+            rank=i + 1,
+            item=item,
+            estimate=estimate,
+            lower=summary.lower_bound(item),
+            upper=summary.upper_bound(item),
+        )
+        for i, (item, estimate) in enumerate(top)
+    ]
+
+    certified: List[Tuple[int, int]] = []
+    ambiguous: List[Tuple[int, int]] = []
+    for above, below in zip(entries, entries[1:]):
+        if above.lower > below.upper:
+            certified.append((above.rank, below.rank))
+        else:
+            ambiguous.append((above.rank, below.rank))
+
+    if entries:
+        weakest_reported = min(entry.lower for entry in entries)
+        best_excluded = max(
+            (summary.upper_bound(item) for item, _ in rest), default=-1
+        )
+        membership_certified = weakest_reported > best_excluded
+    else:
+        membership_certified = False
+
+    return TopKReport(
+        k=k,
+        entries=entries,
+        certified_pairs=certified,
+        ambiguous_pairs=ambiguous,
+        membership_certified=membership_certified,
+    )

@@ -1,0 +1,25 @@
+"""eps-kernels for directional width (paper Section 5)."""
+
+from .convex import (
+    apply_frame,
+    convex_hull,
+    diameter,
+    directional_width,
+    farthest_pair,
+    fat_frame,
+    min_area_bounding_box,
+)
+from .epskernel import EpsKernel, compute_eps_kernel, grid_directions
+
+__all__ = [
+    "EpsKernel",
+    "compute_eps_kernel",
+    "grid_directions",
+    "convex_hull",
+    "directional_width",
+    "diameter",
+    "farthest_pair",
+    "fat_frame",
+    "apply_frame",
+    "min_area_bounding_box",
+]

@@ -1,0 +1,178 @@
+"""2-D computational-geometry substrate for eps-kernels.
+
+Self-contained (no scipy.spatial): convex hull by Andrew's monotone
+chain, directional width, diameter, and the affine normalization
+("reference frame") that makes a point set fat — the precondition under
+which eps-kernel guarantees become relative to the width in *every*
+direction (paper Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "convex_hull",
+    "directional_width",
+    "diameter",
+    "farthest_pair",
+    "fat_frame",
+    "apply_frame",
+    "min_area_bounding_box",
+]
+
+
+def _check_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ParameterError(f"expected points of shape (n, 2), got {pts.shape}")
+    if len(pts) == 0:
+        raise ParameterError("point set is empty")
+    return pts
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Convex hull vertices in counter-clockwise order (monotone chain).
+
+    Degenerate inputs (all collinear) return the two extreme points;
+    a single point returns itself.
+    """
+    pts = _check_points(points)
+    unique = np.unique(pts, axis=0)
+    if len(unique) <= 2:
+        return unique
+    order = np.lexsort((unique[:, 1], unique[:, 0]))
+    sorted_pts = unique[order]
+
+    def cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list = []
+    for p in sorted_pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list = []
+    for p in sorted_pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = np.array(lower[:-1] + upper[:-1])
+    if len(hull) == 0:  # fully collinear
+        return np.array([sorted_pts[0], sorted_pts[-1]])
+    return hull
+
+
+def directional_width(points: np.ndarray, direction: np.ndarray) -> float:
+    """Extent of ``points`` along ``direction``: ``max<p,u> - min<p,u>``."""
+    pts = _check_points(points)
+    u = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(u)
+    if norm == 0:
+        raise ParameterError("direction must be nonzero")
+    projections = pts @ (u / norm)
+    return float(projections.max() - projections.min())
+
+
+def farthest_pair(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """A diametral pair of the point set (via its convex hull)."""
+    hull = convex_hull(_check_points(points))
+    if len(hull) == 1:
+        return hull[0], hull[0]
+    best = (hull[0], hull[1])
+    best_d = -1.0
+    for i in range(len(hull)):
+        deltas = hull - hull[i]
+        dists = np.einsum("ij,ij->i", deltas, deltas)
+        j = int(np.argmax(dists))
+        if dists[j] > best_d:
+            best_d = float(dists[j])
+            best = (hull[i], hull[j])
+    return best
+
+
+def diameter(points: np.ndarray) -> float:
+    """Largest pairwise distance (the spread the kernel error scales with)."""
+    a, b = farthest_pair(points)
+    return float(np.linalg.norm(a - b))
+
+
+def fat_frame(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Affine frame ``(A, b)`` making ``A @ (p - b)`` fat.
+
+    Rotates the diametral direction onto the x-axis and rescales each
+    axis by its extent, so the image lies in ``[-1, 1]^2`` and spans a
+    constant fraction of it — the reference frame of paper Section 5.
+    Degenerate extents fall back to scale 1 on that axis.
+    """
+    pts = _check_points(points)
+    p, q = farthest_pair(pts)
+    direction = q - p
+    norm = np.linalg.norm(direction)
+    if norm == 0:
+        rotation = np.eye(2)
+    else:
+        cos_t, sin_t = direction / norm
+        rotation = np.array([[cos_t, sin_t], [-sin_t, cos_t]])
+    center = pts.mean(axis=0)
+    rotated = (pts - center) @ rotation.T
+    extents = rotated.max(axis=0) - rotated.min(axis=0)
+    extents[extents == 0] = 1.0
+    scale = np.diag(2.0 / extents)
+    return scale @ rotation, center
+
+
+def apply_frame(points: np.ndarray, frame: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Apply a :func:`fat_frame` transform to points."""
+    matrix, offset = frame
+    return (np.asarray(points, dtype=np.float64) - offset) @ np.asarray(matrix).T
+
+
+def min_area_bounding_box(points: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Minimum-area oriented bounding box via rotating calipers.
+
+    Returns ``(corners, area)`` where ``corners`` is a ``(4, 2)`` array
+    in order around the box.  Uses the classical fact that some edge of
+    the convex hull is flush with an optimal box, so only hull-edge
+    orientations need checking.  Degenerate inputs (collinear / single
+    point) return a zero-area box spanning the extreme points.
+    """
+    hull = convex_hull(_check_points(points))
+    if len(hull) == 1:
+        corner = hull[0]
+        return np.tile(corner, (4, 1)), 0.0
+    if len(hull) == 2:
+        a, b = hull
+        return np.array([a, b, b, a]), 0.0
+    best_area = np.inf
+    best_corners = None
+    for i in range(len(hull)):
+        edge = hull[(i + 1) % len(hull)] - hull[i]
+        norm = np.linalg.norm(edge)
+        if norm == 0:
+            continue
+        u = edge / norm
+        v = np.array([-u[1], u[0]])
+        projections_u = hull @ u
+        projections_v = hull @ v
+        width = projections_u.max() - projections_u.min()
+        height = projections_v.max() - projections_v.min()
+        area = float(width * height)
+        if area < best_area:
+            best_area = area
+            lo_u, hi_u = projections_u.min(), projections_u.max()
+            lo_v, hi_v = projections_v.min(), projections_v.max()
+            best_corners = np.array(
+                [
+                    lo_u * u + lo_v * v,
+                    hi_u * u + lo_v * v,
+                    hi_u * u + hi_v * v,
+                    lo_u * u + hi_v * v,
+                ]
+            )
+    assert best_corners is not None
+    return best_corners, best_area

@@ -1,0 +1,263 @@
+"""Mergeable 2-D eps-kernels for directional width (paper Section 5).
+
+An *eps-kernel* of a point set ``P`` is a subset ``K ⊆ P`` with
+``width_K(u) >= (1 - eps) * width_P(u)`` for every direction ``u``.
+The classic construction (Agarwal, Har-Peled, Varadarajan): normalize
+``P`` to be fat, snap directions to a grid of ``O(1/sqrt(eps))``
+angles, and keep both extreme points per grid direction.
+
+Mergeability (the paper's angle): "extreme point per fixed direction"
+is a decomposable maximum, so two kernels built over the **same
+direction grid and the same reference frame** merge *exactly* — slot by
+slot, keep the more extreme point.  What cannot be recomputed after the
+fact is the frame itself; the paper's condition is that all summaries
+share a frame fixed in advance (equivalently, the data's aspect ratio
+in that frame is bounded).  This module exposes both modes:
+
+- :class:`EpsKernel` with ``frame=None`` operates in the raw
+  coordinate frame; the merged guarantee is *absolute*:
+  ``width_K(u) >= width_P(u) - 2 * eps_grid * diam(P)`` with
+  ``eps_grid = (pi / (2 m))^2 / 2`` for ``m`` grid directions — the
+  bound degrades for thin point sets, exactly the phenomenon the
+  paper's fatness condition exists to prevent.
+- :class:`EpsKernel` with an explicit ``frame`` (from
+  :func:`repro.kernels.convex.fat_frame` over a data sample, or domain
+  knowledge) measures extents in the normalized space, restoring the
+  relative ``(1 - eps)`` guarantee as long as the frame keeps the data
+  fat.  Frames are part of merge compatibility.
+
+:func:`compute_eps_kernel` is the offline (non-mergeable) classic
+construction used as ground truth in benchmark E10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import Summary
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from .convex import apply_frame, convex_hull, directional_width, fat_frame
+
+__all__ = ["EpsKernel", "compute_eps_kernel", "grid_directions"]
+
+
+def grid_directions(m: int) -> np.ndarray:
+    """``m`` unit directions with angles ``j * pi / m`` (antipodal pairs
+    are covered because both extremes are kept per direction)."""
+    if m < 1:
+        raise ParameterError(f"direction count m must be >= 1, got {m!r}")
+    angles = np.arange(m) * (math.pi / m)
+    return np.stack([np.cos(angles), np.sin(angles)], axis=1)
+
+
+def directions_for_epsilon(epsilon: float) -> int:
+    """Grid resolution: angle gap ``pi/m <= sqrt(2 eps)`` per the cosine
+    bound ``1 - cos(t) <= t^2 / 2``."""
+    if not 0 < epsilon < 1:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    return max(2, math.ceil(math.pi / math.sqrt(2.0 * epsilon)))
+
+
+def compute_eps_kernel(points: np.ndarray, epsilon: float) -> np.ndarray:
+    """Offline eps-kernel with the relative ``(1 - eps)`` width guarantee.
+
+    Normalizes ``points`` with their own fat frame, snaps to the
+    direction grid, keeps both extremes per direction.  Not mergeable
+    (the frame depends on the data); serves as the reference
+    construction.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    frame = fat_frame(pts)
+    normalized = apply_frame(pts, frame)
+    m = directions_for_epsilon(epsilon)
+    keep = set()
+    for u in grid_directions(m):
+        proj = normalized @ u
+        keep.add(int(np.argmax(proj)))
+        keep.add(int(np.argmin(proj)))
+    return pts[sorted(keep)]
+
+
+@register_summary("eps_kernel")
+class EpsKernel(Summary):
+    """Mergeable extreme-point kernel over a fixed direction grid.
+
+    Parameters
+    ----------
+    epsilon:
+        Target width error (sets the direction-grid resolution).
+    frame:
+        Optional shared reference frame ``(matrix, offset)``; summaries
+        merge only with an identical frame (or both ``None``).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        frame: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        super().__init__()
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        self.epsilon = float(epsilon)
+        self.m = directions_for_epsilon(epsilon)
+        self._directions = grid_directions(self.m)
+        if frame is not None:
+            matrix = np.asarray(frame[0], dtype=np.float64)
+            offset = np.asarray(frame[1], dtype=np.float64)
+            if matrix.shape != (2, 2) or offset.shape != (2,):
+                raise ParameterError(
+                    f"frame must be a (2x2 matrix, length-2 offset), got shapes "
+                    f"{matrix.shape}, {offset.shape}"
+                )
+            frame = (matrix, offset)
+        self.frame = frame
+        # slot arrays: per direction, the original-space point attaining
+        # the max / min projection (NaN while empty)
+        self._max_points = np.full((self.m, 2), np.nan)
+        self._min_points = np.full((self.m, 2), np.nan)
+        self._max_proj = np.full(self.m, -np.inf)
+        self._min_proj = np.full(self.m, np.inf)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _project(self, points: np.ndarray) -> np.ndarray:
+        """Projections of points onto the direction grid, shape (n, m)."""
+        coords = points if self.frame is None else apply_frame(points, self.frame)
+        return coords @ self._directions.T
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        """Add one 2-D point; ``weight`` only affects ``n`` accounting."""
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        point = np.asarray(item, dtype=np.float64).reshape(-1)
+        if point.shape != (2,):
+            raise ParameterError(f"expected a 2-D point, got shape {point.shape}")
+        proj = self._project(point.reshape(1, 2))[0]
+        improve_max = proj > self._max_proj
+        improve_min = proj < self._min_proj
+        self._max_points[improve_max] = point
+        self._max_proj[improve_max] = proj[improve_max]
+        self._min_points[improve_min] = point
+        self._min_proj[improve_min] = proj[improve_min]
+        self._n += weight
+
+    def extend_points(self, points: np.ndarray) -> "EpsKernel":
+        """Bulk-add an ``(n, 2)`` point array (vectorized)."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ParameterError(f"expected (n, 2) points, got {pts.shape}")
+        if len(pts) == 0:
+            return self
+        proj = self._project(pts)  # (n, m)
+        arg_max = np.argmax(proj, axis=0)
+        arg_min = np.argmin(proj, axis=0)
+        cols = np.arange(self.m)
+        batch_max = proj[arg_max, cols]
+        batch_min = proj[arg_min, cols]
+        improve_max = batch_max > self._max_proj
+        improve_min = batch_min < self._min_proj
+        self._max_points[improve_max] = pts[arg_max[improve_max]]
+        self._max_proj[improve_max] = batch_max[improve_max]
+        self._min_points[improve_min] = pts[arg_min[improve_min]]
+        self._min_proj[improve_min] = batch_min[improve_min]
+        self._n += len(pts)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def kernel_points(self) -> np.ndarray:
+        """The kernel: unique extreme points kept so far (subset of P)."""
+        if self.is_empty:
+            return np.empty((0, 2))
+        stacked = np.concatenate([self._max_points, self._min_points])
+        stacked = stacked[~np.isnan(stacked).any(axis=1)]
+        return np.unique(stacked, axis=0)
+
+    def width(self, direction: np.ndarray) -> float:
+        """Directional width of the kernel (lower-bounds the true width)."""
+        kernel = self.kernel_points()
+        if len(kernel) == 0:
+            raise EmptySummaryError("width query on an empty kernel")
+        return directional_width(kernel, direction)
+
+    def hull(self) -> np.ndarray:
+        """Convex hull of the kernel (approximates the hull of P)."""
+        return convex_hull(self.kernel_points())
+
+    def size(self) -> int:
+        return len(self.kernel_points())
+
+    # ------------------------------------------------------------------
+    # Merge — exact slot-wise decomposable max
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "EpsKernel") -> Optional[str]:
+        assert isinstance(other, EpsKernel)
+        if abs(other.epsilon - self.epsilon) > 1e-12:
+            return f"epsilon mismatch: {self.epsilon} vs {other.epsilon}"
+        if (self.frame is None) != (other.frame is None):
+            return "frame mismatch: one operand has a reference frame, the other none"
+        if self.frame is not None and not (
+            np.allclose(self.frame[0], other.frame[0])
+            and np.allclose(self.frame[1], other.frame[1])
+        ):
+            return "frame mismatch: operands use different reference frames"
+        return None
+
+    def _merge_same_type(self, other: "EpsKernel") -> None:
+        assert isinstance(other, EpsKernel)
+        improve_max = other._max_proj > self._max_proj
+        improve_min = other._min_proj < self._min_proj
+        self._max_points[improve_max] = other._max_points[improve_max]
+        self._max_proj[improve_max] = other._max_proj[improve_max]
+        self._min_points[improve_min] = other._min_points[improve_min]
+        self._min_proj[improve_min] = other._min_proj[improve_min]
+        self._n += other._n
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        def encode(arr: np.ndarray) -> List[List[float]]:
+            return [[float(c) for c in row] for row in arr]
+
+        return {
+            "epsilon": self.epsilon,
+            "n": self._n,
+            "frame": None
+            if self.frame is None
+            else {
+                "matrix": encode(self.frame[0]),
+                "offset": [float(c) for c in self.frame[1]],
+            },
+            "max_points": encode(self._max_points),
+            "min_points": encode(self._min_points),
+            "max_proj": [float(v) for v in self._max_proj],
+            "min_proj": [float(v) for v in self._min_proj],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EpsKernel":
+        frame = payload["frame"]
+        if frame is not None:
+            frame = (
+                np.array(frame["matrix"], dtype=np.float64),
+                np.array(frame["offset"], dtype=np.float64),
+            )
+        kernel = cls(epsilon=payload["epsilon"], frame=frame)
+        kernel._max_points = np.array(payload["max_points"], dtype=np.float64)
+        kernel._min_points = np.array(payload["min_points"], dtype=np.float64)
+        kernel._max_proj = np.array(payload["max_proj"], dtype=np.float64)
+        kernel._min_proj = np.array(payload["min_proj"], dtype=np.float64)
+        kernel._n = payload["n"]
+        return kernel

@@ -1,0 +1,37 @@
+"""Quantile summaries (paper Section 3) and baselines.
+
+- :class:`EqualWeightQuantiles` — Section 3.1, equal-weight merges only;
+- :class:`MergeableQuantiles` — Section 3.2, fully mergeable
+  (logarithmic method over random halvings);
+- :class:`HybridQuantiles` — Section 3.3, size capped via a GK top;
+- :class:`GKQuantiles` — Greenwald-Khanna substrate / non-mergeable
+  baseline;
+- :class:`MRLQuantiles` — deterministic halving baseline (biased);
+- :class:`BottomKSample` — folklore ``1/eps^2`` sampling baseline;
+- :class:`ExactQuantiles` — ground truth.
+"""
+
+from .equal_weight import EqualWeightQuantiles, random_halving
+from .estimator import QuantileSummary, check_quantile
+from .exact import ExactQuantiles
+from .gk import GKQuantiles
+from .hybrid import HybridQuantiles
+from .kll import KLLQuantiles
+from .logarithmic import MergeableQuantiles
+from .mrl import MRLQuantiles, deterministic_halving
+from .sampling import BottomKSample
+
+__all__ = [
+    "QuantileSummary",
+    "check_quantile",
+    "ExactQuantiles",
+    "GKQuantiles",
+    "EqualWeightQuantiles",
+    "MergeableQuantiles",
+    "HybridQuantiles",
+    "KLLQuantiles",
+    "MRLQuantiles",
+    "BottomKSample",
+    "random_halving",
+    "deterministic_halving",
+]

@@ -1,0 +1,197 @@
+"""Randomized equal-weight-merge quantile summary (paper Section 3.1).
+
+The summary is a uniform "grid sample": ``s`` sorted samples, each
+standing for ``w = n/s`` of the underlying values.  Two summaries of
+the **same total weight** (hence the same per-sample weight) merge by
+*random halving*:
+
+1. merge-sort the two sample lists (``2s`` samples of weight ``w``);
+2. flip one fair coin; keep either the even- or the odd-indexed
+   samples (``s`` samples, now weight ``2w``).
+
+Each halving perturbs any fixed rank query by at most ``w/2`` in
+expectation-zero fashion, and the perturbations of the ``log(n/s)``
+levels of a balanced merge tree are independent, so the total error is
+``O(w * sqrt(log ...))`` — the paper's Theorem: with
+``s = O((1/eps) sqrt(log(1/delta)))`` the rank error is at most
+``eps * n`` with probability ``1 - delta``, **but only when every merge
+combines equal weights** (e.g. a balanced tree over equal shards).
+:class:`repro.quantiles.MergeableQuantiles` (Section 3.2) removes that
+restriction; this class enforces it by raising on unequal merges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.exceptions import EmptySummaryError, MergeError, ParameterError
+from ..core.registry import register_summary
+from ..core.rng import RngLike, resolve_rng
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["EqualWeightQuantiles", "random_halving"]
+
+
+def random_halving(
+    left: np.ndarray, right: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Randomly halve the sorted union of two equal-length sorted arrays.
+
+    Returns ``len(left)`` samples: the even- or odd-indexed elements of
+    the merged order, chosen by one fair coin flip (the paper's
+    equal-weight merge primitive, reused by Sections 3.2 and 4).
+    """
+    if len(left) != len(right):
+        raise MergeError(
+            f"random halving requires equal sample counts, got {len(left)} vs {len(right)}"
+        )
+    union = np.sort(np.concatenate([left, right]), kind="mergesort")
+    offset = int(rng.integers(0, 2))
+    return union[offset::2]
+
+
+@register_summary("equal_weight_quantiles")
+class EqualWeightQuantiles(QuantileSummary):
+    """Equal-weight-merge random quantile summary with ``s`` samples.
+
+    Build base summaries over shards of at most ``s`` raw values (each
+    base summary is then *exact*), and merge them pairwise between
+    operands of equal total weight.  ``update`` is only permitted while
+    the summary is still exact (a base summary under construction) —
+    afterwards the structure is sample-based and further streaming
+    would unbalance the weights, which is precisely the limitation the
+    fully mergeable summary of Section 3.2 lifts.
+    """
+
+    def __init__(self, s: int, rng: RngLike = None) -> None:
+        super().__init__()
+        if s < 1:
+            raise ParameterError(f"sample budget s must be >= 1, got {s!r}")
+        self.s = int(s)
+        self._rng = resolve_rng(rng)
+        self._samples = np.empty(0, dtype=np.float64)  # always sorted
+        self._weight = 1.0  # weight carried by each sample
+
+    @classmethod
+    def from_epsilon(
+        cls, epsilon: float, delta: float = 0.01, rng: RngLike = None
+    ) -> "EqualWeightQuantiles":
+        """Choose ``s = ceil((1/eps) * sqrt(log2(1/delta)))`` per the paper."""
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        if not 0 < delta < 1:
+            raise ParameterError(f"delta must be in (0, 1), got {delta!r}")
+        s = math.ceil((1.0 / epsilon) * math.sqrt(max(1.0, math.log2(1.0 / delta))))
+        return cls(s=s, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Updates (exact phase only)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """True while every raw value is stored verbatim (weight 1)."""
+        return self._weight == 1.0
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        if not self.is_exact:
+            raise ParameterError(
+                "EqualWeightQuantiles only accepts updates while exact; "
+                "use MergeableQuantiles for unrestricted streaming"
+            )
+        if len(self._samples) + weight > self.s:
+            raise ParameterError(
+                f"base summary holds at most s={self.s} raw values; build more "
+                "base summaries and merge them, or use MergeableQuantiles"
+            )
+        values = np.full(weight, float(item))
+        self._samples = np.sort(np.concatenate([self._samples, values]))
+        self._n += weight
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_weight(self) -> float:
+        """Weight carried by each stored sample."""
+        return self._weight
+
+    def samples(self) -> np.ndarray:
+        """Copy of the sorted sample array."""
+        return self._samples.copy()
+
+    def rank(self, x: float) -> float:
+        return float(np.searchsorted(self._samples, float(x), side="right")) * self._weight
+
+    def quantile(self, q: float) -> float:
+        q = check_quantile(q)
+        if len(self._samples) == 0:
+            raise EmptySummaryError("quantile query on an empty summary")
+        index = min(
+            max(int(np.ceil(q * len(self._samples))) - 1, 0), len(self._samples) - 1
+        )
+        return float(self._samples[index])
+
+    def size(self) -> int:
+        return len(self._samples)
+
+    # ------------------------------------------------------------------
+    # Merge — equal weights only
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "EqualWeightQuantiles") -> Optional[str]:
+        assert isinstance(other, EqualWeightQuantiles)
+        if other.s != self.s:
+            return f"sample budget mismatch: s={self.s} vs s={other.s}"
+        if self._n != other._n:
+            return (
+                f"equal-weight merge requires equal total weights, got "
+                f"n={self._n} vs n={other._n} (Section 3.1 model); use "
+                "MergeableQuantiles for arbitrary merges"
+            )
+        return None
+
+    def _merge_same_type(self, other: "EqualWeightQuantiles") -> None:
+        assert isinstance(other, EqualWeightQuantiles)
+        combined = len(self._samples) + len(other._samples)
+        if combined <= self.s:
+            # both still small: exact concatenation
+            self._samples = np.sort(np.concatenate([self._samples, other._samples]))
+        elif self._weight == other._weight and len(self._samples) == len(other._samples):
+            self._samples = random_halving(self._samples, other._samples, self._rng)
+            self._weight *= 2.0
+        else:
+            raise MergeError(
+                "operands are not aligned for an equal-weight merge "
+                f"(sizes {len(self._samples)} vs {len(other._samples)}, weights "
+                f"{self._weight} vs {other._weight}); build base summaries over "
+                "equal shards and merge in a balanced tree"
+            )
+        self._n += other._n
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "s": self.s,
+            "n": self._n,
+            "weight": self._weight,
+            "samples": [float(v) for v in self._samples],
+            "seed": int(self._rng.integers(0, 2**63 - 1)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EqualWeightQuantiles":
+        summary = cls(s=payload["s"], rng=payload["seed"])
+        summary._samples = np.array(payload["samples"], dtype=np.float64)
+        summary._weight = float(payload["weight"])
+        summary._n = payload["n"]
+        return summary

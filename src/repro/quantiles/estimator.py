@@ -1,0 +1,85 @@
+"""Shared query interface for quantile summaries.
+
+Rank conventions used throughout the library:
+
+- ``rank(x)`` estimates ``|{y in D : y <= x}|`` (0 for x below the
+  minimum, ``n`` for x at or above the maximum);
+- ``quantile(q)`` for ``q in [0, 1]`` returns a stored value whose rank
+  is within the summary's error of ``q * n`` (``q = 0`` targets the
+  minimum, ``q = 1`` the maximum);
+- ``cdf(x) = rank(x) / n``.
+
+A summary with additive rank error ``eps * n`` answers both queries
+within ``eps``: ranks are off by at most ``eps * n`` and quantile
+values have true rank within ``(q ± eps) * n``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+from ..core.base import Summary
+from ..core.exceptions import EmptySummaryError, ParameterError
+
+__all__ = ["QuantileSummary", "check_quantile"]
+
+
+def check_quantile(q: float) -> float:
+    """Validate a quantile argument."""
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile q must be in [0, 1], got {q!r}")
+    return float(q)
+
+
+class QuantileSummary(Summary):
+    """Abstract base of all quantile summaries.
+
+    Subclasses implement :meth:`rank` and :meth:`quantile`; the derived
+    queries (:meth:`cdf`, :meth:`quantiles`, :meth:`median`) are shared.
+    """
+
+    @abc.abstractmethod
+    def rank(self, x: float) -> float:
+        """Estimated number of summarized values ``<= x``."""
+
+    @abc.abstractmethod
+    def quantile(self, q: float) -> float:
+        """A value whose rank approximates ``q * n``."""
+
+    def cdf(self, x: float) -> float:
+        """Estimated fraction of values ``<= x``."""
+        if self.is_empty:
+            raise EmptySummaryError("cdf query on an empty summary")
+        return self.rank(x) / self.n
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Batch :meth:`quantile` over an iterable of probabilities."""
+        return [self.quantile(q) for q in qs]
+
+    def median(self) -> float:
+        """The estimated median (``quantile(0.5)``)."""
+        return self.quantile(0.5)
+
+    def update(self, item: float, weight: int = 1) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def weighted_select(
+    pairs: Sequence[tuple], target: float, total: float
+) -> float:
+    """Select the value reaching cumulative weight ``target``.
+
+    ``pairs`` is a sequence of ``(value, weight)`` sorted by value;
+    returns the first value whose cumulative weight reaches ``target``
+    (clamped to ``[min, max]``).  Shared by the sample-based summaries.
+    """
+    if not pairs:
+        raise EmptySummaryError("selection from an empty summary")
+    target = min(max(target, 0.0), total)
+    acc = 0.0
+    for value, weight in pairs:
+        acc += weight
+        if acc >= target:
+            return value
+    return pairs[-1][0]

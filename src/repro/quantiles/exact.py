@@ -1,0 +1,77 @@
+"""Exact quantile oracle — ground truth for every quantile experiment.
+
+Stores all values (space ``Theta(n)``); trivially mergeable with zero
+error.  The benchmark harness measures every sketch's rank error
+against this oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["ExactQuantiles"]
+
+
+@register_summary("exact_quantiles")
+class ExactQuantiles(QuantileSummary):
+    """Exact rank/quantile answers from a fully stored sorted multiset."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._values: List[float] = []
+        self._sorted = True
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        value = float(item)
+        self._values.extend([value] * weight)
+        self._sorted = False
+        self._n += weight
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def rank(self, x: float) -> float:
+        """Exact ``|{y <= x}|``."""
+        return float(bisect.bisect_right(self._ensure_sorted(), float(x)))
+
+    def quantile(self, q: float) -> float:
+        """The ``ceil(q * n)``-th smallest value (min for ``q = 0``)."""
+        q = check_quantile(q)
+        values = self._ensure_sorted()
+        if not values:
+            raise EmptySummaryError("quantile query on an empty summary")
+        index = min(max(int(np.ceil(q * len(values))) - 1, 0), len(values) - 1)
+        return values[index]
+
+    def size(self) -> int:
+        return len(self._values)
+
+    def _merge_same_type(self, other: "ExactQuantiles") -> None:
+        assert isinstance(other, ExactQuantiles)
+        self._values.extend(other._values)
+        self._sorted = False
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"values": list(map(float, self._ensure_sorted()))}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExactQuantiles":
+        summary = cls()
+        summary._values = list(map(float, payload["values"]))
+        summary._values.sort()
+        summary._sorted = True
+        summary._n = len(summary._values)
+        return summary

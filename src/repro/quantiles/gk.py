@@ -1,0 +1,203 @@
+"""The Greenwald-Khanna (GK) quantile summary.
+
+GK is the classic deterministic streaming quantile summary: space
+``O((1/eps) log(eps n))`` with additive rank error ``eps * n``.  In the
+paper it plays two roles:
+
+1. **substrate** — the hybrid summary of Section 3.3 uses GK for the
+   heavy (high-weight) part of the structure;
+2. **negative baseline** — GK is *not* mergeable: any merge procedure
+   must either grow the summary or lose accuracy.  The merge
+   implemented here is the standard "one-way" weighted reinsertion
+   followed by compression; each merge-and-compress generation adds up
+   to ``eps * n`` fresh rank error, so the realized error after a
+   depth-``d`` merge tree grows like ``d * eps * n``.  Benchmark E8
+   measures exactly this degradation against the mergeable summaries.
+
+The summary keeps tuples ``(v, g, delta)`` sorted by value, where ``g``
+is the gap of minimal ranks between consecutive tuples and ``delta``
+the extra uncertainty; the invariant ``g + delta <= 2 * eps * n``
+bounds the rank error by ``eps * n``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, List, Optional
+
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["GKQuantiles"]
+
+
+@register_summary("gk_quantiles")
+class GKQuantiles(QuantileSummary):
+    """Greenwald-Khanna summary with target rank error ``epsilon * n``.
+
+    ``merge_generations`` counts how many merge events contributed to
+    this summary; the realized guarantee after merging is roughly
+    ``epsilon * n * (1 + merge_generations)`` — GK's non-mergeability,
+    quantified (see module docstring).
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__()
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        self.epsilon = float(epsilon)
+        # tuples [v, g, delta] sorted by v
+        self._tuples: List[List[float]] = []
+        self._since_compress = 0
+        self.merge_generations = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        self._insert(float(item), int(weight))
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0 / (2.0 * self.epsilon))):
+            self.compress()
+
+    def _insert(self, value: float, weight: int) -> None:
+        """Insert ``weight`` exact copies of ``value``.
+
+        Large weights are split into tuples of gap at most
+        ``eps * n`` each so the GK invariant ``g + delta <= 2 eps n``
+        (and with it the rank guarantee) survives weighted insertion —
+        needed by the hybrid summary, whose carries arrive with weight
+        ``2^level``.
+        """
+        remaining = weight
+        while remaining > 0:
+            limit = max(1, int(self.epsilon * (self._n + remaining)))
+            g = min(remaining, limit)
+            self._insert_tuple(value, g)
+            remaining -= g
+
+    def _insert_tuple(self, value: float, g: int) -> None:
+        tuples = self._tuples
+        keys = [t[0] for t in tuples]
+        pos = bisect.bisect_right(keys, value)
+        if pos == 0 or pos == len(tuples):
+            delta = 0.0
+        else:
+            delta = tuples[pos][1] + tuples[pos][2] - 1
+            delta = max(delta, 0.0)
+        tuples.insert(pos, [value, float(g), delta])
+        self._n += g
+
+    def compress(self) -> None:
+        """Merge adjacent tuples while the GK invariant allows it."""
+        self._since_compress = 0
+        threshold = 2.0 * self.epsilon * self._n
+        tuples = self._tuples
+        i = len(tuples) - 2
+        while i >= 1:
+            v, g, delta = tuples[i]
+            nv, ng, ndelta = tuples[i + 1]
+            if g + ng + ndelta <= threshold:
+                tuples[i + 1][1] = g + ng
+                del tuples[i]
+            i -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, x: float) -> float:
+        if not self._tuples:
+            return 0.0
+        x = float(x)
+        # true rank(x) for v_i <= x < v_{i+1} lies in
+        # [r_min(i), r_min(i+1) + delta_{i+1} - 1]; answer the midpoint.
+        r_min = 0.0
+        index = -1
+        for i, (v, g, _delta) in enumerate(self._tuples):
+            if v > x:
+                break
+            r_min += g
+            index = i
+        if index == -1:
+            return 0.0
+        if index == len(self._tuples) - 1:
+            return r_min + self._tuples[index][2] / 2.0
+        next_g, next_delta = self._tuples[index + 1][1], self._tuples[index + 1][2]
+        return r_min + max(next_g + next_delta - 1.0, 0.0) / 2.0
+
+    def quantile(self, q: float) -> float:
+        q = check_quantile(q)
+        if not self._tuples:
+            raise EmptySummaryError("quantile query on an empty summary")
+        target = q * self._n
+        margin = self.epsilon * self._n
+        # textbook select: answer the predecessor of the first tuple
+        # whose r_max exceeds target + eps*n; the invariant
+        # g + delta <= 2*eps*n then pins the answer's true rank within
+        # [target - eps*n, target + eps*n].
+        r_min = 0.0
+        previous_value = self._tuples[0][0]
+        for v, g, delta in self._tuples:
+            r_min += g
+            if r_min + delta > target + margin:
+                return previous_value
+            previous_value = v
+        return previous_value
+
+    def size(self) -> int:
+        return len(self._tuples)
+
+    @property
+    def error_bound(self) -> float:
+        """Realized worst-case rank error ``max(g + delta) / 2``."""
+        if not self._tuples:
+            return 0.0
+        return max(g + delta for _, g, delta in self._tuples) / 2.0
+
+    # ------------------------------------------------------------------
+    # Merge (one-way, degrades — GK is the non-mergeable baseline)
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "GKQuantiles") -> Optional[str]:
+        assert isinstance(other, GKQuantiles)
+        if abs(other.epsilon - self.epsilon) > 1e-12:
+            return f"epsilon mismatch: {self.epsilon} vs {other.epsilon}"
+        return None
+
+    def _merge_same_type(self, other: "GKQuantiles") -> None:
+        assert isinstance(other, GKQuantiles)
+        # Weighted reinsertion: each tuple of `other` collapses its g
+        # items onto the single value v (rank slack delta is dropped),
+        # which is what costs fresh error every generation.
+        for v, g, _delta in other._tuples:
+            self._insert(v, int(g))
+        self.compress()
+        self.merge_generations = (
+            max(self.merge_generations, other.merge_generations) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epsilon": self.epsilon,
+            "n": self._n,
+            "merge_generations": self.merge_generations,
+            "tuples": [[v, g, d] for v, g, d in self._tuples],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GKQuantiles":
+        summary = cls(epsilon=payload["epsilon"])
+        summary._tuples = [[v, g, d] for v, g, d in payload["tuples"]]
+        summary._n = payload["n"]
+        summary.merge_generations = payload["merge_generations"]
+        return summary

@@ -1,0 +1,210 @@
+"""Fully mergeable randomized quantile summary (paper Section 3.2).
+
+The logarithmic method lifts the equal-weight-merge summary of
+Section 3.1 to **arbitrary** merges: the summary is a collection of
+*blocks*, one per weight class, like the digits of a binary counter:
+
+- a raw buffer of fewer than ``s`` exact values (weight 1 each);
+- at most one block per level ``i``: a sorted array of exactly ``s``
+  samples, each of weight ``2^i`` (the block summarizes ``s * 2^i``
+  raw values).
+
+``update`` appends to the buffer; a full buffer becomes a level-0
+block.  ``merge`` concatenates buffers and per-level block lists, then
+*carries*: whenever a level holds two blocks, they are combined by
+random halving (the Section 3.1 primitive) into a single block one
+level up — exactly a binary-counter addition.  Every random-halving
+step is an equal-weight merge, so the Section 3.1 analysis applies
+level by level, and the paper shows the total rank error stays
+``eps * n`` with probability ``1 - delta`` for
+``s = O((1/eps) * sqrt(log(1/delta)))`` — independent of the merge
+sequence.  The size is ``s`` per occupied level, i.e.
+``O(s * log(n / s))``.
+
+Benchmark E6 verifies the merge-sequence independence empirically
+(chain vs balanced vs random trees over adversarially sorted shards).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from ..core.rng import RngLike, resolve_rng
+from .equal_weight import random_halving
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["MergeableQuantiles"]
+
+
+@register_summary("mergeable_quantiles")
+class MergeableQuantiles(QuantileSummary):
+    """Fully mergeable randomized quantile summary.
+
+    Parameters
+    ----------
+    s:
+        Samples per block.  Use :meth:`from_epsilon` to derive ``s``
+        from a target rank error.
+    rng:
+        Seed or generator for the random halvings.
+    """
+
+    def __init__(self, s: int, rng: RngLike = None) -> None:
+        super().__init__()
+        if s < 1:
+            raise ParameterError(f"block size s must be >= 1, got {s!r}")
+        self.s = int(s)
+        self._rng = resolve_rng(rng)
+        self._buffer: List[float] = []
+        # level -> list of sorted sample arrays (normalized to <= 1 each)
+        self._blocks: Dict[int, List[np.ndarray]] = {}
+
+    @classmethod
+    def from_epsilon(
+        cls, epsilon: float, delta: float = 0.01, rng: RngLike = None
+    ) -> "MergeableQuantiles":
+        """Choose ``s = ceil((2/eps) * sqrt(log2(1/delta)))``.
+
+        The constant 2 absorbs the sum over levels in the paper's
+        analysis; E5/E6 measure the realized error against ``eps * n``.
+        """
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        if not 0 < delta < 1:
+            raise ParameterError(f"delta must be in (0, 1), got {delta!r}")
+        s = math.ceil((2.0 / epsilon) * math.sqrt(max(1.0, math.log2(1.0 / delta))))
+        return cls(s=s, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        for _ in range(weight):
+            self._buffer.append(float(item))
+            self._n += 1
+            if len(self._buffer) >= self.s:
+                self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        """Turn ``s`` buffered raw values into a level-0 block and carry."""
+        while len(self._buffer) >= self.s:
+            block = np.sort(np.array(self._buffer[: self.s], dtype=np.float64))
+            del self._buffer[: self.s]
+            self._blocks.setdefault(0, []).append(block)
+        self._carry()
+
+    def _carry(self) -> None:
+        """Binary-counter carry: halve level pairs upward until <=1 block each."""
+        level = 0
+        while True:
+            blocks = self._blocks.get(level, [])
+            if len(blocks) < 2:
+                if level > self.max_level():
+                    break
+                level += 1
+                continue
+            right = blocks.pop()
+            left = blocks.pop()
+            merged = random_halving(left, right, self._rng)
+            self._blocks.setdefault(level + 1, []).append(merged)
+            if not blocks:
+                del self._blocks[level]
+
+    def max_level(self) -> int:
+        """Highest occupied level (-1 when no blocks exist)."""
+        return max(self._blocks, default=-1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, x: float) -> float:
+        x = float(x)
+        total = float(sum(1 for v in self._buffer if v <= x))
+        for level, blocks in self._blocks.items():
+            weight = float(2**level)
+            for block in blocks:
+                total += weight * float(np.searchsorted(block, x, side="right"))
+        return total
+
+    def quantile(self, q: float) -> float:
+        q = check_quantile(q)
+        if self.is_empty:
+            raise EmptySummaryError("quantile query on an empty summary")
+        pairs: List[tuple] = [(v, 1.0) for v in self._buffer]
+        for level, blocks in self._blocks.items():
+            weight = float(2**level)
+            for block in blocks:
+                pairs.extend((float(v), weight) for v in block)
+        pairs.sort(key=lambda p: p[0])
+        target = q * self._n
+        acc = 0.0
+        for value, weight in pairs:
+            acc += weight
+            if acc >= target:
+                return value
+        return pairs[-1][0]
+
+    def size(self) -> int:
+        return len(self._buffer) + sum(
+            len(block) for blocks in self._blocks.values() for block in blocks
+        )
+
+    def levels(self) -> Dict[int, int]:
+        """Occupied levels -> number of blocks (diagnostics)."""
+        return {level: len(blocks) for level, blocks in sorted(self._blocks.items())}
+
+    # ------------------------------------------------------------------
+    # Merge — arbitrary operands
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "MergeableQuantiles") -> Optional[str]:
+        assert isinstance(other, MergeableQuantiles)
+        if other.s != self.s:
+            return f"block size mismatch: s={self.s} vs s={other.s}"
+        return None
+
+    def _merge_same_type(self, other: "MergeableQuantiles") -> None:
+        assert isinstance(other, MergeableQuantiles)
+        self._buffer.extend(other._buffer)
+        for level, blocks in other._blocks.items():
+            self._blocks.setdefault(level, []).extend(
+                block.copy() for block in blocks
+            )
+        self._n += other._n
+        self._flush_buffer()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "s": self.s,
+            "n": self._n,
+            "buffer": [float(v) for v in self._buffer],
+            "blocks": {
+                str(level): [[float(v) for v in block] for block in blocks]
+                for level, blocks in self._blocks.items()
+            },
+            "seed": int(self._rng.integers(0, 2**63 - 1)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MergeableQuantiles":
+        summary = cls(s=payload["s"], rng=payload["seed"])
+        summary._buffer = [float(v) for v in payload["buffer"]]
+        summary._blocks = {
+            int(level): [np.array(block, dtype=np.float64) for block in blocks]
+            for level, blocks in payload["blocks"].items()
+        }
+        summary._n = payload["n"]
+        return summary

@@ -1,0 +1,148 @@
+"""Munro-Paterson / MRL deterministic merging — the deterministic baseline.
+
+Structurally identical to :class:`repro.quantiles.MergeableQuantiles`
+(buffer + one block per weight class, binary-counter carries), but the
+halving step is **deterministic**: it always keeps the even-indexed
+elements of the merged order.  Deterministic halving biases every rank
+estimate downward by up to half the block weight *per level*, and the
+biases add up instead of cancelling: the rank error grows as
+``Theta(s * ... * log(n/s))`` levels stack — this is precisely why the
+paper needs randomization (or GK-style corrections) to get mergeable
+quantiles with error independent of the merge history.
+
+Benchmark E8 contrasts this summary's realized error with the
+randomized :class:`MergeableQuantiles` at equal size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.exceptions import EmptySummaryError, MergeError, ParameterError
+from ..core.registry import register_summary
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["MRLQuantiles", "deterministic_halving"]
+
+
+def deterministic_halving(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Keep the even-indexed elements of the sorted union (no coin flip)."""
+    if len(left) != len(right):
+        raise MergeError(
+            f"halving requires equal sample counts, got {len(left)} vs {len(right)}"
+        )
+    union = np.sort(np.concatenate([left, right]), kind="mergesort")
+    return union[0::2]
+
+
+@register_summary("mrl_quantiles")
+class MRLQuantiles(QuantileSummary):
+    """Deterministic merge-halving quantile summary (biased baseline)."""
+
+    def __init__(self, s: int) -> None:
+        super().__init__()
+        if s < 1:
+            raise ParameterError(f"block size s must be >= 1, got {s!r}")
+        self.s = int(s)
+        self._buffer: List[float] = []
+        self._blocks: Dict[int, List[np.ndarray]] = {}
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        for _ in range(weight):
+            self._buffer.append(float(item))
+            self._n += 1
+            if len(self._buffer) >= self.s:
+                self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        while len(self._buffer) >= self.s:
+            block = np.sort(np.array(self._buffer[: self.s], dtype=np.float64))
+            del self._buffer[: self.s]
+            self._blocks.setdefault(0, []).append(block)
+        self._carry()
+
+    def _carry(self) -> None:
+        level = 0
+        while level <= max(self._blocks, default=-1):
+            blocks = self._blocks.get(level, [])
+            while len(blocks) >= 2:
+                right = blocks.pop()
+                left = blocks.pop()
+                self._blocks.setdefault(level + 1, []).append(
+                    deterministic_halving(left, right)
+                )
+            if not blocks:
+                self._blocks.pop(level, None)
+            level += 1
+
+    def rank(self, x: float) -> float:
+        x = float(x)
+        total = float(sum(1 for v in self._buffer if v <= x))
+        for level, blocks in self._blocks.items():
+            weight = float(2**level)
+            for block in blocks:
+                total += weight * float(np.searchsorted(block, x, side="right"))
+        return total
+
+    def quantile(self, q: float) -> float:
+        q = check_quantile(q)
+        if self.is_empty:
+            raise EmptySummaryError("quantile query on an empty summary")
+        pairs: List[tuple] = [(v, 1.0) for v in self._buffer]
+        for level, blocks in self._blocks.items():
+            weight = float(2**level)
+            for block in blocks:
+                pairs.extend((float(v), weight) for v in block)
+        pairs.sort(key=lambda p: p[0])
+        target = q * self._n
+        acc = 0.0
+        for value, weight in pairs:
+            acc += weight
+            if acc >= target:
+                return value
+        return pairs[-1][0]
+
+    def size(self) -> int:
+        return len(self._buffer) + sum(
+            len(b) for blocks in self._blocks.values() for b in blocks
+        )
+
+    def compatible_with(self, other: "MRLQuantiles") -> Optional[str]:
+        assert isinstance(other, MRLQuantiles)
+        if other.s != self.s:
+            return f"block size mismatch: s={self.s} vs s={other.s}"
+        return None
+
+    def _merge_same_type(self, other: "MRLQuantiles") -> None:
+        assert isinstance(other, MRLQuantiles)
+        self._buffer.extend(other._buffer)
+        for level, blocks in other._blocks.items():
+            self._blocks.setdefault(level, []).extend(b.copy() for b in blocks)
+        self._n += other._n
+        self._flush_buffer()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "s": self.s,
+            "n": self._n,
+            "buffer": [float(v) for v in self._buffer],
+            "blocks": {
+                str(level): [[float(v) for v in block] for block in blocks]
+                for level, blocks in self._blocks.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MRLQuantiles":
+        summary = cls(s=payload["s"])
+        summary._buffer = [float(v) for v in payload["buffer"]]
+        summary._blocks = {
+            int(level): [np.array(block, dtype=np.float64) for block in blocks]
+            for level, blocks in payload["blocks"].items()
+        }
+        summary._n = payload["n"]
+        return summary

@@ -1,0 +1,112 @@
+"""Mergeable bottom-k random sample — the folklore sampling baseline.
+
+Attach an independent uniform tag to every arriving occurrence and keep
+the ``k`` occurrences with the smallest tags.  The kept set is a
+uniform random sample of the union *regardless of the merge sequence*
+(merging = keep the k smallest tags of the union), so bottom-k sampling
+is trivially mergeable — but a sample answers rank queries only to
+``O(n / sqrt(k))``, i.e. guaranteeing ``eps * n`` needs ``k =
+Theta(1/eps^2)`` samples.  The paper's Section 3 constructions beat
+this quadratic dependence; benchmark E8 shows the gap empirically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from ..core.rng import RngLike, resolve_rng
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["BottomKSample"]
+
+
+@register_summary("bottom_k_sample")
+class BottomKSample(QuantileSummary):
+    """Uniform random sample of ``k`` occurrences via bottom-k tags."""
+
+    def __init__(self, k: int, rng: RngLike = None) -> None:
+        super().__init__()
+        if k < 1:
+            raise ParameterError(f"sample size k must be >= 1, got {k!r}")
+        self.k = int(k)
+        self._rng = resolve_rng(rng)
+        # max-heap via negated tags: (-tag, value)
+        self._heap: List[Tuple[float, float]] = []
+
+    @classmethod
+    def from_epsilon(cls, epsilon: float, rng: RngLike = None) -> "BottomKSample":
+        """The folklore size ``k = ceil(1/eps^2)`` for rank error ``eps * n``."""
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        return cls(k=math.ceil(1.0 / (epsilon * epsilon)), rng=rng)
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        value = float(item)
+        for _ in range(weight):
+            tag = float(self._rng.random())
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, (-tag, value))
+            elif tag < -self._heap[0][0]:
+                heapq.heapreplace(self._heap, (-tag, value))
+            self._n += 1
+
+    def sample_values(self) -> np.ndarray:
+        """Sorted values of the current sample."""
+        return np.sort(np.array([v for _, v in self._heap], dtype=np.float64))
+
+    def rank(self, x: float) -> float:
+        if not self._heap:
+            return 0.0
+        values = self.sample_values()
+        fraction = np.searchsorted(values, float(x), side="right") / len(values)
+        return float(fraction * self._n)
+
+    def quantile(self, q: float) -> float:
+        q = check_quantile(q)
+        if not self._heap:
+            raise EmptySummaryError("quantile query on an empty summary")
+        values = self.sample_values()
+        index = min(max(int(np.ceil(q * len(values))) - 1, 0), len(values) - 1)
+        return float(values[index])
+
+    def size(self) -> int:
+        return len(self._heap)
+
+    def compatible_with(self, other: "BottomKSample") -> Optional[str]:
+        assert isinstance(other, BottomKSample)
+        if other.k != self.k:
+            return f"sample size mismatch: k={self.k} vs k={other.k}"
+        return None
+
+    def _merge_same_type(self, other: "BottomKSample") -> None:
+        assert isinstance(other, BottomKSample)
+        for entry in other._heap:
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, entry)
+            elif entry[0] > self._heap[0][0]:  # smaller tag (negated)
+                heapq.heapreplace(self._heap, entry)
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "n": self._n,
+            "entries": [[-neg_tag, value] for neg_tag, value in self._heap],
+            "seed": int(self._rng.integers(0, 2**63 - 1)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BottomKSample":
+        summary = cls(k=payload["k"], rng=payload["seed"])
+        summary._heap = [(-tag, value) for tag, value in payload["entries"]]
+        heapq.heapify(summary._heap)
+        summary._n = payload["n"]
+        return summary

@@ -1,0 +1,26 @@
+"""eps-approximations of range spaces (paper Section 4)."""
+
+from .approximation import EpsApproximation
+from .discrepancy import discrepancy_of, halve_points, morton_order, pair_points
+from .range_spaces import (
+    RANGE_SPACES,
+    Halfplanes2D,
+    Intervals1D,
+    RangeSpace,
+    Rectangles2D,
+    get_range_space,
+)
+
+__all__ = [
+    "EpsApproximation",
+    "RangeSpace",
+    "Intervals1D",
+    "Rectangles2D",
+    "Halfplanes2D",
+    "RANGE_SPACES",
+    "get_range_space",
+    "halve_points",
+    "morton_order",
+    "pair_points",
+    "discrepancy_of",
+]

@@ -1,0 +1,134 @@
+"""Low-discrepancy halving (the merge-reduce primitive of paper Section 4).
+
+Halving takes ``2s`` points and keeps ``s`` of them so that every range
+of the family keeps close to half of its points.  The paper's
+construction colors the points by a low-discrepancy coloring and keeps
+one color class; the error of the halving step *is* the discrepancy.
+
+Two colorings are provided:
+
+- ``pair_random`` — match the points into ``s`` nearby pairs (sorted
+  order in 1-D, Morton/Z-order in 2-D) and keep one point of each pair
+  by a fair coin.  A range splits only the pairs that straddle its
+  boundary, of which a geometric range has few when pairs are local, so
+  the discrepancy is small and the per-range error is a zero-mean sum
+  of coin flips — the randomized analogue the paper's quantile section
+  uses, generalized to geometric ranges.
+
+- ``greedy`` — the same pairing, but the kept endpoint of every pair is
+  chosen deterministically by the classic greedy signed-coloring
+  heuristic over a canonical test-range set: keep the endpoint that
+  minimizes the updated sum-of-squares discrepancy.  Deterministic and
+  usually ~2x lower discrepancy on the test set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.rng import RngLike, resolve_rng
+from .range_spaces import RangeSpace
+
+__all__ = ["morton_order", "pair_points", "halve_points", "discrepancy_of"]
+
+
+def morton_order(points: np.ndarray) -> np.ndarray:
+    """Indices sorting 2-D points along the Morton (Z-order) curve.
+
+    Coordinates are quantized to 16 bits within the bounding box of the
+    input; bit interleaving then yields a locality-preserving order.
+    1-D inputs fall back to plain value order.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ParameterError(f"expected (n, d) points, got shape {pts.shape}")
+    if pts.shape[1] == 1:
+        return np.argsort(pts[:, 0], kind="mergesort")
+    if pts.shape[1] != 2:
+        raise ParameterError("morton_order supports d in {1, 2}")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0] = 1.0
+    quantized = ((pts - lo) / span * 65535.0).astype(np.uint64)
+    codes = np.zeros(len(pts), dtype=np.uint64)
+    for bit in range(16):
+        codes |= ((quantized[:, 0] >> np.uint64(bit)) & np.uint64(1)) << np.uint64(2 * bit)
+        codes |= ((quantized[:, 1] >> np.uint64(bit)) & np.uint64(1)) << np.uint64(2 * bit + 1)
+    return np.argsort(codes, kind="mergesort")
+
+
+def pair_points(points: np.ndarray) -> List[Tuple[int, int]]:
+    """Match an even number of points into locality-preserving pairs."""
+    pts = np.asarray(points, dtype=np.float64)
+    if len(pts) % 2 != 0:
+        raise ParameterError(f"pairing requires an even point count, got {len(pts)}")
+    order = morton_order(pts)
+    return [(int(order[i]), int(order[i + 1])) for i in range(0, len(order), 2)]
+
+
+def halve_points(
+    points: np.ndarray,
+    space: RangeSpace,
+    rng: RngLike = None,
+    method: str = "pair_random",
+    test_budget: int = 128,
+) -> np.ndarray:
+    """Keep half of ``points`` with low discrepancy over ``space``.
+
+    Returns an array of ``len(points) / 2`` points.  ``method`` is
+    ``"pair_random"`` or ``"greedy"`` (see module docstring).
+    """
+    pts = space.check_points(points)
+    pairs = pair_points(pts)
+    gen = resolve_rng(rng)
+
+    if method == "pair_random":
+        choices = gen.integers(0, 2, size=len(pairs))
+        keep = [pair[choice] for pair, choice in zip(pairs, choices)]
+        return pts[np.array(keep, dtype=int)]
+
+    if method == "greedy":
+        ranges = space.canonical_ranges(pts, budget=test_budget, rng=gen)
+        if not ranges:
+            raise ParameterError("range space produced no canonical test ranges")
+        membership = np.stack(
+            [space.contains(pts, r).astype(np.float64) for r in ranges]
+        )  # (R, n)
+        disc = np.zeros(len(ranges), dtype=np.float64)
+        keep: List[int] = []
+        for first, second in pairs:
+            delta = membership[:, first] - membership[:, second]
+            # keeping `first` moves discrepancy by +delta, `second` by -delta
+            if float(disc @ delta) <= 0.0:
+                keep.append(first)
+                disc += delta
+            else:
+                keep.append(second)
+                disc -= delta
+        return pts[np.array(keep, dtype=int)]
+
+    raise ParameterError(
+        f"unknown halving method {method!r}; choose 'pair_random' or 'greedy'"
+    )
+
+
+def discrepancy_of(
+    original: np.ndarray,
+    kept: np.ndarray,
+    space: RangeSpace,
+    ranges: List[Any],
+) -> float:
+    """Worst-range halving error ``max_R | |P∩R| - 2*|Q∩R| |``.
+
+    This is exactly the additive counting error (at the kept points'
+    doubled weight) that one halving step introduces.
+    """
+    worst = 0.0
+    for r in ranges:
+        full = space.count(original, r)
+        half = space.count(kept, r)
+        worst = max(worst, abs(full - 2 * half))
+    return worst

@@ -1,0 +1,14 @@
+"""Other mergeable summaries from the paper's landscape (Section 1).
+
+The paper positions its contributions against summaries already known
+to be mergeable: order-statistics F0 sketches (KMV), lattice summaries
+(HyperLogLog, Bloom filters) and linear sketches (AMS).  Implemented
+here both for completeness and as baselines/building blocks.
+"""
+
+from .ams import AmsF2Sketch
+from .bloom import BloomFilter
+from .hyperloglog import HyperLogLog
+from .kmv import KMinValues
+
+__all__ = ["KMinValues", "HyperLogLog", "BloomFilter", "AmsF2Sketch"]

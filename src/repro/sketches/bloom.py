@@ -1,0 +1,119 @@
+"""Bloom filter — mergeable approximate set membership.
+
+Bit arrays OR together, so Bloom filters over the same geometry and
+seed merge losslessly into the filter of the set union — the simplest
+lattice-mergeable summary, included both for completeness of the
+"known mergeable summaries" landscape the paper departs from and as a
+building block for the examples.
+
+False-positive rate after ``d`` distinct insertions:
+``(1 - exp(-h*d/m)) ** h`` for ``m`` bits and ``h`` hash functions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.hashing import stable_hash
+from ..core.registry import register_summary
+
+__all__ = ["BloomFilter"]
+
+
+@register_summary("bloom_filter")
+class BloomFilter(Summary):
+    """Bloom filter with ``bits`` bits and ``hashes`` hash functions."""
+
+    def __init__(self, bits: int, hashes: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        if bits < 8:
+            raise ParameterError(f"bits must be >= 8, got {bits!r}")
+        if hashes < 1:
+            raise ParameterError(f"hashes must be >= 1, got {hashes!r}")
+        self.bits = int(bits)
+        self.hashes = int(hashes)
+        self.seed = int(seed)
+        self._array = np.zeros(self.bits, dtype=bool)
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, fp_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        """Size the filter for ``capacity`` distinct items at ``fp_rate``."""
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity!r}")
+        if not 0 < fp_rate < 1:
+            raise ParameterError(f"fp_rate must be in (0, 1), got {fp_rate!r}")
+        bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(bits=bits, hashes=hashes, seed=seed)
+
+    def _positions(self, item: Any) -> np.ndarray:
+        # double hashing: h1 + i*h2 gives `hashes` positions from 2 hashes
+        h1 = stable_hash(item, seed=self.seed)
+        h2 = stable_hash(item, seed=self.seed + 0x9E3779B9) | 1
+        return np.array(
+            [(h1 + i * h2) % self.bits for i in range(self.hashes)], dtype=np.int64
+        )
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        self._array[self._positions(item)] = True
+        self._n += weight
+
+    def might_contain(self, item: Any) -> bool:
+        """False means definitely absent; True means probably present."""
+        return bool(self._array[self._positions(item)].all())
+
+    def __contains__(self, item: Any) -> bool:
+        return self.might_contain(item)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of set bits (drives the false-positive rate)."""
+        return float(self._array.mean())
+
+    def false_positive_rate(self) -> float:
+        """Estimated current false-positive probability."""
+        return float(self.fill_fraction**self.hashes)
+
+    def size(self) -> int:
+        """Bit count (the space bound)."""
+        return self.bits
+
+    def compatible_with(self, other: "BloomFilter") -> Optional[str]:
+        assert isinstance(other, BloomFilter)
+        mine = (self.bits, self.hashes, self.seed)
+        theirs = (other.bits, other.hashes, other.seed)
+        if mine != theirs:
+            return f"geometry/seed mismatch: {mine} vs {theirs}"
+        return None
+
+    def _merge_same_type(self, other: "BloomFilter") -> None:
+        assert isinstance(other, BloomFilter)
+        self._array |= other._array
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bits": self.bits,
+            "hashes": self.hashes,
+            "seed": self.seed,
+            "n": self._n,
+            "set_positions": np.flatnonzero(self._array).tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BloomFilter":
+        sketch = cls(
+            bits=payload["bits"], hashes=payload["hashes"], seed=payload["seed"]
+        )
+        sketch._array[np.array(payload["set_positions"], dtype=np.int64)] = True
+        sketch._n = payload["n"]
+        return sketch

@@ -1,0 +1,132 @@
+"""K-minimum-values (KMV) distinct-count summary.
+
+The paper's introduction classifies F0 (distinct count) estimation as a
+known *mergeable* problem; KMV (Bar-Yossef et al.) is the classic
+order-statistics construction:
+
+- hash every item to a uniform value in ``[0, 1)`` (the hash is a
+  function of the item, so duplicates collapse — exactly what distinct
+  counting needs);
+- keep the ``k`` smallest *distinct* hash values;
+- when full, estimate ``F0 ~= (k - 1) / max_kept``.
+
+Merging is the union of the kept sets trimmed back to the ``k``
+smallest — the result is exactly the KMV summary of the union, so the
+merge is lossless in distribution and can be repeated arbitrarily: the
+textbook example of a fully mergeable randomized summary.  Both
+summaries must share the hash seed (the coordination requirement all
+hash-based mergeable summaries carry).
+
+Relative error is ``O(1/sqrt(k))`` with high probability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.hashing import stable_hash
+from ..core.registry import register_summary
+
+__all__ = ["KMinValues"]
+
+_SCALE = float(1 << 64)
+
+
+class _BoundedMinSet:
+    """The ``k`` smallest *distinct* integers offered so far.
+
+    A set for O(1) duplicate rejection plus a max-heap (negated values)
+    for O(log k) eviction of the current maximum.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._members: Set[int] = set()
+        self._heap: List[int] = []  # negated values
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def offer(self, value: int) -> None:
+        if value in self._members:
+            return
+        if len(self._members) < self._k:
+            self._members.add(value)
+            heapq.heappush(self._heap, -value)
+        elif value < -self._heap[0]:
+            evicted = -heapq.heapreplace(self._heap, -value)
+            self._members.discard(evicted)
+            self._members.add(value)
+
+    def values(self) -> List[int]:
+        return sorted(self._members)
+
+
+@register_summary("k_min_values")
+class KMinValues(Summary):
+    """KMV distinct-count sketch keeping the ``k`` smallest hash values."""
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        super().__init__()
+        if k < 2:
+            raise ParameterError(f"k must be >= 2, got {k!r}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self._keep = _BoundedMinSet(self.k)
+
+    def update(self, item: Any, weight: int = 1) -> None:
+        """Observe ``item``; ``weight`` counts occurrences toward ``n``
+        but cannot change the distinct count."""
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        self._keep.offer(stable_hash(item, seed=self.seed))
+        self._n += weight
+
+    def distinct(self) -> float:
+        """Estimated number of distinct items observed."""
+        values = self._keep.values()
+        if len(values) < self.k:
+            return float(len(values))
+        return (self.k - 1) / (values[-1] / _SCALE)
+
+    def size(self) -> int:
+        return len(self._keep)
+
+    @property
+    def relative_error(self) -> float:
+        """Expected relative standard error ``~1/sqrt(k - 2)``."""
+        return 1.0 / max(1.0, (self.k - 2)) ** 0.5
+
+    def compatible_with(self, other: "KMinValues") -> Optional[str]:
+        assert isinstance(other, KMinValues)
+        if (self.k, self.seed) != (other.k, other.seed):
+            return (
+                f"parameter mismatch: (k={self.k}, seed={self.seed}) vs "
+                f"(k={other.k}, seed={other.seed})"
+            )
+        return None
+
+    def _merge_same_type(self, other: "KMinValues") -> None:
+        assert isinstance(other, KMinValues)
+        for value in other._keep.values():
+            self._keep.offer(value)
+        self._n += other._n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "seed": self.seed,
+            "n": self._n,
+            "values": list(self._keep.values()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "KMinValues":
+        sketch = cls(k=payload["k"], seed=payload["seed"])
+        for value in payload["values"]:
+            sketch._keep.offer(int(value))
+        sketch._n = payload["n"]
+        return sketch

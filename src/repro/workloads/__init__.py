@@ -1,0 +1,42 @@
+"""Synthetic workloads: stream generators, shard layouts, named datasets."""
+
+from .datasets import DATASETS, DatasetRecipe, dataset_names, load_dataset
+from .generators import (
+    adversarial_mg_stream,
+    mixture_stream,
+    normal_stream,
+    sequential_stream,
+    uniform_stream,
+    value_stream,
+    zipf_stream,
+)
+from .streams import chunk_evenly, chunk_sizes, interleave, shuffled, sorted_copy
+from .timeseries import (
+    bursty_events,
+    diurnal_events,
+    regime_change_events,
+    with_late_arrivals,
+)
+
+__all__ = [
+    "zipf_stream",
+    "uniform_stream",
+    "sequential_stream",
+    "adversarial_mg_stream",
+    "mixture_stream",
+    "normal_stream",
+    "value_stream",
+    "chunk_evenly",
+    "chunk_sizes",
+    "interleave",
+    "shuffled",
+    "sorted_copy",
+    "DATASETS",
+    "DatasetRecipe",
+    "dataset_names",
+    "load_dataset",
+    "regime_change_events",
+    "bursty_events",
+    "diurnal_events",
+    "with_late_arrivals",
+]

@@ -1,0 +1,184 @@
+"""Seeded synthetic stream generators.
+
+The paper proves worst-case bounds over all inputs and merge sequences;
+the benchmark harness exercises them with the workload families the
+frequent-items literature standardly uses:
+
+- :func:`zipf_stream` — power-law item popularity (the canonical
+  heavy-hitter workload; network traffic and web logs are Zipf-like);
+- :func:`uniform_stream` — no heavy hitters at all (stress for false
+  positives);
+- :func:`sequential_stream` — all-distinct items (maximum counter
+  churn for MG/SS);
+- :func:`adversarial_mg_stream` — a pattern that drives the MG
+  deduction toward its ``n/(k+1)`` bound: a few genuine heavy items
+  interleaved with a flood of singletons;
+- :func:`mixture_stream` — planted heavy hitters over uniform noise
+  with exact control of the heavy mass (ideal for precision/recall
+  experiments).
+
+All generators return ``numpy`` integer arrays and are deterministic
+under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.rng import RngLike, resolve_rng
+
+__all__ = [
+    "zipf_stream",
+    "uniform_stream",
+    "sequential_stream",
+    "adversarial_mg_stream",
+    "mixture_stream",
+    "normal_stream",
+    "value_stream",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ParameterError(f"stream length n must be >= 1, got {n!r}")
+
+
+def zipf_stream(
+    n: int, alpha: float = 1.2, universe: int = 1_000_000, rng: RngLike = None
+) -> np.ndarray:
+    """Zipf-distributed item ids: item ``i`` has probability ~ ``1/i**alpha``.
+
+    Uses an explicit normalized power-law over ``universe`` ranks (not
+    ``numpy.random.zipf``, which requires ``alpha > 1`` and has an
+    unbounded tail), so any ``alpha > 0`` is supported and ids stay in
+    ``[0, universe)``.
+    """
+    _check_n(n)
+    if alpha <= 0:
+        raise ParameterError(f"alpha must be > 0, got {alpha!r}")
+    if universe < 1:
+        raise ParameterError(f"universe must be >= 1, got {universe!r}")
+    gen = resolve_rng(rng)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    return gen.choice(universe, size=n, p=weights).astype(np.int64)
+
+
+def uniform_stream(n: int, universe: int = 1_000_000, rng: RngLike = None) -> np.ndarray:
+    """Uniformly random item ids over ``[0, universe)``."""
+    _check_n(n)
+    if universe < 1:
+        raise ParameterError(f"universe must be >= 1, got {universe!r}")
+    gen = resolve_rng(rng)
+    return gen.integers(0, universe, size=n, dtype=np.int64)
+
+
+def sequential_stream(n: int, start: int = 0) -> np.ndarray:
+    """All-distinct items ``start, start+1, ...`` (maximum churn)."""
+    _check_n(n)
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def adversarial_mg_stream(
+    n: int, k: int, heavy_items: int = 2, rng: RngLike = None
+) -> np.ndarray:
+    """Stream pushing the MG deduction toward its ``n/(k+1)`` bound.
+
+    Half the stream is ``heavy_items`` genuinely frequent ids; the other
+    half is a run of distinct singletons, each of which forces a
+    decrement once the summary is full.  Shuffled so heavy occurrences
+    and singletons interleave (the worst case for counter churn).
+    """
+    _check_n(n)
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k!r}")
+    if heavy_items < 1:
+        raise ParameterError(f"heavy_items must be >= 1, got {heavy_items!r}")
+    gen = resolve_rng(rng)
+    half = n // 2
+    heavy = gen.integers(0, heavy_items, size=half, dtype=np.int64)
+    # singleton ids live far away from the heavy ids
+    singletons = np.arange(10**9, 10**9 + (n - half), dtype=np.int64)
+    stream = np.concatenate([heavy, singletons])
+    gen.shuffle(stream)
+    return stream
+
+
+def mixture_stream(
+    n: int,
+    heavy_items: Sequence[int],
+    heavy_fraction: float,
+    universe: int = 1_000_000,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Planted heavy hitters over uniform noise.
+
+    ``heavy_fraction`` of the stream mass is split evenly across
+    ``heavy_items``; the rest is uniform over ``[0, universe)``
+    (collisions with heavy ids are possible but negligible for large
+    universes).
+    """
+    _check_n(n)
+    if not 0 <= heavy_fraction <= 1:
+        raise ParameterError(
+            f"heavy_fraction must be in [0, 1], got {heavy_fraction!r}"
+        )
+    if not heavy_items and heavy_fraction > 0:
+        raise ParameterError("heavy_fraction > 0 requires at least one heavy item")
+    gen = resolve_rng(rng)
+    n_heavy = int(round(n * heavy_fraction))
+    heavy_part = (
+        np.array(heavy_items, dtype=np.int64)[
+            gen.integers(0, len(heavy_items), size=n_heavy)
+        ]
+        if n_heavy
+        else np.empty(0, dtype=np.int64)
+    )
+    noise = gen.integers(0, universe, size=n - n_heavy, dtype=np.int64)
+    stream = np.concatenate([heavy_part, noise])
+    gen.shuffle(stream)
+    return stream
+
+
+def normal_stream(
+    n: int, mean: float = 0.0, std: float = 1.0, rng: RngLike = None
+) -> np.ndarray:
+    """Real-valued normal stream (for quantile summaries)."""
+    _check_n(n)
+    if std <= 0:
+        raise ParameterError(f"std must be > 0, got {std!r}")
+    gen = resolve_rng(rng)
+    return gen.normal(mean, std, size=n)
+
+
+def value_stream(
+    n: int, distribution: str = "uniform", rng: RngLike = None
+) -> np.ndarray:
+    """Real-valued stream for quantile/range experiments.
+
+    ``distribution`` is one of ``"uniform"`` (on [0,1)), ``"normal"``,
+    ``"exponential"``, ``"lognormal"``, ``"bimodal"``.
+    """
+    _check_n(n)
+    gen = resolve_rng(rng)
+    if distribution == "uniform":
+        return gen.random(n)
+    if distribution == "normal":
+        return gen.normal(0.0, 1.0, size=n)
+    if distribution == "exponential":
+        return gen.exponential(1.0, size=n)
+    if distribution == "lognormal":
+        return gen.lognormal(0.0, 1.0, size=n)
+    if distribution == "bimodal":
+        modes = gen.integers(0, 2, size=n)
+        return np.where(
+            modes == 0, gen.normal(-3.0, 0.5, size=n), gen.normal(3.0, 0.5, size=n)
+        )
+    raise ParameterError(
+        f"unknown distribution {distribution!r}; choose from uniform, normal, "
+        "exponential, lognormal, bimodal"
+    )

@@ -1,0 +1,84 @@
+"""Stream manipulation utilities: chunking, interleaving, sorting.
+
+Distributed experiments partition one logical stream into per-node
+shards; these helpers produce the shard layouts used by the benchmark
+harness (see also :mod:`repro.distributed.partition` for the
+partitioner objects built on top of them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.rng import RngLike, resolve_rng
+
+__all__ = ["chunk_evenly", "chunk_sizes", "interleave", "shuffled", "sorted_copy"]
+
+
+def chunk_evenly(stream: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split ``stream`` into ``parts`` contiguous chunks of near-equal size.
+
+    The first ``len(stream) % parts`` chunks get one extra element, so
+    sizes differ by at most one and nothing is dropped.
+    """
+    if parts < 1:
+        raise ParameterError(f"parts must be >= 1, got {parts!r}")
+    if parts > len(stream):
+        raise ParameterError(
+            f"cannot split a stream of {len(stream)} items into {parts} nonempty parts"
+        )
+    return [np.array(c) for c in np.array_split(stream, parts)]
+
+
+def chunk_sizes(stream: np.ndarray, sizes: Sequence[int]) -> List[np.ndarray]:
+    """Split ``stream`` into consecutive chunks of the given sizes."""
+    if any(size < 0 for size in sizes):
+        raise ParameterError(f"chunk sizes must be non-negative, got {list(sizes)!r}")
+    if sum(sizes) != len(stream):
+        raise ParameterError(
+            f"chunk sizes sum to {sum(sizes)} but the stream has {len(stream)} items"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for size in sizes:
+        out.append(np.array(stream[offset : offset + size]))
+        offset += size
+    return out
+
+
+def interleave(chunks: Sequence[np.ndarray]) -> np.ndarray:
+    """Round-robin interleaving of chunks back into one stream."""
+    if not chunks:
+        raise ParameterError("interleave requires at least one chunk")
+    iterators: List[Iterator] = [iter(c) for c in chunks]
+    out = []
+    live = list(iterators)
+    while live:
+        nxt = []
+        for it in live:
+            try:
+                out.append(next(it))
+                nxt.append(it)
+            except StopIteration:
+                pass
+        live = nxt
+    return np.array(out)
+
+
+def shuffled(stream: np.ndarray, rng: RngLike = None) -> np.ndarray:
+    """Return a shuffled copy of ``stream`` (the input is untouched)."""
+    gen = resolve_rng(rng)
+    out = np.array(stream)
+    gen.shuffle(out)
+    return out
+
+
+def sorted_copy(stream: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Return a sorted copy (the adversarial layout for quantile shards)."""
+    out = np.sort(np.array(stream))
+    if descending:
+        out = out[::-1].copy()
+    return out

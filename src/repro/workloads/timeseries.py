@@ -1,0 +1,135 @@
+"""Event-time workloads for the decayed / windowed summaries.
+
+The time-decay extensions need streams where *when* matters: bursts,
+regime changes, diurnal cycles, late arrivals.  Each generator returns
+a list of ``(item, timestamp)`` pairs, deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.rng import RngLike, resolve_rng
+
+__all__ = [
+    "regime_change_events",
+    "bursty_events",
+    "diurnal_events",
+    "with_late_arrivals",
+]
+
+Event = Tuple[Any, float]
+
+
+def regime_change_events(
+    n: int,
+    phases: Sequence[Any],
+    span: float,
+    noise_universe: int = 1_000,
+    noise_fraction: float = 0.5,
+    rng: RngLike = None,
+) -> List[Event]:
+    """One dominant item per equal-length phase, over uniform noise.
+
+    ``phases`` lists the dominant item of each consecutive phase; the
+    stream runs over ``[0, span)``.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n!r}")
+    if not phases:
+        raise ParameterError("phases must be non-empty")
+    if not 0 <= noise_fraction <= 1:
+        raise ParameterError(f"noise_fraction must be in [0,1], got {noise_fraction!r}")
+    gen = resolve_rng(rng)
+    times = np.sort(gen.random(n)) * span
+    events: List[Event] = []
+    for t in times:
+        phase = min(int(t / span * len(phases)), len(phases) - 1)
+        if gen.random() < noise_fraction:
+            item: Any = int(gen.integers(0, noise_universe)) + 10**9
+        else:
+            item = phases[phase]
+        events.append((item, float(t)))
+    return events
+
+
+def bursty_events(
+    n: int,
+    burst_item: Any,
+    burst_start: float,
+    burst_length: float,
+    span: float,
+    background_universe: int = 1_000,
+    rng: RngLike = None,
+) -> List[Event]:
+    """Uniform background traffic plus one concentrated burst.
+
+    Half the events form the burst (``burst_item`` inside
+    ``[burst_start, burst_start + burst_length)``); the rest are
+    uniform background over ``[0, span)``.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n!r}")
+    if burst_length <= 0 or span <= 0:
+        raise ParameterError("burst_length and span must be positive")
+    gen = resolve_rng(rng)
+    half = n // 2
+    burst_times = burst_start + gen.random(half) * burst_length
+    background_times = gen.random(n - half) * span
+    events = [(burst_item, float(t)) for t in burst_times]
+    events += [
+        (int(gen.integers(0, background_universe)), float(t))
+        for t in background_times
+    ]
+    events.sort(key=lambda e: e[1])
+    return events
+
+
+def diurnal_events(
+    n: int,
+    day_item: Any,
+    night_item: Any,
+    days: int = 3,
+    day_length: float = 24.0,
+    rng: RngLike = None,
+) -> List[Event]:
+    """Alternating day/night dominance over ``days`` cycles."""
+    if n < 1 or days < 1:
+        raise ParameterError("n and days must be >= 1")
+    gen = resolve_rng(rng)
+    span = days * day_length
+    times = np.sort(gen.random(n)) * span
+    events: List[Event] = []
+    for t in times:
+        hour = (t % day_length) / day_length
+        item = day_item if hour < 0.5 else night_item
+        events.append((item, float(t)))
+    return events
+
+
+def with_late_arrivals(
+    events: Sequence[Event],
+    late_fraction: float,
+    max_delay: float,
+    rng: RngLike = None,
+) -> List[Event]:
+    """Reorder delivery: a fraction of events arrive late.
+
+    Returns the events in *delivery* order while keeping their original
+    event timestamps — the input shape for testing out-of-order
+    handling in the decayed/windowed summaries.
+    """
+    if not 0 <= late_fraction <= 1:
+        raise ParameterError(f"late_fraction must be in [0,1], got {late_fraction!r}")
+    if max_delay < 0:
+        raise ParameterError(f"max_delay must be >= 0, got {max_delay!r}")
+    gen = resolve_rng(rng)
+    delivery = []
+    for item, t in events:
+        delay = float(gen.random() * max_delay) if gen.random() < late_fraction else 0.0
+        delivery.append((t + delay, item, t))
+    delivery.sort()
+    return [(item, t) for _arrival, item, t in delivery]

@@ -1,0 +1,127 @@
+"""Unit tests for error metrics, theoretical bounds, and table emitters."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    frequency_errors,
+    mg_error_bound,
+    mg_size_bound,
+    quantile_equal_weight_size,
+    quantile_hybrid_size,
+    quantile_mergeable_size,
+    quantile_value_errors,
+    rank_errors,
+    sample_size_bound,
+    ss_error_bound,
+    to_csv,
+)
+from repro.core import ParameterError
+from repro.frequency import ExactCounter, MisraGries
+from repro.quantiles import ExactQuantiles
+
+
+class TestFrequencyErrors:
+    def test_exact_counter_has_zero_error(self):
+        items = [1, 1, 2, 3]
+        report = frequency_errors(ExactCounter().extend(items), Counter(items))
+        assert report.max_error == 0
+        assert report.total_error == 0
+        assert report.error_rate == 0.0
+
+    def test_mg_error_measured(self):
+        items = [1, 1, 1, 2, 3, 4]
+        mg = MisraGries(2).extend(items)
+        report = frequency_errors(mg, Counter(items))
+        assert report.max_error >= 1
+        assert report.n == 6
+        assert 0 <= report.normalized_max() <= 1
+
+    def test_empty_truth_raises(self):
+        with pytest.raises(ParameterError):
+            frequency_errors(ExactCounter(), {})
+
+
+class TestRankErrors:
+    def test_exact_summary_zero_error(self):
+        data = np.random.default_rng(1).random(100)
+        eq = ExactQuantiles().extend(data)
+        report = rank_errors(eq, data, probes=data[:10])
+        assert report.max_error == 0
+
+    def test_normalization(self):
+        data = np.arange(100, dtype=float)
+        eq = ExactQuantiles().extend(data)
+        report = rank_errors(eq, data, probes=[50.0])
+        assert report.max_normalized == report.max_error / 100
+
+    def test_quantile_value_errors_exact(self):
+        data = np.arange(1, 101, dtype=float)
+        eq = ExactQuantiles().extend(data)
+        report = quantile_value_errors(eq, data, qs=[0.25, 0.5, 0.75])
+        assert report.max_error == 0
+
+    def test_quantile_value_errors_duplicates(self):
+        data = np.array([1.0] * 50 + [2.0] * 50)
+        eq = ExactQuantiles().extend(data)
+        report = quantile_value_errors(eq, data, qs=[0.2, 0.5, 0.8])
+        assert report.max_error == 0  # rank intervals absorb ties
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ParameterError):
+            rank_errors(ExactQuantiles(), np.array([]), probes=[1.0])
+
+
+class TestBounds:
+    def test_mg_bound(self):
+        assert mg_error_bound(9, 100) == 10.0
+
+    def test_ss_bound(self):
+        assert ss_error_bound(10, 100) == 10.0
+
+    def test_size_bounds_monotone_in_eps(self):
+        assert mg_size_bound(0.01) > mg_size_bound(0.1)
+        assert sample_size_bound(0.01) == 10_000
+
+    def test_quantile_sizes_ordered(self):
+        # for realistic parameters: equal-weight < hybrid and sample is worst
+        eps, delta, n = 0.01, 0.01, 10**6
+        assert quantile_equal_weight_size(eps, delta) < quantile_mergeable_size(
+            eps, delta, n
+        )
+        assert quantile_hybrid_size(eps) < sample_size_bound(eps)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ParameterError):
+            mg_error_bound(0, 10)
+        with pytest.raises(ParameterError):
+            quantile_mergeable_size(0.1, 0.1, 0)
+
+
+class TestTables:
+    def test_format_alignment_and_caption(self):
+        out = format_table(
+            ["name", "value"], [["alpha", 1], ["b", 123456]], caption="Table X"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert "name" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_float_rendering(self):
+        out = format_table(["x"], [[0.000123456]])
+        assert "0.000123" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_csv(self):
+        out = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert out == "a,b\n1,2\n3,4\n"

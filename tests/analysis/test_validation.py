@@ -1,0 +1,72 @@
+"""Tests for the Monte-Carlo validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TrialStats, failure_rate, run_trials
+from repro.core import ParameterError
+
+
+class TestRunTrials:
+    def test_constant_trials(self):
+        stats = run_trials(lambda seed: 5.0, seeds=range(10), threshold=6.0)
+        assert stats.trials == 10
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.exceed_rate == 0.0
+
+    def test_seed_is_passed_through(self):
+        stats = run_trials(lambda seed: float(seed), seeds=[1, 2, 3])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.p50 == 2.0
+
+    def test_exceed_rate_counts_strict_exceedance(self):
+        stats = run_trials(lambda seed: float(seed), seeds=range(10), threshold=5.0)
+        # seeds 6..9 exceed 5.0 (5.0 itself does not)
+        assert stats.exceed_rate == pytest.approx(0.4)
+
+    def test_within_allows_one_trial_slack(self):
+        stats = run_trials(lambda seed: float(seed), seeds=range(10), threshold=8.0)
+        assert stats.exceed_rate == pytest.approx(0.1)
+        assert stats.within(0.05)  # 0.1 <= 0.05 + 1/10
+        assert not stats.within(0.0) or stats.exceed_rate <= 0.1
+
+    def test_no_seeds_raises(self):
+        with pytest.raises(ParameterError):
+            run_trials(lambda seed: 0.0, seeds=[])
+
+    def test_quantiles_ordered(self):
+        stats = run_trials(lambda seed: float(seed % 17), seeds=range(100))
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.maximum
+
+    def test_default_threshold_never_exceeded(self):
+        stats = run_trials(lambda seed: 1e18, seeds=range(3))
+        assert stats.exceed_rate == 0.0
+
+
+class TestFailureRate:
+    def test_shorthand_matches_run_trials(self):
+        rate = failure_rate(lambda seed: float(seed), seeds=range(10), threshold=5.0)
+        assert rate == pytest.approx(0.4)
+
+    def test_randomized_summary_concentrates(self):
+        """End-to-end: the Sec 3.2 summary's failure rate is ~0 at its
+        designed (eps, delta)."""
+        import numpy as np
+
+        from repro.quantiles import MergeableQuantiles
+        from repro.workloads import value_stream
+
+        data = value_stream(4_096, "uniform", rng=5)
+        data_sorted = np.sort(data)
+
+        def trial(seed: int) -> float:
+            summary = MergeableQuantiles.from_epsilon(0.05, rng=seed).extend(data)
+            x = 0.5
+            true_rank = float(np.searchsorted(data_sorted, x, side="right"))
+            return abs(summary.rank(x) - true_rank)
+
+        rate = failure_rate(trial, seeds=range(20), threshold=0.05 * len(data))
+        assert rate == 0.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator; tests stay deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def zipf_items():
+    """A medium Zipf stream as a Python-int list (session-cached)."""
+    return zipf_stream(20_000, alpha=1.2, universe=5_000, rng=7).tolist()
+
+
+@pytest.fixture(scope="session")
+def zipf_truth(zipf_items):
+    """Exact counts for :func:`zipf_items`."""
+    return Counter(zipf_items)
+
+
+@pytest.fixture(scope="session")
+def uniform_values():
+    """A medium real-valued uniform stream (session-cached)."""
+    return np.random.default_rng(11).random(2**14)

@@ -1,0 +1,72 @@
+"""Tests for the Summary ABC and merge protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MergeError, Summary
+from repro.frequency import ExactCounter, MisraGries
+
+
+class TestSummaryProtocol:
+    def test_new_summary_is_empty(self):
+        assert ExactCounter().is_empty
+        assert ExactCounter().n == 0
+
+    def test_extend_returns_self(self):
+        summary = ExactCounter()
+        assert summary.extend([1, 2, 3]) is summary
+        assert summary.n == 3
+
+    def test_from_items_builds_and_counts(self):
+        summary = ExactCounter.from_items([1, 1, 2])
+        assert summary.n == 3
+        assert summary.estimate(1) == 2
+
+    def test_from_items_forwards_kwargs(self):
+        summary = MisraGries.from_items([1, 2, 3], k=2)
+        assert summary.k == 2
+
+    def test_len_equals_size(self):
+        summary = ExactCounter.from_items([1, 2, 2])
+        assert len(summary) == summary.size() == 2
+
+    def test_repr_mentions_type(self):
+        assert "ExactCounter" in repr(ExactCounter())
+
+
+class TestMergeProtocol:
+    def test_merge_returns_self(self):
+        a = ExactCounter.from_items([1])
+        b = ExactCounter.from_items([2])
+        assert a.merge(b) is a
+
+    def test_merge_leaves_other_unchanged(self):
+        a = ExactCounter.from_items([1, 1])
+        b = ExactCounter.from_items([2])
+        a.merge(b)
+        assert b.n == 1
+        assert b.estimate(2) == 1
+
+    def test_merge_rejects_different_types(self):
+        with pytest.raises(MergeError, match="identical summary types"):
+            ExactCounter().merge(MisraGries(4))
+
+    def test_merge_rejects_incompatible_parameters(self):
+        with pytest.raises(MergeError, match="k mismatch"):
+            MisraGries(4).merge(MisraGries(8))
+
+    def test_merge_accumulates_n(self):
+        a = ExactCounter.from_items([1, 2])
+        b = ExactCounter.from_items([3])
+        assert a.merge(b).n == 3
+
+    def test_merge_with_empty_is_identity(self):
+        a = ExactCounter.from_items([1, 1, 2])
+        before = a.counters()
+        a.merge(ExactCounter())
+        assert a.counters() == before
+
+    def test_summary_is_abstract(self):
+        with pytest.raises(TypeError):
+            Summary()  # type: ignore[abstract]

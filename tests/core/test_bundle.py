@@ -1,0 +1,129 @@
+"""Tests for SummaryBundle: multi-summary record streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HyperLogLog, MergeableQuantiles, MisraGries
+from repro.core import MergeError, ParameterError, SummaryBundle
+
+
+def _make_bundle(seed_offset: int = 0) -> SummaryBundle:
+    bundle = SummaryBundle()
+    bundle.add("pages", MisraGries(16), field="page")
+    bundle.add("users", HyperLogLog(p=8, seed=1), field="user")
+    bundle.add("latency", MergeableQuantiles(16, rng=5 + seed_offset), field="ms")
+    return bundle
+
+
+RECORDS = [
+    {"page": "/home", "user": 1, "ms": 12.0},
+    {"page": "/home", "user": 2, "ms": 40.0},
+    {"page": "/about", "user": 1, "ms": 7.0},
+]
+
+
+class TestComposition:
+    def test_add_returns_self_for_chaining(self):
+        bundle = SummaryBundle()
+        assert bundle.add("a", MisraGries(4), field="x") is bundle
+
+    def test_duplicate_name_rejected(self):
+        bundle = SummaryBundle().add("a", MisraGries(4), field="x")
+        with pytest.raises(ParameterError, match="already has a member"):
+            bundle.add("a", MisraGries(4), field="y")
+
+    def test_non_summary_rejected(self):
+        with pytest.raises(ParameterError, match="must be a Summary"):
+            SummaryBundle().add("a", object(), field="x")
+
+    def test_getitem_and_contains(self):
+        bundle = _make_bundle()
+        assert isinstance(bundle["pages"], MisraGries)
+        assert "users" in bundle
+        assert "nope" not in bundle
+        with pytest.raises(ParameterError, match="no bundle member"):
+            bundle["nope"]
+
+    def test_iteration_lists_members(self):
+        assert set(_make_bundle()) == {"pages", "users", "latency"}
+
+
+class TestUpdates:
+    def test_records_route_to_fields(self):
+        bundle = _make_bundle().extend(RECORDS)
+        assert bundle["pages"].estimate("/home") == 2
+        assert bundle["latency"].n == 3
+        assert bundle.n == 3
+
+    def test_sparse_records_skip_members(self):
+        bundle = _make_bundle()
+        bundle.update({"page": "/x"})
+        assert bundle["pages"].n == 1
+        assert bundle["latency"].n == 0
+
+    def test_strict_mode_requires_all_fields(self):
+        bundle = _make_bundle()
+        with pytest.raises(ParameterError, match="missing field"):
+            bundle.update({"page": "/x"}, strict=True)
+
+    def test_empty_bundle_update_rejected(self):
+        with pytest.raises(ParameterError, match="no members"):
+            SummaryBundle().update({"x": 1})
+
+
+class TestMerge:
+    def test_memberwise_merge(self):
+        a = _make_bundle().extend(RECORDS)
+        b = _make_bundle(seed_offset=1).extend(
+            [{"page": "/home", "user": 3, "ms": 100.0}]
+        )
+        a.merge(b)
+        assert a["pages"].estimate("/home") == 3
+        assert a.n == 4
+        assert round(a["users"].distinct()) == 3
+
+    def test_layout_mismatch_rejected(self):
+        a = _make_bundle()
+        b = SummaryBundle().add("pages", MisraGries(16), field="page")
+        with pytest.raises(MergeError, match="member mismatch"):
+            a.merge(b)
+
+    def test_field_binding_mismatch_rejected(self):
+        a = SummaryBundle().add("pages", MisraGries(16), field="page")
+        b = SummaryBundle().add("pages", MisraGries(16), field="url")
+        with pytest.raises(MergeError, match="bound to field"):
+            a.merge(b)
+
+    def test_member_parameter_mismatch_rejected_before_mutation(self):
+        a = SummaryBundle().add("pages", MisraGries(16), field="page")
+        a.update({"page": "/x"})
+        b = SummaryBundle().add("pages", MisraGries(8), field="page")
+        with pytest.raises(MergeError, match="incompatible"):
+            a.merge(b)
+        assert a["pages"].n == 1  # untouched
+
+    def test_member_type_mismatch_rejected(self):
+        a = SummaryBundle().add("m", MisraGries(16), field="x")
+        b = SummaryBundle().add("m", HyperLogLog(p=8), field="x")
+        with pytest.raises(MergeError, match="type mismatch"):
+            a.merge(b)
+
+    def test_non_bundle_rejected(self):
+        with pytest.raises(MergeError):
+            _make_bundle().merge(MisraGries(4))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bundle = _make_bundle().extend(RECORDS)
+        restored = SummaryBundle.from_dict(bundle.to_dict())
+        assert restored.n == 3
+        assert restored["pages"].counters() == bundle["pages"].counters()
+        assert set(restored) == set(bundle)
+
+    def test_restored_bundle_still_merges(self):
+        a = _make_bundle().extend(RECORDS)
+        b = SummaryBundle.from_dict(_make_bundle().extend(RECORDS).to_dict())
+        a.merge(b)
+        assert a.n == 6

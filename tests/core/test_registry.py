@@ -1,0 +1,39 @@
+"""Tests for the summary registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SerializationError, get_summary_class, registered_names
+from repro.core.registry import register_summary
+from repro.frequency import MisraGries
+
+
+class TestRegistry:
+    def test_lookup_returns_class(self):
+        assert get_summary_class("misra_gries") is MisraGries
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SerializationError, match="unknown summary name"):
+            get_summary_class("nope")
+
+    def test_registered_names_sorted_and_complete(self):
+        names = registered_names()
+        assert names == sorted(names)
+        assert "misra_gries" in names
+        assert "mergeable_quantiles" in names
+        assert "eps_kernel" in names
+
+    def test_reregistering_same_class_is_noop(self):
+        register_summary("misra_gries")(MisraGries)
+        assert get_summary_class("misra_gries") is MisraGries
+
+    def test_name_collision_raises(self):
+        class Impostor(MisraGries):
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_summary("misra_gries")(Impostor)
+
+    def test_registry_name_attribute_set(self):
+        assert MisraGries.registry_name == "misra_gries"

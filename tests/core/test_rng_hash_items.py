@@ -1,0 +1,73 @@
+"""Tests for rng plumbing, stable hashing, and item normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import stable_hash
+from repro.core.items import plain
+from repro.core.rng import resolve_rng, spawn
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert resolve_rng(42).random() == resolve_rng(42).random()
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+    def test_spawn_children_are_independent_but_reproducible(self):
+        parent_a = resolve_rng(5)
+        parent_b = resolve_rng(5)
+        child_a = spawn(parent_a)
+        child_b = spawn(parent_b)
+        assert child_a.random() == child_b.random()
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_seed_changes_hash(self):
+        assert stable_hash("abc", seed=1) != stable_hash("abc", seed=2)
+
+    def test_int_and_numpy_int_agree(self):
+        assert stable_hash(5) == stable_hash(int(np.int64(5)))
+
+    def test_distinct_items_rarely_collide(self):
+        hashes = {stable_hash(i) for i in range(10_000)}
+        assert len(hashes) == 10_000
+
+    def test_types_are_domain_separated(self):
+        assert stable_hash("5") != stable_hash(5)
+        assert stable_hash(b"x") != stable_hash("x")
+
+    def test_negative_ints_supported(self):
+        assert stable_hash(-1) != stable_hash(1)
+
+    def test_64_bit_range(self):
+        h = stable_hash("anything")
+        assert 0 <= h < 2**64
+
+
+class TestPlain:
+    def test_numpy_scalar_converted(self):
+        assert plain(np.int64(3)) == 3
+        assert type(plain(np.int64(3))) is int
+        assert type(plain(np.float64(0.5))) is float
+
+    def test_python_values_passed_through(self):
+        for value in (3, "x", None, (1, 2)):
+            assert plain(value) is value

@@ -1,0 +1,135 @@
+"""Unit tests for the sliding-window Misra-Gries extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MergeError, ParameterError, QueryError
+from repro.decay import WindowedMisraGries
+
+
+def _build(events, **kwargs):
+    summary = WindowedMisraGries(**kwargs)
+    for item, t in events:
+        summary.observe(item, t)
+    return summary
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            WindowedMisraGries(0, 1.0, 4)
+        with pytest.raises(ParameterError):
+            WindowedMisraGries(4, 0.0, 4)
+        with pytest.raises(ParameterError):
+            WindowedMisraGries(4, 1.0, 0)
+
+
+class TestBucketing:
+    def test_events_land_in_buckets(self):
+        w = _build([("a", 0.5), ("b", 1.5), ("c", 2.5)], k=4,
+                   bucket_width=1.0, num_buckets=10)
+        assert w.live_buckets() == {0: 1, 1: 1, 2: 1}
+
+    def test_expired_buckets_evicted(self):
+        w = WindowedMisraGries(4, bucket_width=1.0, num_buckets=3)
+        for t in range(10):
+            w.observe("x", float(t))
+        assert min(w.live_buckets()) == 7
+        assert w.n == 3  # only the retained buckets count
+
+    def test_space_bounded(self):
+        w = WindowedMisraGries(4, bucket_width=1.0, num_buckets=5)
+        for t in range(1000):
+            w.observe(t, float(t % 100))
+        assert w.size() <= 5 * 4
+
+    def test_update_without_timestamp_uses_latest_bucket(self):
+        w = _build([("a", 5.0)], k=4, bucket_width=1.0, num_buckets=10)
+        w.update("b")
+        assert w.live_buckets()[5] == 2
+
+
+class TestQueries:
+    def test_window_covers_only_recent_items(self):
+        events = [("cold", float(t)) for t in range(60)] + [
+            ("hot", float(t)) for t in range(60, 100)
+        ]
+        w = _build(events, k=8, bucket_width=10.0, num_buckets=10)
+        result = w.query(window_end=99.0, window_length=30.0)
+        assert result.estimate("hot") >= 30
+        assert result.estimate("cold") == 0
+
+    def test_window_rounded_outward_to_buckets(self):
+        w = _build([("a", 5.0), ("b", 15.0)], k=4, bucket_width=10.0,
+                   num_buckets=10)
+        result = w.query(window_end=19.0, window_length=5.0)
+        assert result.window_start == 10.0
+        assert result.window_end == 20.0
+        assert result.buckets_covered == 1
+
+    def test_heavy_hitters_guarantee_over_window(self):
+        events = []
+        for t in range(1000):
+            events.append((0 if t % 2 else t + 100, float(t) / 10))
+        w = _build(events, k=16, bucket_width=10.0, num_buckets=10)
+        result = w.query(window_end=99.9, window_length=100.0)
+        assert 0 in result.heavy_hitters(0.3)
+        assert result.error_bound == result.n / 17
+
+    def test_query_beyond_horizon_raises(self):
+        w = WindowedMisraGries(4, bucket_width=1.0, num_buckets=3)
+        for t in range(10):
+            w.observe("x", float(t))
+        with pytest.raises(QueryError, match="horizon"):
+            w.query(window_end=9.0, window_length=8.0)
+
+    def test_query_empty_raises(self):
+        with pytest.raises(QueryError):
+            WindowedMisraGries(4, 1.0, 4).query(1.0, 1.0)
+
+    def test_invalid_window_length(self):
+        w = _build([("a", 0.0)], k=4, bucket_width=1.0, num_buckets=4)
+        with pytest.raises(ParameterError):
+            w.query(0.0, 0.0)
+
+
+class TestMerge:
+    def test_merge_aligns_absolute_buckets(self):
+        a = _build([("x", 5.0)], k=4, bucket_width=10.0, num_buckets=10)
+        b = _build([("y", 5.0), ("z", 25.0)], k=4, bucket_width=10.0,
+                   num_buckets=10)
+        a.merge(b)
+        assert a.live_buckets() == {0: 2, 2: 1}
+        result = a.query(window_end=9.0, window_length=10.0)
+        assert result.estimate("x") == 1
+        assert result.estimate("y") == 1
+
+    def test_merge_does_not_mutate_other(self):
+        a = _build([("x", 0.0)], k=4, bucket_width=1.0, num_buckets=4)
+        b = _build([("y", 0.0)], k=4, bucket_width=1.0, num_buckets=4)
+        a.merge(b)
+        assert b.n == 1
+        assert b.live_buckets() == {0: 1}
+
+    def test_merge_evicts_against_joint_horizon(self):
+        a = _build([("old", 0.0)], k=4, bucket_width=1.0, num_buckets=3)
+        b = _build([("new", 10.0)], k=4, bucket_width=1.0, num_buckets=3)
+        a.merge(b)
+        assert 0 not in a.live_buckets()
+        assert a.n == 1
+
+    def test_geometry_mismatch_refused(self):
+        with pytest.raises(MergeError, match="geometry"):
+            WindowedMisraGries(4, 1.0, 4).merge(WindowedMisraGries(4, 2.0, 4))
+
+    def test_serialization_roundtrip(self):
+        from repro.core import dumps, loads
+
+        w = _build([("a", 1.0), ("b", 2.0), ("a", 2.5)], k=4,
+                   bucket_width=1.0, num_buckets=8)
+        restored = loads(dumps(w))
+        assert restored.live_buckets() == w.live_buckets()
+        assert restored.query(2.9, 2.0).estimate("a") == w.query(
+            2.9, 2.0
+        ).estimate("a")

@@ -1,0 +1,95 @@
+"""Unit tests for dataset partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.distributed import (
+    ContiguousPartitioner,
+    SkewedSizePartitioner,
+    SortedPartitioner,
+    UniformRandomPartitioner,
+)
+
+
+DATA = np.arange(100)
+
+
+def _covers_everything(shards, data):
+    combined = np.sort(np.concatenate(shards))
+    return np.array_equal(combined, np.sort(np.array(data)))
+
+
+class TestContiguous:
+    def test_covers_all(self):
+        shards = ContiguousPartitioner().split(DATA, 7)
+        assert len(shards) == 7
+        assert _covers_everything(shards, DATA)
+
+    def test_order_preserved(self):
+        shards = ContiguousPartitioner().split(DATA, 4)
+        assert np.array_equal(np.concatenate(shards), DATA)
+
+    def test_near_equal_sizes(self):
+        shards = ContiguousPartitioner().split(DATA, 7)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_parts_raises(self):
+        with pytest.raises(ParameterError):
+            ContiguousPartitioner().split(np.arange(3), 4)
+
+    def test_zero_parts_raises(self):
+        with pytest.raises(ParameterError):
+            ContiguousPartitioner().split(DATA, 0)
+
+
+class TestUniformRandom:
+    def test_covers_all(self):
+        shards = UniformRandomPartitioner(rng=1).split(DATA, 5)
+        assert _covers_everything(shards, DATA)
+
+    def test_deterministic_under_seed(self):
+        a = UniformRandomPartitioner(rng=2).split(DATA, 5)
+        b = UniformRandomPartitioner(rng=2).split(DATA, 5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_input_not_mutated(self):
+        data = np.arange(50)
+        UniformRandomPartitioner(rng=3).split(data, 5)
+        assert np.array_equal(data, np.arange(50))
+
+
+class TestSorted:
+    def test_shards_are_value_disjoint(self):
+        data = np.random.default_rng(4).random(100)
+        shards = SortedPartitioner().split(data, 5)
+        for left, right in zip(shards, shards[1:]):
+            assert left.max() <= right.min()
+
+    def test_covers_all(self):
+        data = np.random.default_rng(5).random(100)
+        shards = SortedPartitioner().split(data, 5)
+        assert _covers_everything(shards, data)
+
+
+class TestSkewed:
+    def test_covers_all(self):
+        shards = SkewedSizePartitioner(alpha=1.0, rng=6).split(DATA, 5)
+        assert _covers_everything(shards, DATA)
+
+    def test_sizes_are_skewed(self):
+        shards = SkewedSizePartitioner(alpha=1.5, rng=7).split(np.arange(1000), 8)
+        sizes = sorted((len(s) for s in shards), reverse=True)
+        assert sizes[0] >= 3 * sizes[-1]
+
+    def test_no_empty_shards(self):
+        shards = SkewedSizePartitioner(alpha=2.0, rng=8).split(np.arange(200), 10)
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_negative_alpha_raises(self):
+        with pytest.raises(ParameterError):
+            SkewedSizePartitioner(alpha=-1.0)

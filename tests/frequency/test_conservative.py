@@ -1,0 +1,103 @@
+"""Tests for conservative-update CountMin (the non-mergeable baseline)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import MergeError, ParameterError, merge_chain
+from repro.frequency import ConservativeCountMin, CountMin
+from repro.workloads import zipf_stream
+
+
+class TestStreaming:
+    def test_invalid_geometry(self):
+        with pytest.raises(ParameterError):
+            ConservativeCountMin(0, 3)
+
+    def test_never_underestimates(self, zipf_items, zipf_truth):
+        sketch = ConservativeCountMin(128, 4, seed=1).extend(zipf_items)
+        for item, count in list(zipf_truth.items())[:300]:
+            assert sketch.estimate(item) >= count
+
+    def test_sequentially_beats_plain_countmin(self, zipf_items, zipf_truth):
+        """The whole point of conservative update: lower over-estimation
+        at the same geometry."""
+        cu = ConservativeCountMin(64, 4, seed=2).extend(zipf_items)
+        cm = CountMin(64, 4, seed=2).extend(zipf_items)
+        cu_total = sum(cu.estimate(i) - c for i, c in zipf_truth.items())
+        cm_total = sum(cm.estimate(i) - c for i, c in zipf_truth.items())
+        assert cu_total < cm_total
+
+    def test_single_item_exact(self):
+        sketch = ConservativeCountMin(16, 3, seed=3)
+        sketch.update("x", weight=7)
+        assert sketch.estimate("x") == 7
+
+
+class TestMergeDegradation:
+    def test_merge_remains_upper_bound(self):
+        stream = zipf_stream(10_000, rng=4)
+        truth = Counter(stream.tolist())
+        parts = [
+            ConservativeCountMin(64, 4, seed=5).extend(stream[i::8].tolist())
+            for i in range(8)
+        ]
+        merged = merge_chain(parts)
+        for item, count in truth.most_common(100):
+            assert merged.estimate(item) >= count
+
+    def test_merging_erodes_the_advantage_monotonically(self):
+        """Conservative update's edge over plain CountMin erodes as the
+        stream is split across more shards (the non-linearity cost);
+        plain CountMin is unaffected (it is linear)."""
+        stream = zipf_stream(20_000, alpha=1.1, universe=20_000, rng=6)
+        truth = Counter(stream.tolist())
+
+        def total_overcount(sketch):
+            return sum(sketch.estimate(i) - c for i, c in truth.items())
+
+        cm = CountMin(32, 4, seed=7).extend(stream.tolist())
+        cu_seq = ConservativeCountMin(32, 4, seed=7).extend(stream.tolist())
+        assert total_overcount(cu_seq) < total_overcount(cm)
+
+        overcounts = []
+        for shards in (16, 256):
+            merged = merge_chain(
+                [
+                    ConservativeCountMin(32, 4, seed=7).extend(
+                        stream[i::shards].tolist()
+                    )
+                    for i in range(shards)
+                ]
+            )
+            overcounts.append(total_overcount(merged))
+            # CM is linear: its merged table equals the sequential one
+            cm_merged = merge_chain(
+                [CountMin(32, 4, seed=7).extend(stream[i::shards].tolist())
+                 for i in range(shards)]
+            )
+            assert (cm_merged._table == cm._table).all()
+        # sequential CU is the best; more shards -> worse merged CU
+        assert total_overcount(cu_seq) <= overcounts[0] <= overcounts[1]
+
+    def test_merge_generations_tracked(self):
+        a = ConservativeCountMin(16, 3, seed=8).extend([1])
+        b = ConservativeCountMin(16, 3, seed=8).extend([2])
+        a.merge(b)
+        assert a.merge_generations == 1
+
+    def test_geometry_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            ConservativeCountMin(16, 3, seed=1).merge(
+                ConservativeCountMin(32, 3, seed=1)
+            )
+
+    def test_serialization_roundtrip(self):
+        from repro.core import dumps, loads
+
+        sketch = ConservativeCountMin(16, 3, seed=9).extend([1, 2, 2, 3])
+        restored = loads(dumps(sketch))
+        assert restored.estimate(2) == sketch.estimate(2)
+        assert restored.merge_generations == sketch.merge_generations

@@ -1,0 +1,78 @@
+"""Tests for the heavy-hitter evaluation layer."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import ParameterError
+from repro.frequency import (
+    ExactCounter,
+    MisraGries,
+    SpaceSaving,
+    evaluate_heavy_hitters,
+)
+from repro.workloads import mixture_stream
+
+
+@pytest.fixture(scope="module")
+def planted():
+    stream = mixture_stream(
+        20_000, heavy_items=[1, 2, 3], heavy_fraction=0.5, universe=10**6, rng=3
+    ).tolist()
+    return stream, Counter(stream)
+
+
+class TestEvaluateHeavyHitters:
+    def test_exact_counter_is_perfect(self, planted):
+        stream, truth = planted
+        summary = ExactCounter().extend(stream)
+        report = evaluate_heavy_hitters(summary, truth, phi=0.1)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.guarantee_held
+
+    def test_mg_recall_is_one(self, planted):
+        stream, truth = planted
+        summary = MisraGries(64).extend(stream)
+        report = evaluate_heavy_hitters(summary, truth, phi=0.1)
+        assert report.recall == 1.0
+        assert report.guarantee_held
+        assert {1, 2, 3} <= set(report.reported)
+
+    def test_ss_recall_is_one(self, planted):
+        stream, truth = planted
+        summary = SpaceSaving(64).extend(stream)
+        report = evaluate_heavy_hitters(summary, truth, phi=0.1)
+        assert report.recall == 1.0
+
+    def test_false_positives_bounded_by_phi_minus_eps(self, planted):
+        stream, truth = planted
+        k = 64
+        summary = MisraGries(k).extend(stream)
+        report = evaluate_heavy_hitters(summary, truth, phi=0.1)
+        n = len(stream)
+        floor = (0.1 - 1.0 / (k + 1)) * n
+        for item in report.false_positives:
+            assert truth[item] >= floor
+
+    def test_mismatched_truth_raises(self, planted):
+        stream, truth = planted
+        summary = MisraGries(16).extend(stream[: len(stream) // 2])
+        with pytest.raises(ParameterError, match="does not match"):
+            evaluate_heavy_hitters(summary, truth, phi=0.1)
+
+    def test_invalid_phi_raises(self, planted):
+        stream, truth = planted
+        summary = ExactCounter().extend(stream)
+        with pytest.raises(ParameterError):
+            evaluate_heavy_hitters(summary, truth, phi=0.0)
+
+    def test_no_heavy_hitters_gives_recall_one(self):
+        stream = list(range(1000))
+        truth = Counter(stream)
+        summary = ExactCounter().extend(stream)
+        report = evaluate_heavy_hitters(summary, truth, phi=0.5)
+        assert report.recall == 1.0
+        assert not report.reported

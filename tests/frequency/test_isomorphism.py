@@ -1,0 +1,80 @@
+"""Tests for the MG <-> SpaceSaving isomorphism (paper Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterError
+from repro.frequency import (
+    classic_space_saving,
+    mg_image_of_classic_ss,
+    verify_isomorphism,
+)
+from repro.workloads import uniform_stream, zipf_stream
+
+
+class TestClassicSpaceSaving:
+    def test_small_stream_exact(self):
+        state = classic_space_saving([1, 1, 2], k=4)
+        assert state == {1: (2, 0), 2: (1, 0)}
+
+    def test_eviction_inherits_min(self):
+        state = classic_space_saving([1, 1, 2, 3], k=2)
+        # 3 evicts 2 (min count 1) and starts at 2 with error 1
+        assert state[3] == (2, 1)
+        assert state[1] == (2, 0)
+
+    def test_counts_upper_bound_truth(self):
+        stream = zipf_stream(5_000, rng=3).tolist()
+        from collections import Counter
+
+        truth = Counter(stream)
+        state = classic_space_saving(stream, k=20)
+        for item, (count, error) in state.items():
+            assert count >= truth[item]
+            assert count - error <= truth[item]
+
+    def test_total_count_equals_n(self):
+        stream = uniform_stream(1_000, universe=100, rng=1).tolist()
+        state = classic_space_saving(stream, k=10)
+        assert sum(count for count, _ in state.values()) == len(stream)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ParameterError):
+            classic_space_saving([1], k=0)
+
+
+class TestMgImage:
+    def test_empty_state(self):
+        assert mg_image_of_classic_ss({}, k=4) == {}
+
+    def test_not_full_no_shift(self):
+        state = {1: (3, 0), 2: (1, 0)}
+        assert mg_image_of_classic_ss(state, k=4) == {1: 3, 2: 1}
+
+    def test_full_state_shifts_by_min(self):
+        state = {1: (5, 0), 2: (3, 1), 3: (2, 1)}
+        image = mg_image_of_classic_ss(state, k=3)
+        assert image == {1: 3, 2: 1}
+
+
+class TestVerifyIsomorphism:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_match_on_zipf_streams(self, seed):
+        stream = zipf_stream(4_000, alpha=1.4, universe=500, rng=seed).tolist()
+        report = verify_isomorphism(stream, k=12)
+        assert report["bounds_consistent"]
+        # on generic (tie-light) streams the correspondence is exact
+        assert report["matches"]
+
+    def test_bounds_always_consistent_even_with_ties(self):
+        # an all-equal-frequency stream maximizes tie-breaking divergence
+        stream = list(range(50)) * 4
+        report = verify_isomorphism(stream, k=8)
+        assert report["bounds_consistent"]
+
+    def test_report_fields(self):
+        report = verify_isomorphism([1, 1, 2, 3], k=3)
+        assert report["n"] == 4
+        assert report["k"] == 3
+        assert set(report) >= {"mg_counters", "ss_state", "ss_mg_image", "shift"}

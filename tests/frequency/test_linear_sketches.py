@@ -1,0 +1,97 @@
+"""Unit tests for the CountMin and CountSketch linear-sketch baselines."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import MergeError, ParameterError, merge_all
+from repro.frequency import CountMin, CountSketch
+from repro.workloads import chunk_evenly, zipf_stream
+
+
+class TestCountMin:
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ParameterError):
+            CountMin(0, 3)
+        with pytest.raises(ParameterError):
+            CountMin(10, 0)
+
+    def test_from_error_sizes(self):
+        sketch = CountMin.from_error(0.01, 0.01)
+        assert sketch.width >= 100
+        assert sketch.depth >= 2
+
+    def test_never_underestimates(self, zipf_items, zipf_truth):
+        sketch = CountMin(512, 4, seed=2).extend(zipf_items)
+        for item, count in list(zipf_truth.items())[:300]:
+            assert sketch.estimate(item) >= count
+
+    def test_overestimate_within_eps_n(self, zipf_items, zipf_truth):
+        eps = 0.01
+        sketch = CountMin.from_error(eps, 0.001, seed=3).extend(zipf_items)
+        n = len(zipf_items)
+        violations = sum(
+            1
+            for item, count in zipf_truth.items()
+            if sketch.estimate(item) - count > eps * n
+        )
+        assert violations == 0
+
+    def test_merge_equals_sequential(self, zipf_items):
+        shards = chunk_evenly(zipf_stream(5_000, rng=4), 5)
+        whole = CountMin(128, 3, seed=7).extend(zipf_stream(5_000, rng=4).tolist())
+        parts = [CountMin(128, 3, seed=7).extend(s.tolist()) for s in shards]
+        merged = merge_all(parts, strategy="tree")
+        # linear sketches merge with *zero* error: tables are identical
+        assert (merged._table == whole._table).all()
+        assert merged.n == whole.n
+
+    def test_seed_mismatch_refuses_merge(self):
+        with pytest.raises(MergeError, match="seed"):
+            CountMin(32, 3, seed=1).merge(CountMin(32, 3, seed=2))
+
+    def test_geometry_mismatch_refuses_merge(self):
+        with pytest.raises(MergeError):
+            CountMin(32, 3).merge(CountMin(64, 3))
+
+    def test_size_is_table_cells(self):
+        assert CountMin(32, 3).size() == 96
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParameterError):
+            CountMin(8, 2).update(1, weight=-1)
+
+
+class TestCountSketch:
+    def test_depth_made_odd(self):
+        assert CountSketch(16, 4).depth == 5
+
+    def test_roughly_unbiased_on_heavy_item(self):
+        stream = [0] * 2_000 + list(range(1, 3_000))
+        truth = Counter(stream)
+        sketch = CountSketch(256, 5, seed=1).extend(stream)
+        assert abs(sketch.estimate(0) - truth[0]) <= 500
+
+    def test_merge_equals_sequential(self):
+        stream = zipf_stream(4_000, rng=8)
+        whole = CountSketch(128, 3, seed=5).extend(stream.tolist())
+        parts = [
+            CountSketch(128, 3, seed=5).extend(s.tolist())
+            for s in chunk_evenly(stream, 4)
+        ]
+        merged = merge_all(parts, strategy="chain")
+        assert (merged._table == whole._table).all()
+
+    def test_seed_mismatch_refuses_merge(self):
+        with pytest.raises(MergeError):
+            CountSketch(32, 3, seed=1).merge(CountSketch(32, 3, seed=2))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ParameterError):
+            CountSketch(-1, 3)
+
+    def test_from_error_validates(self):
+        with pytest.raises(ParameterError):
+            CountSketch.from_error(1.5, 0.1)

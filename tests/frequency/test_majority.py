@@ -1,0 +1,83 @@
+"""Unit tests for the Boyer-Moore majority summary (k=1 Misra-Gries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EmptySummaryError, ParameterError, merge_all
+from repro.frequency import MajorityVote
+
+
+class TestStreaming:
+    def test_clear_majority_found(self):
+        mv = MajorityVote().extend([1, 2, 1, 1, 3, 1, 1])
+        assert mv.candidate == 1
+
+    def test_no_majority_still_returns_candidate(self):
+        mv = MajorityVote().extend([1, 2, 3])
+        # candidate is only a *candidate*: guarantee is no false negative
+        assert mv.n == 3
+
+    def test_empty_candidate_raises(self):
+        with pytest.raises(EmptySummaryError):
+            MajorityVote().candidate
+
+    def test_estimate_lower_bounds_truth(self):
+        stream = [7] * 60 + [8] * 40
+        mv = MajorityVote().extend(stream)
+        assert mv.estimate(7) <= 60
+        assert mv.upper_bound(7) >= 60
+
+    def test_deduction_at_most_half(self):
+        stream = [1, 2] * 500
+        mv = MajorityVote().extend(stream)
+        assert mv.deduction <= len(stream) / 2 + 1
+
+    def test_weighted_updates(self):
+        mv = MajorityVote()
+        mv.update("a", weight=10)
+        mv.update("b", weight=4)
+        assert mv.candidate == "a"
+        assert mv.estimate("a") == 6
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParameterError):
+            MajorityVote().update("a", weight=0)
+
+    def test_cancellation_clears_candidate(self):
+        mv = MajorityVote().extend([1, 2])
+        assert mv.size() == 0
+
+
+class TestMerge:
+    def test_agreeing_candidates_add(self):
+        a = MajorityVote().extend([1, 1, 1])
+        b = MajorityVote().extend([1, 1])
+        a.merge(b)
+        assert a.candidate == 1
+        assert a.estimate(1) == 5
+
+    def test_disagreeing_candidates_cancel(self):
+        a = MajorityVote().extend(["x"] * 5)
+        b = MajorityVote().extend(["y"] * 3)
+        a.merge(b)
+        assert a.candidate == "x"
+        assert a.estimate("x") == 2
+
+    def test_true_majority_never_lost(self):
+        # the mergeability guarantee: if an item has > n/2 occurrences in
+        # the union, it must be the merged candidate
+        shards = [[1, 1, 2], [1, 1, 3], [1, 4, 1]]
+        parts = [MajorityVote().extend(s) for s in shards]
+        merged = merge_all(parts, strategy="chain")
+        assert merged.candidate == 1
+
+    def test_merge_with_empty(self):
+        a = MajorityVote().extend([1, 1])
+        a.merge(MajorityVote())
+        assert a.candidate == 1
+
+    def test_empty_absorbs_other(self):
+        a = MajorityVote()
+        a.merge(MajorityVote().extend([2, 2]))
+        assert a.candidate == 2

@@ -1,0 +1,181 @@
+"""Unit tests for the Misra-Gries summary."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import MergeError, ParameterError, merge_all
+from repro.frequency import MisraGries
+from repro.workloads import chunk_evenly, zipf_stream
+
+
+class TestConstruction:
+    def test_invalid_k_raises(self):
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ParameterError):
+                MisraGries(bad)
+
+    def test_from_epsilon_picks_ceil_inverse(self):
+        assert MisraGries.from_epsilon(0.1).k == 10
+        assert MisraGries.from_epsilon(0.3).k == 4
+
+    def test_from_epsilon_validates(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ParameterError):
+                MisraGries.from_epsilon(bad)
+
+
+class TestStreaming:
+    def test_small_stream_is_exact(self):
+        mg = MisraGries(10).extend([1, 1, 2, 3, 3, 3])
+        assert mg.counters() == {1: 2, 2: 1, 3: 3}
+        assert mg.deduction == 0
+        assert mg.n == 6
+
+    def test_never_exceeds_k_counters(self):
+        mg = MisraGries(5).extend(range(100))
+        assert mg.size() <= 5
+
+    def test_decrement_on_overflow(self):
+        # k=2, stream 1,2,3: the 3 evicts both singletons
+        mg = MisraGries(2).extend([1, 2, 3])
+        assert mg.deduction == 1
+        assert mg.estimate(1) == 0
+        assert mg.estimate(3) == 0  # 3 died absorbing the decrement
+
+    def test_heavy_item_survives_churn(self):
+        stream = [0] * 50 + list(range(1, 51))
+        mg = MisraGries(4).extend(stream)
+        assert mg.estimate(0) > 0
+        assert 0 in mg
+
+    def test_estimates_never_overestimate(self, zipf_items, zipf_truth):
+        mg = MisraGries(16).extend(zipf_items)
+        for item, estimate in mg.counters().items():
+            assert estimate <= zipf_truth[item]
+
+    def test_error_within_bound(self, zipf_items, zipf_truth):
+        mg = MisraGries(16).extend(zipf_items)
+        bound = len(zipf_items) / (16 + 1)
+        assert mg.deduction <= bound
+        for item, count in zipf_truth.items():
+            assert count - mg.estimate(item) <= bound
+
+    def test_upper_lower_bounds_bracket_truth(self, zipf_items, zipf_truth):
+        mg = MisraGries(16).extend(zipf_items)
+        for item in list(zipf_truth)[:200]:
+            assert mg.lower_bound(item) <= zipf_truth[item] <= mg.upper_bound(item)
+
+    def test_weighted_update_equals_repeated(self):
+        a = MisraGries(3)
+        a.update("x", weight=5)
+        a.update("y", weight=2)
+        b = MisraGries(3).extend(["x"] * 5 + ["y"] * 2)
+        assert a.counters() == b.counters()
+
+    def test_invalid_weight_raises(self):
+        with pytest.raises(ParameterError):
+            MisraGries(3).update("x", weight=0)
+        with pytest.raises(ParameterError):
+            MisraGries(3).update("x", weight=-2)
+
+    def test_mass_invariant_maintained(self, zipf_items):
+        # (k+1) * deduction <= n - stored_mass: the induction the paper's
+        # merge proof rests on.
+        mg = MisraGries(8).extend(zipf_items)
+        stored = sum(mg.counters().values())
+        assert (mg.k + 1) * mg.deduction <= mg.n - stored
+
+    def test_contains(self):
+        mg = MisraGries(4).extend([1, 1, 2])
+        assert 1 in mg
+        assert 99 not in mg
+
+    def test_heap_compaction_keeps_memory_bounded(self):
+        mg = MisraGries(4)
+        for i in range(10_000):
+            mg.update(i % 3)  # constant touches of monitored items
+        assert len(mg._heap) <= 8 * mg.k + 17
+
+
+class TestMerge:
+    def test_merge_small_summaries_exact(self):
+        a = MisraGries(10).extend([1, 1, 2])
+        b = MisraGries(10).extend([2, 3])
+        a.merge(b)
+        assert a.counters() == {1: 2, 2: 2, 3: 1}
+        assert a.deduction == 0
+
+    def test_paper_worked_example_frequent(self):
+        """The k=5 Frequent example (combine + prune with the paper rule).
+
+        Input summaries {2:4, 3:11, 4:22, 5:33} and {7:10, 8:20, 9:30,
+        10:45}* merge to {4:2, 9:10, 5:13, 10:20} after subtracting the
+        5th-largest combined value (20).  (*counter 10 has 40 after
+        combining in the worked table; we use 40 directly.)
+        """
+        a = MisraGries(4)
+        a._replace_state({2: 4, 3: 11, 4: 22, 5: 33}, n=70, deduction=0)
+        b = MisraGries(4)
+        b._replace_state({7: 10, 8: 20, 9: 30, 10: 40}, n=100, deduction=0)
+        a.merge(b)
+        assert a.counters() == {4: 2, 9: 10, 5: 13, 10: 20}
+        assert a.deduction == 20
+
+    def test_merge_error_bound_over_random_trees(self, zipf_items, zipf_truth):
+        n = len(zipf_items)
+        k = 24
+        shards = chunk_evenly(zipf_stream(n, rng=7), 16)
+        for seed in range(3):
+            parts = [MisraGries(k).extend(s.tolist()) for s in shards]
+            merged = merge_all(parts, strategy="random", rng=seed)
+            assert merged.n == n
+            assert merged.size() <= k
+            assert merged.deduction <= n / (k + 1)
+
+    def test_merge_keeps_mass_invariant(self, zipf_items):
+        k = 8
+        shards = chunk_evenly(zipf_stream(4000, rng=3), 8)
+        parts = [MisraGries(k).extend(s.tolist()) for s in shards]
+        merged = merge_all(parts, strategy="chain")
+        stored = sum(merged.counters().values())
+        assert (k + 1) * merged.deduction <= merged.n - stored
+
+    def test_merge_is_weight_order_insensitive_in_guarantee(self):
+        heavy = MisraGries(4).extend([1] * 100)
+        light = MisraGries(4).extend([2])
+        heavy.merge(light)
+        assert heavy.estimate(1) >= 100 - heavy.deduction
+
+    def test_k_mismatch_raises(self):
+        with pytest.raises(MergeError, match="k mismatch"):
+            MisraGries(4).merge(MisraGries(5))
+
+    def test_prune_rule_mismatch_raises(self):
+        with pytest.raises(MergeError, match="prune rule mismatch"):
+            MisraGries(4).merge(MisraGries(4, prune_rule="cafaro"))
+
+
+class TestHeavyHitters:
+    def test_no_false_negatives(self, zipf_items, zipf_truth):
+        mg = MisraGries(32).extend(zipf_items)
+        phi = 0.05
+        threshold = phi * len(zipf_items)
+        reported = mg.heavy_hitters(phi)
+        for item, count in zipf_truth.items():
+            if count >= threshold:
+                assert item in reported
+
+    def test_reported_items_have_sufficient_upper_bound(self):
+        mg = MisraGries(8).extend([1] * 50 + [2] * 5 + list(range(100, 140)))
+        reported = mg.heavy_hitters(0.4)
+        assert 1 in reported
+        assert 2 not in reported
+
+    def test_invalid_phi_raises(self):
+        mg = MisraGries(4).extend([1])
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ParameterError):
+                mg.heavy_hitters(bad)

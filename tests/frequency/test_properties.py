@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the paper's frequency invariants.
+
+These quantify over arbitrary streams, arbitrary split points, and
+arbitrary merge trees — exactly the quantifiers in the paper's
+definition of mergeability.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import merge_random_tree
+from repro.frequency import MisraGries, SpaceSaving
+
+# small universes force collisions and counter churn
+items = st.integers(min_value=0, max_value=30)
+streams = st.lists(items, min_size=1, max_size=300)
+ks = st.integers(min_value=1, max_value=12)
+
+
+def _split(stream: List[int], cuts: List[int]) -> List[List[int]]:
+    """Split a stream at the (sorted, deduplicated) cut positions."""
+    positions = sorted({c % (len(stream) + 1) for c in cuts})
+    shards = []
+    prev = 0
+    for p in positions:
+        shards.append(stream[prev:p])
+        prev = p
+    shards.append(stream[prev:])
+    return [s for s in shards if s] or [stream]
+
+
+@given(stream=streams, k=ks)
+@settings(max_examples=150, deadline=None)
+def test_mg_stream_error_invariant(stream, k):
+    """f(x) - n/(k+1) <= mg.estimate(x) <= f(x) for every item."""
+    truth = Counter(stream)
+    mg = MisraGries(k).extend(stream)
+    bound = len(stream) / (k + 1)
+    assert mg.size() <= k
+    assert mg.deduction <= bound
+    for item, count in truth.items():
+        estimate = mg.estimate(item)
+        assert estimate <= count
+        assert count - estimate <= mg.deduction
+
+
+@given(stream=streams, k=ks, cuts=st.lists(st.integers(0, 10**6), max_size=6), seed=st.integers(0, 2**16))
+@settings(max_examples=150, deadline=None)
+def test_mg_merge_preserves_guarantee_under_any_tree(stream, k, cuts, seed):
+    """Splitting anywhere + merging along any tree keeps the eps*n bound."""
+    shards = _split(stream, cuts)
+    truth = Counter(stream)
+    parts = [MisraGries(k).extend(shard) for shard in shards]
+    merged = merge_random_tree(parts, rng=seed)
+    assert merged.n == len(stream)
+    assert merged.size() <= k
+    assert merged.deduction <= len(stream) / (k + 1)
+    for item, count in truth.items():
+        estimate = merged.estimate(item)
+        assert estimate <= count
+        assert count - estimate <= merged.deduction
+
+
+@given(stream=streams, k=ks, cuts=st.lists(st.integers(0, 10**6), max_size=6), seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_mg_cafaro_prune_also_preserves_guarantee(stream, k, cuts, seed):
+    """The extension prune rule must keep the same inductive invariant."""
+    shards = _split(stream, cuts)
+    truth = Counter(stream)
+    parts = [MisraGries(k, prune_rule="cafaro").extend(s) for s in shards]
+    merged = merge_random_tree(parts, rng=seed)
+    assert merged.size() <= k
+    assert merged.deduction <= len(stream) / (k + 1)
+    for item, count in truth.items():
+        estimate = merged.estimate(item)
+        assert estimate <= count
+        assert count - estimate <= merged.deduction
+
+
+@given(stream=streams, k=st.integers(2, 12), cuts=st.lists(st.integers(0, 10**6), max_size=5), seed=st.integers(0, 2**16))
+@settings(max_examples=150, deadline=None)
+def test_ss_merge_overestimates_within_bound(stream, k, cuts, seed):
+    """f(x) <= ss.estimate(x) <= f(x) + n/k under any split and tree."""
+    shards = _split(stream, cuts)
+    truth = Counter(stream)
+    parts = [SpaceSaving(k).extend(shard) for shard in shards]
+    merged = merge_random_tree(parts, rng=seed)
+    bound = len(stream) / k
+    assert merged.deduction <= bound
+    for item, count in truth.items():
+        estimate = merged.estimate(item)
+        assert estimate >= count
+        assert estimate - count <= merged.deduction
+
+
+@given(stream=streams, k=ks)
+@settings(max_examples=100, deadline=None)
+def test_mg_mass_invariant(stream, k):
+    """(k+1) * deduction <= n - stored_mass (the merge-proof potential)."""
+    mg = MisraGries(k).extend(stream)
+    stored = sum(mg.counters().values())
+    assert (k + 1) * mg.deduction <= mg.n - stored
+
+
+@given(stream=streams, k=ks, cut=st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_mg_split_merge_mass_invariant(stream, k, cut):
+    """The potential survives a merge (enables induction over any tree)."""
+    shards = _split(stream, [cut])
+    parts = [MisraGries(k).extend(s) for s in shards]
+    merged = parts[0]
+    for p in parts[1:]:
+        merged = merged.merge(p)
+    stored = sum(merged.counters().values())
+    assert (k + 1) * merged.deduction <= merged.n - stored
+
+
+@given(stream=streams)
+@settings(max_examples=100, deadline=None)
+def test_true_majority_survives_any_split(stream):
+    """If an item is a strict majority, merged MajorityVote finds it."""
+    from repro.frequency import MajorityVote
+
+    truth = Counter(stream)
+    top, top_count = truth.most_common(1)[0]
+    if top_count * 2 <= len(stream):
+        return  # no strict majority: nothing to assert
+    half = len(stream) // 2
+    parts = [
+        MajorityVote().extend(stream[:half]),
+        MajorityVote().extend(stream[half:]),
+    ]
+    merged = parts[0].merge(parts[1]) if stream[half:] else parts[0]
+    assert merged.candidate == top
+
+
+@given(stream=streams, k=ks)
+@settings(max_examples=50, deadline=None)
+def test_mg_serialization_roundtrip_preserves_estimates(stream, k):
+    from repro.core import dumps, loads
+
+    mg = MisraGries(k).extend(stream)
+    restored = loads(dumps(mg))
+    assert restored.counters() == mg.counters()
+    assert restored.deduction == mg.deduction
+    assert restored.n == mg.n

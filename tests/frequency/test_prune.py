@@ -1,0 +1,118 @@
+"""Tests for the prune rules, including the paper-text worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterError
+from repro.frequency import get_prune_rule, prune_cafaro, prune_paper
+
+# The worked example (k-majority parameter 5, kappa = 4 counters):
+# combined Frequent summaries with counters
+COMBINED_FREQUENT = {2: 4, 7: 10, 3: 11, 8: 20, 4: 22, 9: 30, 5: 33, 10: 40}
+# and the combined SpaceSaving summaries after subtracting the minima
+COMBINED_SS = {2: 2, 3: 7, 4: 9, 7: 12, 5: 13, 8: 13, 9: 15, 10: 19}
+
+
+class TestPrunePaper:
+    def test_noop_when_small(self):
+        counters = {1: 5, 2: 7}
+        pruned, cut = prune_paper(counters, kappa=4)
+        assert pruned == counters
+        assert cut == 0
+
+    def test_worked_example_frequent(self):
+        pruned, cut = prune_paper(COMBINED_FREQUENT, kappa=4)
+        assert cut == 20
+        assert pruned == {4: 2, 9: 10, 5: 13, 10: 20}
+
+    def test_worked_example_space_saving(self):
+        pruned, cut = prune_paper(COMBINED_SS, kappa=4)
+        assert cut == 12
+        assert pruned == {5: 1, 8: 1, 9: 3, 10: 7}
+
+    def test_survivor_error_is_kappa_times_cut(self):
+        # the worked example reports E_T = (k-1) * 20 = 80 over survivors
+        pruned, cut = prune_paper(COMBINED_FREQUENT, kappa=4)
+        survivor_error = sum(
+            COMBINED_FREQUENT[item] - value for item, value in pruned.items()
+        )
+        assert survivor_error == 4 * cut == 80
+
+    def test_mass_drop_is_kappa_plus_one_times_cut_or_less(self):
+        pruned, cut = prune_paper(COMBINED_FREQUENT, kappa=4)
+        drop = sum(COMBINED_FREQUENT.values()) - sum(pruned.values())
+        # survivors each lose exactly cut; dropped lose their full value
+        assert drop >= (4 + 1) * cut
+
+    def test_ties_at_cut_are_dropped(self):
+        counters = {1: 5, 2: 5, 3: 5}
+        pruned, cut = prune_paper(counters, kappa=2)
+        assert cut == 5
+        assert pruned == {}
+
+    def test_survivor_count_at_most_kappa(self):
+        counters = {i: i + 1 for i in range(10)}
+        pruned, _ = prune_paper(counters, kappa=3)
+        assert len(pruned) <= 3
+
+
+class TestPruneCafaro:
+    def test_noop_when_small(self):
+        counters = {1: 5}
+        pruned, cut = prune_cafaro(counters, kappa=4)
+        assert pruned == counters
+        assert cut == 0
+
+    def test_worked_example_frequent(self):
+        # the paper text's Algorithm 2 output: {4:2, 9:14, 5:23, 10:31}
+        pruned, cut = prune_cafaro(COMBINED_FREQUENT, kappa=4)
+        assert cut == 20
+        assert pruned == {4: 2, 9: 14, 5: 23, 10: 31}
+
+    def test_survivor_error_below_paper_rule(self):
+        # the worked example: 55 (cafaro) vs 80 (paper) over survivors
+        paper_pruned, _ = prune_paper(COMBINED_FREQUENT, kappa=4)
+        cafaro_pruned, _ = prune_cafaro(COMBINED_FREQUENT, kappa=4)
+        paper_error = sum(
+            COMBINED_FREQUENT[i] - v for i, v in paper_pruned.items()
+        )
+        cafaro_error = sum(
+            COMBINED_FREQUENT[i] - v for i, v in cafaro_pruned.items()
+        )
+        assert paper_error == 80
+        assert cafaro_error == 55
+        assert cafaro_error < paper_error
+
+    def test_mass_drop_exactly_kappa_plus_one_times_cut(self):
+        # the property that keeps the cafaro rule inductively mergeable
+        pruned, cut = prune_cafaro(COMBINED_FREQUENT, kappa=4)
+        drop = sum(COMBINED_FREQUENT.values()) - sum(pruned.values())
+        assert drop == (4 + 1) * cut
+
+    def test_per_item_deduction_bounded_by_cut(self):
+        pruned, cut = prune_cafaro(COMBINED_FREQUENT, kappa=4)
+        for item, value in COMBINED_FREQUENT.items():
+            assert value - pruned.get(item, 0) <= cut
+
+    def test_padding_with_fewer_than_2kappa_counters(self):
+        counters = {1: 3, 2: 5, 3: 9, 4: 11, 5: 20}  # 5 counters, kappa=4
+        pruned, cut = prune_cafaro(counters, kappa=4)
+        # padded values: [0,0,0,3,5,9,11,20]; cut = f_4 = 3
+        assert cut == 3
+        assert pruned == {2: 2, 3: 6, 4: 8, 5: 17}
+
+    def test_oversized_input_raises(self):
+        counters = {i: i + 1 for i in range(9)}
+        with pytest.raises(ParameterError, match="at most"):
+            prune_cafaro(counters, kappa=4)
+
+
+class TestGetPruneRule:
+    def test_lookup(self):
+        assert get_prune_rule("paper") is prune_paper
+        assert get_prune_rule("cafaro") is prune_cafaro
+
+    def test_unknown_raises(self):
+        with pytest.raises(ParameterError, match="unknown prune rule"):
+            get_prune_rule("magic")

@@ -1,0 +1,77 @@
+"""Tests for certified top-k reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterError
+from repro.frequency import MisraGries, SpaceSaving, top_k
+from repro.workloads import zipf_stream
+
+
+class TestTopK:
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            top_k(MisraGries(4).extend([1]), 0)
+
+    def test_well_separated_order_certified(self):
+        mg = MisraGries(8).extend([1] * 100 + [2] * 50 + [3] * 10)
+        report = top_k(mg, 3)
+        assert report.items() == [1, 2, 3]
+        assert report.fully_certified
+        assert report.certified_pairs == [(1, 2), (2, 3)]
+
+    def test_close_items_flagged_ambiguous(self):
+        # churn makes the deduction large relative to the gap
+        stream = [1] * 52 + [2] * 50 + list(range(100, 400))
+        mg = MisraGries(4).extend(stream)
+        report = top_k(mg, 2)
+        if report.entries[0].lower <= report.entries[1].upper:
+            assert (1, 2) in report.ambiguous_pairs
+        else:
+            assert (1, 2) in report.certified_pairs
+
+    def test_entries_carry_intervals(self):
+        stream = zipf_stream(5_000, alpha=1.4, universe=200, rng=1).tolist()
+        mg = MisraGries(32).extend(stream)
+        report = top_k(mg, 5)
+        from collections import Counter
+
+        truth = Counter(stream)
+        for entry in report.entries:
+            assert entry.lower <= truth[entry.item] <= entry.upper
+            assert entry.uncertainty == entry.upper - entry.lower
+
+    def test_ranks_sequential(self):
+        mg = MisraGries(8).extend([1] * 3 + [2] * 2 + [3])
+        report = top_k(mg, 3)
+        assert [entry.rank for entry in report.entries] == [1, 2, 3]
+
+    def test_k_larger_than_monitored(self):
+        mg = MisraGries(8).extend([1, 1, 2])
+        report = top_k(mg, 10)
+        assert len(report.entries) == 2
+
+    def test_works_with_space_saving(self):
+        ss = SpaceSaving(16).extend([1] * 100 + [2] * 50 + list(range(10, 60)))
+        report = top_k(ss, 2)
+        assert report.items()[0] == 1
+
+    def test_membership_not_certified_under_churn(self):
+        # everything uniform: excluded items have upper bounds rivaling
+        # the reported ones
+        mg = MisraGries(4).extend(list(range(100)) * 2)
+        report = top_k(mg, 2)
+        assert not report.membership_certified
+
+    def test_certified_order_is_truthful(self):
+        """Certified pairs must reflect the true frequency order."""
+        from collections import Counter
+
+        stream = zipf_stream(20_000, alpha=1.3, universe=1_000, rng=2).tolist()
+        truth = Counter(stream)
+        mg = MisraGries(64).extend(stream)
+        report = top_k(mg, 10)
+        entry_by_rank = {entry.rank: entry for entry in report.entries}
+        for above, below in report.certified_pairs:
+            assert truth[entry_by_rank[above].item] > truth[entry_by_rank[below].item]

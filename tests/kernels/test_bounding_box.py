@@ -1,0 +1,82 @@
+"""Tests for the minimum-area oriented bounding box."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import min_area_bounding_box
+
+
+def _box_contains(corners: np.ndarray, points: np.ndarray, tol=1e-9) -> bool:
+    u = corners[1] - corners[0]
+    v = corners[3] - corners[0]
+    for p in points:
+        d = p - corners[0]
+        a = d @ u / (u @ u) if u @ u else 0.0
+        b = d @ v / (v @ v) if v @ v else 0.0
+        if not (-tol <= a <= 1 + tol and -tol <= b <= 1 + tol):
+            return False
+    return True
+
+
+class TestMinAreaBoundingBox:
+    def test_axis_aligned_rectangle(self):
+        pts = np.array([[0, 0], [4, 0], [4, 1], [0, 1]], dtype=float)
+        corners, area = min_area_bounding_box(pts)
+        assert area == pytest.approx(4.0)
+        assert _box_contains(corners, pts)
+
+    def test_rotated_rectangle_recovered(self):
+        base = np.array([[0, 0], [4, 0], [4, 1], [0, 1]], dtype=float)
+        theta = 0.7
+        rot = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        pts = base @ rot.T
+        corners, area = min_area_bounding_box(pts)
+        assert area == pytest.approx(4.0, rel=1e-9)
+        assert _box_contains(corners, pts)
+
+    def test_box_tighter_than_axis_aligned(self):
+        rng = np.random.default_rng(1)
+        theta = rng.random(500) * 2 * np.pi
+        pts = np.stack([3 * np.cos(theta), 0.5 * np.sin(theta)], axis=1)
+        rot = np.array([[np.cos(0.5), -np.sin(0.5)], [np.sin(0.5), np.cos(0.5)]])
+        pts = pts @ rot.T
+        _corners, area = min_area_bounding_box(pts)
+        aabb_area = np.prod(pts.max(axis=0) - pts.min(axis=0))
+        assert area < aabb_area
+
+    def test_contains_all_points(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(200, 2))
+        corners, _area = min_area_bounding_box(pts)
+        assert _box_contains(corners, pts, tol=1e-6)
+
+    def test_degenerate_collinear(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2]], dtype=float)
+        corners, area = min_area_bounding_box(pts)
+        assert area == 0.0
+        assert corners.shape == (4, 2)
+
+    def test_single_point(self):
+        corners, area = min_area_bounding_box(np.array([[3.0, 4.0]]))
+        assert area == 0.0
+        assert np.allclose(corners, [3.0, 4.0])
+
+    def test_kernel_box_approximates_full_box(self):
+        """eps-kernel preserves the min bounding box up to O(eps)."""
+        from repro.kernels import EpsKernel
+
+        rng = np.random.default_rng(3)
+        theta = rng.random(3_000) * 2 * np.pi
+        radius = np.sqrt(rng.random(3_000))
+        pts = np.stack(
+            [4 * radius * np.cos(theta), radius * np.sin(theta)], axis=1
+        )
+        kernel = EpsKernel(0.02).extend_points(pts)
+        _c_full, area_full = min_area_bounding_box(pts)
+        _c_kern, area_kern = min_area_bounding_box(kernel.kernel_points())
+        assert area_kern <= area_full + 1e-9
+        assert area_kern >= (1 - 0.15) * area_full

@@ -1,0 +1,106 @@
+"""Unit tests for the 2-D geometry substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.kernels import (
+    apply_frame,
+    convex_hull,
+    diameter,
+    directional_width,
+    farthest_pair,
+    fat_frame,
+)
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]], dtype=float)
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert {tuple(p) for p in hull} == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_collinear_returns_extremes(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2], [3, 3]], dtype=float)
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+        assert {tuple(p) for p in hull} == {(0, 0), (3, 3)}
+
+    def test_single_point(self):
+        hull = convex_hull(np.array([[2.0, 3.0]]))
+        assert hull.shape == (1, 2)
+
+    def test_duplicates_removed(self):
+        pts = np.array([[0, 0], [0, 0], [1, 0], [0, 1]], dtype=float)
+        assert len(convex_hull(pts)) == 3
+
+    def test_hull_contains_extreme_in_every_direction(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(300, 2))
+        hull = convex_hull(pts)
+        for angle in np.linspace(0, 2 * np.pi, 16, endpoint=False):
+            u = np.array([np.cos(angle), np.sin(angle)])
+            assert (hull @ u).max() == pytest.approx((pts @ u).max())
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            convex_hull(np.empty((0, 2)))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ParameterError):
+            convex_hull(np.zeros((3, 3)))
+
+
+class TestWidthAndDiameter:
+    def test_unit_square_width(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert directional_width(pts, [1, 0]) == pytest.approx(1.0)
+        assert directional_width(pts, [1, 1]) == pytest.approx(np.sqrt(2))
+
+    def test_direction_normalized(self):
+        pts = np.array([[0, 0], [2, 0]], dtype=float)
+        assert directional_width(pts, [10, 0]) == pytest.approx(2.0)
+
+    def test_zero_direction_raises(self):
+        with pytest.raises(ParameterError):
+            directional_width(np.zeros((2, 2)), [0, 0])
+
+    def test_diameter_of_segment(self):
+        pts = np.array([[0, 0], [3, 4], [1, 1]], dtype=float)
+        assert diameter(pts) == pytest.approx(5.0)
+
+    def test_farthest_pair_endpoints(self):
+        pts = np.array([[0, 0], [3, 4], [1, 1]], dtype=float)
+        a, b = farthest_pair(pts)
+        assert {tuple(a), tuple(b)} == {(0.0, 0.0), (3.0, 4.0)}
+
+    def test_farthest_pair_single_point(self):
+        a, b = farthest_pair(np.array([[1.0, 2.0]]))
+        assert np.allclose(a, b)
+
+
+class TestFatFrame:
+    def test_image_is_bounded_and_fat(self):
+        rng = np.random.default_rng(2)
+        # an extremely thin ellipse
+        theta = rng.random(500) * 2 * np.pi
+        pts = np.stack([10 * np.cos(theta), 0.01 * np.sin(theta)], axis=1)
+        frame = fat_frame(pts)
+        image = apply_frame(pts, frame)
+        extent = image.max(axis=0) - image.min(axis=0)
+        assert extent.max() <= 2.5
+        assert extent.min() >= 1.0  # both axes stretched to ~2
+
+    def test_identity_on_unit_square_shape(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        image = apply_frame(pts, fat_frame(pts))
+        extent = image.max(axis=0) - image.min(axis=0)
+        assert extent == pytest.approx([2.0, 2.0], abs=1e-9)
+
+    def test_degenerate_single_point(self):
+        frame = fat_frame(np.array([[5.0, 5.0]]))
+        image = apply_frame(np.array([[5.0, 5.0]]), frame)
+        assert np.isfinite(image).all()

@@ -1,0 +1,170 @@
+"""Unit and behaviour tests for the mergeable eps-kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, MergeError, ParameterError, merge_all
+from repro.kernels import (
+    EpsKernel,
+    compute_eps_kernel,
+    diameter,
+    directional_width,
+    fat_frame,
+    grid_directions,
+)
+
+
+def _cloud(seed: int, n: int = 2_000) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    theta = rng.random(n) * 2 * np.pi
+    radius = np.sqrt(rng.random(n))
+    return np.stack(
+        [2.0 * radius * np.cos(theta), 0.7 * radius * np.sin(theta)], axis=1
+    )
+
+
+DIRECTIONS = [
+    np.array([np.cos(a), np.sin(a)]) for a in np.linspace(0, np.pi, 37)
+]
+
+
+class TestGridDirections:
+    def test_unit_vectors(self):
+        dirs = grid_directions(8)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_count(self):
+        assert grid_directions(5).shape == (5, 2)
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            grid_directions(0)
+
+
+class TestEpsKernel:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            EpsKernel(0.0)
+
+    def test_kernel_is_subset_of_input(self):
+        pts = _cloud(1)
+        kernel = EpsKernel(0.1).extend_points(pts)
+        stored = kernel.kernel_points()
+        point_set = {tuple(p) for p in pts}
+        assert all(tuple(p) in point_set for p in stored)
+
+    def test_size_bounded_by_direction_grid(self):
+        kernel = EpsKernel(0.05).extend_points(_cloud(2))
+        assert kernel.size() <= 2 * kernel.m
+
+    def test_width_never_overestimates(self):
+        pts = _cloud(3)
+        kernel = EpsKernel(0.1).extend_points(pts)
+        for u in DIRECTIONS:
+            assert kernel.width(u) <= directional_width(pts, u) + 1e-12
+
+    def test_width_error_within_eps_diameter(self):
+        eps = 0.05
+        pts = _cloud(4)
+        kernel = EpsKernel(eps).extend_points(pts)
+        diam = diameter(pts)
+        for u in DIRECTIONS:
+            assert directional_width(pts, u) - kernel.width(u) <= eps * diam
+
+    def test_update_one_by_one_equals_bulk(self):
+        pts = _cloud(5, n=200)
+        a = EpsKernel(0.1)
+        for p in pts:
+            a.update(p)
+        b = EpsKernel(0.1).extend_points(pts)
+        assert np.allclose(
+            a.kernel_points(), b.kernel_points()
+        )
+
+    def test_empty_width_raises(self):
+        with pytest.raises(EmptySummaryError):
+            EpsKernel(0.1).width([1, 0])
+
+    def test_bad_point_shape_raises(self):
+        with pytest.raises(ParameterError):
+            EpsKernel(0.1).update([1.0, 2.0, 3.0])
+
+
+class TestMerge:
+    def test_merge_equals_sequential(self):
+        """Slot-wise max is exact: merged kernel == one-shot kernel."""
+        pts = _cloud(6)
+        whole = EpsKernel(0.05).extend_points(pts)
+        parts = [
+            EpsKernel(0.05).extend_points(chunk)
+            for chunk in np.array_split(pts, 7)
+        ]
+        merged = merge_all(parts, strategy="random", rng=1)
+        assert merged.n == len(pts)
+        assert np.allclose(merged.kernel_points(), whole.kernel_points())
+
+    def test_guarantee_survives_deep_chains(self):
+        eps = 0.05
+        pts = _cloud(7)
+        parts = [
+            EpsKernel(eps).extend_points(chunk)
+            for chunk in np.array_split(pts, 50)
+        ]
+        merged = merge_all(parts, strategy="chain")
+        diam = diameter(pts)
+        for u in DIRECTIONS:
+            assert directional_width(pts, u) - merged.width(u) <= eps * diam
+
+    def test_epsilon_mismatch_refused(self):
+        with pytest.raises(MergeError, match="epsilon mismatch"):
+            EpsKernel(0.1).merge(EpsKernel(0.2))
+
+    def test_frame_presence_mismatch_refused(self):
+        frame = fat_frame(_cloud(8))
+        with pytest.raises(MergeError, match="frame mismatch"):
+            EpsKernel(0.1).merge(EpsKernel(0.1, frame=frame))
+
+    def test_different_frames_refused(self):
+        f1 = fat_frame(_cloud(9))
+        f2 = fat_frame(_cloud(10) * 3)
+        with pytest.raises(MergeError, match="different reference frames"):
+            EpsKernel(0.1, frame=f1).merge(EpsKernel(0.1, frame=f2))
+
+    def test_shared_frame_gives_relative_guarantee_on_thin_data(self):
+        """With a fat reference frame, thin point sets keep a *relative*
+        width guarantee in the frame's space."""
+        eps = 0.05
+        rng = np.random.default_rng(11)
+        theta = rng.random(3_000) * 2 * np.pi
+        pts = np.stack([5 * np.cos(theta), 0.05 * np.sin(theta)], axis=1)
+        frame = fat_frame(pts)
+        parts = [
+            EpsKernel(eps, frame=frame).extend_points(c)
+            for c in np.array_split(pts, 6)
+        ]
+        merged = merge_all(parts, strategy="tree")
+        from repro.kernels import apply_frame
+
+        normalized = apply_frame(pts, frame)
+        normalized_kernel = apply_frame(merged.kernel_points(), frame)
+        for u in DIRECTIONS:
+            full = directional_width(normalized, u)
+            approx = directional_width(normalized_kernel, u)
+            assert approx >= (1 - 4 * eps) * full
+
+
+class TestOfflineKernel:
+    def test_relative_guarantee(self):
+        eps = 0.05
+        pts = _cloud(12)
+        kernel = compute_eps_kernel(pts, eps)
+        for u in DIRECTIONS:
+            assert directional_width(kernel, u) >= (1 - 2 * eps) * directional_width(
+                pts, u
+            )
+
+    def test_kernel_is_small(self):
+        kernel = compute_eps_kernel(_cloud(13, n=5_000), 0.05)
+        assert len(kernel) <= 60

@@ -1,0 +1,133 @@
+"""Unit tests for the Section 3.1 equal-weight-merge summary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, MergeError, ParameterError, merge_tree
+from repro.quantiles import EqualWeightQuantiles, ExactQuantiles, random_halving
+
+
+class TestRandomHalving:
+    def test_output_is_half(self, rng):
+        left = np.sort(rng.random(16))
+        right = np.sort(rng.random(16))
+        kept = random_halving(left, right, rng)
+        assert len(kept) == 16
+
+    def test_output_is_subset_of_union(self, rng):
+        left = np.sort(rng.random(8))
+        right = np.sort(rng.random(8))
+        kept = random_halving(left, right, rng)
+        union = set(np.concatenate([left, right]).tolist())
+        assert set(kept.tolist()) <= union
+
+    def test_output_sorted(self, rng):
+        left = np.sort(rng.random(32))
+        right = np.sort(rng.random(32))
+        kept = random_halving(left, right, rng)
+        assert (np.diff(kept) >= 0).all()
+
+    def test_unequal_lengths_raise(self, rng):
+        with pytest.raises(MergeError):
+            random_halving(np.zeros(4), np.zeros(6), rng)
+
+    def test_rank_perturbation_at_most_one_sample(self, rng):
+        """One halving moves any rank estimate by at most one sample weight."""
+        left = np.sort(rng.random(64))
+        right = np.sort(rng.random(64))
+        union = np.sort(np.concatenate([left, right]))
+        kept = random_halving(left, right, rng)
+        for x in rng.random(20):
+            exact = np.searchsorted(union, x, side="right")
+            estimate = 2 * np.searchsorted(kept, x, side="right")
+            assert abs(estimate - exact) <= 1
+
+
+class TestConstruction:
+    def test_invalid_s(self):
+        with pytest.raises(ParameterError):
+            EqualWeightQuantiles(0)
+
+    def test_from_epsilon_size(self):
+        summary = EqualWeightQuantiles.from_epsilon(0.01, 0.01)
+        assert summary.s >= 100
+
+    def test_exact_while_small(self):
+        summary = EqualWeightQuantiles(8).extend([3.0, 1.0, 2.0])
+        assert summary.is_exact
+        assert summary.rank(2.0) == 2
+
+    def test_overflowing_base_raises(self):
+        summary = EqualWeightQuantiles(4)
+        with pytest.raises(ParameterError, match="at most s"):
+            summary.extend(range(5))
+
+
+class TestMerge:
+    def test_equal_weight_merge_doubles_weight(self, rng):
+        a = EqualWeightQuantiles(4, rng=1).extend([1.0, 2.0, 3.0, 4.0])
+        b = EqualWeightQuantiles(4, rng=2).extend([5.0, 6.0, 7.0, 8.0])
+        a.merge(b)
+        assert a.sample_weight == 2.0
+        assert a.size() == 4
+        assert a.n == 8
+
+    def test_small_merge_stays_exact(self):
+        a = EqualWeightQuantiles(8, rng=1).extend([1.0, 2.0])
+        b = EqualWeightQuantiles(8, rng=2).extend([3.0, 4.0])
+        a.merge(b)
+        assert a.is_exact
+        assert a.size() == 4
+
+    def test_unequal_n_refused(self):
+        a = EqualWeightQuantiles(4, rng=1).extend([1.0, 2.0, 3.0, 4.0])
+        b = EqualWeightQuantiles(4, rng=2).extend([5.0, 6.0])
+        with pytest.raises(MergeError, match="equal total weights"):
+            a.merge(b)
+
+    def test_s_mismatch_refused(self):
+        with pytest.raises(MergeError, match="budget mismatch"):
+            EqualWeightQuantiles(4).merge(EqualWeightQuantiles(8))
+
+    def test_update_after_sampling_refused(self):
+        a = EqualWeightQuantiles(2, rng=1).extend([1.0, 2.0])
+        b = EqualWeightQuantiles(2, rng=2).extend([3.0, 4.0])
+        a.merge(b)
+        with pytest.raises(ParameterError, match="while exact"):
+            a.update(9.0)
+
+    def test_balanced_tree_error_within_bound(self):
+        """Section 3.1: balanced tree over equal shards -> eps*n error."""
+        eps = 0.05
+        s = EqualWeightQuantiles.from_epsilon(eps, 0.05).s
+        m = 32
+        rng = np.random.default_rng(6)
+        data = rng.random(s * m)
+        parts = [
+            EqualWeightQuantiles(s, rng=1000 + i).extend(data[i * s : (i + 1) * s])
+            for i in range(m)
+        ]
+        merged = merge_tree(parts)
+        assert merged.n == len(data)
+        assert merged.size() == s
+        exact = ExactQuantiles().extend(data)
+        for x in np.quantile(data, np.linspace(0.05, 0.95, 19)):
+            assert abs(merged.rank(x) - exact.rank(x)) <= eps * len(data)
+
+
+class TestQueries:
+    def test_quantile_on_exact(self):
+        summary = EqualWeightQuantiles(8).extend([1.0, 2.0, 3.0, 4.0])
+        assert summary.quantile(0.5) == 2.0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(EmptySummaryError):
+            EqualWeightQuantiles(8).quantile(0.5)
+
+    def test_samples_copy_is_isolated(self):
+        summary = EqualWeightQuantiles(8).extend([1.0, 2.0])
+        samples = summary.samples()
+        samples[0] = 99.0
+        assert summary.rank(1.0) == 1

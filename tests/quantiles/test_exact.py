@@ -1,0 +1,84 @@
+"""Unit tests for the exact quantile oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, ParameterError
+from repro.quantiles import ExactQuantiles
+
+
+class TestRank:
+    def test_rank_counts_at_most(self):
+        eq = ExactQuantiles().extend([1.0, 2.0, 2.0, 5.0])
+        assert eq.rank(0.5) == 0
+        assert eq.rank(1.0) == 1
+        assert eq.rank(2.0) == 3
+        assert eq.rank(10.0) == 4
+
+    def test_rank_matches_numpy(self, uniform_values):
+        eq = ExactQuantiles().extend(uniform_values)
+        data = np.sort(uniform_values)
+        for x in (0.1, 0.33, 0.777):
+            assert eq.rank(x) == np.searchsorted(data, x, side="right")
+
+
+class TestQuantile:
+    def test_extremes(self):
+        eq = ExactQuantiles().extend([3.0, 1.0, 2.0])
+        assert eq.quantile(0.0) == 1.0
+        assert eq.quantile(1.0) == 3.0
+
+    def test_median_odd(self):
+        eq = ExactQuantiles().extend([5.0, 1.0, 3.0])
+        assert eq.median() == 3.0
+
+    def test_quantile_is_ceil_rank(self):
+        eq = ExactQuantiles().extend([10.0, 20.0, 30.0, 40.0])
+        assert eq.quantile(0.5) == 20.0
+        assert eq.quantile(0.51) == 30.0
+
+    def test_out_of_range_raises(self):
+        eq = ExactQuantiles().extend([1.0])
+        with pytest.raises(ParameterError):
+            eq.quantile(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySummaryError):
+            ExactQuantiles().quantile(0.5)
+
+    def test_cdf(self):
+        eq = ExactQuantiles().extend([1.0, 2.0, 3.0, 4.0])
+        assert eq.cdf(2.0) == 0.5
+
+    def test_quantiles_batch(self):
+        eq = ExactQuantiles().extend([1.0, 2.0, 3.0, 4.0])
+        assert eq.quantiles([0.0, 1.0]) == [1.0, 4.0]
+
+
+class TestMergeAndSerialize:
+    def test_merge_equals_union(self):
+        a = ExactQuantiles().extend([1.0, 3.0])
+        b = ExactQuantiles().extend([2.0])
+        a.merge(b)
+        assert a.median() == 2.0
+        assert a.n == 3
+
+    def test_weighted_update(self):
+        eq = ExactQuantiles()
+        eq.update(5.0, weight=3)
+        assert eq.n == 3
+        assert eq.rank(5.0) == 3
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParameterError):
+            ExactQuantiles().update(1.0, weight=0)
+
+    def test_serialization_roundtrip(self):
+        from repro.core import dumps, loads
+
+        eq = ExactQuantiles().extend([3.0, 1.0, 2.0])
+        restored = loads(dumps(eq))
+        assert restored.quantile(0.5) == eq.quantile(0.5)
+        assert restored.n == 3

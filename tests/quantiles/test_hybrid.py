@@ -1,0 +1,98 @@
+"""Unit tests for the hybrid quantile summary (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MergeError, ParameterError, merge_all
+from repro.quantiles import ExactQuantiles, HybridQuantiles, MergeableQuantiles
+from repro.workloads import chunk_evenly, value_stream
+
+
+class TestConstruction:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            HybridQuantiles(0.0)
+
+    def test_levels_capped(self):
+        hy = HybridQuantiles(0.1)
+        assert hy.top_level >= 1
+
+
+class TestSizeCap:
+    def test_size_stops_growing_with_n(self):
+        """The hybrid's point: size saturates while the logarithmic
+        summary keeps adding a block per doubling."""
+        eps = 0.05
+        sizes = []
+        for exponent in (12, 14, 16):
+            data = value_stream(2**exponent, "uniform", rng=exponent)
+            hy = HybridQuantiles(eps, rng=1).extend(data)
+            sizes.append(hy.size())
+        # growth from 2^14 to 2^16 must be far below the bottom-structure
+        # block size (the GK top absorbs the extra levels)
+        assert sizes[2] - sizes[1] < hy.s
+
+    def test_smaller_than_logarithmic_at_large_n(self):
+        eps = 0.05
+        data = value_stream(2**16, "uniform", rng=4)
+        hy = HybridQuantiles(eps, rng=1).extend(data)
+        mq = MergeableQuantiles.from_epsilon(eps, rng=2).extend(data)
+        assert hy.size() < mq.size()
+
+
+class TestAccuracy:
+    def test_sequential_rank_error(self):
+        eps = 0.05
+        data = value_stream(2**15, "uniform", rng=7)
+        n = len(data)
+        hy = HybridQuantiles(eps, rng=3).extend(data)
+        exact = ExactQuantiles().extend(data)
+        for x in np.quantile(data, np.linspace(0.05, 0.95, 19)):
+            assert abs(hy.rank(x) - exact.rank(x)) <= eps * n
+
+    @pytest.mark.parametrize("strategy", ["tree", "random"])
+    def test_merged_rank_error(self, strategy):
+        eps = 0.05
+        data = value_stream(2**14, "uniform", rng=8)
+        n = len(data)
+        parts = [
+            HybridQuantiles(eps, rng=100 + i).extend(s)
+            for i, s in enumerate(chunk_evenly(data, 16))
+        ]
+        merged = merge_all(parts, strategy=strategy, rng=5)
+        assert merged.n == n
+        exact = ExactQuantiles().extend(data)
+        errs = [
+            abs(merged.rank(x) - exact.rank(x))
+            for x in np.quantile(data, np.linspace(0.05, 0.95, 19))
+        ]
+        # documented deviation: GK-top merging may cost up to ~2x eps
+        assert max(errs) <= 2 * eps * n
+
+    def test_quantile_answers(self):
+        eps = 0.1
+        data = value_stream(2**13, "lognormal", rng=9)
+        hy = HybridQuantiles(eps, rng=4).extend(data)
+        data_sorted = np.sort(data)
+        n = len(data)
+        for q in (0.1, 0.5, 0.9):
+            value = hy.quantile(q)
+            true_rank = np.searchsorted(data_sorted, value, side="right")
+            assert abs(true_rank - q * n) <= 2 * eps * n
+
+
+class TestMergeEdge:
+    def test_epsilon_mismatch_refused(self):
+        with pytest.raises(MergeError, match="epsilon mismatch"):
+            HybridQuantiles(0.1).merge(HybridQuantiles(0.2))
+
+    def test_merge_with_empty(self):
+        hy = HybridQuantiles(0.1, rng=1).extend([1.0, 2.0])
+        hy.merge(HybridQuantiles(0.1, rng=2))
+        assert hy.n == 2
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParameterError):
+            HybridQuantiles(0.1).update(1.0, weight=-1)

@@ -1,0 +1,116 @@
+"""Unit tests for the KLL sketch (modern descendant of Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, MergeError, ParameterError, merge_all
+from repro.quantiles import ExactQuantiles, KLLQuantiles, MergeableQuantiles
+from repro.workloads import value_stream
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            KLLQuantiles(4)
+
+    def test_from_epsilon_validates(self):
+        with pytest.raises(ParameterError):
+            KLLQuantiles.from_epsilon(0)
+        with pytest.raises(ParameterError):
+            KLLQuantiles.from_epsilon(0.1, delta=2)
+
+
+class TestStructure:
+    def test_small_stream_exact(self):
+        kll = KLLQuantiles(64, rng=1).extend([3.0, 1.0, 2.0])
+        assert kll.rank(2.0) == 2.0
+        assert kll.quantile(0.0) == 1.0
+
+    def test_size_bounded_independent_of_n(self):
+        sizes = []
+        for exponent in (12, 14, 16):
+            data = value_stream(2**exponent, "uniform", rng=exponent)
+            kll = KLLQuantiles(128, rng=1).extend(data)
+            sizes.append(kll.size())
+        # total capacity is ~ k / (1 - 2/3) = 3k; growth must be tiny
+        assert all(size <= 3 * 128 + 64 for size in sizes)
+        assert sizes[2] <= sizes[0] * 1.5
+
+    def test_weight_conserved(self):
+        data = value_stream(10_000, "uniform", rng=2)
+        kll = KLLQuantiles(64, rng=3).extend(data)
+        total = sum(
+            (2**level) * len(buf) for level, buf in enumerate(kll._levels)
+        )
+        assert total == kll.n == len(data)
+
+    def test_levels_grow_logarithmically(self):
+        data = value_stream(2**15, "uniform", rng=4)
+        kll = KLLQuantiles(64, rng=5).extend(data)
+        assert kll.num_levels() <= 18
+
+
+class TestAccuracy:
+    def test_sequential_rank_error(self):
+        eps = 0.02
+        data = value_stream(2**15, "uniform", rng=6)
+        n = len(data)
+        kll = KLLQuantiles.from_epsilon(eps, rng=7).extend(data)
+        exact = ExactQuantiles().extend(data)
+        for x in np.quantile(data, np.linspace(0.02, 0.98, 49)):
+            assert abs(kll.rank(x) - exact.rank(x)) <= eps * n
+
+    @pytest.mark.parametrize("strategy", ["chain", "tree", "random"])
+    def test_merged_rank_error_any_topology(self, strategy):
+        eps = 0.05
+        data = value_stream(2**14, "uniform", rng=8)
+        n = len(data)
+        shards = np.array_split(np.sort(data), 32)
+        parts = [
+            KLLQuantiles.from_epsilon(eps, rng=100 + i).extend(s)
+            for i, s in enumerate(shards)
+        ]
+        merged = merge_all(parts, strategy=strategy, rng=9)
+        assert merged.n == n
+        exact = ExactQuantiles().extend(data)
+        for x in np.quantile(data, np.linspace(0.05, 0.95, 19)):
+            assert abs(merged.rank(x) - exact.rank(x)) <= eps * n
+
+    def test_quantile_returns_data_value(self):
+        data = value_stream(5_000, "lognormal", rng=10)
+        kll = KLLQuantiles(64, rng=11).extend(data)
+        values = set(float(v) for v in data)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert kll.quantile(q) in values
+
+    def test_much_smaller_than_section32_at_same_eps(self):
+        eps = 0.01
+        data = value_stream(2**16, "uniform", rng=12)
+        kll = KLLQuantiles.from_epsilon(eps, rng=13).extend(data)
+        mq = MergeableQuantiles.from_epsilon(eps, rng=14).extend(data)
+        assert kll.size() < mq.size() / 2
+
+
+class TestMergeEdge:
+    def test_k_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            KLLQuantiles(64).merge(KLLQuantiles(128))
+
+    def test_merge_with_empty(self):
+        kll = KLLQuantiles(64, rng=1).extend([1.0])
+        kll.merge(KLLQuantiles(64, rng=2))
+        assert kll.n == 1
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(EmptySummaryError):
+            KLLQuantiles(64).quantile(0.5)
+
+    def test_serialization_roundtrip(self):
+        from repro.core import dumps, loads
+
+        kll = KLLQuantiles(64, rng=1).extend(value_stream(2_000, "uniform", rng=3))
+        restored = loads(dumps(kll))
+        assert restored.rank(0.5) == kll.rank(0.5)
+        assert restored.size() == kll.size()

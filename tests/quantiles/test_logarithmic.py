@@ -1,0 +1,148 @@
+"""Unit tests for the fully mergeable quantile summary (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmptySummaryError,
+    MergeError,
+    ParameterError,
+    merge_all,
+)
+from repro.quantiles import ExactQuantiles, MergeableQuantiles
+from repro.workloads import chunk_evenly, sorted_copy, value_stream
+
+
+class TestConstruction:
+    def test_invalid_s(self):
+        with pytest.raises(ParameterError):
+            MergeableQuantiles(0)
+
+    def test_from_epsilon_validates(self):
+        with pytest.raises(ParameterError):
+            MergeableQuantiles.from_epsilon(0)
+        with pytest.raises(ParameterError):
+            MergeableQuantiles.from_epsilon(0.1, delta=1.0)
+
+
+class TestStructure:
+    def test_binary_counter_shape(self):
+        mq = MergeableQuantiles(16, rng=1).extend(np.arange(16 * 8))
+        # 8 = 2^3 base blocks carry into a single level-3 block
+        assert mq.levels() == {3: 1}
+
+    def test_at_most_one_block_per_level_after_updates(self):
+        mq = MergeableQuantiles(8, rng=1).extend(np.random.default_rng(2).random(999))
+        assert all(count == 1 for count in mq.levels().values())
+
+    def test_buffer_holds_remainder(self):
+        mq = MergeableQuantiles(16, rng=1).extend(np.arange(20))
+        assert mq.size() == 20  # 16 in a block + 4 buffered
+        assert mq.n == 20
+
+    def test_size_logarithmic_in_n(self):
+        mq = MergeableQuantiles(32, rng=1).extend(
+            np.random.default_rng(3).random(32 * 1024)
+        )
+        # one block per level: s * (log2(n/s) + 1) at most
+        assert mq.size() <= 32 * (10 + 1)
+
+
+class TestAccuracy:
+    def test_sequential_rank_error(self, uniform_values):
+        eps = 0.02
+        mq = MergeableQuantiles.from_epsilon(eps, rng=5).extend(uniform_values)
+        exact = ExactQuantiles().extend(uniform_values)
+        n = len(uniform_values)
+        for x in np.quantile(uniform_values, np.linspace(0.02, 0.98, 49)):
+            assert abs(mq.rank(x) - exact.rank(x)) <= eps * n
+
+    @pytest.mark.parametrize("strategy", ["chain", "tree", "random"])
+    def test_merged_rank_error_independent_of_topology(self, strategy):
+        """The Section 3.2 claim: error independent of the merge sequence."""
+        eps = 0.05
+        data = value_stream(2**14, "uniform", rng=8)
+        n = len(data)
+        shards = chunk_evenly(sorted_copy(data), 32)  # adversarial shards
+        parts = [
+            MergeableQuantiles.from_epsilon(eps, rng=3000 + i).extend(s)
+            for i, s in enumerate(shards)
+        ]
+        merged = merge_all(parts, strategy=strategy, rng=4)
+        assert merged.n == n
+        exact = ExactQuantiles().extend(data)
+        for x in np.quantile(data, np.linspace(0.05, 0.95, 19)):
+            assert abs(merged.rank(x) - exact.rank(x)) <= eps * n
+
+    def test_quantile_answers_within_eps(self, uniform_values):
+        eps = 0.05
+        mq = MergeableQuantiles.from_epsilon(eps, rng=2).extend(uniform_values)
+        data = np.sort(uniform_values)
+        n = len(data)
+        for q in np.linspace(0.0, 1.0, 21):
+            value = mq.quantile(q)
+            true_rank = np.searchsorted(data, value, side="right")
+            assert abs(true_rank - q * n) <= eps * n + 1
+
+    def test_skewed_merge_sizes(self):
+        """Merging tiny summaries into a huge one must keep the bound."""
+        eps = 0.05
+        rng = np.random.default_rng(10)
+        big = value_stream(2**13, "uniform", rng=rng)
+        mq = MergeableQuantiles.from_epsilon(eps, rng=11).extend(big)
+        total = list(big)
+        for i in range(50):
+            tiny_values = rng.random(3)
+            tiny = MergeableQuantiles.from_epsilon(eps, rng=200 + i).extend(tiny_values)
+            mq.merge(tiny)
+            total.extend(tiny_values)
+        data = np.sort(total)
+        n = len(data)
+        assert mq.n == n
+        for q in (0.1, 0.5, 0.9):
+            x = data[int(q * (n - 1))]
+            true_rank = np.searchsorted(data, x, side="right")
+            assert abs(mq.rank(x) - true_rank) <= eps * n
+
+
+class TestMergeEdge:
+    def test_s_mismatch_refused(self):
+        with pytest.raises(MergeError, match="block size mismatch"):
+            MergeableQuantiles(8).merge(MergeableQuantiles(16))
+
+    def test_merge_with_empty(self):
+        mq = MergeableQuantiles(8, rng=1).extend([1.0, 2.0])
+        mq.merge(MergeableQuantiles(8, rng=2))
+        assert mq.n == 2
+
+    def test_empty_absorbs(self):
+        mq = MergeableQuantiles(8, rng=1)
+        mq.merge(MergeableQuantiles(8, rng=2).extend([1.0] * 20))
+        assert mq.n == 20
+        assert mq.rank(1.0) == 20
+
+    def test_merge_does_not_mutate_other(self):
+        a = MergeableQuantiles(4, rng=1).extend(np.arange(16))
+        b = MergeableQuantiles(4, rng=2).extend(np.arange(16))
+        b_size = b.size()
+        a.merge(b)
+        assert b.size() == b_size
+        assert b.n == 16
+
+
+class TestQueriesEdge:
+    def test_empty_quantile_raises(self):
+        with pytest.raises(EmptySummaryError):
+            MergeableQuantiles(8).quantile(0.5)
+
+    def test_weighted_update(self):
+        mq = MergeableQuantiles(8, rng=1)
+        mq.update(5.0, weight=3)
+        assert mq.n == 3
+        assert mq.rank(5.0) == 3
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParameterError):
+            MergeableQuantiles(8).update(1.0, weight=0)

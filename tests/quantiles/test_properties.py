@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for quantile-summary invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import merge_random_tree
+from repro.quantiles import (
+    ExactQuantiles,
+    GKQuantiles,
+    MergeableQuantiles,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=200)
+
+
+@given(values=value_lists, q=st.floats(0.0, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_exact_quantile_value_has_exact_rank(values, q):
+    eq = ExactQuantiles().extend(values)
+    value = eq.quantile(q)
+    data = sorted(values)
+    target = max(1, int(np.ceil(q * len(data))))
+    assert data[target - 1] == value
+
+
+@given(values=value_lists)
+@settings(max_examples=100, deadline=None)
+def test_exact_rank_is_monotone(values):
+    eq = ExactQuantiles().extend(values)
+    probes = sorted(values)
+    ranks = [eq.rank(x) for x in probes]
+    assert ranks == sorted(ranks)
+
+
+@given(values=value_lists, eps=st.sampled_from([0.05, 0.1, 0.2]))
+@settings(max_examples=100, deadline=None)
+def test_gk_rank_error_within_eps(values, eps):
+    gk = GKQuantiles(eps).extend(values)
+    gk.compress()
+    data = sorted(values)
+    n = len(data)
+    for x in data[:: max(1, n // 10)]:
+        true_rank = sum(1 for v in data if v <= x)
+        assert abs(gk.rank(x) - true_rank) <= eps * n + 1
+
+
+@given(values=value_lists, eps=st.sampled_from([0.1, 0.2]), q=st.floats(0, 1))
+@settings(max_examples=100, deadline=None)
+def test_gk_quantile_rank_within_eps(values, eps, q):
+    gk = GKQuantiles(eps).extend(values)
+    data = sorted(values)
+    n = len(data)
+    value = gk.quantile(q)
+    # with duplicates the value occupies a rank *interval*; the guarantee
+    # is that the interval comes within eps*n of the target rank
+    low = sum(1 for v in data if v < value) + 1
+    high = sum(1 for v in data if v <= value)
+    target = q * n
+    distance = max(0.0, low - target, target - high)
+    assert distance <= eps * n + 1
+
+
+@given(
+    values=st.lists(finite_floats, min_size=2, max_size=300),
+    cuts=st.lists(st.integers(0, 10**6), max_size=5),
+    seed=st.integers(0, 2**16),
+    s=st.sampled_from([8, 16, 32]),
+)
+@settings(max_examples=100, deadline=None)
+def test_mergeable_quantiles_rank_bounded_by_block_error(values, cuts, seed, s):
+    """Under any split + any merge tree, rank error <= (#halvings) * weight
+    contributions — conservatively bounded by s * levels... we assert the
+    much simpler sound invariant: error <= n (sanity) and error <= total
+    non-buffer weight / 2 + ... using the per-level bound 2^level."""
+    positions = sorted({c % (len(values) + 1) for c in cuts})
+    shards, prev = [], 0
+    for p in positions:
+        shards.append(values[prev:p])
+        prev = p
+    shards.append(values[prev:])
+    shards = [sh for sh in shards if sh] or [values]
+    parts = [
+        MergeableQuantiles(s, rng=seed + i).extend(sh) for i, sh in enumerate(shards)
+    ]
+    merged = merge_random_tree(parts, rng=seed)
+    assert merged.n == len(values)
+    data = sorted(values)
+    n = len(data)
+    # sound deterministic envelope: a level-L block accumulated through L
+    # halvings has rank error at most L * 2^(L-1) vs its raw data
+    # (induction err(L) <= 2*err(L-1) + 2^(L-1)); one block per level.
+    envelope = sum(
+        level * 2 ** (level - 1) for level in merged.levels() if level >= 1
+    )
+    for x in data[:: max(1, n // 8)]:
+        true_rank = sum(1 for v in data if v <= x)
+        assert abs(merged.rank(x) - true_rank) <= envelope + 1e-9
+
+
+@given(values=value_lists, s=st.sampled_from([8, 16]), seed=st.integers(0, 2**16))
+@settings(max_examples=80, deadline=None)
+def test_mergeable_quantiles_total_weight_conserved(values, s, seed):
+    mq = MergeableQuantiles(s, rng=seed).extend(values)
+    total_weight = len(mq._buffer) + sum(
+        (2**level) * len(block)
+        for level, blocks in mq._blocks.items()
+        for block in blocks
+    )
+    assert total_weight == mq.n == len(values)
+
+
+@given(values=value_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_mergeable_quantiles_rank_monotone(values, seed):
+    mq = MergeableQuantiles(16, rng=seed).extend(values)
+    probes = sorted(set(values))
+    ranks = [mq.rank(x) for x in probes]
+    assert ranks == sorted(ranks)
+
+
+@given(values=value_lists, q=st.floats(0, 1), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_mergeable_quantile_returns_stored_value(values, q, seed):
+    """quantile() must return an actual data value (kernel property of
+    sample-based summaries: answers come from the input)."""
+    mq = MergeableQuantiles(8, rng=seed).extend(values)
+    assert mq.quantile(q) in set(float(v) for v in values)

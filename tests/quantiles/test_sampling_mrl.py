@@ -1,0 +1,123 @@
+"""Unit tests for the sampling and MRL baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EmptySummaryError, MergeError, ParameterError, merge_all
+from repro.quantiles import BottomKSample, ExactQuantiles, MRLQuantiles
+from repro.workloads import chunk_evenly, value_stream
+
+
+class TestBottomKSample:
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            BottomKSample(0)
+
+    def test_from_epsilon_is_quadratic(self):
+        assert BottomKSample.from_epsilon(0.1).k == 100
+
+    def test_sample_size_capped(self):
+        bk = BottomKSample(10, rng=1).extend(np.arange(1000, dtype=float))
+        assert bk.size() == 10
+        assert bk.n == 1000
+
+    def test_small_stream_kept_fully(self):
+        bk = BottomKSample(100, rng=1).extend([1.0, 2.0, 3.0])
+        assert bk.size() == 3
+        assert bk.rank(2.0) == 2.0
+
+    def test_merged_sample_is_uniform_over_union(self):
+        """Merging shard samples must be distributed like sampling the
+        union: the merged sample mean tracks the union mean."""
+        data = value_stream(2**14, "uniform", rng=2)
+        parts = [
+            BottomKSample(400, rng=50 + i).extend(s)
+            for i, s in enumerate(chunk_evenly(data, 8))
+        ]
+        merged = merge_all(parts, strategy="random", rng=3)
+        assert merged.size() == 400
+        assert merged.n == len(data)
+        assert abs(merged.sample_values().mean() - data.mean()) < 0.05
+
+    def test_rank_error_scales_as_sqrt_k(self):
+        data = value_stream(2**14, "uniform", rng=4)
+        n = len(data)
+        exact = ExactQuantiles().extend(data)
+        bk = BottomKSample(2_500, rng=5).extend(data)
+        errs = [
+            abs(bk.rank(x) - exact.rank(x))
+            for x in np.quantile(data, np.linspace(0.1, 0.9, 9))
+        ]
+        # ~ n/sqrt(k) = n/50; allow a generous constant
+        assert max(errs) <= 5 * n / 50
+
+    def test_k_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            BottomKSample(10).merge(BottomKSample(20))
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(EmptySummaryError):
+            BottomKSample(10).quantile(0.5)
+
+    def test_weighted_update_counts(self):
+        bk = BottomKSample(10, rng=1)
+        bk.update(1.0, weight=5)
+        assert bk.n == 5
+
+
+class TestMRLQuantiles:
+    def test_invalid_s(self):
+        with pytest.raises(ParameterError):
+            MRLQuantiles(0)
+
+    def test_deterministic_given_same_input(self):
+        data = value_stream(4_096, "uniform", rng=6)
+        a = MRLQuantiles(64).extend(data)
+        b = MRLQuantiles(64).extend(data)
+        assert a.quantile(0.5) == b.quantile(0.5)
+        assert a.rank(0.5) == b.rank(0.5)
+
+    def test_reasonable_accuracy_sequential(self):
+        data = value_stream(2**14, "uniform", rng=7)
+        n = len(data)
+        mrl = MRLQuantiles(256).extend(data)
+        exact = ExactQuantiles().extend(data)
+        errs = [
+            abs(mrl.rank(x) - exact.rank(x))
+            for x in np.quantile(data, np.linspace(0.1, 0.9, 9))
+        ]
+        # deterministic bias ~ (levels * weight / 2); loose sanity bound
+        assert max(errs) <= n * 0.05
+
+    def test_bias_is_one_sided_upward(self):
+        """Keeping even (0-based) indices systematically inflates ranks:
+        ceil-rounding at every level pushes estimates up."""
+        data = value_stream(2**14, "uniform", rng=8)
+        mrl = MRLQuantiles(64).extend(data)
+        exact = ExactQuantiles().extend(data)
+        diffs = [
+            mrl.rank(x) - exact.rank(x)
+            for x in np.quantile(data, np.linspace(0.2, 0.8, 7))
+        ]
+        assert np.mean(diffs) >= 0
+
+    def test_merge_combines(self):
+        a = MRLQuantiles(16).extend(np.linspace(0, 1, 64))
+        b = MRLQuantiles(16).extend(np.linspace(1, 2, 64))
+        a.merge(b)
+        assert a.n == 128
+        assert 0.8 <= a.median() <= 1.2
+
+    def test_s_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            MRLQuantiles(16).merge(MRLQuantiles(32))
+
+    def test_serialization_roundtrip(self):
+        from repro.core import dumps, loads
+
+        mrl = MRLQuantiles(16).extend(np.linspace(0, 1, 100))
+        restored = loads(dumps(mrl))
+        assert restored.rank(0.5) == mrl.rank(0.5)
+        assert restored.n == mrl.n

@@ -1,0 +1,108 @@
+"""Unit tests for the low-discrepancy halving primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.ranges import (
+    Intervals1D,
+    Rectangles2D,
+    discrepancy_of,
+    halve_points,
+    morton_order,
+    pair_points,
+)
+
+
+class TestMortonOrder:
+    def test_1d_is_value_order(self):
+        pts = np.array([[3.0], [1.0], [2.0]])
+        assert morton_order(pts).tolist() == [1, 2, 0]
+
+    def test_2d_permutation(self):
+        pts = np.random.default_rng(1).random((64, 2))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_locality(self):
+        """Consecutive points in Morton order are near each other on
+        average (much nearer than a random order)."""
+        rng = np.random.default_rng(2)
+        pts = rng.random((512, 2))
+        order = morton_order(pts)
+        ordered = pts[order]
+        morton_gaps = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        random_gaps = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert morton_gaps < random_gaps / 2
+
+    def test_degenerate_identical_points(self):
+        pts = np.ones((8, 2))
+        assert len(morton_order(pts)) == 8
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ParameterError):
+            morton_order(np.zeros((4, 3)))
+
+
+class TestPairPoints:
+    def test_pairs_cover_all_points(self):
+        pts = np.random.default_rng(3).random((32, 2))
+        pairs = pair_points(pts)
+        flat = [i for pair in pairs for i in pair]
+        assert sorted(flat) == list(range(32))
+
+    def test_odd_count_raises(self):
+        with pytest.raises(ParameterError):
+            pair_points(np.zeros((5, 2)))
+
+
+class TestHalvePoints:
+    def test_output_size(self):
+        space = Intervals1D()
+        pts = np.random.default_rng(4).random(64)
+        kept = halve_points(pts, space, rng=1)
+        assert len(kept) == 32
+
+    def test_output_subset(self):
+        space = Intervals1D()
+        pts = np.random.default_rng(5).random(64)
+        kept = halve_points(pts, space, rng=1)
+        original = set(space.check_points(pts)[:, 0].tolist())
+        assert set(kept[:, 0].tolist()) <= original
+
+    def test_1d_interval_discrepancy_tiny(self):
+        """Sorted-consecutive pairing: any prefix splits at most one pair,
+        so the halving error per interval is at most 1 sample."""
+        space = Intervals1D()
+        pts = np.sort(np.random.default_rng(6).random(256))
+        kept = halve_points(pts, space, rng=2)
+        full = space.check_points(pts)
+        ranges = [(-np.inf, b) for b in np.linspace(0.1, 0.9, 17)]
+        assert discrepancy_of(full, kept, space, ranges) <= 1
+
+    @pytest.mark.parametrize("method", ["pair_random", "greedy"])
+    def test_2d_rectangle_discrepancy_sublinear(self, method):
+        space = Rectangles2D()
+        pts = np.random.default_rng(7).random((512, 2))
+        kept = halve_points(pts, space, rng=3, method=method)
+        rng = np.random.default_rng(8)
+        ranges = [
+            (-np.inf, x, -np.inf, y) for x, y in rng.random((25, 2))
+        ]
+        disc = discrepancy_of(space.check_points(pts), kept, space, ranges)
+        # a random half-sample would err ~ sqrt(n)/2 ~ 11; locality pairing
+        # must do clearly better than trivial (n/2) and comparably to sqrt
+        assert disc <= 3 * np.sqrt(512)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ParameterError, match="unknown halving method"):
+            halve_points(np.zeros(4), Intervals1D(), method="psychic")
+
+    def test_greedy_deterministic_modulo_test_ranges(self):
+        space = Intervals1D()
+        pts = np.random.default_rng(9).random(64)
+        a = halve_points(pts, space, rng=1, method="greedy")
+        b = halve_points(pts, space, rng=1, method="greedy")
+        assert np.array_equal(a, b)

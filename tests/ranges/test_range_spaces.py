@@ -1,0 +1,107 @@
+"""Unit tests for the range-space abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.ranges import (
+    Halfplanes2D,
+    Intervals1D,
+    Rectangles2D,
+    get_range_space,
+)
+
+
+class TestIntervals1D:
+    def test_membership(self):
+        space = Intervals1D()
+        pts = np.array([0.1, 0.5, 0.9])
+        mask = space.contains(pts, (0.2, 0.9))
+        assert mask.tolist() == [False, True, True]
+
+    def test_half_open_semantics(self):
+        space = Intervals1D()
+        mask = space.contains(np.array([1.0, 2.0]), (1.0, 2.0))
+        assert mask.tolist() == [False, True]
+
+    def test_count(self):
+        space = Intervals1D()
+        assert space.count(np.array([1.0, 2.0, 3.0]), (0.0, 2.5)) == 2
+
+    def test_canonical_ranges_are_prefixes(self):
+        space = Intervals1D()
+        ranges = space.canonical_ranges(np.array([3.0, 1.0, 2.0]), budget=10)
+        assert all(a == -np.inf for a, _ in ranges)
+        assert len(ranges) == 3
+
+    def test_canonical_budget_respected(self):
+        space = Intervals1D()
+        ranges = space.canonical_ranges(np.arange(100, dtype=float), budget=7)
+        assert len(ranges) <= 7
+
+    def test_accepts_column_vector(self):
+        space = Intervals1D()
+        pts = np.array([[1.0], [2.0]])
+        assert space.count(pts, (0.0, 1.5)) == 1
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ParameterError):
+            Intervals1D().contains(np.zeros((3, 2)), (0, 1))
+
+
+class TestRectangles2D:
+    def test_membership(self):
+        space = Rectangles2D()
+        pts = np.array([[0.5, 0.5], [2.0, 2.0], [0.5, 3.0]])
+        mask = space.contains(pts, (0.0, 1.0, 0.0, 1.0))
+        assert mask.tolist() == [True, False, False]
+
+    def test_canonical_ranges_budget(self):
+        space = Rectangles2D()
+        pts = np.random.default_rng(1).random((200, 2))
+        ranges = space.canonical_ranges(pts, budget=50, rng=2)
+        assert 0 < len(ranges) <= 50
+
+    def test_wrong_dimension_raises(self):
+        with pytest.raises(ParameterError):
+            Rectangles2D().contains(np.zeros(5), (0, 1, 0, 1))
+
+
+class TestHalfplanes2D:
+    def test_membership(self):
+        space = Halfplanes2D()
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        # x <= 1
+        mask = space.contains(pts, (1.0, 0.0, 1.0))
+        assert mask.tolist() == [True, False]
+
+    def test_canonical_ranges_are_normalized(self):
+        space = Halfplanes2D()
+        pts = np.random.default_rng(2).random((50, 2))
+        ranges = space.canonical_ranges(pts, budget=20, rng=3)
+        for a, b, _c in ranges:
+            assert abs(np.hypot(a, b) - 1.0) < 1e-9
+
+    def test_canonical_ranges_split_points(self):
+        """Each canonical halfplane passes through data points, so both
+        sides are generally non-trivial."""
+        space = Halfplanes2D()
+        pts = np.random.default_rng(3).random((100, 2))
+        ranges = space.canonical_ranges(pts, budget=30, rng=4)
+        nontrivial = sum(
+            1 for r in ranges if 0 < space.count(pts, r) < len(pts)
+        )
+        assert nontrivial >= len(ranges) // 2
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_range_space("intervals_1d"), Intervals1D)
+        assert isinstance(get_range_space("rectangles_2d"), Rectangles2D)
+        assert isinstance(get_range_space("halfplanes_2d"), Halfplanes2D)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ParameterError):
+            get_range_space("circles")

@@ -1,0 +1,117 @@
+"""Unit tests for the distinct-count sketches (KMV, HyperLogLog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MergeError, ParameterError, merge_all
+from repro.sketches import HyperLogLog, KMinValues
+
+
+@pytest.fixture(scope="module")
+def big_stream():
+    rng = np.random.default_rng(1)
+    items = rng.integers(0, 30_000, size=150_000).tolist()
+    return items, len(set(items))
+
+
+class TestKMinValues:
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            KMinValues(1)
+
+    def test_small_cardinality_exact(self):
+        kmv = KMinValues(64, seed=1).extend([1, 2, 3, 2, 1])
+        assert kmv.distinct() == 3
+        assert kmv.n == 5
+
+    def test_duplicates_dont_grow_the_sketch(self):
+        kmv = KMinValues(64, seed=1).extend([7] * 1000)
+        assert kmv.size() == 1
+        assert kmv.distinct() == 1
+
+    def test_estimate_within_relative_error(self, big_stream):
+        items, true_d = big_stream
+        kmv = KMinValues(1024, seed=2).extend(items)
+        assert abs(kmv.distinct() - true_d) / true_d <= 5 * kmv.relative_error
+
+    def test_merge_is_lossless(self, big_stream):
+        """Merged KMV state equals the sequentially built state exactly."""
+        items, _ = big_stream
+        sequential = KMinValues(512, seed=3).extend(items)
+        parts = [KMinValues(512, seed=3).extend(items[i::8]) for i in range(8)]
+        merged = merge_all(parts, strategy="random", rng=4)
+        assert merged.to_dict()["values"] == sequential.to_dict()["values"]
+        assert merged.n == sequential.n
+
+    def test_idempotent_merge(self):
+        """Merging a sketch with a copy of itself changes nothing
+        (distinct counting is a lattice, not a sum)."""
+        from repro.core import dumps, loads
+
+        kmv = KMinValues(64, seed=5).extend(range(1000))
+        clone = loads(dumps(kmv))
+        before = kmv.distinct()
+        kmv.merge(clone)
+        assert kmv.distinct() == before
+
+    def test_seed_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            KMinValues(64, seed=1).merge(KMinValues(64, seed=2))
+
+    def test_k_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            KMinValues(64).merge(KMinValues(128))
+
+    def test_size_bounded_by_k(self):
+        kmv = KMinValues(32, seed=1).extend(range(10_000))
+        assert kmv.size() == 32
+
+
+class TestHyperLogLog:
+    def test_invalid_precision(self):
+        for bad in (3, 19):
+            with pytest.raises(ParameterError):
+                HyperLogLog(p=bad)
+
+    def test_small_range_linear_counting(self):
+        hll = HyperLogLog(p=10, seed=1).extend(range(100))
+        assert abs(hll.distinct() - 100) <= 10
+
+    def test_estimate_within_relative_error(self, big_stream):
+        items, true_d = big_stream
+        hll = HyperLogLog(p=12, seed=2).extend(items)
+        assert abs(hll.distinct() - true_d) / true_d <= 5 * hll.relative_error
+
+    def test_merge_is_lossless(self, big_stream):
+        items, _ = big_stream
+        sequential = HyperLogLog(p=10, seed=3).extend(items)
+        parts = [HyperLogLog(p=10, seed=3).extend(items[i::6]) for i in range(6)]
+        merged = merge_all(parts, strategy="chain")
+        assert (merged._registers == sequential._registers).all()
+
+    def test_idempotent_merge(self):
+        from repro.core import dumps, loads
+
+        hll = HyperLogLog(p=8, seed=4).extend(range(5_000))
+        before = hll.distinct()
+        hll.merge(loads(dumps(hll)))
+        assert hll.distinct() == before
+
+    def test_precision_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            HyperLogLog(p=10, seed=1).merge(HyperLogLog(p=12, seed=1))
+
+    def test_seed_mismatch_refused(self):
+        with pytest.raises(MergeError):
+            HyperLogLog(p=10, seed=1).merge(HyperLogLog(p=10, seed=2))
+
+    def test_size_is_register_count(self):
+        assert HyperLogLog(p=8).size() == 256
+
+    def test_weight_affects_n_not_distinct(self):
+        hll = HyperLogLog(p=8, seed=5)
+        hll.update("x", weight=100)
+        assert hll.n == 100
+        assert abs(hll.distinct() - 1) <= 1

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def item_files(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_text("\n".join(["7"] * 30 + [str(i) for i in range(20)]))
+    b.write_text("\n".join(["7"] * 20 + [str(i) for i in range(20, 40)]))
+    return a, b
+
+
+class TestBuild:
+    def test_build_misra_gries(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        out = tmp_path / "s.json"
+        assert main(["build", "--type", "misra_gries", "--arg", "k=8",
+                     "--input", str(a), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["type"] == "misra_gries"
+        assert "n=50" in capsys.readouterr().out
+
+    def test_build_unknown_type_fails(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        assert main(["build", "--type", "nope", "--input", str(a),
+                     "--out", str(tmp_path / "x.json")]) == 1
+        assert "unknown summary name" in capsys.readouterr().err
+
+    def test_build_quantile_summary_with_float_items(self, tmp_path):
+        data = tmp_path / "vals.txt"
+        data.write_text("\n".join(str(i / 10) for i in range(100)))
+        out = tmp_path / "q.json"
+        assert main(["build", "--type", "mergeable_quantiles", "--arg", "s=16",
+                     "--input", str(data), "--out", str(out)]) == 0
+
+    def test_bad_arg_format_exits(self, item_files, tmp_path):
+        a, _ = item_files
+        with pytest.raises(SystemExit):
+            main(["build", "--type", "misra_gries", "--arg", "k:8",
+                  "--input", str(a), "--out", str(tmp_path / "x.json")])
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main(["build", "--type", "misra_gries", "--arg", "k=8",
+                     "--input", str(tmp_path / "nothere.txt"),
+                     "--out", str(tmp_path / "x.json")]) == 1
+
+
+class TestMergeAndQuery:
+    def _build_two(self, item_files, tmp_path):
+        a, b = item_files
+        s1, s2 = tmp_path / "s1.json", tmp_path / "s2.json"
+        for src, dst in ((a, s1), (b, s2)):
+            assert main(["build", "--type", "misra_gries", "--arg", "k=8",
+                         "--input", str(src), "--out", str(dst)]) == 0
+        return s1, s2
+
+    def test_merge_and_heavy_hitters(self, item_files, tmp_path, capsys):
+        s1, s2 = self._build_two(item_files, tmp_path)
+        merged = tmp_path / "m.json"
+        assert main(["merge", str(s1), str(s2), "--out", str(merged)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(merged), "--heavy-hitters", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("7\t")  # item 7 holds 50/100 of the stream
+
+    def test_merge_incompatible_fails(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        s1, s2 = tmp_path / "s1.json", tmp_path / "s2.json"
+        main(["build", "--type", "misra_gries", "--arg", "k=8",
+              "--input", str(a), "--out", str(s1)])
+        main(["build", "--type", "misra_gries", "--arg", "k=16",
+              "--input", str(a), "--out", str(s2)])
+        assert main(["merge", str(s1), str(s2), "--out",
+                     str(tmp_path / "m.json")]) == 1
+        assert "k mismatch" in capsys.readouterr().err
+
+    def test_query_estimate(self, item_files, tmp_path, capsys):
+        s1, _ = self._build_two(item_files, tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(s1), "--estimate", "7"]) == 0
+        assert int(capsys.readouterr().out.strip()) >= 25
+
+    def test_query_quantile_on_quantile_summary(self, tmp_path, capsys):
+        data = tmp_path / "vals.txt"
+        data.write_text("\n".join(str(i) for i in range(1000)))
+        out = tmp_path / "q.json"
+        main(["build", "--type", "exact_quantiles", "--input", str(data),
+              "--out", str(out)])
+        capsys.readouterr()
+        assert main(["query", str(out), "--quantile", "0.5"]) == 0
+        assert float(capsys.readouterr().out.strip()) == 499.0
+
+    def test_query_distinct_on_kmv(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        out = tmp_path / "kmv.json"
+        main(["build", "--type", "k_min_values", "--arg", "k=32",
+              "--input", str(a), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["query", str(out), "--distinct"]) == 0
+        # file `a` holds {0..19} (7 is among them): 20 distinct items,
+        # counted exactly because k=32 exceeds the cardinality
+        assert float(capsys.readouterr().out.strip()) == 20.0
+
+    def test_query_without_selector_exits(self, item_files, tmp_path):
+        s1, _ = self._build_two(item_files, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["query", str(s1)])
+
+    def test_query_unsupported_operation(self, item_files, tmp_path, capsys):
+        s1, _ = self._build_two(item_files, tmp_path)
+        assert main(["query", str(s1), "--quantile", "0.5"]) == 1
+        assert "unsupported" in capsys.readouterr().err
+
+
+class TestInspectAndTypes:
+    def test_inspect(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        out = tmp_path / "s.json"
+        main(["build", "--type", "misra_gries", "--arg", "k=8",
+              "--input", str(a), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "type: misra_gries" in text
+        assert "k: 8" in text
+
+    def test_types_lists_registry(self, capsys):
+        assert main(["types"]) == 0
+        out = capsys.readouterr().out
+        assert "misra_gries" in out
+        assert "hyperloglog" in out

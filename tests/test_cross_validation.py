@@ -1,0 +1,93 @@
+"""Cross-validation between independent implementations of the same math.
+
+Several components of this library answer the *same question* through
+different code paths; agreement between them is a strong correctness
+signal that no single-implementation test can give:
+
+- quantile summaries and the 1-D eps-approximation both estimate ranks
+  (an interval count IS a rank difference);
+- the MG heap implementation and the explicit float implementation
+  inside DecayedMisraGries (at zero decay) realize the same algorithm;
+- the eps-kernel and the convex hull agree on every grid direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EpsApproximation, EpsKernel, MergeableQuantiles, MisraGries
+from repro.decay import DecayedMisraGries
+from repro.kernels import convex_hull, directional_width
+from repro.workloads import value_stream, zipf_stream
+
+
+class TestQuantileVsEpsApproximation:
+    """Section 3.2 is the 1-D case of Section 4: both structures use the
+    identical block/halving machinery, so at equal s their rank errors
+    must be of the same magnitude."""
+
+    def test_rank_errors_same_magnitude(self):
+        data = value_stream(2**14, "uniform", rng=1)
+        n = len(data)
+        s = 128
+        mq = MergeableQuantiles(s, rng=2).extend(data)
+        ea = EpsApproximation("intervals_1d", s=s, rng=3).extend_points(data)
+        data_sorted = np.sort(data)
+        mq_errs, ea_errs = [], []
+        for b in np.linspace(0.05, 0.95, 19):
+            true = float(np.searchsorted(data_sorted, b, side="right"))
+            mq_errs.append(abs(mq.rank(b) - true))
+            ea_errs.append(abs(ea.count((-np.inf, b)) - true))
+        assert max(ea_errs) <= 10 * max(max(mq_errs), 1)
+        assert max(mq_errs) <= 10 * max(max(ea_errs), 1)
+
+    def test_both_conserve_weight(self):
+        data = value_stream(5_000, "uniform", rng=4)
+        s = 64
+        mq = MergeableQuantiles(s, rng=5).extend(data)
+        ea = EpsApproximation("intervals_1d", s=s, rng=6).extend_points(data)
+        assert mq.rank(2.0) == len(data)
+        assert ea.count((-np.inf, 2.0)) == len(data)
+
+
+class TestMisraGriesVsDecayedAtZeroDecay:
+    """With all events at one timestamp, DecayedMisraGries runs plain MG
+    with float arithmetic: the two independent implementations (lazy
+    heap vs explicit dict) must produce identical counters."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counters_identical(self, seed):
+        stream = zipf_stream(5_000, alpha=1.1, universe=300, rng=seed).tolist()
+        k = 16
+        mg = MisraGries(k).extend(stream)
+        dmg = DecayedMisraGries(k, half_life=1e9)
+        for item in stream:
+            dmg.observe(item, 0.0)
+        mg_counters = {item: float(v) for item, v in mg.counters().items()}
+        dmg_counters = {
+            item: round(v, 6) for item, v in dmg.counters().items()
+        }
+        assert dmg_counters == {i: round(v, 6) for i, v in mg_counters.items()}
+        assert dmg.deduction == pytest.approx(mg.deduction)
+
+
+class TestKernelVsHull:
+    """On the kernel's own grid directions the kernel is *exact*: its
+    extreme points coincide with the hull's extremes."""
+
+    def test_exact_on_grid_directions(self):
+        rng = np.random.default_rng(7)
+        pts = rng.normal(size=(2_000, 2))
+        kernel = EpsKernel(0.05).extend_points(pts)
+        hull = convex_hull(pts)
+        for u in kernel._directions:
+            assert kernel.width(u) == pytest.approx(directional_width(hull, u))
+
+    def test_kernel_hull_is_subset_of_true_hull_extremes(self):
+        rng = np.random.default_rng(8)
+        pts = rng.normal(size=(1_000, 2))
+        kernel = EpsKernel(0.1).extend_points(pts)
+        hull_set = {tuple(np.round(p, 9)) for p in convex_hull(pts)}
+        for p in convex_hull(kernel.kernel_points()):
+            assert tuple(np.round(p, 9)) in hull_set

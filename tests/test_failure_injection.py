@@ -1,0 +1,160 @@
+"""Failure-injection tests: malformed inputs, corrupt payloads, abuse.
+
+A production library must fail loudly and specifically, never corrupt
+state silently.  These tests inject the failure modes a deployment
+would actually see — truncated/garbled wire payloads, mismatched
+configurations meeting at a merge point, hostile numeric inputs — and
+assert that (a) the right library error surfaces and (b) the receiving
+summary is left unharmed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    EpsKernel,
+    KLLQuantiles,
+    MergeableQuantiles,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.core import (
+    MergeError,
+    ParameterError,
+    SerializationError,
+    dumps,
+    loads,
+)
+
+
+class TestCorruptPayloads:
+    def test_truncated_payload(self):
+        payload = dumps(MisraGries(8).extend([1, 2, 3]))
+        with pytest.raises(SerializationError):
+            loads(payload[: len(payload) // 2])
+
+    def test_bitflipped_type_name(self):
+        payload = dumps(MisraGries(8).extend([1, 2]))
+        envelope = json.loads(payload)
+        envelope["type"] = "misra_grief"
+        with pytest.raises(SerializationError, match="unknown summary name"):
+            loads(json.dumps(envelope))
+
+    def test_state_for_wrong_type(self):
+        """A valid envelope whose state belongs to another summary type
+        must not silently produce a broken object."""
+        payload = dumps(MisraGries(8).extend([1, 2]))
+        envelope = json.loads(payload)
+        envelope["type"] = "hyperloglog"
+        with pytest.raises((SerializationError, KeyError, TypeError, ParameterError)):
+            loads(json.dumps(envelope))
+
+    def test_non_object_envelope(self):
+        with pytest.raises(SerializationError):
+            loads(json.dumps([1, 2, 3]))
+
+    def test_receiver_unharmed_by_failed_merge(self):
+        receiver = MisraGries(8).extend([1, 1, 2])
+        before = receiver.counters()
+        with pytest.raises(MergeError):
+            receiver.merge(MisraGries(16).extend([3]))
+        assert receiver.counters() == before
+        assert receiver.n == 3
+
+
+class TestConfigurationSkew:
+    """Two sites drift in configuration; the merge point must catch it."""
+
+    def test_mg_k_skew(self):
+        with pytest.raises(MergeError, match="k mismatch"):
+            MisraGries(64).merge(MisraGries(65))
+
+    def test_ss_vs_mg_type_confusion(self):
+        with pytest.raises(MergeError, match="identical summary types"):
+            MisraGries(8).merge(SpaceSaving(8))
+
+    def test_quantile_block_size_skew(self):
+        with pytest.raises(MergeError):
+            MergeableQuantiles(128).merge(MergeableQuantiles(127))
+
+    def test_kernel_epsilon_skew(self):
+        with pytest.raises(MergeError):
+            EpsKernel(0.05).merge(EpsKernel(0.050001))
+
+    def test_wire_roundtrip_preserves_merge_compatibility(self):
+        a = KLLQuantiles(64, rng=1).extend([1.0, 2.0])
+        b = loads(dumps(KLLQuantiles(64, rng=2).extend([3.0])))
+        a.merge(b)  # must not raise
+        assert a.n == 3
+
+
+class TestHostileNumericInputs:
+    def test_nan_values_are_storable_but_do_not_crash_rank(self):
+        summary = MergeableQuantiles(16, rng=1)
+        summary.extend([1.0, 2.0, float("nan")])
+        # NaN compares false everywhere; rank must still answer finitely
+        assert np.isfinite(summary.rank(1.5))
+
+    def test_infinite_values_sort_to_extremes(self):
+        summary = KLLQuantiles(16, rng=1).extend(
+            [float("-inf"), 0.0, float("inf")]
+        )
+        assert summary.quantile(0.0) == float("-inf")
+        assert summary.quantile(1.0) == float("inf")
+
+    def test_huge_weights_do_not_overflow(self):
+        mg = MisraGries(4)
+        mg.update("x", weight=2**62)
+        mg.update("y", weight=2**62)
+        assert mg.estimate("x") == 2**62
+        assert mg.n == 2**63
+
+    def test_zero_and_negative_weights_rejected_everywhere(self):
+        summaries = [
+            MisraGries(4),
+            SpaceSaving(4),
+            MergeableQuantiles(16),
+            KLLQuantiles(16),
+        ]
+        for summary in summaries:
+            for bad in (0, -1):
+                with pytest.raises(ParameterError):
+                    summary.update(1, weight=bad)
+
+    def test_mixed_item_types_coexist(self):
+        mg = MisraGries(8).extend([1, "1", (1,), b"1", 1.5])
+        assert mg.estimate(1) == 1
+        assert mg.estimate("1") == 1
+        assert mg.estimate((1,)) == 1
+
+
+class TestAbusePatterns:
+    def test_merging_a_summary_into_itself_is_rejected_or_sane(self):
+        """Self-merge is a classic deployment bug (a node receives its
+        own payload back).  Counts double — which is the correct multiset
+        semantics — and the guarantee machinery must stay consistent."""
+        mg = MisraGries(8).extend([1, 1, 2])
+        clone = loads(dumps(mg))
+        mg.merge(clone)
+        assert mg.n == 6
+        assert mg.estimate(1) == 4
+
+    def test_thousandfold_merge_chain_stays_bounded(self):
+        parts = [MisraGries(8).extend([i % 5]) for i in range(1000)]
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = acc.merge(p)
+        assert acc.n == 1000
+        assert acc.size() <= 8
+        assert acc.deduction <= 1000 / 9
+
+    def test_empty_merges_in_bulk(self):
+        acc = MergeableQuantiles(16, rng=1)
+        for i in range(50):
+            acc.merge(MergeableQuantiles(16, rng=2 + i))
+        assert acc.n == 0
+        assert acc.size() == 0

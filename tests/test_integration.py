@@ -1,0 +1,169 @@
+"""End-to-end integration scenarios across subsystems.
+
+Each test is a miniature of a real deployment: generate a workload,
+distribute it, summarize, merge along a topology (through the wire
+format where it matters), query at the root, and check the paper's
+guarantee against exact ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountMin,
+    EpsApproximation,
+    EpsKernel,
+    MergeableQuantiles,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.analysis import frequency_errors, mg_error_bound, rank_errors
+from repro.distributed import (
+    ContiguousPartitioner,
+    SkewedSizePartitioner,
+    SortedPartitioner,
+    build_topology,
+    run_aggregation,
+)
+from repro.frequency import evaluate_heavy_hitters
+from repro.kernels import diameter, directional_width
+from repro.workloads import load_dataset, zipf_stream
+
+
+class TestHeavyHitterPipeline:
+    @pytest.mark.parametrize("topology", ["balanced", "chain", "kary"])
+    def test_caida_like_heavy_hitters_end_to_end(self, topology):
+        data = load_dataset("caida_like", 30_000, rng=1)
+        truth = Counter(data.tolist())
+        k = 64
+        result = run_aggregation(
+            data,
+            SkewedSizePartitioner(alpha=1.0, rng=2),
+            lambda: MisraGries(k),
+            build_topology(topology, 20),
+            serialize=True,
+        )
+        report = evaluate_heavy_hitters(result.summary, truth, phi=0.02)
+        assert report.recall == 1.0
+        err = frequency_errors(result.summary, truth)
+        assert err.max_error <= mg_error_bound(k, len(data))
+        assert result.max_size_en_route <= k
+
+    def test_mg_and_ss_agree_on_candidates(self):
+        data = zipf_stream(20_000, alpha=1.3, universe=3_000, rng=3)
+        truth = Counter(data.tolist())
+        mg_result = run_aggregation(
+            data, ContiguousPartitioner(), lambda: MisraGries(32),
+            build_topology("balanced", 8),
+        )
+        ss_result = run_aggregation(
+            data, ContiguousPartitioner(), lambda: SpaceSaving(32),
+            build_topology("balanced", 8),
+        )
+        phi = 0.05
+        mg_hh = set(evaluate_heavy_hitters(mg_result.summary, truth, phi).reported)
+        ss_hh = set(evaluate_heavy_hitters(ss_result.summary, truth, phi).reported)
+        true_heavy = {i for i, c in truth.items() if c >= phi * len(data)}
+        assert true_heavy <= mg_hh
+        assert true_heavy <= ss_hh
+
+    def test_countmin_through_simulator(self):
+        data = zipf_stream(10_000, rng=4)
+        truth = Counter(data.tolist())
+        result = run_aggregation(
+            data,
+            ContiguousPartitioner(),
+            lambda: CountMin(364, 5, seed=9),
+            build_topology("chain", 10),
+            serialize=True,
+        )
+        err = frequency_errors(result.summary, truth)
+        assert err.max_error <= np.e / 364 * len(data) * 3  # generous
+
+
+class TestQuantilePipeline:
+    def test_latency_percentiles_across_sorted_shards(self):
+        data = load_dataset("latency_like", 2**14, rng=5)
+        result = run_aggregation(
+            data,
+            SortedPartitioner(),
+            lambda: MergeableQuantiles.from_epsilon(0.02, rng=6),
+            build_topology("random", 24, rng=7),
+            serialize=True,
+        )
+        probes = np.quantile(data, [0.5, 0.9, 0.99])
+        report = rank_errors(result.summary, data, probes)
+        assert report.max_normalized <= 0.02
+
+    def test_p99_value_is_usable(self):
+        data = load_dataset("latency_like", 2**14, rng=8)
+        result = run_aggregation(
+            data,
+            ContiguousPartitioner(),
+            lambda: MergeableQuantiles.from_epsilon(0.01, rng=9),
+            build_topology("balanced", 16),
+        )
+        p99 = result.summary.quantile(0.99)
+        true_rank = np.searchsorted(np.sort(data), p99, side="right") / len(data)
+        assert 0.98 <= true_rank <= 1.0
+
+
+class TestGeometricPipeline:
+    def test_eps_approximation_distributed(self):
+        rng = np.random.default_rng(10)
+        pts = rng.random((2**13, 2))
+        parts = []
+        for i, chunk in enumerate(np.array_split(pts, 16)):
+            parts.append(
+                EpsApproximation("rectangles_2d", s=128, rng=100 + i).extend_points(
+                    chunk
+                )
+            )
+        from repro.core import merge_all
+
+        merged = merge_all(parts, strategy="random", rng=11)
+        assert merged.n == len(pts)
+        for _ in range(10):
+            x, y = rng.random(2)
+            true = ((pts[:, 0] <= x) & (pts[:, 1] <= y)).sum()
+            assert abs(merged.count((-np.inf, x, -np.inf, y)) - true) <= 0.08 * len(pts)
+
+    def test_eps_kernel_distributed(self):
+        rng = np.random.default_rng(12)
+        theta = rng.random(6_000) * 2 * np.pi
+        pts = np.stack(
+            [3 * np.cos(theta) + rng.normal(0, 0.1, 6_000),
+             np.sin(theta) + rng.normal(0, 0.1, 6_000)],
+            axis=1,
+        )
+        from repro.core import merge_all
+
+        eps = 0.05
+        parts = [EpsKernel(eps).extend_points(c) for c in np.array_split(pts, 12)]
+        merged = merge_all(parts, strategy="chain")
+        diam = diameter(pts)
+        for angle in np.linspace(0, np.pi, 19):
+            u = np.array([np.cos(angle), np.sin(angle)])
+            assert directional_width(pts, u) - merged.width(u) <= eps * diam
+
+
+class TestCrossSummaryConsistency:
+    def test_all_frequency_summaries_rank_the_same_top_item(self):
+        data = zipf_stream(15_000, alpha=1.5, universe=1_000, rng=13)
+        items = data.tolist()
+        truth = Counter(items)
+        top = truth.most_common(1)[0][0]
+        mg = MisraGries(32).extend(items)
+        ss = SpaceSaving(32).extend(items)
+        cm = CountMin(256, 4, seed=1).extend(items)
+        for summary in (mg, ss, cm):
+            monitored = (
+                summary.counters() if hasattr(summary, "counters") else None
+            )
+            if monitored is not None:
+                assert max(monitored, key=monitored.get) == top
+        assert cm.estimate(top) >= truth[top]

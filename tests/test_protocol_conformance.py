@@ -1,0 +1,231 @@
+"""Protocol-conformance suite: every registered summary, same contract.
+
+Parametrized over all registered summary types, these tests pin the
+library-wide invariants that make summaries interchangeable behind the
+`Summary` protocol:
+
+- fresh summaries are empty;
+- `merge` adds `n` exactly and leaves the other operand untouched;
+- `merge` accepts a wire-round-tripped operand;
+- serialization preserves `n` and `size`;
+- `compatible_with` accepts an identically configured twin;
+- `update` rejects non-positive weights.
+
+A new summary type only needs a `Spec` entry here (and the suite fails
+loudly if a registered type forgets to add one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError, Summary, dumps, loads, registered_names
+
+# ---------------------------------------------------------------------------
+# Per-type specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    factory: Callable[[], Summary]
+    feed_a: Callable[[], list]
+    feed_b: Callable[[], list]
+    #: lattice summaries (idempotent joins) vs additive ones
+    supports_plain_update: bool = True
+
+
+def _items(seed: int, n: int = 120) -> list:
+    return np.random.default_rng(seed).integers(0, 40, size=n).tolist()
+
+
+def _values(seed: int, n: int = 120) -> list:
+    return np.random.default_rng(seed).random(n).tolist()
+
+
+def _points(seed: int, n: int = 40) -> list:
+    return list(np.random.default_rng(seed).random((n, 2)))
+
+
+def _specs() -> List[Spec]:
+    from repro.decay import DecayedMisraGries, WindowedMisraGries
+    from repro.frequency import (
+        ConservativeCountMin,
+        DyadicHierarchy,
+        CountMin,
+        CountSketch,
+        ExactCounter,
+        MajorityVote,
+        MisraGries,
+        SpaceSaving,
+    )
+    from repro.kernels import EpsKernel
+    from repro.quantiles import (
+        BottomKSample,
+        EqualWeightQuantiles,
+        ExactQuantiles,
+        GKQuantiles,
+        HybridQuantiles,
+        KLLQuantiles,
+        MergeableQuantiles,
+        MRLQuantiles,
+    )
+    from repro.ranges import EpsApproximation
+    from repro.sketches import AmsF2Sketch, BloomFilter, HyperLogLog, KMinValues
+
+    def decayed_factory():
+        return DecayedMisraGries(8, half_life=10.0)
+
+    def windowed_factory():
+        return WindowedMisraGries(8, bucket_width=5.0, num_buckets=8)
+
+    return [
+        Spec("misra_gries", lambda: MisraGries(8), lambda: _items(1), lambda: _items(2)),
+        Spec("space_saving", lambda: SpaceSaving(8), lambda: _items(3), lambda: _items(4)),
+        Spec("majority_vote", MajorityVote, lambda: _items(5), lambda: _items(6)),
+        Spec("count_min", lambda: CountMin(16, 3, seed=1), lambda: _items(7), lambda: _items(8)),
+        Spec(
+            "conservative_count_min",
+            lambda: ConservativeCountMin(16, 3, seed=1),
+            lambda: _items(9),
+            lambda: _items(10),
+        ),
+        Spec(
+            "dyadic_hierarchy",
+            lambda: DyadicHierarchy(8, 8),
+            lambda: _items(47),
+            lambda: _items(48),
+        ),
+        Spec("count_sketch", lambda: CountSketch(16, 3, seed=1), lambda: _items(11), lambda: _items(12)),
+        Spec("exact_counter", ExactCounter, lambda: _items(13), lambda: _items(14)),
+        Spec("exact_quantiles", ExactQuantiles, lambda: _values(15), lambda: _values(16)),
+        Spec("gk_quantiles", lambda: GKQuantiles(0.1), lambda: _values(17), lambda: _values(18)),
+        Spec(
+            "equal_weight_quantiles",
+            lambda: EqualWeightQuantiles(8, rng=1),
+            lambda: _values(19, n=8),
+            lambda: _values(20, n=8),
+        ),
+        Spec(
+            "mergeable_quantiles",
+            lambda: MergeableQuantiles(16, rng=1),
+            lambda: _values(21),
+            lambda: _values(22),
+        ),
+        Spec(
+            "hybrid_quantiles",
+            lambda: HybridQuantiles(0.2, rng=1),
+            lambda: _values(23),
+            lambda: _values(24),
+        ),
+        Spec("kll_quantiles", lambda: KLLQuantiles(16, rng=1), lambda: _values(25), lambda: _values(26)),
+        Spec("mrl_quantiles", lambda: MRLQuantiles(16), lambda: _values(27), lambda: _values(28)),
+        Spec(
+            "bottom_k_sample",
+            lambda: BottomKSample(20, rng=1),
+            lambda: _values(29),
+            lambda: _values(30),
+        ),
+        Spec(
+            "eps_approximation",
+            lambda: EpsApproximation("intervals_1d", s=8, rng=1),
+            lambda: _values(31),
+            lambda: _values(32),
+        ),
+        Spec("eps_kernel", lambda: EpsKernel(0.2), lambda: _points(33), lambda: _points(34)),
+        Spec("k_min_values", lambda: KMinValues(16, seed=1), lambda: _items(35), lambda: _items(36)),
+        Spec("hyperloglog", lambda: HyperLogLog(p=4, seed=1), lambda: _items(37), lambda: _items(38)),
+        Spec("bloom_filter", lambda: BloomFilter(64, 3, seed=1), lambda: _items(39), lambda: _items(40)),
+        Spec("ams_f2", lambda: AmsF2Sketch(8, 3, seed=1), lambda: _items(41), lambda: _items(42)),
+        Spec(
+            "decayed_misra_gries",
+            decayed_factory,
+            lambda: _items(43),
+            lambda: _items(44),
+        ),
+        Spec(
+            "windowed_misra_gries",
+            windowed_factory,
+            lambda: _items(45),
+            lambda: _items(46),
+        ),
+    ]
+
+
+SPECS = {spec.name: spec for spec in _specs()}
+
+
+def test_every_registered_type_has_a_spec():
+    missing = set(registered_names()) - set(SPECS)
+    assert not missing, f"conformance suite misses registered types: {missing}"
+
+
+@pytest.fixture(params=sorted(SPECS), ids=sorted(SPECS))
+def spec(request) -> Spec:
+    return SPECS[request.param]
+
+
+class TestProtocolConformance:
+    def test_fresh_summary_is_empty(self, spec):
+        summary = spec.factory()
+        assert summary.is_empty
+        assert summary.n == 0
+
+    def test_extend_counts_n(self, spec):
+        feed = spec.feed_a()
+        summary = spec.factory().extend(feed)
+        assert summary.n == len(feed)
+        assert not summary.is_empty
+        assert summary.size() >= 0
+
+    def test_merge_adds_n_exactly(self, spec):
+        a = spec.factory().extend(spec.feed_a())
+        b = spec.factory().extend(spec.feed_b())
+        total = a.n + b.n
+        assert a.merge(b) is a
+        assert a.n == total
+
+    def test_merge_leaves_other_unchanged(self, spec):
+        a = spec.factory().extend(spec.feed_a())
+        b = spec.factory().extend(spec.feed_b())
+        b_n, b_size = b.n, b.size()
+        a.merge(b)
+        assert b.n == b_n
+        assert b.size() == b_size
+
+    def test_serialization_preserves_shape(self, spec):
+        summary = spec.factory().extend(spec.feed_a())
+        restored = loads(dumps(summary))
+        assert type(restored) is type(summary)
+        assert restored.n == summary.n
+        assert restored.size() == summary.size()
+
+    def test_merge_accepts_roundtripped_operand(self, spec):
+        a = spec.factory().extend(spec.feed_a())
+        b = loads(dumps(spec.factory().extend(spec.feed_b())))
+        total = a.n + b.n
+        a.merge(b)
+        assert a.n == total
+
+    def test_compatible_with_identical_twin(self, spec):
+        a = spec.factory()
+        b = spec.factory()
+        assert a.compatible_with(b) is None
+
+    def test_update_rejects_nonpositive_weight(self, spec):
+        if not spec.supports_plain_update:
+            pytest.skip("type has no plain update")
+        summary = spec.factory()
+        sample = spec.feed_a()[0]
+        for bad in (0, -3):
+            with pytest.raises(ParameterError):
+                summary.update(sample, weight=bad)
+
+    def test_len_matches_size(self, spec):
+        summary = spec.factory().extend(spec.feed_a())
+        assert len(summary) == summary.size()

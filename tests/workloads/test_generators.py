@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic stream generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.workloads import (
+    adversarial_mg_stream,
+    mixture_stream,
+    normal_stream,
+    sequential_stream,
+    uniform_stream,
+    value_stream,
+    zipf_stream,
+)
+
+
+class TestZipf:
+    def test_length_and_range(self):
+        stream = zipf_stream(1_000, universe=100, rng=1)
+        assert len(stream) == 1_000
+        assert stream.min() >= 0
+        assert stream.max() < 100
+
+    def test_deterministic(self):
+        assert np.array_equal(zipf_stream(100, rng=2), zipf_stream(100, rng=2))
+
+    def test_skew_increases_with_alpha(self):
+        low = Counter(zipf_stream(20_000, alpha=0.5, universe=1_000, rng=3).tolist())
+        high = Counter(zipf_stream(20_000, alpha=2.0, universe=1_000, rng=3).tolist())
+        assert high.most_common(1)[0][1] > low.most_common(1)[0][1]
+
+    def test_alpha_below_one_supported(self):
+        stream = zipf_stream(100, alpha=0.7, universe=50, rng=4)
+        assert len(stream) == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            zipf_stream(0)
+        with pytest.raises(ParameterError):
+            zipf_stream(10, alpha=0)
+        with pytest.raises(ParameterError):
+            zipf_stream(10, universe=0)
+
+
+class TestUniformAndSequential:
+    def test_uniform_range(self):
+        stream = uniform_stream(500, universe=10, rng=5)
+        assert set(stream.tolist()) <= set(range(10))
+
+    def test_sequential_all_distinct(self):
+        stream = sequential_stream(100, start=5)
+        assert len(set(stream.tolist())) == 100
+        assert stream[0] == 5
+
+
+class TestAdversarial:
+    def test_half_mass_on_heavy_items(self):
+        stream = adversarial_mg_stream(10_000, k=16, heavy_items=2, rng=6)
+        counts = Counter(stream.tolist())
+        heavy_mass = counts.get(0, 0) + counts.get(1, 0)
+        assert heavy_mass == 5_000
+
+    def test_singletons_are_distinct(self):
+        stream = adversarial_mg_stream(1_000, k=8, rng=7)
+        counts = Counter(stream.tolist())
+        singles = [item for item, c in counts.items() if item >= 10**9]
+        assert all(counts[s] == 1 for s in singles)
+
+    def test_drives_mg_deduction_high(self):
+        from repro.frequency import MisraGries
+
+        k = 16
+        stream = adversarial_mg_stream(20_000, k=k, rng=8)
+        mg = MisraGries(k).extend(stream.tolist())
+        # deduction should approach a large fraction of its n/(k+1) cap
+        assert mg.deduction >= 0.5 * len(stream) / (k + 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            adversarial_mg_stream(100, k=0)
+
+
+class TestMixture:
+    def test_heavy_fraction_respected(self):
+        stream = mixture_stream(
+            10_000, heavy_items=[7], heavy_fraction=0.3, universe=10**6, rng=9
+        )
+        counts = Counter(stream.tolist())
+        assert abs(counts[7] - 3_000) < 300
+
+    def test_zero_fraction_is_uniform(self):
+        stream = mixture_stream(1_000, heavy_items=[], heavy_fraction=0.0, rng=10)
+        assert len(stream) == 1_000
+
+    def test_missing_heavy_items_raises(self):
+        with pytest.raises(ParameterError):
+            mixture_stream(100, heavy_items=[], heavy_fraction=0.5)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ParameterError):
+            mixture_stream(100, heavy_items=[1], heavy_fraction=1.5)
+
+
+class TestValueStreams:
+    @pytest.mark.parametrize(
+        "dist", ["uniform", "normal", "exponential", "lognormal", "bimodal"]
+    )
+    def test_distributions_produce_floats(self, dist):
+        stream = value_stream(256, dist, rng=11)
+        assert stream.shape == (256,)
+        assert np.isfinite(stream).all()
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(ParameterError, match="unknown distribution"):
+            value_stream(10, "cauchy")
+
+    def test_normal_stream_params(self):
+        stream = normal_stream(10_000, mean=5.0, std=0.1, rng=12)
+        assert abs(stream.mean() - 5.0) < 0.05
+
+    def test_invalid_std_raises(self):
+        with pytest.raises(ParameterError):
+            normal_stream(10, std=0)
+
+    def test_bimodal_is_bimodal(self):
+        stream = value_stream(5_000, "bimodal", rng=13)
+        near_zero = np.abs(stream) < 1.0
+        assert near_zero.mean() < 0.05

@@ -1,0 +1,105 @@
+"""Unit tests for stream utilities and the named synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.workloads import (
+    DATASETS,
+    chunk_evenly,
+    chunk_sizes,
+    dataset_names,
+    interleave,
+    load_dataset,
+    shuffled,
+    sorted_copy,
+)
+
+
+class TestChunking:
+    def test_chunk_evenly_covers(self):
+        data = np.arange(10)
+        chunks = chunk_evenly(data, 3)
+        assert np.array_equal(np.concatenate(chunks), data)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_chunk_evenly_validates(self):
+        with pytest.raises(ParameterError):
+            chunk_evenly(np.arange(2), 3)
+        with pytest.raises(ParameterError):
+            chunk_evenly(np.arange(2), 0)
+
+    def test_chunk_sizes_exact(self):
+        data = np.arange(6)
+        chunks = chunk_sizes(data, [1, 2, 3])
+        assert [len(c) for c in chunks] == [1, 2, 3]
+        assert np.array_equal(np.concatenate(chunks), data)
+
+    def test_chunk_sizes_validates_total(self):
+        with pytest.raises(ParameterError, match="sum to"):
+            chunk_sizes(np.arange(5), [1, 2])
+
+    def test_chunk_sizes_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            chunk_sizes(np.arange(3), [-1, 4])
+
+
+class TestInterleaveShuffleSort:
+    def test_interleave_round_robin(self):
+        chunks = [np.array([1, 4]), np.array([2, 5]), np.array([3])]
+        assert interleave(chunks).tolist() == [1, 2, 3, 4, 5]
+
+    def test_interleave_empty_raises(self):
+        with pytest.raises(ParameterError):
+            interleave([])
+
+    def test_shuffled_is_permutation(self):
+        data = np.arange(50)
+        out = shuffled(data, rng=1)
+        assert sorted(out.tolist()) == data.tolist()
+        assert np.array_equal(data, np.arange(50))  # input untouched
+
+    def test_sorted_copy(self):
+        data = np.array([3.0, 1.0, 2.0])
+        assert sorted_copy(data).tolist() == [1.0, 2.0, 3.0]
+        assert sorted_copy(data, descending=True).tolist() == [3.0, 2.0, 1.0]
+        assert data.tolist() == [3.0, 1.0, 2.0]
+
+
+class TestDatasets:
+    def test_names_listed(self):
+        assert "caida_like" in dataset_names()
+        assert dataset_names() == sorted(dataset_names())
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_every_recipe_builds(self, name):
+        data = load_dataset(name, 500, rng=1)
+        assert len(data) == 500
+
+    def test_item_datasets_are_integers(self):
+        data = load_dataset("caida_like", 100, rng=2)
+        assert np.issubdtype(data.dtype, np.integer)
+
+    def test_value_datasets_are_floats(self):
+        data = load_dataset("latency_like", 100, rng=3)
+        assert np.issubdtype(data.dtype, np.floating)
+
+    def test_deterministic(self):
+        a = load_dataset("weblog_like", 200, rng=4)
+        b = load_dataset("weblog_like", 200, rng=4)
+        assert np.array_equal(a, b)
+
+    def test_latency_has_heavy_tail(self):
+        data = load_dataset("latency_like", 50_000, rng=5)
+        assert data.max() > 10 * np.median(data)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ParameterError, match="unknown dataset"):
+            load_dataset("mnist", 10)
+
+    def test_recipes_document_provenance(self):
+        for recipe in DATASETS.values():
+            assert recipe.stands_in_for  # substitution is documented
+            assert recipe.kind in ("items", "values")

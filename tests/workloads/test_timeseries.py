@@ -1,0 +1,113 @@
+"""Tests for the event-time workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterError
+from repro.workloads import (
+    bursty_events,
+    diurnal_events,
+    regime_change_events,
+    with_late_arrivals,
+)
+
+
+class TestRegimeChange:
+    def test_length_and_time_range(self):
+        events = regime_change_events(500, phases=["A", "B"], span=100.0, rng=1)
+        assert len(events) == 500
+        assert all(0 <= t < 100.0 for _, t in events)
+
+    def test_phase_items_dominate_their_phase(self):
+        events = regime_change_events(
+            4_000, phases=["A", "B"], span=100.0, noise_fraction=0.3, rng=2
+        )
+        first = [i for i, t in events if t < 50.0]
+        second = [i for i, t in events if t >= 50.0]
+        assert first.count("A") > first.count("B")
+        assert second.count("B") > second.count("A")
+
+    def test_timestamps_sorted(self):
+        events = regime_change_events(200, phases=["A"], span=10.0, rng=3)
+        times = [t for _, t in events]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            regime_change_events(0, ["A"], 1.0)
+        with pytest.raises(ParameterError):
+            regime_change_events(10, [], 1.0)
+        with pytest.raises(ParameterError):
+            regime_change_events(10, ["A"], 1.0, noise_fraction=2.0)
+
+
+class TestBursty:
+    def test_burst_concentrated_in_window(self):
+        events = bursty_events(
+            2_000, "BURST", burst_start=40.0, burst_length=5.0, span=100.0, rng=4
+        )
+        burst_times = [t for i, t in events if i == "BURST"]
+        assert len(burst_times) == 1_000
+        assert all(40.0 <= t < 45.0 for t in burst_times)
+
+    def test_delivery_sorted_by_time(self):
+        events = bursty_events(100, "B", 1.0, 1.0, 10.0, rng=5)
+        times = [t for _, t in events]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bursty_events(1, "B", 0.0, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            bursty_events(10, "B", 0.0, 0.0, 1.0)
+
+
+class TestDiurnal:
+    def test_day_night_alternation(self):
+        events = diurnal_events(4_000, "sun", "moon", days=2, rng=6)
+        day_items = [i for i, t in events if (t % 24.0) < 12.0]
+        night_items = [i for i, t in events if (t % 24.0) >= 12.0]
+        assert set(day_items) == {"sun"}
+        assert set(night_items) == {"moon"}
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            diurnal_events(0, "a", "b")
+
+
+class TestLateArrivals:
+    def test_event_times_preserved(self):
+        events = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        delivered = with_late_arrivals(events, late_fraction=1.0, max_delay=10.0, rng=7)
+        assert sorted(delivered) == sorted(events)
+
+    def test_zero_late_fraction_keeps_order(self):
+        events = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        delivered = with_late_arrivals(events, late_fraction=0.0, max_delay=10.0)
+        assert delivered == events
+
+    def test_reordering_happens(self):
+        events = [(i, float(i)) for i in range(200)]
+        delivered = with_late_arrivals(events, late_fraction=0.5, max_delay=50.0, rng=8)
+        assert delivered != events  # some reordering occurred
+
+    def test_decayed_mg_tolerates_late_arrivals(self):
+        """End-to-end: out-of-order delivery keeps the decayed bound."""
+        from repro.decay import DecayedMisraGries
+        from repro.workloads import regime_change_events
+
+        events = regime_change_events(
+            1_000, phases=[1, 2], span=200.0, noise_fraction=0.4, rng=9
+        )
+        delivered = with_late_arrivals(events, 0.3, 20.0, rng=10)
+        dmg = DecayedMisraGries(16, half_life=50.0)
+        for item, t in delivered:
+            dmg.observe(item, t)
+        assert dmg.deduction <= dmg.error_bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            with_late_arrivals([("a", 1.0)], late_fraction=2.0, max_delay=1.0)
+        with pytest.raises(ParameterError):
+            with_late_arrivals([("a", 1.0)], late_fraction=0.5, max_delay=-1.0)
