@@ -12,6 +12,12 @@ from .bounds import (
     ss_error_bound,
     ss_size_bound,
 )
+from .degradation import (
+    DegradationReport,
+    degradation_report,
+    degraded_frequency_bound,
+    degraded_rank_bound,
+)
 from .error import (
     FrequencyErrorReport,
     RankErrorReport,
@@ -44,4 +50,8 @@ __all__ = [
     "TrialStats",
     "run_trials",
     "failure_rate",
+    "DegradationReport",
+    "degradation_report",
+    "degraded_frequency_bound",
+    "degraded_rank_bound",
 ]

@@ -1,0 +1,114 @@
+"""Graceful-degradation accounting for faulty aggregations.
+
+When shards are permanently lost (crashed nodes, exhausted retries),
+the root summary is still a *valid* mergeable summary — of the data
+that arrived.  The honest report is therefore two-part:
+
+- over the **delivered** records the full paper guarantee holds
+  unchanged (``eps * delivered_n``), because exactly-once merging makes
+  the root identical to a fault-free aggregation of the surviving
+  shards;
+- versus the **full** dataset the best possible claim adds the entire
+  lost mass, since every occurrence of an item (or every rank) in a
+  lost shard may be missing: ``eps * delivered_n + lost_n``.
+
+These helpers turn an
+:class:`~repro.distributed.simulator.AggregationResult` into that
+two-part statement so callers never mistake a partial answer for a
+complete one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "DegradationReport",
+    "degradation_report",
+    "degraded_frequency_bound",
+    "degraded_rank_bound",
+]
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Coverage accounting plus effective error bounds after data loss."""
+
+    total_records: int
+    delivered_records: int
+    lost_records: int
+    #: delivered_records / total_records
+    coverage: float
+    delivered_leaves: int
+    lost_leaves: List[int]
+
+    @property
+    def complete(self) -> bool:
+        return self.lost_records == 0
+
+    def delivered_error_bound(self, epsilon: float) -> float:
+        """Absolute error bound vs the *delivered* data: ``eps * delivered_n``."""
+        _check_epsilon(epsilon)
+        return epsilon * self.delivered_records
+
+    def effective_error_bound(self, epsilon: float) -> float:
+        """Worst-case absolute error vs the *full* dataset.
+
+        The guarantee over delivered data plus the whole lost mass (a
+        lost shard can hide up to all of its occurrences of any item,
+        or shift any rank by its full size).
+        """
+        _check_epsilon(epsilon)
+        return epsilon * self.delivered_records + self.lost_records
+
+    def effective_epsilon(self, epsilon: float) -> float:
+        """:meth:`effective_error_bound` normalized by the full ``n``."""
+        if self.total_records == 0:
+            return 0.0
+        return self.effective_error_bound(epsilon) / self.total_records
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon!r}")
+
+
+def degradation_report(result) -> DegradationReport:
+    """Build a :class:`DegradationReport` from an ``AggregationResult``."""
+    total = sum(result.shard_sizes) if result.shard_sizes else result.delivered_records
+    return DegradationReport(
+        total_records=total,
+        delivered_records=result.delivered_records,
+        lost_records=total - result.delivered_records,
+        coverage=result.coverage,
+        delivered_leaves=len(result.delivered_leaves),
+        lost_leaves=list(result.lost_leaves),
+    )
+
+
+def degraded_frequency_bound(k: int, delivered_records: int, lost_records: int) -> float:
+    """MG/SS per-item error vs full-data truth after loss.
+
+    ``delivered_n / (k+1)`` from the paper's merge theorem over the
+    surviving data, plus the lost mass (an item's occurrences in lost
+    shards are simply absent).
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k!r}")
+    if delivered_records < 0 or lost_records < 0:
+        raise ParameterError("record counts must be non-negative")
+    return delivered_records / (k + 1) + lost_records
+
+
+def degraded_rank_bound(
+    epsilon: float, delivered_records: int, lost_records: int
+) -> float:
+    """Quantile rank error vs full-data truth after loss:
+    ``eps * delivered_n + lost_n``."""
+    _check_epsilon(epsilon)
+    if delivered_records < 0 or lost_records < 0:
+        raise ParameterError("record counts must be non-negative")
+    return epsilon * delivered_records + lost_records

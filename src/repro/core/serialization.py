@@ -8,21 +8,37 @@ the wire.
 
 Envelope format::
 
-    {"format": 1, "type": "<registry name>", "state": {...to_dict()...}}
+    {"format": 2, "type": "<registry name>", "state": {...to_dict()...},
+     "checksum": <CRC32 of the canonical state JSON>}
+
+The checksum gives end-to-end corruption detection: a parent rejects a
+payload whose state no longer matches its CRC32 instead of merging
+garbage.  Version-1 envelopes (no checksum) are still accepted, so
+summaries persisted by older builds keep loading; a version-2 envelope
+whose checksum is absent is likewise accepted (the field is an
+integrity upgrade, not a gate).
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any, Dict
 
 from .base import Summary
 from .exceptions import SerializationError
 from .registry import get_summary_class
 
-__all__ = ["dumps", "loads", "to_envelope", "from_envelope"]
+__all__ = ["dumps", "loads", "to_envelope", "from_envelope", "state_checksum"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
+
+
+def state_checksum(state: Dict[str, Any]) -> int:
+    """CRC32 over the canonical (sorted-key, compact) JSON of ``state``."""
+    canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 def to_envelope(summary: Summary) -> Dict[str, Any]:
@@ -33,7 +49,13 @@ def to_envelope(summary: Summary) -> Dict[str, Any]:
             f"{type(summary).__name__} is not registered; apply "
             "@register_summary before serializing"
         )
-    return {"format": _FORMAT_VERSION, "type": name, "state": summary.to_dict()}
+    state = summary.to_dict()
+    return {
+        "format": _FORMAT_VERSION,
+        "type": name,
+        "state": state,
+        "checksum": state_checksum(state),
+    }
 
 
 def from_envelope(envelope: Dict[str, Any]) -> Summary:
@@ -44,10 +66,19 @@ def from_envelope(envelope: Dict[str, Any]) -> Summary:
         state = envelope["state"]
     except (TypeError, KeyError) as exc:
         raise SerializationError(f"malformed summary envelope: {exc!r}") from exc
-    if version != _FORMAT_VERSION:
+    if version not in _ACCEPTED_VERSIONS:
         raise SerializationError(
-            f"unsupported envelope format {version!r} (supported: {_FORMAT_VERSION})"
+            f"unsupported envelope format {version!r} "
+            f"(supported: {', '.join(map(str, _ACCEPTED_VERSIONS))})"
         )
+    if "checksum" in envelope:
+        expected = envelope["checksum"]
+        actual = state_checksum(state)
+        if actual != expected:
+            raise SerializationError(
+                f"payload checksum mismatch (stored {expected!r}, computed "
+                f"{actual}): summary state corrupted in transit or at rest"
+            )
     cls = get_summary_class(name)
     return cls.from_dict(state)
 

@@ -1,7 +1,16 @@
-"""Distributed-aggregation substrate: partitioners, topologies, simulator."""
+"""Distributed-aggregation substrate: partitioners, topologies, simulator,
+fault injection, and coordinator checkpoint/recovery."""
 
 from .continuous import ContinuousAggregation, EpochReport
+from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy, corrupt_payload
 from .node import Node
+from .recovery import (
+    Checkpoint,
+    CheckpointStore,
+    CoordinatorCrash,
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+)
 from .partition import (
     PARTITIONERS,
     ContiguousPartitioner,
@@ -42,4 +51,14 @@ __all__ = [
     "run_aggregation",
     "ContinuousAggregation",
     "EpochReport",
+    "FaultModel",
+    "FaultStats",
+    "MergeLedger",
+    "RetryPolicy",
+    "corrupt_payload",
+    "Checkpoint",
+    "CheckpointStore",
+    "CoordinatorCrash",
+    "FileCheckpointStore",
+    "InMemoryCheckpointStore",
 ]

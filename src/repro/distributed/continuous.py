@@ -13,17 +13,29 @@ tree.  The :class:`ContinuousAggregation` harness simulates the loop
 with instrumentation (per-epoch bytes, cumulative guarantee tracking)
 and supports querying the coordinator *between* epochs, which is the
 operational point of the pattern.
+
+Mergeability also makes the coordinator *recoverable* almost for free:
+its whole state is one small serializable summary plus the merge
+ledger, checkpointed after every epoch (see
+:mod:`repro.distributed.recovery`).  A coordinator killed mid-epoch
+(:class:`~repro.distributed.recovery.CoordinatorCrash`) resumes from
+the last checkpoint, and replaying the interrupted epoch's deltas
+reconverges to exactly the state an uninterrupted run would hold —
+the ledger suppresses redeliveries of anything already checkpointed,
+and the rolled-back epoch merges fresh.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import Summary, dumps, loads
-from ..core.exceptions import ParameterError
+from ..core.exceptions import ParameterError, SerializationError
+from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy
+from .recovery import Checkpoint, CheckpointStore, CoordinatorCrash
 
 __all__ = ["EpochReport", "ContinuousAggregation"]
 
@@ -37,6 +49,19 @@ class EpochReport:
     bytes_shipped: int
     coordinator_n: int
     coordinator_size: int
+    #: records whose delta actually reached the coordinator this epoch
+    delivered_records: int = -1
+    #: records lost to crashed nodes or exhausted retries this epoch
+    lost_records: int = 0
+    #: delivered_records / records for this epoch (1.0 when fault-free)
+    coverage: float = 1.0
+    retries: int = 0
+    duplicates_suppressed: int = 0
+    crashed_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delivered_records < 0:
+            self.delivered_records = self.records
 
 
 @dataclass
@@ -53,48 +78,213 @@ class ContinuousAggregation:
     serialize:
         Ship deltas through the JSON wire format (default True: the
         realistic mode).
+    fault_model:
+        Optional :class:`~repro.distributed.faults.FaultModel`; deltas
+        then traverse a lossy fabric with retry + exponential backoff,
+        the coordinator dedups redeliveries through its merge ledger,
+        and each :class:`EpochReport` carries coverage accounting.
+    retry_policy:
+        Delivery retry loop used when ``fault_model`` is set (defaults
+        to :class:`~repro.distributed.faults.RetryPolicy`).
+    exactly_once:
+        Keep a merge ledger at the coordinator (default).  Disable to
+        study what duplicate deliveries do to additive summaries.
+    checkpoint_store:
+        When given, the coordinator checkpoints its summary + ledger at
+        construction (epoch 0) and after every completed epoch, and
+        :meth:`resume` can rebuild a crashed coordinator from it.
     """
 
     summary_factory: Callable[[], Summary]
     nodes: int
     serialize: bool = True
+    fault_model: Optional[FaultModel] = None
+    retry_policy: Optional[RetryPolicy] = None
+    exactly_once: bool = True
+    checkpoint_store: Optional[CheckpointStore] = None
     coordinator: Summary = field(init=False)
     history: List[EpochReport] = field(default_factory=list)
+    ledger: Optional[MergeLedger] = field(init=False, default=None)
+    fault_stats: FaultStats = field(init=False, default_factory=FaultStats)
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ParameterError(f"nodes must be >= 1, got {self.nodes!r}")
+        if (
+            self.fault_model is not None
+            and self.fault_model.corruption
+            and not self.serialize
+        ):
+            raise ParameterError(
+                "corruption injection garbles wire payloads; it requires "
+                "serialize=True"
+            )
         self.coordinator = self.summary_factory()
+        if self.exactly_once:
+            self.ledger = MergeLedger()
+        self._crashed = False
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(self.checkpoint())
 
     @property
     def epochs_completed(self) -> int:
         return len(self.history)
 
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the coordinator summary, merge ledger, and history."""
+        return Checkpoint(
+            epoch=len(self.history),
+            coordinator_payload=dumps(self.coordinator),
+            ledger_ids=self.ledger.to_list() if self.ledger is not None else [],
+            history=[asdict(report) for report in self.history],
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: Checkpoint,
+        summary_factory: Callable[[], Summary],
+        nodes: int,
+        **kwargs,
+    ) -> "ContinuousAggregation":
+        """Rebuild a coordinator from ``checkpoint`` (after a crash).
+
+        ``kwargs`` are forwarded to the constructor (``serialize``,
+        ``fault_model``, ``checkpoint_store``, ...).  Feed the epochs
+        *after* ``checkpoint.epoch`` back through :meth:`run_epoch`;
+        anything merged before the checkpoint is protected from
+        re-merging by the restored ledger.
+        """
+        agg = cls(summary_factory, nodes, **kwargs)
+        agg.coordinator = checkpoint.restore_summary()
+        if agg.ledger is not None:
+            agg.ledger = MergeLedger.from_list(checkpoint.ledger_ids)
+        agg.history = [EpochReport(**entry) for entry in checkpoint.history]
+        return agg
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
+
+    def _deliver_delta(self, delta: Summary, delivery_id: str) -> Dict[str, int]:
+        """Ship one delta through the (possibly faulty) fabric.
+
+        Returns counters: bytes shipped, whether it merged, retries,
+        suppressed duplicates.
+        """
+        faults = self.fault_model
+        counters = {"bytes": 0, "merged": 0, "retries": 0, "suppressed": 0}
+
+        def _merge_payload(payload) -> bool:
+            child = loads(payload) if self.serialize else payload
+            if self.ledger is not None:
+                if delivery_id in self.ledger:
+                    self.fault_stats.duplicates_suppressed += 1
+                    counters["suppressed"] += 1
+                    return False
+            self.coordinator.merge(child)
+            if self.ledger is not None:
+                self.ledger.witness(delivery_id)
+            return True
+
+        if faults is None:
+            payload = dumps(delta) if self.serialize else delta
+            if self.serialize:
+                counters["bytes"] += len(payload)
+            counters["merged"] += int(_merge_payload(payload))
+            return counters
+
+        policy = self.retry_policy or RetryPolicy()
+        for attempt in policy.attempts():
+            self.fault_stats.attempts += 1
+            if attempt > 1:
+                self.fault_stats.retries += 1
+                counters["retries"] += 1
+                self.fault_stats.backoff_seconds += policy.delay_before(attempt)
+            payload = dumps(delta) if self.serialize else delta
+            if self.serialize:
+                counters["bytes"] += len(payload)
+            if faults.draw_loss():
+                self.fault_stats.messages_lost += 1
+                continue
+            if self.serialize and faults.draw_corruption():
+                payload = faults.corrupt(payload)
+                self.fault_stats.corrupted_payloads += 1
+            if faults.draw_coordinator_crash():
+                self._crashed = True
+                raise CoordinatorCrash(len(self.history) + 1, counters["merged"])
+            try:
+                merged = _merge_payload(payload)
+            except SerializationError:
+                self.fault_stats.corruption_detected += 1
+                continue
+            counters["merged"] += int(merged)
+            if faults.draw_duplicate():
+                self.fault_stats.duplicates_delivered += 1
+                dup = dumps(delta) if self.serialize else delta
+                if self.serialize:
+                    counters["bytes"] += len(dup)
+                if _merge_payload(dup):
+                    self.fault_stats.duplicates_merged += 1
+            return counters
+        self.fault_stats.deliveries_failed += 1
+        return counters
+
     def run_epoch(self, per_node_data: Sequence[np.ndarray]) -> EpochReport:
         """One epoch: each node summarizes its new data and ships a delta."""
+        if self._crashed:
+            raise RuntimeError(
+                "coordinator has crashed; resume from a checkpoint with "
+                "ContinuousAggregation.resume() before running more epochs"
+            )
         if len(per_node_data) != self.nodes:
             raise ParameterError(
                 f"expected data for {self.nodes} nodes, got {len(per_node_data)}"
             )
+        epoch = len(self.history) + 1
         bytes_shipped = 0
         records = 0
-        for shard in per_node_data:
+        delivered_records = 0
+        retries = 0
+        suppressed = 0
+        crashed_nodes = 0
+        for index, shard in enumerate(per_node_data):
             delta = self.summary_factory()
             delta.extend(shard)
             records += delta.n
-            if self.serialize:
-                payload = dumps(delta)
-                bytes_shipped += len(payload)
-                delta = loads(payload)
-            self.coordinator.merge(delta)
+            if self.fault_model is not None and self.fault_model.draw_crash():
+                # the node dies before reporting; its epoch data is gone
+                # (it may come back next epoch — crash is drawn per report)
+                self.fault_stats.nodes_crashed += 1
+                self.fault_stats.crashed_nodes.append(index)
+                crashed_nodes += 1
+                continue
+            counters = self._deliver_delta(delta, f"node{index}@epoch{epoch}")
+            bytes_shipped += counters["bytes"]
+            retries += counters["retries"]
+            suppressed += counters["suppressed"]
+            if counters["merged"]:
+                delivered_records += delta.n
         report = EpochReport(
-            epoch=len(self.history) + 1,
+            epoch=epoch,
             records=records,
             bytes_shipped=bytes_shipped,
             coordinator_n=self.coordinator.n,
             coordinator_size=self.coordinator.size(),
+            delivered_records=delivered_records,
+            lost_records=records - delivered_records,
+            coverage=delivered_records / records if records else 1.0,
+            retries=retries,
+            duplicates_suppressed=suppressed,
+            crashed_nodes=crashed_nodes,
         )
         self.history.append(report)
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(self.checkpoint())
         return report
 
     def size_trajectory(self) -> List[int]:
@@ -111,3 +301,10 @@ class ContinuousAggregation:
             "records": sum(r.records for r in self.history),
             "bytes": sum(r.bytes_shipped for r in self.history),
         }
+
+    def coverage(self) -> float:
+        """Delivered fraction of all records observed across epochs."""
+        records = sum(r.records for r in self.history)
+        if not records:
+            return 1.0
+        return sum(r.delivered_records for r in self.history) / records

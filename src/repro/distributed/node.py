@@ -5,6 +5,12 @@ the merge schedule says so — receives a child's *serialized* summary,
 deserializes it, and merges it in.  Serializing on every hop is how a
 real deployment works and doubles as a continuous integration test of
 the wire format; it can be disabled for speed.
+
+Under fault injection a node also acts as a *parent* in the
+exactly-once protocol: give it a :class:`~repro.distributed.faults.MergeLedger`
+and every absorb carries a delivery ID; redeliveries of an
+already-merged summary (the at-least-once retry hazard) are witnessed
+in the ledger and skipped instead of double-counted.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ..core import Summary, dumps, loads
+from .faults import MergeLedger
 
 __all__ = ["Node"]
 
@@ -29,6 +36,10 @@ class Node:
     #: bytes "sent" upstream by this node (0 until it ships its summary)
     bytes_sent: int = 0
     merges_performed: int = field(default=0)
+    #: delivery IDs already merged (exactly-once dedup); None = no dedup
+    ledger: Optional[MergeLedger] = None
+    #: redeliveries suppressed by the ledger
+    duplicates_ignored: int = 0
 
     def build(self, summary_factory: Callable[[], Summary]) -> Summary:
         """Build the local summary over this node's shard."""
@@ -46,10 +57,30 @@ class Node:
             return payload
         return self.summary
 
-    def absorb(self, payload: Any, serialized: bool = True) -> None:
-        """Merge a child's emitted summary into this node's summary."""
+    def absorb(
+        self,
+        payload: Any,
+        serialized: bool = True,
+        delivery_id: Optional[str] = None,
+    ) -> bool:
+        """Merge a child's emitted summary into this node's summary.
+
+        Returns ``True`` when the child was merged, ``False`` when the
+        ledger recognized ``delivery_id`` as already merged (duplicate
+        delivery) and the merge was skipped.  Deserialization happens
+        first, so a corrupted payload raises
+        :class:`~repro.core.exceptions.SerializationError` before any
+        bookkeeping — a NACK in a real transport.
+        """
         if self.summary is None:
             raise RuntimeError(f"node {self.node_id} has no summary built")
         child = loads(payload) if serialized else payload
+        if delivery_id is not None and self.ledger is not None:
+            if delivery_id in self.ledger:
+                self.duplicates_ignored += 1
+                return False
         self.summary.merge(child)
         self.merges_performed += 1
+        if delivery_id is not None and self.ledger is not None:
+            self.ledger.witness(delivery_id)
+        return True

@@ -11,19 +11,29 @@ the merge count and tree depth (mergeable summaries must not degrade
 with either) and the maximum summary size observed anywhere en route
 (the size bound must hold at *every* intermediate node, not just the
 root).
+
+A :class:`~repro.distributed.faults.FaultModel` turns the simulator
+into an unreliable fabric: messages drop, payloads corrupt, nodes
+crash, retransmissions duplicate.  Deliveries then run through a
+retry-with-backoff loop, parents dedup via per-delivery merge ledgers
+(exactly-once semantics), and the result carries *graceful degradation*
+accounting — which leaves actually reached the root and what fraction
+of the data the answer covers — instead of silently reporting a summary
+of less data than asked for.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..core import Summary
-from ..core.exceptions import ParameterError
+from ..core.exceptions import ParameterError, SerializationError
 from ..core.rng import RngLike, resolve_rng
+from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy
 from .node import Node
 from .partition import Partitioner
 from .topology import MergeSchedule
@@ -47,6 +57,117 @@ class AggregationResult:
     merge_seconds: float
     #: merge steps delivered more than once (at-least-once fault injection)
     duplicated_deliveries: int = 0
+    #: leaf indices whose data is actually covered by the root summary
+    delivered_leaves: List[int] = field(default_factory=list)
+    #: records covered by the root summary (== n of the input when no loss)
+    delivered_records: int = 0
+    #: delivered_records / total records — 1.0 means nothing was lost
+    coverage: float = 1.0
+    #: leaf indices permanently lost to crashes or exhausted retries
+    lost_leaves: List[int] = field(default_factory=list)
+    #: per-leaf shard sizes (for recomputing delivered ground truth)
+    shard_sizes: List[int] = field(default_factory=list)
+    #: fault-injection accounting (None for fault-free runs)
+    fault_stats: Optional[FaultStats] = None
+
+
+def _validate_schedule_indices(schedule: MergeSchedule, node_count: int) -> None:
+    """Schedules referencing nodes the partitioner never produced are a
+    configuration error, not an IndexError."""
+    referenced = {schedule.root}
+    for dst, src in schedule.steps:
+        referenced.add(dst)
+        referenced.add(src)
+    out_of_range = sorted(i for i in referenced if not 0 <= i < node_count)
+    if out_of_range:
+        raise ParameterError(
+            f"merge schedule references node(s) {out_of_range} but the "
+            f"partitioner produced only {node_count} node(s)"
+        )
+
+
+def _deliver_with_retries(
+    nodes: List[Node],
+    dst: int,
+    src: int,
+    delivery_id: str,
+    serialize: bool,
+    faults: FaultModel,
+    policy: RetryPolicy,
+    stats: FaultStats,
+) -> bool:
+    """One delivery through the lossy fabric; True iff it ever landed."""
+    for attempt in policy.attempts():
+        stats.attempts += 1
+        if attempt > 1:
+            stats.retries += 1
+            stats.backoff_seconds += policy.delay_before(attempt)
+        payload = nodes[src].emit(serialize=serialize)
+        if faults.draw_loss():
+            stats.messages_lost += 1
+            continue
+        if serialize and faults.draw_corruption():
+            payload = faults.corrupt(payload)
+            stats.corrupted_payloads += 1
+        try:
+            nodes[dst].absorb(payload, serialized=serialize, delivery_id=delivery_id)
+        except SerializationError:
+            stats.corruption_detected += 1
+            continue
+        # a late retransmission can still arrive after the ACKed original
+        if faults.draw_duplicate():
+            stats.duplicates_delivered += 1
+            dup = nodes[src].emit(serialize=serialize)
+            if nodes[dst].absorb(dup, serialized=serialize, delivery_id=delivery_id):
+                stats.duplicates_merged += 1
+            else:
+                stats.duplicates_suppressed += 1
+        return True
+    stats.deliveries_failed += 1
+    return False
+
+
+def _run_schedule_with_faults(
+    nodes: List[Node],
+    schedule: MergeSchedule,
+    serialize: bool,
+    faults: FaultModel,
+    policy: RetryPolicy,
+    stats: FaultStats,
+) -> Tuple[int, Dict[int, Set[int]], int]:
+    """Execute the schedule over the faulty fabric.
+
+    Returns ``(delivered_steps, coverage_map, max_size)`` where
+    ``coverage_map[i]`` is the set of leaves whose data node ``i``'s
+    summary currently incorporates.
+    """
+    covered: Dict[int, Set[int]] = {i: {i} for i in range(len(nodes))}
+    crashed: Set[int] = set()
+    delivered_steps = 0
+    max_size = max(node.summary.size() for node in nodes)
+    for step_index, (dst, src) in enumerate(schedule.steps):
+        # the root plays coordinator and is recovered out-of-band
+        # (see recovery.py); every other node may die before this step
+        for node_id in (src, dst):
+            if (
+                node_id not in crashed
+                and node_id != schedule.root
+                and faults.draw_crash()
+            ):
+                crashed.add(node_id)
+                stats.nodes_crashed += 1
+                stats.crashed_nodes.append(node_id)
+        if src in crashed or dst in crashed:
+            # src's subtree has no surviving route to the root
+            continue
+        delivery_id = f"step{step_index}:{src}->{dst}"
+        if _deliver_with_retries(
+            nodes, dst, src, delivery_id, serialize, faults, policy, stats
+        ):
+            covered[dst] |= covered[src]
+            delivered_steps += 1
+            max_size = max(max_size, nodes[dst].summary.size())
+    return delivered_steps, covered, max_size
 
 
 def run_aggregation(
@@ -57,6 +178,9 @@ def run_aggregation(
     serialize: bool = False,
     duplicate_probability: float = 0.0,
     rng: RngLike = None,
+    fault_model: Optional[FaultModel] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    exactly_once: bool = True,
 ) -> AggregationResult:
     """Partition ``data``, build per-node summaries, merge per ``schedule``.
 
@@ -66,16 +190,36 @@ def run_aggregation(
     child summary through the JSON wire format, as a real deployment
     would.
 
-    ``duplicate_probability`` injects *at-least-once delivery*: each
-    merge step is, with that probability, delivered (and merged) twice —
-    the classic retry-without-dedup fault.  Additive summaries (MG,
-    CountMin, quantiles) double-count the duplicated subtree; lattice
-    summaries (KMV, HyperLogLog, Bloom, EpsKernel) are idempotent and
-    absorb it.  Benchmark E19 quantifies the difference.
+    ``duplicate_probability`` injects bare *at-least-once delivery*:
+    each merge step is, with that probability, delivered (and merged)
+    twice — the classic retry-without-dedup fault.  Additive summaries
+    (MG, CountMin, quantiles) double-count the duplicated subtree;
+    lattice summaries (KMV, HyperLogLog, Bloom, EpsKernel) are
+    idempotent and absorb it.  Benchmark E19 quantifies the difference.
+
+    ``fault_model`` enables the full fault-tolerant runtime instead:
+    message loss and corrupted payloads are retried per ``retry_policy``
+    (exponential backoff, accounted not slept), parents keep per-delivery
+    merge ledgers so retransmissions merge exactly once (disable with
+    ``exactly_once=False`` to study the damage), crashed nodes drop out
+    permanently, and the result reports which leaves made it
+    (``delivered_leaves``, ``coverage``) plus a full
+    :class:`~repro.distributed.faults.FaultStats`.  Corruption injection
+    needs ``serialize=True`` (it garbles wire bytes that the envelope
+    checksum then catches).
     """
     if not 0.0 <= duplicate_probability <= 1.0:
         raise ParameterError(
             f"duplicate_probability must be in [0, 1], got {duplicate_probability!r}"
+        )
+    if fault_model is not None and duplicate_probability:
+        raise ParameterError(
+            "pass duplicates via FaultModel(duplicate=...) when fault_model "
+            "is given; duplicate_probability is the legacy knob"
+        )
+    if fault_model is not None and fault_model.corruption and not serialize:
+        raise ParameterError(
+            "corruption injection garbles wire payloads; it requires serialize=True"
         )
     fault_rng = resolve_rng(rng)
     shards = partitioner.split(np.asarray(data), schedule.leaves)
@@ -84,14 +228,48 @@ def run_aggregation(
             f"partitioner produced {len(shards)} shards for a schedule of "
             f"{schedule.leaves} leaves"
         )
+    _validate_schedule_indices(schedule, len(shards))
+    use_ledger = fault_model is not None and exactly_once
     nodes: List[Node] = [
-        Node(node_id=i, shard=shard) for i, shard in enumerate(shards)
+        Node(node_id=i, shard=shard, ledger=MergeLedger() if use_ledger else None)
+        for i, shard in enumerate(shards)
     ]
 
     t0 = time.perf_counter()
     for node in nodes:
         node.build(summary_factory)
     t1 = time.perf_counter()
+
+    shard_sizes = [len(shard) for shard in shards]
+    total_records = sum(shard_sizes)
+    if fault_model is not None:
+        stats = FaultStats()
+        policy = retry_policy or RetryPolicy()
+        delivered_steps, covered, max_size = _run_schedule_with_faults(
+            nodes, schedule, serialize, fault_model, policy, stats
+        )
+        t2 = time.perf_counter()
+        delivered_leaves = sorted(covered[schedule.root])
+        delivered_records = sum(shard_sizes[i] for i in delivered_leaves)
+        root = nodes[schedule.root].summary
+        assert root is not None
+        return AggregationResult(
+            summary=root,
+            nodes=schedule.leaves,
+            merges=delivered_steps,
+            depth=schedule.depth,
+            max_size_en_route=max_size,
+            bytes_shipped=sum(node.bytes_sent for node in nodes),
+            build_seconds=t1 - t0,
+            merge_seconds=t2 - t1,
+            duplicated_deliveries=stats.duplicates_delivered,
+            delivered_leaves=delivered_leaves,
+            delivered_records=delivered_records,
+            coverage=delivered_records / total_records if total_records else 1.0,
+            lost_leaves=sorted(set(range(schedule.leaves)) - set(delivered_leaves)),
+            shard_sizes=shard_sizes,
+            fault_stats=stats,
+        )
 
     max_size = max(node.summary.size() for node in nodes)
     duplicated = 0
@@ -117,4 +295,10 @@ def run_aggregation(
         build_seconds=t1 - t0,
         merge_seconds=t2 - t1,
         duplicated_deliveries=duplicated,
+        delivered_leaves=list(range(schedule.leaves)),
+        delivered_records=total_records,
+        coverage=1.0,
+        lost_leaves=[],
+        shard_sizes=shard_sizes,
+        fault_stats=None,
     )

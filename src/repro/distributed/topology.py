@@ -58,8 +58,17 @@ class MergeSchedule:
                 f"a schedule over {self.leaves} leaves needs exactly "
                 f"{self.leaves - 1} merges, got {len(self.steps)}"
             )
+        if not 0 <= self.root < self.leaves:
+            raise ParameterError(
+                f"root {self.root} is outside the leaf range [0, {self.leaves})"
+            )
         absorbed = set()
         for dst, src in self.steps:
+            if not (0 <= dst < self.leaves and 0 <= src < self.leaves):
+                raise ParameterError(
+                    f"step ({dst}, {src}) references a node outside "
+                    f"[0, {self.leaves})"
+                )
             if dst == src:
                 raise ParameterError(f"self-merge ({dst}, {src}) in schedule")
             if src in absorbed or dst in absorbed:

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core import SerializationError, dumps, loads, registered_names
-from repro.core.serialization import from_envelope, to_envelope
+from repro.core.serialization import from_envelope, state_checksum, to_envelope
 from repro.frequency import CountMin, ExactCounter, MisraGries
 from repro.kernels import EpsKernel
 from repro.quantiles import MergeableQuantiles
@@ -146,3 +146,49 @@ class TestEnvelopeErrors:
         rogue.registry_name = None
         with pytest.raises(SerializationError, match="not registered"):
             to_envelope(rogue)
+
+
+class TestChecksum:
+    def test_envelope_carries_state_checksum(self):
+        envelope = to_envelope(MisraGries(8).extend([1, 1, 2]))
+        assert envelope["format"] == 2
+        assert envelope["checksum"] == state_checksum(envelope["state"])
+
+    def test_checksum_survives_wire_round_trip(self):
+        """The CRC computed over the in-memory state must equal the one
+        computed over the parsed state — for every registered type."""
+        for name, summary in _build_all_registered().items():
+            loads(dumps(summary))  # raises on any checksum instability
+
+    def test_tampered_state_rejected(self):
+        envelope = to_envelope(MisraGries(8).extend([1, 1, 2]))
+        envelope["state"]["n"] = 999
+        with pytest.raises(SerializationError, match="checksum mismatch"):
+            from_envelope(envelope)
+
+    def test_tampered_checksum_rejected(self):
+        envelope = to_envelope(MisraGries(8).extend([1, 1, 2]))
+        envelope["checksum"] ^= 1
+        with pytest.raises(SerializationError, match="checksum mismatch"):
+            from_envelope(envelope)
+
+    def test_checksumless_v1_payload_still_loads(self):
+        """Payloads persisted by the previous format version keep working."""
+        envelope = to_envelope(MisraGries(8).extend([1, 2, 2]))
+        legacy = {"format": 1, "type": envelope["type"], "state": envelope["state"]}
+        restored = from_envelope(legacy)
+        assert restored.n == 3
+
+    def test_checksumless_v2_payload_still_loads(self):
+        envelope = to_envelope(MisraGries(8).extend([1, 2]))
+        del envelope["checksum"]
+        assert from_envelope(envelope).n == 2
+
+    def test_single_digit_flip_anywhere_is_detected(self):
+        payload = dumps(MisraGries(8).extend([1, 1, 2, 3, 3, 3]))
+        for i, char in enumerate(payload):
+            if not char.isdigit():
+                continue
+            flipped = payload[:i] + str((int(char) + 1) % 10) + payload[i + 1 :]
+            with pytest.raises(SerializationError):
+                loads(flipped)

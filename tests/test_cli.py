@@ -120,6 +120,47 @@ class TestMergeAndQuery:
         assert "unsupported" in capsys.readouterr().err
 
 
+class TestSimulate:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(str(i % 37) for i in range(2000)))
+        return path
+
+    def test_simulate_clean_run(self, stream_file, tmp_path, capsys):
+        out = tmp_path / "root.json"
+        assert main(["simulate", "--type", "misra_gries", "--arg", "k=64",
+                     "--input", str(stream_file), "--nodes", "8",
+                     "--seed", "1", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "n=2000" in text
+        assert "coverage: 100.00%" in text
+        payload = json.loads(out.read_text())
+        assert payload["type"] == "misra_gries"
+
+    def test_simulate_with_faults_reports_coverage(self, stream_file, capsys):
+        assert main(["simulate", "--type", "misra_gries", "--arg", "k=32",
+                     "--input", str(stream_file), "--nodes", "8",
+                     "--loss", "0.2", "--crash", "0.1", "--duplicate", "0.2",
+                     "--corruption", "0.05", "--seed", "7"]) == 0
+        text = capsys.readouterr().out
+        assert "coverage:" in text
+        assert "faults:" in text
+        assert "duplicates=" in text
+
+    def test_simulate_invalid_probability_fails(self, stream_file, capsys):
+        assert main(["simulate", "--type", "misra_gries", "--arg", "k=8",
+                     "--input", str(stream_file), "--loss", "1.5"]) == 1
+        assert "loss" in capsys.readouterr().err
+
+    def test_simulate_more_nodes_than_records_fails(self, tmp_path, capsys):
+        small = tmp_path / "small.txt"
+        small.write_text("1\n2\n3\n")
+        assert main(["simulate", "--type", "misra_gries", "--arg", "k=8",
+                     "--input", str(small), "--nodes", "16"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestInspectAndTypes:
     def test_inspect(self, item_files, tmp_path, capsys):
         a, _ = item_files
