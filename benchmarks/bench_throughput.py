@@ -6,12 +6,25 @@ deploying, and the regression guard for the implementations' amortized
 complexity claims (MG updates are O(log k) amortized, kernel updates
 O(1/sqrt(eps)), etc.).
 
+The batched-ingestion section compares per-item ``update`` loops against
+the vectorized ``update_batch`` fast paths.
+
 Run:  pytest benchmarks/bench_throughput.py --benchmark-only
+
+Standalone (no pytest-benchmark needed), writes a JSON trajectory
+artifact for CI::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --out BENCH_throughput.json
 """
 
 from __future__ import annotations
 
+import argparse
 import copy
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +35,8 @@ from repro import (
     EpsApproximation,
     EpsKernel,
     GKQuantiles,
+    HyperLogLog,
+    KLLQuantiles,
     MergeableQuantiles,
     MisraGries,
     SpaceSaving,
@@ -30,6 +45,7 @@ from repro.workloads import value_stream, zipf_stream
 
 N_ITEMS = 2**15
 ITEMS = zipf_stream(N_ITEMS, alpha=1.2, universe=20_000, rng=1).tolist()
+ITEMS_ARRAY = np.asarray(ITEMS, dtype=np.int64)
 VALUES = value_stream(N_ITEMS, "uniform", rng=2)
 POINTS = np.random.default_rng(3).random((2**13, 2))
 
@@ -71,6 +87,124 @@ def test_update_eps_approximation(benchmark):
     benchmark(
         lambda: EpsApproximation("rectangles_2d", s=128, rng=6).extend_points(POINTS)
     )
+
+
+# ---------------------------------------------------------------------------
+# batched ingestion: per-item update loop vs update_batch fast path
+# ---------------------------------------------------------------------------
+
+#: name -> (factory, stream) pairs timed by the JSON artifact and the
+#: pytest-benchmark entries below
+BATCH_CASES = {
+    "hyperloglog": (lambda: HyperLogLog(p=12, seed=1), ITEMS_ARRAY),
+    "count_min": (lambda: CountMin(512, 4, seed=1), ITEMS_ARRAY),
+    "kll_quantiles": (lambda: KLLQuantiles(k=200, rng=4), VALUES),
+    "misra_gries": (lambda: MisraGries(256), ITEMS_ARRAY),
+    "mergeable_quantiles": (lambda: MergeableQuantiles(256, rng=4), VALUES),
+}
+
+
+def _per_item_ingest(factory, stream):
+    summary = factory()
+    update = summary.update
+    for item in stream:
+        update(item)
+    return summary
+
+
+def _batched_ingest(factory, stream):
+    summary = factory()
+    summary.update_batch(stream)
+    return summary
+
+
+@pytest.mark.parametrize("name", sorted(BATCH_CASES))
+def test_ingest_per_item(benchmark, name):
+    factory, stream = BATCH_CASES[name]
+    benchmark(_per_item_ingest, factory, stream)
+
+
+@pytest.mark.parametrize("name", sorted(BATCH_CASES))
+def test_ingest_batched(benchmark, name):
+    factory, stream = BATCH_CASES[name]
+    benchmark(_batched_ingest, factory, stream)
+
+
+def _time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_batch_trajectory(n_items: int, repeats: int = 3) -> dict:
+    """Time per-item vs batched ingestion; return the E11 artifact dict."""
+    items = zipf_stream(n_items, alpha=1.2, universe=20_000, rng=1)
+    values = value_stream(n_items, "uniform", rng=2)
+    cases = {
+        "hyperloglog": (lambda: HyperLogLog(p=12, seed=1), items),
+        "count_min": (lambda: CountMin(512, 4, seed=1), items),
+        "count_sketch": (
+            lambda: __import__("repro").CountSketch(512, 5, seed=1),
+            items,
+        ),
+        "kll_quantiles": (lambda: KLLQuantiles(k=200, rng=4), values),
+        "misra_gries": (lambda: MisraGries(256), items),
+        "space_saving": (lambda: SpaceSaving(256), items),
+        "mergeable_quantiles": (lambda: MergeableQuantiles(256, rng=4), values),
+        "bottom_k_sample": (lambda: BottomKSample(1_000, rng=5), values),
+    }
+    trajectory = []
+    for name, (factory, stream) in cases.items():
+        per_item = _time_best_of(lambda: _per_item_ingest(factory, stream), repeats)
+        batched = _time_best_of(lambda: _batched_ingest(factory, stream), repeats)
+        trajectory.append(
+            {
+                "summary": name,
+                "n_items": int(n_items),
+                "per_item_seconds": per_item,
+                "batched_seconds": batched,
+                "per_item_items_per_sec": n_items / per_item,
+                "batched_items_per_sec": n_items / batched,
+                "speedup": per_item / batched,
+            }
+        )
+    return {
+        "experiment": "E11-batched-ingestion",
+        "n_items": int(n_items),
+        "repeats": int(repeats),
+        "trajectory": trajectory,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="per-item vs batched ingestion throughput"
+    )
+    parser.add_argument("--items", type=int, default=N_ITEMS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream, one repeat (CI smoke run)",
+    )
+    parser.add_argument("--out", default="BENCH_throughput.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.items, args.repeats = 2**12, 1
+    report = run_batch_trajectory(args.items, args.repeats)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["trajectory"]:
+        print(
+            f"{row['summary']:>22}: per-item {row['per_item_seconds']*1e3:8.1f} ms"
+            f"  batched {row['batched_seconds']*1e3:8.1f} ms"
+            f"  speedup {row['speedup']:6.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -131,3 +265,7 @@ def test_query_serialization_roundtrip(benchmark):
 
     mg = MisraGries(256).extend(ITEMS)
     benchmark(lambda: loads(dumps(mg)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

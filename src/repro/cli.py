@@ -74,6 +74,19 @@ def _read_items(path: str) -> List[Any]:
     return [_parse_item(line) for line in text.splitlines() if line.strip()]
 
 
+def _read_weights(path: str) -> List[int]:
+    """Read a newline-delimited positive-integer weight file."""
+    weights: List[int] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            weights.append(int(line))
+        except ValueError:
+            raise SystemExit(f"--weights file has a non-integer line: {line!r}")
+    return weights
+
+
 def _load_summary(path: str):
     return loads(Path(path).read_text())
 
@@ -82,7 +95,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
     cls = get_summary_class(args.type)
     kwargs = _parse_args_kv(args.arg)
     summary = cls(**kwargs)
-    summary.extend(_read_items(args.input))
+    items = _read_items(args.input)
+    weights = _read_weights(args.weights) if args.weights else None
+    if weights is not None and len(weights) != len(items):
+        raise SystemExit(
+            f"--weights has {len(weights)} line(s) but --input has "
+            f"{len(items)} item(s)"
+        )
+    # one batched (optionally weighted) ingestion call, not a per-line loop
+    summary.extend(items, weights)
     Path(args.out).write_text(dumps(summary))
     print(f"built {args.type}: n={summary.n} size={summary.size()} -> {args.out}")
     return 0
@@ -218,6 +239,12 @@ def _build_parser() -> argparse.ArgumentParser:
     build = sub.add_parser("build", help="build a summary from an item file")
     build.add_argument("--type", required=True, help="registered summary name")
     build.add_argument("--input", required=True, help="newline-delimited items")
+    build.add_argument(
+        "--weights",
+        default=None,
+        help="newline-delimited positive integer weights parallel to --input "
+        "(pre-aggregated streams)",
+    )
     build.add_argument("--out", required=True, help="output JSON path")
     build.add_argument(
         "--arg", action="append", help="constructor argument name=value", default=None

@@ -1,6 +1,6 @@
 """Core framework: the mergeable-summary protocol and merge executors."""
 
-from .base import Summary
+from .base import Summary, normalize_batch
 from .bundle import SummaryBundle
 from .exceptions import (
     EmptySummaryError,
@@ -17,6 +17,7 @@ from .serialization import dumps, from_envelope, loads, to_envelope
 
 __all__ = [
     "Summary",
+    "normalize_batch",
     "SummaryBundle",
     "ReproError",
     "ParameterError",

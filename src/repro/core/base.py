@@ -26,11 +26,50 @@ the paper is relative to this quantity.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
-from .exceptions import MergeError
+import numpy as np
 
-__all__ = ["Summary"]
+from .exceptions import MergeError, ParameterError
+
+__all__ = ["Summary", "normalize_batch"]
+
+
+def normalize_batch(
+    items: Iterable[Any], weights: Optional[Sequence[int]]
+) -> Tuple[Sequence[Any], Optional[np.ndarray], int]:
+    """Validate and materialize a batch for :meth:`Summary.update_batch`.
+
+    Returns ``(items, weights, total)`` where ``items`` is a sized
+    sequence (list or numpy array), ``weights`` is either ``None`` or an
+    ``int64`` array of per-item positive weights aligned with ``items``,
+    and ``total`` is the total weight of the batch (what ``n`` must grow
+    by once the batch is folded in).
+    """
+    if isinstance(items, np.ndarray):
+        if items.ndim == 0:
+            raise ParameterError("update_batch expects a sequence of items")
+    elif not isinstance(items, (list, tuple)):
+        items = list(items)
+    if weights is None:
+        return items, None, len(items)
+    w = np.asarray(weights)
+    if w.ndim != 1 or len(w) != len(items):
+        raise ParameterError(
+            f"weights must align with items: got {len(items)} item(s) "
+            f"and weights of shape {w.shape}"
+        )
+    if w.dtype.kind == "f":
+        if not np.all(w == np.floor(w)):
+            raise ParameterError("weights must be integer-valued")
+        w = w.astype(np.int64)
+    elif w.dtype.kind in ("i", "u"):
+        w = w.astype(np.int64)
+    else:
+        raise ParameterError(f"weights must be numeric, got dtype {w.dtype}")
+    if len(w) and int(w.min()) <= 0:
+        raise ParameterError("weights must be positive")
+    return items, w, int(w.sum())
 
 
 class Summary(abc.ABC):
@@ -63,18 +102,55 @@ class Summary(abc.ABC):
         """True when no items have been folded in yet."""
         return self._n == 0
 
-    def extend(self, items: Iterable[Any]) -> "Summary":
-        """Fold every item of ``items`` into the summary; return ``self``."""
-        for item in items:
-            self.update(item)
+    def extend(
+        self,
+        items: Iterable[Any],
+        weights: Optional[Sequence[int]] = None,
+    ) -> "Summary":
+        """Fold every item of ``items`` into the summary; return ``self``.
+
+        ``weights`` is an optional parallel sequence of positive integer
+        multiplicities — ``extend(items, weights)`` is equivalent to
+        ``update(item, weight)`` for each pair.  Ingestion routes through
+        :meth:`update_batch`, so summaries with vectorized batch paths
+        ingest at array speed.
+        """
+        self.update_batch(items, weights)
         return self
 
     @classmethod
-    def from_items(cls, items: Iterable[Any], /, **kwargs: Any) -> "Summary":
-        """Build a summary of ``items`` with constructor ``kwargs``."""
+    def from_items(
+        cls,
+        items: Iterable[Any],
+        /,
+        weights: Optional[Sequence[int]] = None,
+        **kwargs: Any,
+    ) -> "Summary":
+        """Build a summary of ``items`` (optionally weighted) with ``kwargs``."""
         summary = cls(**kwargs)
-        summary.extend(items)
+        summary.extend(items, weights)
         return summary
+
+    def update_batch(
+        self,
+        items: Iterable[Any],
+        weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Fold a batch of items (optionally weighted) into the summary.
+
+        Semantically identical to calling :meth:`update` once per item
+        with the matching weight; subclasses override this with
+        vectorized fast paths (bulk hashing, single compaction passes,
+        pre-aggregation) that preserve those semantics.  The generic
+        fallback simply loops.
+        """
+        items, weights, _ = normalize_batch(items, weights)
+        if weights is None:
+            for item in items:
+                self.update(item)
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                self.update(item, weight)
 
     # ------------------------------------------------------------------
     # Abstract surface

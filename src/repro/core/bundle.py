@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Mapping, Optional
 
-from .base import Summary
+from .base import Summary, normalize_batch
 from .exceptions import MergeError, ParameterError
 from .registry import get_summary_class
 from .serialization import from_envelope, to_envelope
@@ -103,10 +103,48 @@ class SummaryBundle:
                     f"record is missing field {field!r} required by member {name!r}"
                 )
 
-    def extend(self, records) -> "SummaryBundle":
-        """Feed an iterable of records; returns ``self``."""
-        for record in records:
-            self.update(record)
+    def update_batch(
+        self,
+        records,
+        weights: Optional[Any] = None,
+        strict: bool = False,
+    ) -> None:
+        """Feed a batch of records; each member ingests its field batched.
+
+        ``weights`` is an optional parallel sequence of positive integer
+        record multiplicities (a record with weight ``w`` counts as ``w``
+        identical records).  Per member, the bound field's values are
+        collected across the batch and handed to that member's
+        :meth:`Summary.update_batch` — one vectorized ingestion per
+        member instead of one Python call per record per member.
+        """
+        if not self._members:
+            raise ParameterError("bundle has no members; add() some first")
+        records, weights, total = normalize_batch(records, weights)
+        if not len(records):
+            return
+        weight_list = None if weights is None else weights.tolist()
+        for name, summary in self._members.items():
+            field = self._fields[name]
+            values = []
+            value_weights = [] if weight_list is not None else None
+            for index, record in enumerate(records):
+                if field in record:
+                    values.append(record[field])
+                    if value_weights is not None:
+                        value_weights.append(weight_list[index])
+                elif strict:
+                    raise ParameterError(
+                        f"record is missing field {field!r} required by "
+                        f"member {name!r}"
+                    )
+            if values:
+                summary.update_batch(values, value_weights)
+        self._n += total
+
+    def extend(self, records, weights: Optional[Any] = None) -> "SummaryBundle":
+        """Feed an iterable of records (optionally weighted); returns ``self``."""
+        self.update_batch(records, weights)
         return self
 
     # ------------------------------------------------------------------

@@ -3,20 +3,70 @@
 Python's built-in ``hash`` is salted per process for strings, which
 would make serialized sketches (CountMin/CountSketch) irreproducible
 across processes.  The linear sketches therefore hash through
-:func:`stable_hash`, a BLAKE2b-based 64-bit hash that is deterministic
-across runs, platforms, and processes.
+:func:`stable_hash`, a deterministic 64-bit hash that is stable across
+runs, platforms, and processes.
+
+Two item families are handled differently:
+
+* Machine-width integers (and booleans, which compare equal to their
+  integer values everywhere a Python ``dict`` is involved) go through a
+  splitmix64-style finalizer seeded by a mixed key.  The finalizer is a
+  bijection on 64-bit words, so distinct in-range integers can never
+  collide under the same seed, and the identical arithmetic is available
+  vectorized over numpy integer arrays via :func:`stable_hash_array` —
+  this is what makes batched sketch ingestion fast.
+* Everything else (strings, bytes, big integers, floats, tuples) is
+  hashed through keyed BLAKE2b over a canonical byte encoding.
+
+Both paths agree item-by-item: hashing a numpy ``int64`` array with
+:func:`hash_batch` yields exactly ``stable_hash`` of each element.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["stable_hash"]
+__all__ = ["stable_hash", "stable_hash_array", "hash_batch"]
 
 _MASK64 = (1 << 64) - 1
+
+#: splitmix64 constants (Steele, Lea & Flood; public domain reference)
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer — a bijection on 64-bit words."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX_A) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX_B) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _seed_key(seed: int) -> int:
+    """Expand a user seed into a full-entropy 64-bit key."""
+    return _mix64((seed & _MASK64) ^ _GOLDEN64)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64` over a ``uint64`` array (wrapping mul)."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(_MIX_A)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX_B)
+    x ^= x >> np.uint64(31)
+    return x
 
 
 def _item_bytes(item: Any) -> bytes:
@@ -28,9 +78,7 @@ def _item_bytes(item: Any) -> bytes:
     """
     if isinstance(item, np.generic):
         item = item.item()
-    if isinstance(item, bool):
-        return b"b" + (b"1" if item else b"0")
-    if isinstance(item, int):
+    if isinstance(item, int):  # includes bool: True hashes as 1, as in dicts
         return b"i" + item.to_bytes((item.bit_length() + 8) // 8 + 1, "little", signed=True)
     if isinstance(item, bytes):
         return b"y" + item
@@ -41,7 +89,54 @@ def _item_bytes(item: Any) -> bytes:
 
 def stable_hash(item: Any, seed: int = 0) -> int:
     """Return a deterministic 64-bit hash of ``item`` under ``seed``."""
+    if isinstance(item, np.generic):
+        item = item.item()
+    if isinstance(item, int) and _INT64_MIN <= item <= _INT64_MAX:
+        # two's-complement lane, exactly what int64→uint64 view gives the
+        # vectorized path
+        return _mix64(((item & _MASK64) + _seed_key(seed)) & _MASK64)
     h = hashlib.blake2b(
-        _item_bytes(item), digest_size=8, key=seed.to_bytes(8, "little")
+        _item_bytes(item), digest_size=8, key=(seed & _MASK64).to_bytes(8, "little")
     )
     return int.from_bytes(h.digest(), "little") & _MASK64
+
+
+def stable_hash_array(items: Any, seed: int = 0) -> Optional[np.ndarray]:
+    """Vectorized :func:`stable_hash` for integer arrays, else ``None``.
+
+    Returns a ``uint64`` array equal element-wise to ``stable_hash`` when
+    ``items`` coerces to a 1-D machine-integer (or boolean) array;
+    returns ``None`` for anything the scalar BLAKE2b path must handle
+    (strings, floats, big ints, mixed objects).
+    """
+    try:
+        arr = np.asarray(items)
+    except (ValueError, OverflowError):  # e.g. ragged lists, huge ints
+        return None
+    if arr.ndim != 1:
+        return None
+    kind = arr.dtype.kind
+    if kind == "i":
+        lanes = arr.astype(np.int64, copy=False).view(np.uint64)
+    elif kind == "b" or (kind == "u" and arr.dtype.itemsize < 8):
+        lanes = arr.astype(np.uint64)
+    else:
+        return None
+    return _mix64_array(lanes + np.uint64(_seed_key(seed)))
+
+
+def hash_batch(items: Sequence[Any], seed: int = 0) -> np.ndarray:
+    """Hash a materialized batch of items to a ``uint64`` array.
+
+    Uses the vectorized integer path when the batch supports it and falls
+    back to a per-item :func:`stable_hash` loop otherwise; either way the
+    result matches scalar hashing element-for-element.
+    """
+    hashes = stable_hash_array(items, seed=seed)
+    if hashes is not None:
+        return hashes
+    return np.fromiter(
+        (stable_hash(item, seed=seed) for item in items),
+        dtype=np.uint64,
+        count=len(items),
+    )

@@ -41,10 +41,19 @@ class Node:
     #: redeliveries suppressed by the ledger
     duplicates_ignored: int = 0
 
+    #: optional per-record multiplicities aligned with ``shard`` (a
+    #: pre-aggregated shard: distinct values + counts)
+    shard_weights: Optional[np.ndarray] = None
+
     def build(self, summary_factory: Callable[[], Summary]) -> Summary:
-        """Build the local summary over this node's shard."""
+        """Build the local summary over this node's shard.
+
+        Leaf ingestion is batched: the whole shard goes through the
+        summary's ``update_batch`` fast path in one call (weighted when
+        ``shard_weights`` is set).
+        """
         self.summary = summary_factory()
-        self.summary.extend(self.shard)
+        self.summary.update_batch(self.shard, self.shard_weights)
         return self.summary
 
     def emit(self, serialize: bool = True) -> Any:

@@ -17,13 +17,13 @@ Guarantee: for every item, ``f(x) <= estimate(x)``, and with probability
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
-from ..core.hashing import stable_hash
+from ..core.hashing import hash_batch, stable_hash
 from ..core.registry import register_summary
 
 __all__ = ["CountMin"]
@@ -84,6 +84,25 @@ class CountMin(Summary):
         cols = self._row_indices(item)
         self._table[np.arange(self.depth), cols] += weight
         self._n += weight
+
+    def update_batch(
+        self,
+        items: Iterable[Any],
+        weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        for row in range(self.depth):
+            hashes = hash_batch(items, seed=self.seed * 1_000_003 + row)
+            cols = (hashes % np.uint64(self.width)).astype(np.int64)
+            if weights is None:
+                self._table[row] += np.bincount(cols, minlength=self.width).astype(
+                    np.int64
+                )
+            else:
+                np.add.at(self._table[row], cols, weights)
+        self._n += total
 
     def estimate(self, item: Any) -> int:
         """Upper-bound frequency estimate (min over rows)."""

@@ -12,13 +12,13 @@ the residual L2 norm rather than L1).
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
-from ..core.hashing import stable_hash
+from ..core.hashing import hash_batch, stable_hash
 from ..core.registry import register_summary
 
 __all__ = ["CountSketch"]
@@ -66,6 +66,24 @@ class CountSketch(Summary):
             bucket, sign = self._bucket_and_sign(item, row)
             self._table[row, bucket] += sign * weight
         self._n += weight
+
+    def update_batch(
+        self,
+        items: Iterable[Any],
+        weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        for row in range(self.depth):
+            hashes = hash_batch(items, seed=self.seed * 1_000_003 + row)
+            buckets = (hashes % np.uint64(self.width)).astype(np.int64)
+            signs = np.where(
+                (hashes >> np.uint64(32)) & np.uint64(1), np.int64(1), np.int64(-1)
+            )
+            deltas = signs if weights is None else signs * weights
+            np.add.at(self._table[row], buckets, deltas)
+        self._n += total
 
     def estimate(self, item: Any) -> int:
         """Median-of-rows unbiased frequency estimate (may be negative)."""

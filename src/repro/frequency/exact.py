@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Dict, Optional
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
 from ..core.items import plain
 from ..core.registry import register_summary
@@ -33,6 +33,17 @@ class ExactCounter(Summary):
             raise ParameterError(f"weight must be positive, got {weight!r}")
         self._counts[item] += weight
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if weights is None:
+            self._counts.update(
+                items.tolist() if hasattr(items, "tolist") else items
+            )
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                self._counts[plain(item)] += weight
+        self._n += total
 
     def estimate(self, item: Any) -> int:
         """Exact frequency of ``item`` (0 if never seen)."""

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.base import Summary
+import numpy as np
+
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
 from ..core.registry import register_summary
 from .misra_gries import MisraGries
@@ -73,6 +75,23 @@ class DyadicHierarchy(Summary):
         for level, summary in enumerate(self._levels):
             summary.update(value >> level, weight)
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        values = np.asarray(items)
+        if values.dtype.kind not in ("i", "u"):
+            values = np.array([int(item) for item in items])
+        values = values.astype(np.int64)
+        if (values < 0).any() or (values >= (1 << self.bits)).any():
+            bad = values[(values < 0) | (values >= (1 << self.bits))][0]
+            raise ParameterError(
+                f"item {int(bad)} outside the domain [0, 2^{self.bits})"
+            )
+        for level, summary in enumerate(self._levels):
+            summary.update_batch((values >> level).tolist(), weights)
+        self._n += total
 
     # ------------------------------------------------------------------
     # Queries

@@ -89,7 +89,11 @@ def verify_isomorphism(stream: Iterable[Any], k: int) -> Dict[str, Any]:
     """
     items = list(stream)
     mg = MisraGries(k - 1)
-    mg.extend(items)
+    # the classic SS simulator below consumes the stream one occurrence
+    # at a time, so MG must too — batched ingestion pre-aggregates and
+    # would process a different (reordered) update sequence
+    for item in items:
+        mg.update(item)
     ss_state = classic_space_saving(items, k)
     image = mg_image_of_classic_ss(ss_state, k)
     mg_counters = mg.counters()

@@ -35,9 +35,10 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
 from ..core.items import plain
 from ..core.registry import register_summary
@@ -123,6 +124,21 @@ class MisraGries(Summary):
             adjusted[item] = weight + self._offset - decrement
             self._heap_push(item)
         self._evict_dead()
+
+    def update_batch(self, items, weights=None) -> None:
+        # pre-aggregate so each distinct item costs one weighted update
+        # (O(log k) amortized) instead of one per occurrence
+        items, weights, _ = normalize_batch(items, weights)
+        aggregated: Counter = Counter()
+        if weights is None:
+            aggregated.update(
+                items.tolist() if hasattr(items, "tolist") else items
+            )
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                aggregated[plain(item)] += weight
+        for item, weight in aggregated.items():
+            self.update(item, weight)
 
     def _heap_push(self, item: Any) -> None:
         self._heap_seq += 1

@@ -77,6 +77,10 @@ class SpaceSaving(Summary):
         self._core.update(item, weight)
         self._n = self._core.n
 
+    def update_batch(self, items, weights=None) -> None:
+        self._core.update_batch(items, weights)
+        self._n = self._core.n
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

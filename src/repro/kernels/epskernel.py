@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from .convex import apply_frame, convex_hull, directional_width, fat_frame
@@ -169,6 +169,18 @@ class EpsKernel(Summary):
         self._min_proj[improve_min] = batch_min[improve_min]
         self._n += len(pts)
         return self
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        pts = np.asarray(items, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ParameterError(f"expected (n, 2) points, got {pts.shape}")
+        before = self._n
+        self.extend_points(pts)
+        # the extent lattice is weight-oblivious; only n sees the weights
+        self._n = before + total
 
     # ------------------------------------------------------------------
     # Queries

@@ -12,6 +12,7 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from ..core.base import normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from .estimator import QuantileSummary, check_quantile
@@ -35,6 +36,17 @@ class ExactQuantiles(QuantileSummary):
         self._values.extend([value] * weight)
         self._sorted = False
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        values = np.asarray(items, dtype=np.float64)
+        if weights is not None:
+            values = np.repeat(values, weights)
+        self._values.extend(values.tolist())
+        self._sorted = False
+        self._n += total
 
     def _ensure_sorted(self) -> List[float]:
         if not self._sorted:

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..core.base import normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
@@ -111,11 +112,42 @@ class KLLQuantiles(QuantileSummary):
     def update(self, item: float, weight: int = 1) -> None:
         if weight <= 0:
             raise ParameterError(f"weight must be positive, got {weight!r}")
-        for _ in range(weight):
-            self._levels[0].append(float(item))
+        value = float(item)
+        if weight == 1:
+            self._levels[0].append(value)
             self._n += 1
             if len(self._levels[0]) > self._capacity(0):
                 self._compress()
+            return
+        # O(log weight): a copy with weight 2**i is exactly one sample at
+        # level i, so the binary decomposition of the weight places one
+        # sample per set bit — never a weight-length loop
+        w = int(weight)
+        level = 0
+        while w:
+            if w & 1:
+                while len(self._levels) <= level:
+                    self._levels.append([])
+                self._levels[level].append(value)
+            w >>= 1
+            level += 1
+        self._n += int(weight)
+        self._compress()
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        if weights is None:
+            # bulk append, one compaction cascade for the whole batch
+            self._levels[0].extend(
+                np.asarray(items, dtype=np.float64).tolist()
+            )
+            self._n += total
+            self._compress()
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                self.update(item, weight)
 
     # ------------------------------------------------------------------
     # Queries

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..core.base import normalize_batch
 from ..core.exceptions import EmptySummaryError, MergeError, ParameterError
 from ..core.registry import register_summary
 from .estimator import QuantileSummary, check_quantile
@@ -52,17 +53,51 @@ class MRLQuantiles(QuantileSummary):
     def update(self, item: float, weight: int = 1) -> None:
         if weight <= 0:
             raise ParameterError(f"weight must be positive, got {weight!r}")
-        for _ in range(weight):
-            self._buffer.append(float(item))
-            self._n += 1
+        value = float(item)
+        if weight < self.s:
+            self._buffer.extend([value] * int(weight))
+            self._n += int(weight)
             if len(self._buffer) >= self.s:
                 self._flush_buffer()
+            return
+        # O(s log w): constant blocks per set bit of weight // s, exact at
+        # any level, plus a < s remainder into the raw buffer
+        full_blocks, rest = divmod(int(weight), self.s)
+        self._n += int(weight)
+        level = 0
+        while full_blocks:
+            if full_blocks & 1:
+                self._blocks.setdefault(level, []).append(
+                    np.full(self.s, value, dtype=np.float64)
+                )
+            full_blocks >>= 1
+            level += 1
+        if rest:
+            self._buffer.extend([value] * rest)
+        self._flush_buffer()
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        if weights is None:
+            self._buffer.extend(np.asarray(items, dtype=np.float64).tolist())
+            self._n += total
+            self._flush_buffer()
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                self.update(item, weight)
 
     def _flush_buffer(self) -> None:
-        while len(self._buffer) >= self.s:
-            block = np.sort(np.array(self._buffer[: self.s], dtype=np.float64))
-            del self._buffer[: self.s]
-            self._blocks.setdefault(0, []).append(block)
+        if len(self._buffer) >= self.s:
+            buffered = self._buffer
+            full = (len(buffered) // self.s) * self.s
+            level0 = self._blocks.setdefault(0, [])
+            for start in range(0, full, self.s):
+                level0.append(
+                    np.sort(np.array(buffered[start : start + self.s], dtype=np.float64))
+                )
+            self._buffer = buffered[full:]
         self._carry()
 
     def _carry(self) -> None:

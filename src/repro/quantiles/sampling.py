@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.base import normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
@@ -50,13 +51,47 @@ class BottomKSample(QuantileSummary):
         if weight <= 0:
             raise ParameterError(f"weight must be positive, got {weight!r}")
         value = float(item)
-        for _ in range(weight):
+        if weight == 1:
             tag = float(self._rng.random())
             if len(self._heap) < self.k:
                 heapq.heappush(self._heap, (-tag, value))
             elif tag < -self._heap[0][0]:
                 heapq.heapreplace(self._heap, (-tag, value))
             self._n += 1
+            return
+        # weight copies need weight independent tags, but only the ones
+        # that beat the current threshold ever enter the heap — draw the
+        # tags vectorized and sift the survivors
+        self._ingest(np.full(int(weight), value, dtype=np.float64))
+        self._n += int(weight)
+
+    def _ingest(self, values: np.ndarray) -> None:
+        """Offer one occurrence per entry of ``values`` (tags drawn here)."""
+        tags = self._rng.random(len(values))
+        heap = self._heap
+        fill = min(max(self.k - len(heap), 0), len(values))
+        for i in range(fill):
+            heapq.heappush(heap, (-float(tags[i]), float(values[i])))
+        if fill == len(values) or not heap:
+            return
+        rest_tags = tags[fill:]
+        rest_values = values[fill:]
+        # the threshold only tightens, so this mask is a superset of the
+        # true survivors; each candidate re-checks against the live heap
+        mask = rest_tags < -heap[0][0]
+        for tag, value in zip(rest_tags[mask].tolist(), rest_values[mask].tolist()):
+            if tag < -heap[0][0]:
+                heapq.heapreplace(heap, (-tag, value))
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        values = np.asarray(items, dtype=np.float64)
+        if weights is not None:
+            values = np.repeat(values, weights)
+        self._ingest(values)
+        self._n += total
 
     def sample_values(self) -> np.ndarray:
         """Sorted values of the current sample."""

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
@@ -102,27 +102,40 @@ class EpsApproximation(Summary):
             if np.ndim(item) > 0
             else np.array([[float(item)]])
         )[0]
-        for _ in range(weight):
-            self._buffer.append(point)
-            self._n += 1
-            if len(self._buffer) >= self.s:
-                self._flush_buffer()
+        # replicate at C speed; blocks form in the flush, not per copy
+        self._buffer.extend([point] * int(weight))
+        self._n += int(weight)
+        if len(self._buffer) >= self.s:
+            self._flush_buffer()
 
     def extend_points(self, points: np.ndarray) -> "EpsApproximation":
         """Bulk-add a point array of shape ``(n, d)`` (or ``(n,)`` in 1-D)."""
         pts = self.space.check_points(points)
-        for point in pts:
-            self._buffer.append(point)
-            self._n += 1
-            if len(self._buffer) >= self.s:
-                self._flush_buffer()
+        self._buffer.extend(pts)
+        self._n += len(pts)
+        if len(self._buffer) >= self.s:
+            self._flush_buffer()
         return self
 
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, _ = normalize_batch(items, weights)
+        if not len(items):
+            return
+        pts = np.asarray(items, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        if weights is not None:
+            pts = np.repeat(pts, weights, axis=0)
+        self.extend_points(pts)
+
     def _flush_buffer(self) -> None:
-        while len(self._buffer) >= self.s:
-            block = np.array(self._buffer[: self.s], dtype=np.float64)
-            del self._buffer[: self.s]
-            self._blocks.setdefault(0, []).append(block)
+        if len(self._buffer) >= self.s:
+            buffered = self._buffer
+            full = (len(buffered) // self.s) * self.s
+            level0 = self._blocks.setdefault(0, [])
+            for start in range(0, full, self.s):
+                level0.append(np.array(buffered[start : start + self.s], dtype=np.float64))
+            self._buffer = list(buffered[full:])
         self._carry()
 
     def _carry(self) -> None:

@@ -15,11 +15,12 @@ with probability ``1 - 2^-Omega(depth)``.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
 from ..core.hashing import stable_hash
 from ..core.registry import register_summary
@@ -61,6 +62,22 @@ class AmsF2Sketch(Summary):
             raise ParameterError(f"weight must be positive, got {weight!r}")
         self._cells += weight * self._signs(item)
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        # the sign matrix is the expensive part (depth*width hashes per
+        # item), so pre-aggregate and pay it once per distinct item
+        items, weights, total = normalize_batch(items, weights)
+        aggregated: Counter = Counter()
+        if weights is None:
+            aggregated.update(
+                items.tolist() if hasattr(items, "tolist") else items
+            )
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                aggregated[item] += weight
+        for item, weight in aggregated.items():
+            self._cells += weight * self._signs(item)
+        self._n += total
 
     def f2(self) -> float:
         """Estimated second frequency moment ``sum_x f(x)^2``."""

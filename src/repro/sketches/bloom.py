@@ -17,10 +17,12 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
-from ..core.hashing import stable_hash
+from ..core.hashing import hash_batch, stable_hash
 from ..core.registry import register_summary
+
+_MASK64 = (1 << 64) - 1
 
 __all__ = ["BloomFilter"]
 
@@ -55,10 +57,13 @@ class BloomFilter(Summary):
 
     def _positions(self, item: Any) -> np.ndarray:
         # double hashing: h1 + i*h2 gives `hashes` positions from 2 hashes
+        # (64-bit wrapping arithmetic, so the vectorized uint64 batch path
+        # lands on identical bits)
         h1 = stable_hash(item, seed=self.seed)
         h2 = stable_hash(item, seed=self.seed + 0x9E3779B9) | 1
         return np.array(
-            [(h1 + i * h2) % self.bits for i in range(self.hashes)], dtype=np.int64
+            [((h1 + i * h2) & _MASK64) % self.bits for i in range(self.hashes)],
+            dtype=np.int64,
         )
 
     def update(self, item: Any, weight: int = 1) -> None:
@@ -66,6 +71,17 @@ class BloomFilter(Summary):
             raise ParameterError(f"weight must be positive, got {weight!r}")
         self._array[self._positions(item)] = True
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        h1 = hash_batch(items, seed=self.seed)
+        h2 = hash_batch(items, seed=self.seed + 0x9E3779B9) | np.uint64(1)
+        probes = np.arange(self.hashes, dtype=np.uint64)
+        positions = (h1[:, None] + probes[None, :] * h2[:, None]) % np.uint64(self.bits)
+        self._array[positions.astype(np.int64).ravel()] = True
+        self._n += total
 
     def might_contain(self, item: Any) -> bool:
         """False means definitely absent; True means probably present."""

@@ -16,17 +16,39 @@ correction unnecessary at any realistic cardinality.  Relative error
 
 from __future__ import annotations
 
+import base64
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
-from ..core.hashing import stable_hash
+from ..core.hashing import hash_batch, stable_hash
 from ..core.registry import register_summary
 
 __all__ = ["HyperLogLog"]
+
+
+def _bit_length_u64(x: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` over a ``uint64`` array.
+
+    Smears the top set bit downward, then popcounts via the SWAR
+    reduction — exact for all 64-bit values, unlike a ``log2`` in
+    float64 which rounds near ``2**53``.
+    """
+    x = x.astype(np.uint64, copy=True)
+    for shift in (1, 2, 4, 8, 16, 32):
+        x |= x >> np.uint64(shift)
+    # SWAR popcount
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    x -= (x >> np.uint64(1)) & m1
+    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+    x = (x + (x >> np.uint64(4))) & m4
+    return (x * h01) >> np.uint64(56)
 
 
 def _alpha(m: int) -> float:
@@ -65,6 +87,23 @@ class HyperLogLog(Summary):
             self._registers[register] = rank
         self._n += weight
 
+    def update_batch(
+        self,
+        items: Iterable[Any],
+        weights: Optional[Sequence[int]] = None,
+    ) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        hashes = hash_batch(items, seed=self.seed)
+        registers = (hashes & np.uint64(self.m - 1)).astype(np.int64)
+        remaining = hashes >> np.uint64(self.p)
+        ranks = (
+            np.uint64(64 - self.p) - _bit_length_u64(remaining) + np.uint64(1)
+        ).astype(np.uint8)
+        np.maximum.at(self._registers, registers, ranks)
+        self._n += total
+
     def distinct(self) -> float:
         """Estimated number of distinct items observed."""
         registers = self._registers.astype(np.float64)
@@ -97,16 +136,28 @@ class HyperLogLog(Summary):
         self._n += other._n
 
     def to_dict(self) -> Dict[str, Any]:
+        # registers travel as base64 of the raw uint8 buffer — a p=18
+        # sketch is ~350 KB as a JSON int list but 350 KB/3*4 as base64
         return {
             "p": self.p,
             "seed": self.seed,
             "n": self._n,
-            "registers": self._registers.tolist(),
+            "registers": base64.b64encode(self._registers.tobytes()).decode("ascii"),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "HyperLogLog":
         sketch = cls(p=payload["p"], seed=payload["seed"])
-        sketch._registers = np.array(payload["registers"], dtype=np.uint8)
+        registers = payload["registers"]
+        if isinstance(registers, str):
+            decoded = np.frombuffer(base64.b64decode(registers), dtype=np.uint8)
+            if len(decoded) != sketch.m:
+                raise ParameterError(
+                    f"register payload holds {len(decoded)} registers, "
+                    f"expected {sketch.m} for p={sketch.p}"
+                )
+            sketch._registers = decoded.copy()
+        else:  # legacy int-list wire form
+            sketch._registers = np.array(registers, dtype=np.uint8)
         sketch._n = payload["n"]
         return sketch

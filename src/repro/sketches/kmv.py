@@ -25,9 +25,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, List, Optional, Set
 
-from ..core.base import Summary
+import numpy as np
+
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
-from ..core.hashing import stable_hash
+from ..core.hashing import hash_batch, stable_hash
 from ..core.registry import register_summary
 
 __all__ = ["KMinValues"]
@@ -84,6 +86,16 @@ class KMinValues(Summary):
             raise ParameterError(f"weight must be positive, got {weight!r}")
         self._keep.offer(stable_hash(item, seed=self.seed))
         self._n += weight
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if not len(items):
+            return
+        # hash the whole batch at once; duplicates collapse before the
+        # heap ever sees them
+        for h in np.unique(hash_batch(items, seed=self.seed)).tolist():
+            self._keep.offer(h)
+        self._n += total
 
     def distinct(self) -> float:
         """Estimated number of distinct items observed."""

@@ -5,6 +5,7 @@ from .generators import (
     adversarial_mg_stream,
     mixture_stream,
     normal_stream,
+    pre_aggregate,
     sequential_stream,
     uniform_stream,
     value_stream,
@@ -26,6 +27,7 @@ __all__ = [
     "mixture_stream",
     "normal_stream",
     "value_stream",
+    "pre_aggregate",
     "chunk_evenly",
     "chunk_sizes",
     "interleave",

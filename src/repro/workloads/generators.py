@@ -38,7 +38,21 @@ __all__ = [
     "mixture_stream",
     "normal_stream",
     "value_stream",
+    "pre_aggregate",
 ]
+
+
+def pre_aggregate(items: Sequence) -> tuple:
+    """Collapse a stream into ``(distinct_items, counts)``.
+
+    The natural input for weighted batch ingestion: feeding
+    ``summary.update_batch(distinct_items, counts)`` is semantically one
+    weighted update per distinct item, which is how pre-aggregated
+    pipelines (combiner trees, columnar scans) deliver data.  Counts come
+    back as ``int64`` and distinct items keep the input dtype.
+    """
+    values, counts = np.unique(np.asarray(items), return_counts=True)
+    return values, counts.astype(np.int64)
 
 
 def _check_n(n: int) -> None:

@@ -162,3 +162,14 @@ class TestNode:
         a.absorb(b.emit(serialize=True))
         assert a.summary.n == 3
         assert a.merges_performed == 1
+
+    def test_build_with_pre_aggregated_shard(self):
+        # distinct values + multiplicities: a pre-aggregated leaf shard
+        node = Node(
+            node_id=0,
+            shard=np.array([1, 2, 3]),
+            shard_weights=np.array([10, 20, 30]),
+        )
+        node.build(ExactCounter)
+        assert node.summary.n == 60
+        assert node.summary.estimate(2) == 20

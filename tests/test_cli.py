@@ -52,6 +52,39 @@ class TestBuild:
                      "--input", str(tmp_path / "nothere.txt"),
                      "--out", str(tmp_path / "x.json")]) == 1
 
+    def test_build_with_weights(self, tmp_path, capsys):
+        data = tmp_path / "items.txt"
+        wfile = tmp_path / "weights.txt"
+        data.write_text("7\n8\n9\n")
+        wfile.write_text("10\n20\n30\n")
+        out = tmp_path / "w.json"
+        assert main(["build", "--type", "exact_counter",
+                     "--input", str(data), "--weights", str(wfile),
+                     "--out", str(out)]) == 0
+        assert "n=60" in capsys.readouterr().out
+        assert main(["query", str(out), "--estimate", "8"]) == 0
+        assert capsys.readouterr().out.strip() == "20"
+
+    def test_build_weights_length_mismatch_exits(self, tmp_path):
+        data = tmp_path / "items.txt"
+        wfile = tmp_path / "weights.txt"
+        data.write_text("7\n8\n9\n")
+        wfile.write_text("10\n20\n")
+        with pytest.raises(SystemExit):
+            main(["build", "--type", "exact_counter",
+                  "--input", str(data), "--weights", str(wfile),
+                  "--out", str(tmp_path / "x.json")])
+
+    def test_build_non_integer_weights_exits(self, tmp_path):
+        data = tmp_path / "items.txt"
+        wfile = tmp_path / "weights.txt"
+        data.write_text("7\n")
+        wfile.write_text("1.5\n")
+        with pytest.raises(SystemExit):
+            main(["build", "--type", "exact_counter",
+                  "--input", str(data), "--weights", str(wfile),
+                  "--out", str(tmp_path / "x.json")])
+
 
 class TestMergeAndQuery:
     def _build_two(self, item_files, tmp_path):
