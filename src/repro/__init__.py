@@ -39,8 +39,10 @@ from .core import (
     loads,
     merge_all,
     merge_chain,
+    merge_kway,
     merge_random_tree,
     merge_tree,
+    ParallelExecutor,
     registered_names,
 )
 from .frequency import (
@@ -82,6 +84,8 @@ __all__ = [
     "merge_chain",
     "merge_tree",
     "merge_random_tree",
+    "merge_kway",
+    "ParallelExecutor",
     "dumps",
     "loads",
     "registered_names",

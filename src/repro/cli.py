@@ -198,6 +198,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_model=fault_model,
         retry_policy=RetryPolicy(max_attempts=args.retries),
         exactly_once=not args.no_ledger,
+        executor=args.workers,
     )
     stats = result.fault_stats
     report = degradation_report(result)
@@ -207,7 +208,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(
         f"run: nodes={result.nodes} topology={args.topology} "
         f"merges={result.merges} depth={result.depth} "
-        f"bytes_shipped={result.bytes_shipped}"
+        f"bytes_shipped={result.bytes_shipped} "
+        f"bytes_retransmitted={result.bytes_retransmitted}"
     )
     print(
         f"coverage: {result.coverage:.2%} "
@@ -255,7 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
     merge.add_argument("inputs", nargs="+", help="summary JSON files")
     merge.add_argument("--out", required=True)
     merge.add_argument(
-        "--strategy", default="tree", choices=["tree", "chain", "random"]
+        "--strategy", default="tree", choices=["tree", "chain", "random", "kway"]
     )
     merge.add_argument("--seed", type=int, default=0)
     merge.set_defaults(func=_cmd_merge)
@@ -299,6 +301,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duplicate", type=float, default=0.0)
     simulate.add_argument("--corruption", type=float, default=0.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="parallel merge runtime worker count "
+                               "(default: legacy scalar path)")
     simulate.add_argument("--retries", type=int, default=4,
                           help="delivery attempts per merge step")
     simulate.add_argument("--no-ledger", action="store_true",

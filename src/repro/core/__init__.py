@@ -10,7 +10,8 @@ from .exceptions import (
     ReproError,
     SerializationError,
 )
-from .merge import merge_all, merge_chain, merge_random_tree, merge_tree
+from .merge import merge_all, merge_chain, merge_kway, merge_random_tree, merge_tree
+from .parallel import ParallelExecutor, resolve_executor
 from .registry import get_summary_class, register_summary, registered_names
 from .rng import resolve_rng, spawn
 from .serialization import dumps, from_envelope, loads, to_envelope
@@ -29,6 +30,9 @@ __all__ = [
     "merge_chain",
     "merge_tree",
     "merge_random_tree",
+    "merge_kway",
+    "ParallelExecutor",
+    "resolve_executor",
     "register_summary",
     "get_summary_class",
     "registered_names",

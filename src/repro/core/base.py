@@ -209,6 +209,46 @@ class Summary(abc.ABC):
         self._merge_same_type(other)
         return self
 
+    def merge_many(self, others: Iterable["Summary"]) -> "Summary":
+        """Merge every summary in ``others`` into ``self``; return ``self``.
+
+        Semantically identical to folding :meth:`merge` over ``others``
+        left to right, but a single call lets subclasses perform an
+        s-way combine in one pass (one table sum, one register max, one
+        compaction cascade) instead of ``s - 1`` sequential merges with
+        ``s - 1`` intermediate prunes.  The generic fallback loops over
+        :meth:`_merge_same_type`.
+
+        All operands are checked before any state changes, so a type or
+        parameter mismatch anywhere in ``others`` raises
+        :class:`MergeError` leaving ``self`` untouched.
+        """
+        others = [o for o in others if o is not self]
+        for other in others:
+            if type(other) is not type(self):
+                raise MergeError(
+                    f"cannot merge {type(self).__name__} with "
+                    f"{type(other).__name__}; mergeability requires identical "
+                    "summary types"
+                )
+            problem = self.compatible_with(other)
+            if problem is not None:
+                raise MergeError(
+                    f"incompatible {type(self).__name__} operands: {problem}"
+                )
+        if others:
+            self._merge_many_same_type(others)
+        return self
+
+    def _merge_many_same_type(self, others: Sequence["Summary"]) -> None:
+        """k-way merge of pre-checked same-type operands (override me).
+
+        The generic fallback is the sequential fold; subclasses with
+        vectorizable state override this with a single-pass combine.
+        """
+        for other in others:
+            self._merge_same_type(other)
+
     def compatible_with(self, other: "Summary") -> str | None:
         """Return ``None`` when ``other`` can merge into ``self``.
 

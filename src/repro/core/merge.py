@@ -11,12 +11,17 @@ sequences over a list of summaries:
   (all merges roughly equal weight);
 - :func:`merge_random_tree` — a uniformly random binary merge tree, the
   "arbitrary sequence" the definition of mergeability quantifies over;
+- :func:`merge_kway` — one s-way :meth:`~repro.core.base.Summary.merge_many`
+  call (single combine pass, no intermediate compactions);
 - :func:`merge_all` — strategy dispatcher.
 
 All executors mutate the *first* operand of every pairwise merge and
 never touch later inputs more than once, mirroring how an in-network
 aggregation consumes child summaries.  Callers that need the inputs
-preserved should pass copies.
+preserved should pass copies.  With a parallel executor the merges of
+a tree level run in worker processes; the merged summaries then come
+back as copies, so the caller's input objects are left untouched on
+that path.
 """
 
 from __future__ import annotations
@@ -25,12 +30,14 @@ from typing import List, Sequence
 
 from .base import Summary
 from .exceptions import MergeError, ParameterError
+from .parallel import ExecutorLike, resolve_executor
 from .rng import RngLike, resolve_rng
 
 __all__ = [
     "merge_chain",
     "merge_tree",
     "merge_random_tree",
+    "merge_kway",
     "merge_all",
     "MERGE_STRATEGIES",
 ]
@@ -54,19 +61,33 @@ def merge_chain(summaries: Sequence[Summary]) -> Summary:
     return acc
 
 
-def merge_tree(summaries: Sequence[Summary]) -> Summary:
+def _merge_pair(left: Summary, right: Summary) -> Summary:
+    return left.merge(right)
+
+
+def merge_tree(
+    summaries: Sequence[Summary], executor: ExecutorLike = None
+) -> Summary:
     """Balanced binary reduction (depth ``ceil(log2 m)``).
 
     Every merge combines summaries of (nearly) equal total weight when
     the inputs have equal weight — the "equal-weight merge" model of
-    paper Section 3.1.
+    paper Section 3.1.  With an ``executor`` the pairs of each level are
+    merged concurrently (they are independent); results are identical
+    for any worker count because each pair's merge sees only its own
+    two operands.
     """
     _require_nonempty(summaries)
+    pool = resolve_executor(executor)
     level: List[Summary] = list(summaries)
     while len(level) > 1:
-        nxt: List[Summary] = []
-        for i in range(0, len(level) - 1, 2):
-            nxt.append(level[i].merge(level[i + 1]))
+        pairs = [
+            (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if pool is not None:
+            nxt = pool.map(_merge_pair, pairs)
+        else:
+            nxt = [left.merge(right) for left, right in pairs]
         if len(level) % 2 == 1:
             nxt.append(level[-1])
         level = nxt
@@ -93,10 +114,22 @@ def merge_random_tree(summaries: Sequence[Summary], rng: RngLike = None) -> Summ
     return pool[0]
 
 
+def merge_kway(summaries: Sequence[Summary]) -> Summary:
+    """One s-way combine: ``summaries[0].merge_many(summaries[1:])``.
+
+    Summaries with a vectorized ``_merge_many_same_type`` pay one table
+    sum / register max / compaction cascade for the whole fan-in
+    instead of ``s - 1`` sequential merges.
+    """
+    _require_nonempty(summaries)
+    return summaries[0].merge_many(summaries[1:])
+
+
 MERGE_STRATEGIES = {
     "chain": merge_chain,
     "tree": merge_tree,
     "random": merge_random_tree,
+    "kway": merge_kway,
 }
 
 
@@ -104,11 +137,14 @@ def merge_all(
     summaries: Sequence[Summary],
     strategy: str = "tree",
     rng: RngLike = None,
+    executor: ExecutorLike = None,
 ) -> Summary:
     """Merge ``summaries`` with the named strategy.
 
-    ``strategy`` is one of ``"chain"``, ``"tree"``, ``"random"``; the
-    ``rng`` argument only affects ``"random"``.
+    ``strategy`` is one of ``"chain"``, ``"tree"``, ``"random"``,
+    ``"kway"``; ``rng`` only affects ``"random"``; ``executor`` (an int
+    worker count or a :class:`~repro.core.parallel.ParallelExecutor`)
+    only affects ``"tree"``, whose per-level pairs are independent.
     """
     try:
         fn = MERGE_STRATEGIES[strategy]
@@ -118,4 +154,6 @@ def merge_all(
         ) from None
     if strategy == "random":
         return fn(summaries, rng)
+    if strategy == "tree":
+        return fn(summaries, executor)
     return fn(summaries)

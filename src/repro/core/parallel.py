@@ -1,0 +1,146 @@
+"""Process-parallel execution for leaf builds and tree merges.
+
+The merge/query runtime parallelizes two embarrassingly parallel
+phases of a distributed aggregation: *leaf builds* (every node ingests
+its own shard) and *level merges* (all pairs of a merge-tree level are
+independent).  :class:`ParallelExecutor` provides the worker pool both
+phases share.
+
+Design constraints, in order:
+
+1. **Determinism.** Results must be byte-identical regardless of the
+   worker count.  The executor guarantees order-preserving maps and
+   never shares state between tasks; determinism then only requires
+   that each task owns its randomness (every summary carries its own
+   :class:`numpy.random.Generator`, and factories should derive fresh
+   per-call state — an int seed, not a shared generator object).
+2. **Graceful degradation.** Anywhere a process pool cannot run —
+   ``max_workers <= 1``, no ``fork`` start method, a sandbox that
+   forbids subprocesses — the executor transparently degrades to an
+   in-process serial map with identical semantics (and no pickling, so
+   serialization is skipped entirely on the serial path).
+3. **Lambda-friendliness.** Summary factories are usually lambdas,
+   which ``ProcessPoolExecutor`` cannot pickle.  The pool is therefore
+   forked *per map call* and the callable travels to the children via
+   fork-time memory inheritance (a module-level payload slot), not via
+   pickle; only task *results* are pickled back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from .exceptions import ParameterError
+
+__all__ = ["ParallelExecutor", "ExecutorLike", "resolve_executor"]
+
+#: fork-time payload slot: ``(fn, tasks)`` visible to children of the
+#: next pool fork.  Only ever read by `_forked_task` inside workers.
+_FORK_PAYLOAD: Optional[Tuple[Callable[..., Any], Sequence[Tuple[Any, ...]]]] = None
+
+
+def _forked_task(index: int) -> Any:
+    """Run task ``index`` of the payload inherited at fork time."""
+    fn, tasks = _FORK_PAYLOAD  # type: ignore[misc]
+    return fn(*tasks[index])
+
+
+def _fork_available() -> bool:
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+class ParallelExecutor:
+    """Order-preserving task map over a process pool, with serial fallback.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size.  ``None`` means ``os.cpu_count()``; ``0`` or ``1``
+        means serial execution (no subprocesses, no pickling).
+
+    Attributes
+    ----------
+    fallbacks:
+        Number of map calls that degraded to serial execution after a
+        pool failure (0 on healthy platforms).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 0:
+            raise ParameterError(
+                f"max_workers must be >= 0, got {max_workers!r}"
+            )
+        self.max_workers = int(max_workers)
+        self.fallbacks = 0
+        self._broken = not _fork_available()
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when map calls will attempt to use a process pool."""
+        return self.max_workers > 1 and not self._broken
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, ...]],
+    ) -> List[Any]:
+        """Apply ``fn(*task)`` to every task; results in task order.
+
+        Tasks never observe each other; a failure to run the pool (or a
+        worker raising pickling errors) degrades to the serial path.
+        Exceptions raised by ``fn`` itself propagate unchanged.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1 or not self.is_parallel:
+            return [fn(*task) for task in tasks]
+        global _FORK_PAYLOAD
+        import multiprocessing
+
+        workers = min(self.max_workers, len(tasks))
+        chunksize = max(1, (len(tasks) + workers - 1) // workers)
+        _FORK_PAYLOAD = (fn, tasks)
+        try:
+            with multiprocessing.get_context("fork").Pool(workers) as pool:
+                return pool.map(_forked_task, range(len(tasks)), chunksize)
+        except (OSError, PermissionError, ImportError):
+            # sandboxes without subprocess support: degrade, remember
+            self._broken = True
+            self.fallbacks += 1
+            return [fn(*task) for task in tasks]
+        finally:
+            _FORK_PAYLOAD = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "parallel" if self.is_parallel else "serial"
+        return f"<ParallelExecutor workers={self.max_workers} ({mode})>"
+
+
+ExecutorLike = Union[None, int, ParallelExecutor]
+
+
+def resolve_executor(executor: ExecutorLike) -> Optional[ParallelExecutor]:
+    """Normalize an executor argument.
+
+    ``None`` stays ``None`` (callers keep their scalar legacy path); an
+    ``int`` builds a :class:`ParallelExecutor` with that many workers
+    (1 = the serial executor, same code path as parallel minus the
+    pool); an executor instance passes through.
+    """
+    if executor is None:
+        return None
+    if isinstance(executor, ParallelExecutor):
+        return executor
+    if isinstance(executor, int):
+        return ParallelExecutor(max_workers=executor)
+    raise ParameterError(
+        f"executor must be None, an int worker count, or a ParallelExecutor, "
+        f"got {type(executor)!r}"
+    )

@@ -19,7 +19,7 @@ from .partition import (
     SortedPartitioner,
     UniformRandomPartitioner,
 )
-from .simulator import AggregationResult, run_aggregation
+from .simulator import AggregationResult, plan_merge_waves, run_aggregation
 from .topology import (
     TOPOLOGIES,
     MergeSchedule,
@@ -49,6 +49,7 @@ __all__ = [
     "TOPOLOGIES",
     "AggregationResult",
     "run_aggregation",
+    "plan_merge_waves",
     "ContinuousAggregation",
     "EpochReport",
     "FaultModel",

@@ -24,21 +24,23 @@ of less data than asked for.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..core import Summary
 from ..core.exceptions import ParameterError, SerializationError
+from ..core.parallel import ExecutorLike, ParallelExecutor, resolve_executor
 from ..core.rng import RngLike, resolve_rng
 from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy
 from .node import Node
 from .partition import Partitioner
 from .topology import MergeSchedule
 
-__all__ = ["AggregationResult", "run_aggregation"]
+__all__ = ["AggregationResult", "run_aggregation", "plan_merge_waves"]
 
 
 @dataclass
@@ -51,7 +53,9 @@ class AggregationResult:
     depth: int
     #: largest summary size observed at any point during the run
     max_size_en_route: int
-    #: total serialized bytes shipped (0 when serialization is off)
+    #: total serialized bytes shipped (0 when serialization is off);
+    #: counts each summary generation once — retransmissions of the
+    #: same bytes land in :attr:`bytes_retransmitted`
     bytes_shipped: int
     build_seconds: float
     merge_seconds: float
@@ -69,6 +73,79 @@ class AggregationResult:
     shard_sizes: List[int] = field(default_factory=list)
     #: fault-injection accounting (None for fault-free runs)
     fault_stats: Optional[FaultStats] = None
+    #: bytes re-sent for already-serialized generations (retry overhead)
+    bytes_retransmitted: int = 0
+
+
+def plan_merge_waves(
+    steps: Sequence[Tuple[int, int]],
+) -> List[List[Tuple[int, List[int]]]]:
+    """Group schedule steps into parallel waves of k-way fan-ins.
+
+    Consecutive steps sharing a destination collapse into one
+    ``(dst, [srcs])`` group — a single ``merge_many`` fan-in.  Groups
+    are then packed greedily into *waves*: a wave takes groups in
+    schedule order until a group touches a node some earlier group in
+    the wave already used, at which point the wave is flushed.  Groups
+    within a wave touch disjoint node sets, so they commute and may run
+    concurrently; groups in later waves see every earlier wave's
+    effects, preserving the schedule's sequential semantics.
+    """
+    groups: List[Tuple[int, List[int]]] = []
+    for dst, src in steps:
+        if groups and groups[-1][0] == dst:
+            groups[-1][1].append(src)
+        else:
+            groups.append((dst, [src]))
+    waves: List[List[Tuple[int, List[int]]]] = []
+    wave: List[Tuple[int, List[int]]] = []
+    used: Set[int] = set()
+    for dst, srcs in groups:
+        touched = {dst, *srcs}
+        if wave and (touched & used):
+            waves.append(wave)
+            wave, used = [], set()
+        wave.append((dst, srcs))
+        used |= touched
+    if wave:
+        waves.append(wave)
+    return waves
+
+
+def _factory_takes_node_index(factory: Callable[..., Summary]) -> bool:
+    """True when ``factory`` wants the node index (one required arg).
+
+    Factories may accept the node index to derive per-node RNG streams
+    (``lambda i: KLLQuantiles(200, rng=1000 + i)``); zero-argument
+    factories are called as before.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    required = [
+        p
+        for p in signature.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        and p.default is p.empty
+    ]
+    return len(required) == 1
+
+
+def _build_node_summary(
+    node: Node, factory: Callable[..., Summary], takes_index: bool
+) -> Summary:
+    if takes_index:
+        return node.build(lambda: factory(node.node_id))
+    return node.build(factory)
+
+
+def _absorb_group(summary: Summary, payloads: List[Any], serialized: bool) -> Summary:
+    """Merge one wave group in a worker: deserialize + one k-way merge."""
+    from ..core import loads
+
+    children = [loads(p) if serialized else p for p in payloads]
+    return summary.merge_many(children)
 
 
 def _validate_schedule_indices(schedule: MergeSchedule, node_count: int) -> None:
@@ -181,14 +258,29 @@ def run_aggregation(
     fault_model: Optional[FaultModel] = None,
     retry_policy: Optional[RetryPolicy] = None,
     exactly_once: bool = True,
+    executor: ExecutorLike = None,
 ) -> AggregationResult:
     """Partition ``data``, build per-node summaries, merge per ``schedule``.
 
     ``summary_factory`` is called once per node and must return
     identically parameterized summaries (that is what makes them
-    mergeable).  With ``serialize=True`` every merge round-trips the
-    child summary through the JSON wire format, as a real deployment
-    would.
+    mergeable).  A factory taking one argument receives the node index
+    (for per-node RNG streams).  With ``serialize=True`` every merge
+    round-trips the child summary through the JSON wire format, as a
+    real deployment would.
+
+    ``executor`` (an int worker count or a
+    :class:`~repro.core.parallel.ParallelExecutor`) opts into the
+    parallel merge runtime: leaf builds fan out across workers, and the
+    schedule is planned into waves of disjoint k-way fan-ins
+    (:func:`plan_merge_waves`) that merge concurrently via
+    ``merge_many``.  Results are deterministic for any worker count —
+    each build/merge task sees only its own operands — and identical to
+    ``executor=1``.  ``executor=None`` (the default) keeps the original
+    step-by-step scalar path.  Fault injection forces the scalar merge
+    path (retries are inherently sequential), but leaf builds still
+    parallelize; the legacy ``duplicate_probability`` knob does the
+    same.
 
     ``duplicate_probability`` injects bare *at-least-once delivery*:
     each merge step is, with that probability, delivered (and merged)
@@ -222,6 +314,7 @@ def run_aggregation(
             "corruption injection garbles wire payloads; it requires serialize=True"
         )
     fault_rng = resolve_rng(rng)
+    pool: Optional[ParallelExecutor] = resolve_executor(executor)
     shards = partitioner.split(np.asarray(data), schedule.leaves)
     if len(shards) != schedule.leaves:
         raise ParameterError(
@@ -235,9 +328,18 @@ def run_aggregation(
         for i, shard in enumerate(shards)
     ]
 
+    takes_index = _factory_takes_node_index(summary_factory)
     t0 = time.perf_counter()
-    for node in nodes:
-        node.build(summary_factory)
+    if pool is not None:
+        built = pool.map(
+            _build_node_summary,
+            [(node, summary_factory, takes_index) for node in nodes],
+        )
+        for node, summary in zip(nodes, built):
+            node.summary = summary
+    else:
+        for node in nodes:
+            _build_node_summary(node, summary_factory, takes_index)
     t1 = time.perf_counter()
 
     shard_sizes = [len(shard) for shard in shards]
@@ -269,18 +371,34 @@ def run_aggregation(
             lost_leaves=sorted(set(range(schedule.leaves)) - set(delivered_leaves)),
             shard_sizes=shard_sizes,
             fault_stats=stats,
+            bytes_retransmitted=sum(n.bytes_retransmitted for n in nodes),
         )
 
     max_size = max(node.summary.size() for node in nodes)
     duplicated = 0
-    for dst, src in schedule.steps:
-        payload = nodes[src].emit(serialize=serialize)
-        nodes[dst].absorb(payload, serialized=serialize)
-        if duplicate_probability and fault_rng.random() < duplicate_probability:
+    if pool is not None and not duplicate_probability:
+        # wave-planned runtime: serialization and byte accounting stay
+        # in this process; each wave's disjoint fan-ins merge via one
+        # merge_many per group, concurrently when the pool is parallel
+        for wave in plan_merge_waves(schedule.steps):
+            tasks = []
+            for dst, srcs in wave:
+                payloads = [nodes[src].emit(serialize=serialize) for src in srcs]
+                tasks.append((nodes[dst].summary, payloads, serialize))
+            merged = pool.map(_absorb_group, tasks)
+            for (dst, srcs), summary in zip(wave, merged):
+                nodes[dst].summary = summary
+                nodes[dst].merges_performed += len(srcs)
+                max_size = max(max_size, summary.size())
+    else:
+        for dst, src in schedule.steps:
             payload = nodes[src].emit(serialize=serialize)
             nodes[dst].absorb(payload, serialized=serialize)
-            duplicated += 1
-        max_size = max(max_size, nodes[dst].summary.size())
+            if duplicate_probability and fault_rng.random() < duplicate_probability:
+                payload = nodes[src].emit(serialize=serialize)
+                nodes[dst].absorb(payload, serialized=serialize)
+                duplicated += 1
+            max_size = max(max_size, nodes[dst].summary.size())
     t2 = time.perf_counter()
 
     root = nodes[schedule.root].summary
@@ -301,4 +419,5 @@ def run_aggregation(
         lost_leaves=[],
         shard_sizes=shard_sizes,
         fault_stats=None,
+        bytes_retransmitted=sum(n.bytes_retransmitted for n in nodes),
     )

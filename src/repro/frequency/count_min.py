@@ -135,6 +135,13 @@ class CountMin(Summary):
         self._table += other._table
         self._n += other._n
 
+    def _merge_many_same_type(self, others: Sequence["Summary"]) -> None:
+        # linear sketch: the s-way merge is one stacked entry-wise sum
+        self._table += np.sum(
+            np.stack([o._table for o in others]), axis=0  # type: ignore[attr-defined]
+        )
+        self._n += sum(o._n for o in others)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "width": self.width,

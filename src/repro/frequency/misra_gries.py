@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
@@ -244,6 +244,22 @@ class MisraGries(Summary):
         pruned, cut = self._prune(combined, self.k)
         total_deduction = self._deduction + other._deduction + cut
         self._replace_state(pruned, total_n, total_deduction)
+
+    def _merge_many_same_type(self, others: Sequence["Summary"]) -> None:
+        # s-way combine + ONE prune.  A single prune cuts at most as
+        # much as the s-1 sequential prunes would, so the invariant
+        # (k+1) * deduction <= n - stored_mass still holds.
+        combined = self.counters()
+        total_n = self._n
+        total_deduction = self._deduction
+        for other in others:
+            assert isinstance(other, MisraGries)
+            for item, value in other.counters().items():
+                combined[item] = combined.get(item, 0) + value
+            total_n += other._n
+            total_deduction += other._deduction
+        pruned, cut = self._prune(combined, self.k)
+        self._replace_state(pruned, total_n, total_deduction + cut)
 
     def _replace_state(
         self, counters: Dict[Any, int], n: int, deduction: int

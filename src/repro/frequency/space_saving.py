@@ -30,7 +30,7 @@ suite to validate the isomorphism empirically.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from ..core.base import Summary
 from ..core.exceptions import ParameterError
@@ -135,6 +135,13 @@ class SpaceSaving(Summary):
     def _merge_same_type(self, other: "Summary") -> None:
         assert isinstance(other, SpaceSaving)
         self._core.merge(other._core)
+        self._n = self._core.n
+
+    def _merge_many_same_type(self, others: Sequence["Summary"]) -> None:
+        # one combine + one prune in the underlying MG core
+        self._core.merge_many(
+            [other._core for other in others]  # type: ignore[attr-defined]
+        )
         self._n = self._core.n
 
     # ------------------------------------------------------------------

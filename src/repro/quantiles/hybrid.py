@@ -30,11 +30,11 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.base import normalize_batch
-from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.exceptions import ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
 from .equal_weight import random_halving
-from .estimator import QuantileSummary, check_quantile
+from .estimator import QuantileSummary
 from .gk import GKQuantiles
 
 __all__ = ["HybridQuantiles"]
@@ -169,27 +169,27 @@ class HybridQuantiles(QuantileSummary):
         total += self._gk.rank(x)
         return total
 
-    def quantile(self, q: float) -> float:
-        q = check_quantile(q)
-        if self.is_empty:
-            raise EmptySummaryError("quantile query on an empty summary")
-        pairs: List[tuple] = [(v, 1.0) for v in self._buffer]
+    def _sample_state(self):
+        parts: List[np.ndarray] = [np.asarray(self._buffer, dtype=np.float64)]
+        weights: List[np.ndarray] = [np.ones(len(self._buffer))]
         for level, blocks in self._blocks.items():
-            weight = float(2**level)
+            w = float(2**level)
             for block in blocks:
-                pairs.extend((float(v), weight) for v in block)
+                parts.append(np.asarray(block, dtype=np.float64))
+                weights.append(np.full(len(block), w))
         # GK tuples enter with their gap weights; their value ordering
         # is exact, so this treats the GK part as a weighted sample set.
-        for value, g, _delta in self._gk._tuples:
-            pairs.append((value, float(g)))
-        pairs.sort(key=lambda p: p[0])
-        target = q * self._n
-        acc = 0.0
-        for value, weight in pairs:
-            acc += weight
-            if acc >= target:
-                return value
-        return pairs[-1][0]
+        if self._gk._tuples:
+            parts.append(
+                np.array([v for v, _g, _d in self._gk._tuples], dtype=np.float64)
+            )
+            weights.append(
+                np.array([float(g) for _v, g, _d in self._gk._tuples])
+            )
+        return np.concatenate(parts), np.concatenate(weights)
+
+    def quantile(self, q: float) -> float:
+        return self._view_quantile(q)
 
     def size(self) -> int:
         return (
@@ -216,6 +216,19 @@ class HybridQuantiles(QuantileSummary):
         if other._gk.size():
             self._gk.merge(other._gk)
         self._n += other._n
+        self._flush_buffer()
+
+    def _merge_many_same_type(self, others) -> None:
+        # one carry pass over the union of all bottom structures; GK
+        # tops still fold sequentially (GK merge is inherently pairwise
+        # weighted reinsertion)
+        for other in others:
+            self._buffer.extend(other._buffer)
+            for level, blocks in other._blocks.items():
+                self._blocks.setdefault(level, []).extend(b.copy() for b in blocks)
+            if other._gk.size():
+                self._gk.merge(other._gk)
+            self._n += other._n
         self._flush_buffer()
 
     # ------------------------------------------------------------------

@@ -24,10 +24,10 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.base import normalize_batch
-from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.exceptions import ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
-from .estimator import QuantileSummary, check_quantile
+from .estimator import QuantileSummary
 
 __all__ = ["KLLQuantiles"]
 
@@ -52,6 +52,9 @@ class KLLQuantiles(QuantileSummary):
         self.k = int(k)
         self._rng = resolve_rng(rng)
         self._levels: List[List[float]] = [[]]
+        #: level-scan iterations performed by :meth:`_compress` (the
+        #: micro-benchmark guard for the linear-scan compaction)
+        self._compress_steps = 0
 
     @classmethod
     def from_epsilon(
@@ -95,13 +98,24 @@ class KLLQuantiles(QuantileSummary):
         self._levels[level + 1].extend(promoted)
 
     def _compress(self) -> None:
-        """Compact over-capacity levels bottom-up until all fit."""
+        """Compact over-capacity levels bottom-up until all fit.
+
+        A compaction that stays within the existing level stack leaves
+        every lower level's capacity unchanged, so the scan resumes in
+        place.  Only growing a new top level shrinks the capacities
+        below it (they are keyed on height-from-top) and forces a
+        restart — which happens O(log n) times over the sketch's
+        lifetime, not once per compaction as the old always-restart
+        scan did (worst-case O(L^2) sweeps per flush).
+        """
         level = 0
         while level < len(self._levels):
+            self._compress_steps += 1
             if len(self._levels[level]) > self._capacity(level):
+                grew = level + 1 == len(self._levels)
                 self._compact_level(level)
-                # adding a level shrinks lower capacities: restart scan
-                level = 0
+                if grew:
+                    level = 0
             else:
                 level += 1
 
@@ -153,31 +167,22 @@ class KLLQuantiles(QuantileSummary):
     # Queries
     # ------------------------------------------------------------------
 
-    def rank(self, x: float) -> float:
-        x = float(x)
-        total = 0.0
+    def _sample_state(self):
+        parts: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
         for level, buffer in enumerate(self._levels):
             if buffer:
-                weight = float(2**level)
-                total += weight * sum(1 for v in buffer if v <= x)
-        return total
+                parts.append(np.asarray(buffer, dtype=np.float64))
+                weights.append(np.full(len(buffer), float(2**level)))
+        if not parts:
+            return np.empty(0), np.empty(0)
+        return np.concatenate(parts), np.concatenate(weights)
+
+    def rank(self, x: float) -> float:
+        return self._view_rank(x)
 
     def quantile(self, q: float) -> float:
-        q = check_quantile(q)
-        if self.is_empty:
-            raise EmptySummaryError("quantile query on an empty summary")
-        pairs: List[tuple] = []
-        for level, buffer in enumerate(self._levels):
-            weight = float(2**level)
-            pairs.extend((v, weight) for v in buffer)
-        pairs.sort(key=lambda p: p[0])
-        target = q * self._n
-        acc = 0.0
-        for value, weight in pairs:
-            acc += weight
-            if acc >= target:
-                return value
-        return pairs[-1][0]
+        return self._view_quantile(q)
 
     def size(self) -> int:
         return sum(len(buffer) for buffer in self._levels)
@@ -203,6 +208,17 @@ class KLLQuantiles(QuantileSummary):
         for level, buffer in enumerate(other._levels):
             self._levels[level].extend(buffer)
         self._n += other._n
+        self._compress()
+
+    def _merge_many_same_type(self, others) -> None:
+        # concatenate every operand's levels, then ONE compaction
+        # cascade over the union instead of one per operand
+        for other in others:
+            while len(self._levels) < len(other._levels):
+                self._levels.append([])
+            for level, buffer in enumerate(other._levels):
+                self._levels[level].extend(buffer)
+            self._n += other._n
         self._compress()
 
     # ------------------------------------------------------------------

@@ -21,9 +21,9 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.base import normalize_batch
-from ..core.exceptions import EmptySummaryError, MergeError, ParameterError
+from ..core.exceptions import MergeError, ParameterError
 from ..core.registry import register_summary
-from .estimator import QuantileSummary, check_quantile
+from .estimator import QuantileSummary
 
 __all__ = ["MRLQuantiles", "deterministic_halving"]
 
@@ -114,32 +114,21 @@ class MRLQuantiles(QuantileSummary):
                 self._blocks.pop(level, None)
             level += 1
 
-    def rank(self, x: float) -> float:
-        x = float(x)
-        total = float(sum(1 for v in self._buffer if v <= x))
+    def _sample_state(self):
+        parts: List[np.ndarray] = [np.asarray(self._buffer, dtype=np.float64)]
+        weights: List[np.ndarray] = [np.ones(len(self._buffer))]
         for level, blocks in self._blocks.items():
-            weight = float(2**level)
+            w = float(2**level)
             for block in blocks:
-                total += weight * float(np.searchsorted(block, x, side="right"))
-        return total
+                parts.append(np.asarray(block, dtype=np.float64))
+                weights.append(np.full(len(block), w))
+        return np.concatenate(parts), np.concatenate(weights)
+
+    def rank(self, x: float) -> float:
+        return self._view_rank(x)
 
     def quantile(self, q: float) -> float:
-        q = check_quantile(q)
-        if self.is_empty:
-            raise EmptySummaryError("quantile query on an empty summary")
-        pairs: List[tuple] = [(v, 1.0) for v in self._buffer]
-        for level, blocks in self._blocks.items():
-            weight = float(2**level)
-            for block in blocks:
-                pairs.extend((float(v), weight) for v in block)
-        pairs.sort(key=lambda p: p[0])
-        target = q * self._n
-        acc = 0.0
-        for value, weight in pairs:
-            acc += weight
-            if acc >= target:
-                return value
-        return pairs[-1][0]
+        return self._view_quantile(q)
 
     def size(self) -> int:
         return len(self._buffer) + sum(
@@ -158,6 +147,18 @@ class MRLQuantiles(QuantileSummary):
         for level, blocks in other._blocks.items():
             self._blocks.setdefault(level, []).extend(b.copy() for b in blocks)
         self._n += other._n
+        self._flush_buffer()
+
+    def _merge_many_same_type(self, others) -> None:
+        # all operands in, ONE carry pass; the deterministic halvings
+        # pair blocks in a different order than a sequential fold would,
+        # so the resulting state differs bitwise but carries the same
+        # per-level structure and error bound
+        for other in others:
+            self._buffer.extend(other._buffer)
+            for level, blocks in other._blocks.items():
+                self._blocks.setdefault(level, []).extend(b.copy() for b in blocks)
+            self._n += other._n
         self._flush_buffer()
 
     def to_dict(self) -> Dict[str, Any]:

@@ -135,6 +135,13 @@ class HyperLogLog(Summary):
         np.maximum(self._registers, other._registers, out=self._registers)
         self._n += other._n
 
+    def _merge_many_same_type(self, others: Sequence["HyperLogLog"]) -> None:
+        # lattice join over the whole fan-in: one register-wise max
+        self._registers = np.maximum.reduce(
+            [self._registers] + [o._registers for o in others]
+        )
+        self._n += sum(o._n for o in others)
+
     def to_dict(self) -> Dict[str, Any]:
         # registers travel as base64 of the raw uint8 buffer — a p=18
         # sketch is ~350 KB as a JSON int list but 350 KB/3*4 as base64

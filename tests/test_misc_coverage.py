@@ -94,7 +94,7 @@ class TestMergeStrategiesRegistry:
     def test_registry_names(self):
         from repro.core.merge import MERGE_STRATEGIES
 
-        assert set(MERGE_STRATEGIES) == {"chain", "tree", "random"}
+        assert set(MERGE_STRATEGIES) == {"chain", "tree", "random", "kway"}
 
 
 class TestRangeSpaceExtras:
