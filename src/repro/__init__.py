@@ -67,6 +67,7 @@ from .quantiles import (
 )
 from .ranges import EpsApproximation
 from .sketches import AmsF2Sketch, BloomFilter, HyperLogLog, KMinValues
+from .store import SegmentStore
 
 __version__ = "1.0.0"
 
@@ -111,4 +112,5 @@ __all__ = [
     "DecayedMisraGries",
     "WindowedMisraGries",
     "KLLQuantiles",
+    "SegmentStore",
 ]

@@ -20,6 +20,11 @@ Examples
     python -m repro simulate --type misra_gries --arg k=64 \
         --input items.txt --nodes 16 --topology balanced \
         --loss 0.2 --crash 0.05 --duplicate 0.2 --seed 7
+    python -m repro store ingest --dir ./hits --type misra_gries \
+        --arg k=64 --width 3600 --input items.txt --keys stamps.txt
+    python -m repro store compact --dir ./hits
+    python -m repro store query --dir ./hits --lo 0 --hi 86400 \
+        --heavy-hitters 0.01 --explain
 """
 
 from __future__ import annotations
@@ -120,8 +125,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    summary = _load_summary(args.summary)
+def _run_point_queries(summary, args: argparse.Namespace) -> bool:
+    """Apply the shared ``--quantile``/``--estimate``/... flags; True if any ran."""
     ran_query = False
     if args.heavy_hitters is not None:
         ran_query = True
@@ -141,7 +146,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.distinct:
         ran_query = True
         print(summary.distinct())
-    if not ran_query:
+    return ran_query
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    summary = _load_summary(args.summary)
+    if not _run_point_queries(summary, args):
         raise SystemExit(
             "query needs one of --heavy-hitters/--quantile/--rank/"
             "--estimate/--distinct"
@@ -232,6 +242,95 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_keys(path: str) -> List[float]:
+    """Read a newline-delimited numeric key file (one key per item)."""
+    keys: List[float] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            keys.append(float(line))
+        except ValueError:
+            raise SystemExit(f"--keys file has a non-numeric line: {line!r}")
+    return keys
+
+
+def _open_store(directory: str):
+    from .store import SegmentStore
+
+    return SegmentStore.open(directory)
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from .store import SegmentStore
+
+    target = Path(args.dir)
+    if (target / "manifest.json").exists():
+        store = _open_store(args.dir)
+    else:
+        if not args.type:
+            raise SystemExit("--type is required when creating a new store")
+        store = SegmentStore(width=args.width, codec=args.codec)
+        store.add_member(
+            "value", args.type, field="value", **_parse_args_kv(args.arg)
+        )
+    items = _read_items(args.input)
+    keys = _read_keys(args.keys) if args.keys else None
+    if keys is not None and len(keys) != len(items):
+        raise SystemExit(
+            f"--keys has {len(keys)} line(s) but --input has "
+            f"{len(items)} item(s)"
+        )
+    weights = _read_weights(args.weights) if args.weights else None
+    if weights is not None and len(weights) != len(items):
+        raise SystemExit(
+            f"--weights has {len(weights)} line(s) but --input has "
+            f"{len(items)} item(s)"
+        )
+    stats = store.ingest([{"value": item} for item in items], keys, weights)
+    store.save(args.dir)
+    print(
+        f"ingested {stats['records']} records: "
+        f"segments +{stats['segments_created']} "
+        f"(replaced {stats['segments_replaced']}, "
+        f"invalidated {stats['rollups_invalidated']} roll-ups) -> {args.dir}"
+    )
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    stats = store.compact(executor=args.workers)
+    store.save(args.dir)
+    print(
+        f"compacted {store.num_segments} segments: "
+        f"built {stats['rollups_built']} roll-ups over {stats['levels']} "
+        f"level(s), {stats['merge_inputs']} merge inputs -> {args.dir}"
+    )
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    result = store.query(args.lo, args.hi, use_rollups=not args.no_rollups)
+    if args.explain:
+        print(result.plan.describe())
+    ran = _run_point_queries(result["value"], args)
+    if not ran and not args.explain:
+        raise SystemExit(
+            "store query needs --explain or one of --heavy-hitters/"
+            "--quantile/--rank/--estimate/--distinct"
+        )
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    print(_json.dumps(_open_store(args.dir).stats(), indent=2, sort_keys=True))
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="mergeable summaries toolkit"
@@ -312,6 +411,74 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write the root summary JSON here")
     simulate.set_defaults(func=_cmd_simulate)
 
+    store = sub.add_parser(
+        "store",
+        help="segmented summary store: ingest keyed records, pre-merge "
+        "dyadic roll-ups, answer range queries in O(log S) merges",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    ingest = store_sub.add_parser(
+        "ingest", help="append items to a store directory (created on first use)"
+    )
+    ingest.add_argument("--dir", required=True, help="store directory")
+    ingest.add_argument("--input", required=True, help="newline-delimited items")
+    ingest.add_argument(
+        "--keys",
+        default=None,
+        help="newline-delimited numeric keys parallel to --input "
+        "(default: arrival index)",
+    )
+    ingest.add_argument(
+        "--weights",
+        default=None,
+        help="newline-delimited positive integer weights parallel to --input",
+    )
+    ingest.add_argument(
+        "--type", default=None, help="summary type (required on first ingest)"
+    )
+    ingest.add_argument(
+        "--arg", action="append", help="constructor argument name=value", default=None
+    )
+    ingest.add_argument(
+        "--width", type=float, default=1.0,
+        help="key width of one segment (first ingest only)",
+    )
+    ingest.add_argument(
+        "--codec", default="json.v2", choices=["json.v1", "json.v2", "binary.v1"],
+        help="segment persistence codec (first ingest only)",
+    )
+    ingest.set_defaults(func=_cmd_store_ingest)
+
+    compact = store_sub.add_parser(
+        "compact", help="build the dyadic roll-up tree over current segments"
+    )
+    compact.add_argument("--dir", required=True)
+    compact.add_argument("--workers", type=int, default=None,
+                         help="merge roll-up levels on a process pool")
+    compact.set_defaults(func=_cmd_store_compact)
+
+    squery = store_sub.add_parser(
+        "query", help="answer a point query over a key range [lo, hi)"
+    )
+    squery.add_argument("--dir", required=True)
+    squery.add_argument("--lo", type=float, required=True)
+    squery.add_argument("--hi", type=float, required=True)
+    squery.add_argument("--no-rollups", action="store_true",
+                        help="force the naive one-merge-per-segment scan")
+    squery.add_argument("--explain", action="store_true",
+                        help="print the query plan before answering")
+    squery.add_argument("--heavy-hitters", type=float, default=None, metavar="PHI")
+    squery.add_argument("--quantile", type=float, default=None, metavar="Q")
+    squery.add_argument("--rank", type=float, default=None, metavar="X")
+    squery.add_argument("--estimate", default=None, metavar="ITEM")
+    squery.add_argument("--distinct", action="store_true")
+    squery.set_defaults(func=_cmd_store_query)
+
+    sstats = store_sub.add_parser("stats", help="print store statistics as JSON")
+    sstats.add_argument("--dir", required=True)
+    sstats.set_defaults(func=_cmd_store_stats)
+
     return parser
 
 
@@ -331,6 +498,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `repro store stats | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,14 @@ from .exceptions import (
     ReproError,
     SerializationError,
 )
+from .codecs import (
+    Codec,
+    decode_summary,
+    encode_summary,
+    get_codec,
+    register_codec,
+    registered_codecs,
+)
 from .merge import merge_all, merge_chain, merge_kway, merge_random_tree, merge_tree
 from .parallel import ParallelExecutor, resolve_executor
 from .registry import get_summary_class, register_summary, registered_names
@@ -42,4 +50,10 @@ __all__ = [
     "loads",
     "to_envelope",
     "from_envelope",
+    "Codec",
+    "register_codec",
+    "get_codec",
+    "registered_codecs",
+    "encode_summary",
+    "decode_summary",
 ]

@@ -13,7 +13,7 @@ reproducible run of an arbitrarily deep merge tree.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,102 +1,44 @@
-"""JSON round-trip for any registered summary.
+"""JSON round-trip for any registered summary (codec-stack front end).
 
 Summaries travel between nodes in a distributed aggregation: a sensor
 serializes its local summary, ships it up the tree, and the parent
-deserializes and merges.  The envelope written here is what the
-:mod:`repro.distributed` simulator (and a real deployment) would put on
-the wire.
+deserializes and merges.  Historically this module *was* the wire
+format; it is now a thin compatibility front end over the versioned
+codec stack in :mod:`repro.core.codecs`, which owns the JSON envelope
+(``json.v1`` legacy, ``json.v2`` with CRC32 checksum) and the compact
+``binary.v1`` codec shared by the wire and the segment store's disk
+format.
 
-Envelope format::
-
-    {"format": 2, "type": "<registry name>", "state": {...to_dict()...},
-     "checksum": <CRC32 of the canonical state JSON>}
-
-The checksum gives end-to-end corruption detection: a parent rejects a
-payload whose state no longer matches its CRC32 instead of merging
-garbage.  Version-1 envelopes (no checksum) are still accepted, so
-summaries persisted by older builds keep loading; a version-2 envelope
-whose checksum is absent is likewise accepted (the field is an
-integrity upgrade, not a gate).
+:func:`dumps`/:func:`loads` keep their original JSON-text contract
+(``dumps`` emits the default ``json.v2`` envelope; ``loads`` accepts
+every registered codec's payloads, including pre-refactor format-1 and
+format-2 envelopes), so existing callers and persisted summaries keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-import json
-import zlib
-from typing import Any, Dict
-
 from .base import Summary
-from .exceptions import SerializationError
-from .registry import get_summary_class
+from .codecs import (
+    DEFAULT_CODEC,
+    decode_summary,
+    encode_summary,
+    from_envelope,
+    state_checksum,
+    to_envelope,
+)
 
 __all__ = ["dumps", "loads", "to_envelope", "from_envelope", "state_checksum"]
 
-_FORMAT_VERSION = 2
-_ACCEPTED_VERSIONS = (1, 2)
+
+def dumps(summary: Summary, codec: str = DEFAULT_CODEC):
+    """Serialize ``summary`` with the named codec (default: ``json.v2``).
+
+    Returns ``str`` for the JSON codecs and ``bytes`` for binary ones.
+    """
+    return encode_summary(summary, codec)
 
 
-def state_checksum(state: Dict[str, Any]) -> int:
-    """CRC32 over the canonical (sorted-key, compact) JSON of ``state``."""
-    canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
-    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
-
-
-def to_envelope(summary: Summary) -> Dict[str, Any]:
-    """Wrap a summary's state in the versioned transport envelope."""
-    name = getattr(summary, "registry_name", None)
-    if name is None:
-        raise SerializationError(
-            f"{type(summary).__name__} is not registered; apply "
-            "@register_summary before serializing"
-        )
-    state = summary.to_dict()
-    return {
-        "format": _FORMAT_VERSION,
-        "type": name,
-        "state": state,
-        "checksum": state_checksum(state),
-    }
-
-
-def from_envelope(envelope: Dict[str, Any]) -> Summary:
-    """Reconstruct a summary from :func:`to_envelope` output."""
-    try:
-        version = envelope["format"]
-        name = envelope["type"]
-        state = envelope["state"]
-    except (TypeError, KeyError) as exc:
-        raise SerializationError(f"malformed summary envelope: {exc!r}") from exc
-    if version not in _ACCEPTED_VERSIONS:
-        raise SerializationError(
-            f"unsupported envelope format {version!r} "
-            f"(supported: {', '.join(map(str, _ACCEPTED_VERSIONS))})"
-        )
-    if "checksum" in envelope:
-        expected = envelope["checksum"]
-        actual = state_checksum(state)
-        if actual != expected:
-            raise SerializationError(
-                f"payload checksum mismatch (stored {expected!r}, computed "
-                f"{actual}): summary state corrupted in transit or at rest"
-            )
-    cls = get_summary_class(name)
-    return cls.from_dict(state)
-
-
-def dumps(summary: Summary) -> str:
-    """Serialize ``summary`` to a JSON string."""
-    try:
-        return json.dumps(to_envelope(summary), separators=(",", ":"))
-    except (TypeError, ValueError) as exc:
-        raise SerializationError(
-            f"summary state of {type(summary).__name__} is not JSON-compatible: {exc}"
-        ) from exc
-
-
-def loads(payload: str) -> Summary:
-    """Deserialize a summary from :func:`dumps` output."""
-    try:
-        envelope = json.loads(payload)
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"invalid JSON payload: {exc}") from exc
-    return from_envelope(envelope)
+def loads(payload) -> Summary:
+    """Deserialize a payload produced by any registered codec."""
+    return decode_summary(payload)

@@ -27,9 +27,10 @@ rewinding the clock.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Dict, Optional
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError
 from ..core.items import plain
 from ..core.registry import register_summary
@@ -111,6 +112,10 @@ class DecayedMisraGries(Summary):
         self._n += 1
         self.advance_to(timestamp)
         decayed = weight * self._factor(self._reference_time - timestamp)
+        self._ingest_at_reference(item, decayed)
+
+    def _ingest_at_reference(self, item: Any, decayed: float) -> None:
+        """Fold ``decayed`` weight of ``item``, already at the reference."""
         self._decayed_total += decayed
         counters = self._counters
         if item in counters:
@@ -132,6 +137,35 @@ class DecayedMisraGries(Summary):
     def update(self, item: Any, weight: int = 1) -> None:
         """Timestamp-less update: observe at the current reference time."""
         self.observe(item, self._reference_time, float(weight))
+
+    def update_batch(
+        self,
+        items: Any,
+        weights: Optional[Any] = None,
+    ) -> None:
+        """Pre-aggregated batch ingestion at the current reference time.
+
+        Timestamp-less updates all land exactly at the reference (decay
+        factor 1), so the batch collapses to one weighted insertion per
+        *distinct* item — the same Counter pre-aggregation fast path as
+        plain Misra-Gries, valid here because every occurrence carries
+        the same decay.  The decrement interleaving differs from the
+        item-at-a-time order, but the guarantee does not depend on it:
+        every decrement still charges ``k + 1`` units of decayed weight,
+        so ``deduction <= N_decayed / (k + 1)`` holds unchanged.
+        """
+        items, weights, _total = normalize_batch(items, weights)
+        if len(items) == 0:
+            return
+        aggregated: Counter = Counter()
+        if weights is None:
+            aggregated.update(items)
+        else:
+            for item, weight in zip(items, weights.tolist()):
+                aggregated[item] += weight
+        self._n += len(items)
+        for item, weight in aggregated.items():
+            self._ingest_at_reference(item, float(weight))
 
     # ------------------------------------------------------------------
     # Queries

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional
 
-from ..core.base import Summary
+from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError, QueryError
 from ..core.registry import register_summary
 from ..frequency.misra_gries import MisraGries
@@ -124,6 +124,30 @@ class WindowedMisraGries(Summary):
         latest = max(self._buckets, default=0)
         self.observe(item, latest * self.bucket_width, weight)
 
+    def update_batch(
+        self,
+        items: Any,
+        weights: Optional[Any] = None,
+    ) -> None:
+        """Batch ingestion into the most recent bucket.
+
+        Every timestamp-less update lands in the latest bucket, and
+        observing into the latest bucket never changes which bucket is
+        latest — so the whole batch delegates to that single bucket's
+        Misra-Gries batch fast path (Counter pre-aggregation) instead
+        of paying the bucket lookup and eviction scan per item.
+        """
+        items, weights, total = normalize_batch(items, weights)
+        if len(items) == 0:
+            return
+        latest = max(self._buckets, default=0)
+        bucket = self._buckets.get(latest)
+        if bucket is None:
+            bucket = self._buckets[latest] = MisraGries(self.k)
+        bucket.update_batch(items, weights)
+        self._n += total
+        self._evict_expired()
+
     def _evict_expired(self) -> None:
         if not self._buckets:
             return
@@ -146,6 +170,15 @@ class WindowedMisraGries(Summary):
     def live_buckets(self) -> Dict[int, int]:
         """Bucket index -> item count (diagnostics)."""
         return {index: bucket.n for index, bucket in sorted(self._buckets.items())}
+
+    def estimate(self, item: Any) -> int:
+        """Lower-bound count of ``item`` across all live buckets.
+
+        Sum of the per-bucket MG estimates: each underestimates by at
+        most its bucket's ``n / (k + 1)``, so the total underestimate is
+        at most ``n_live / (k + 1)`` over the retained horizon.
+        """
+        return sum(bucket.estimate(item) for bucket in self._buckets.values())
 
     def query(self, window_end: float, window_length: float) -> WindowQueryResult:
         """Heavy-hitter summary of ``[window_end - window_length, window_end]``.

@@ -20,7 +20,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import Summary, dumps, loads
+from ..core import Summary
+from ..core.codecs import DEFAULT_CODEC, decode_summary, encode_summary
 from .faults import MergeLedger
 
 __all__ = ["Node"]
@@ -49,10 +50,14 @@ class Node:
     #: pre-aggregated shard: distinct values + counts)
     shard_weights: Optional[np.ndarray] = None
 
+    #: wire codec this node emits (any :mod:`repro.core.codecs` name);
+    #: absorb sniffs the payload, so mixed-codec fleets interoperate
+    codec: str = DEFAULT_CODEC
+
     #: serialized payload of the current summary generation (keyed on
     #: ``merges_performed``), so retransmissions reuse the exact bytes
     #: the first attempt shipped instead of re-serializing
-    _payload_cache: Optional[Tuple[int, str]] = field(
+    _payload_cache: Optional[Tuple[int, Any]] = field(
         default=None, repr=False, compare=False
     )
 
@@ -87,7 +92,7 @@ class Node:
         if cached is not None and cached[0] == generation:
             self.bytes_retransmitted += len(cached[1])
             return cached[1]
-        payload = dumps(self.summary)
+        payload = encode_summary(self.summary, self.codec)
         self._payload_cache = (generation, payload)
         self.bytes_sent += len(payload)
         return payload
@@ -109,7 +114,7 @@ class Node:
         """
         if self.summary is None:
             raise RuntimeError(f"node {self.node_id} has no summary built")
-        child = loads(payload) if serialized else payload
+        child = decode_summary(payload) if serialized else payload
         if delivery_id is not None and self.ledger is not None:
             if delivery_id in self.ledger:
                 self.duplicates_ignored += 1
@@ -139,7 +144,7 @@ class Node:
         children: List[Summary] = []
         fresh_ids: List[str] = []
         for i, payload in enumerate(payloads):
-            child = loads(payload) if serialized else payload
+            child = decode_summary(payload) if serialized else payload
             delivery_id = delivery_ids[i] if delivery_ids is not None else None
             if delivery_id is not None and self.ledger is not None:
                 if delivery_id in self.ledger:

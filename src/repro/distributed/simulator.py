@@ -142,9 +142,9 @@ def _build_node_summary(
 
 def _absorb_group(summary: Summary, payloads: List[Any], serialized: bool) -> Summary:
     """Merge one wave group in a worker: deserialize + one k-way merge."""
-    from ..core import loads
+    from ..core.codecs import decode_summary
 
-    children = [loads(p) if serialized else p for p in payloads]
+    children = [decode_summary(p) if serialized else p for p in payloads]
     return summary.merge_many(children)
 
 

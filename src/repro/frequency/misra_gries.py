@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.base import Summary, normalize_batch
 from ..core.exceptions import ParameterError

@@ -23,7 +23,7 @@ restriction; this class enforces it by raising on unequal merges.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 

@@ -23,9 +23,11 @@ bounds the rank error by ``eps * n``.
 from __future__ import annotations
 
 import bisect
-import math
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
+from ..core.base import normalize_batch
 from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from .estimator import QuantileSummary, check_quantile
@@ -65,6 +67,107 @@ class GKQuantiles(QuantileSummary):
         if self._since_compress >= max(1, int(1.0 / (2.0 * self.epsilon))):
             self.compress()
 
+    def update_batch(
+        self,
+        items: Any,
+        weights: Optional[Any] = None,
+    ) -> None:
+        """Bulk insertion: one sort, one linear merge, one compression.
+
+        The generic fallback pays a ``bisect`` + ``list.insert`` (both
+        O(size)) per item plus a compression every ``1/(2 eps)``
+        updates.  Sorting the batch once lets all tuples merge into the
+        summary in a single linear pass, with one final compression.
+        Each tuple is created exactly as :meth:`_insert` would have
+        (same weight splitting, same ``delta`` from its successor), so
+        the GK invariant ``g + delta <= 2 eps n`` — and with it the
+        rank guarantee — is preserved; only the compression schedule
+        differs, which the guarantee does not depend on.
+        """
+        items, weights, total = normalize_batch(items, weights)
+        if total == 0:
+            return
+        if weights is None:
+            self._bulk_insert_units(np.sort(np.asarray(items, dtype=float)))
+        else:
+            pairs = sorted(zip((float(v) for v in items), weights.tolist()))
+            self._bulk_insert(pairs)
+        self.compress()
+
+    def _bulk_insert_units(self, values: "np.ndarray") -> None:
+        """Vectorized :meth:`_bulk_insert` for unit weights.
+
+        With ``weight == 1`` every new tuple has ``g == 1`` (the weight
+        split never triggers), so positions and successor deltas can be
+        computed in bulk: ``searchsorted`` finds each value's slot among
+        the *old* tuples, and its delta is its old successor's
+        ``g + delta - 1`` (0 at either boundary) — exactly what the
+        scalar path computes, minus 200k Python-level iterations.
+        """
+        old = self._tuples
+        new_deltas: "np.ndarray"
+        if not old:
+            positions = np.zeros(len(values), dtype=np.intp)
+            new_deltas = np.zeros(len(values))
+        else:
+            old_keys = np.array([t[0] for t in old])
+            successor = np.maximum(
+                np.array([t[1] + t[2] - 1.0 for t in old]), 0.0
+            )
+            positions = np.searchsorted(old_keys, values, side="right")
+            inside = positions < len(old)
+            new_deltas = np.where(
+                inside, successor[np.minimum(positions, len(old) - 1)], 0.0
+            )
+            if positions[0] == 0:
+                # the very first insertion has no predecessor -> delta 0
+                new_deltas[0] = 0.0
+        new_tuples = [
+            [v, 1.0, d] for v, d in zip(values.tolist(), new_deltas.tolist())
+        ]
+        counts = np.bincount(positions, minlength=len(old) + 1).tolist()
+        out: List[List[float]] = []
+        index = 0
+        for j, old_tuple in enumerate(old):
+            if counts[j]:
+                out.extend(new_tuples[index : index + counts[j]])
+                index += counts[j]
+            out.append(old_tuple)
+        out.extend(new_tuples[index:])
+        self._tuples = out
+        self._n += len(values)
+
+    def _bulk_insert(self, pairs: List[Any]) -> None:
+        """Merge value-sorted ``(value, weight)`` pairs into the tuple list.
+
+        Single linear pass replaying :meth:`_insert`'s semantics: a new
+        tuple's ``delta`` comes from its successor — necessarily a
+        not-yet-consumed *old* tuple, since every new value inserted so
+        far sorts at or before the current one — and large weights
+        split into gaps of at most ``max(1, eps * (n + remaining))``.
+        """
+        old = self._tuples
+        out: List[List[float]] = []
+        j = 0
+        eps = self.epsilon
+        for value, weight in pairs:
+            while j < len(old) and old[j][0] <= value:
+                out.append(old[j])
+                j += 1
+            remaining = int(weight)
+            while remaining > 0:
+                limit = max(1, int(eps * (self._n + remaining)))
+                g = min(remaining, limit)
+                if not out or j >= len(old):
+                    delta = 0.0
+                else:
+                    delta = max(old[j][1] + old[j][2] - 1.0, 0.0)
+                out.append([value, float(g), delta])
+                self._n += g
+                remaining -= g
+        out.extend(old[j:])
+        self._tuples = out
+
     def _insert(self, value: float, weight: int) -> None:
         """Insert ``weight`` exact copies of ``value``.
 
@@ -94,18 +197,30 @@ class GKQuantiles(QuantileSummary):
         self._n += g
 
     def compress(self) -> None:
-        """Merge adjacent tuples while the GK invariant allows it."""
+        """Merge adjacent tuples while the GK invariant allows it.
+
+        One backward pass; merges cascade into the accumulating
+        successor.  Building a fresh list keeps the pass linear (the
+        in-place ``del`` variant is quadratic on the long uncompressed
+        runs :meth:`update_batch` produces); the first and last tuples
+        are never merged away — they pin the observed min and max.
+        """
         self._since_compress = 0
-        threshold = 2.0 * self.epsilon * self._n
         tuples = self._tuples
-        i = len(tuples) - 2
-        while i >= 1:
-            v, g, delta = tuples[i]
-            nv, ng, ndelta = tuples[i + 1]
-            if g + ng + ndelta <= threshold:
-                tuples[i + 1][1] = g + ng
-                del tuples[i]
-            i -= 1
+        if len(tuples) <= 2:
+            return
+        threshold = 2.0 * self.epsilon * self._n
+        out = [tuples[-1]]
+        for i in range(len(tuples) - 2, 0, -1):
+            current = tuples[i]
+            successor = out[-1]
+            if current[1] + successor[1] + successor[2] <= threshold:
+                successor[1] = current[1] + successor[1]
+            else:
+                out.append(current)
+        out.append(tuples[0])
+        out.reverse()
+        self._tuples = out
 
     # ------------------------------------------------------------------
     # Queries
@@ -181,6 +296,26 @@ class GKQuantiles(QuantileSummary):
         self.merge_generations = (
             max(self.merge_generations, other.merge_generations) + 1
         )
+
+    def _merge_many_same_type(self, others: Any) -> None:
+        """k-way merge: one combined reinsertion, one compression.
+
+        The sequential fold reinserts and compresses once per operand,
+        paying fresh rank error *per generation*; combining every
+        operand's tuples into a single sorted reinsertion costs only
+        one generation for the whole group — the k-way merge is not
+        just faster, it degrades less (E8's per-generation error
+        growth, paid once instead of ``len(others)`` times).
+        """
+        pairs = []
+        top_generation = self.merge_generations
+        for other in others:
+            top_generation = max(top_generation, other.merge_generations)
+            pairs.extend((float(v), int(g)) for v, g, _delta in other._tuples)
+        pairs.sort()
+        self._bulk_insert(pairs)
+        self.compress()
+        self.merge_generations = top_generation + 1
 
     # ------------------------------------------------------------------
     # Serialization

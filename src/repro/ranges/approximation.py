@@ -30,7 +30,7 @@ from ..core.exceptions import EmptySummaryError, ParameterError
 from ..core.registry import register_summary
 from ..core.rng import RngLike, resolve_rng
 from .discrepancy import halve_points
-from .range_spaces import RANGE_SPACES, RangeSpace, get_range_space
+from .range_spaces import RangeSpace, get_range_space
 
 __all__ = ["EpsApproximation"]
 

@@ -1,0 +1,26 @@
+"""Segmented summary store: immutable segments, roll-ups, query planner.
+
+The serving layer built on mergeability: :class:`SegmentStore`
+partitions a stream into immutable per-epoch segments,
+:meth:`~SegmentStore.compact` pre-merges them into a dyadic roll-up
+tree, and the planner answers ``[lo, hi)`` range queries from
+``O(log S)`` pre-merged nodes with the same guarantees as a full scan.
+"""
+
+from .planner import QueryPlan, fan_in_bound, plan_range
+from .segment import MemberSpec, Segment, copy_summary, merged_segment
+from .store import QueryResult, SegmentStore
+from .views import ViewCache
+
+__all__ = [
+    "SegmentStore",
+    "QueryResult",
+    "QueryPlan",
+    "plan_range",
+    "fan_in_bound",
+    "MemberSpec",
+    "Segment",
+    "copy_summary",
+    "merged_segment",
+    "ViewCache",
+]

@@ -1,0 +1,189 @@
+"""Store persistence: a manifest plus one container file per segment.
+
+Layout of a store directory::
+
+    manifest.json          # format, width, codec, schema, segment metas
+    segments/<id>.rseg     # one container per live segment
+
+The manifest is always JSON (humans debug it); segment *payloads* go
+through :mod:`repro.core.codecs`, so a store saved with
+``codec="binary.v1"`` stores compact zlib-packed summaries while
+``json.v2`` keeps everything inspectable — and loading auto-detects
+either, because :func:`~repro.core.codecs.decode_summary` sniffs the
+payload.  The container framing is deliberately tiny::
+
+    b"RSEG" | u8 version | u32 meta_len | meta JSON
+    then per member: u16 name_len | name | u32 payload_len | payload
+
+Payload bytes are exactly what the codec produced (UTF-8 encoded when
+the codec yields text), so the store and the distributed wire format
+share one serialization layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Any, Dict
+
+from ..core.codecs import decode_summary, encode_summary
+from ..core.exceptions import SerializationError
+from .segment import MemberSpec, Segment
+
+__all__ = ["save_store", "load_store", "write_segment", "read_segment"]
+
+_MANIFEST_FORMAT = 1
+_SEGMENT_MAGIC = b"RSEG"
+_SEGMENT_VERSION = 1
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+
+
+def write_segment(segment: Segment, path: str, codec: str) -> int:
+    """Serialize one segment into an ``.rseg`` container; returns bytes written."""
+    chunks = [_SEGMENT_MAGIC, _U8.pack(_SEGMENT_VERSION)]
+    meta = json.dumps(segment.meta(), sort_keys=True).encode("utf-8")
+    chunks.append(_U32.pack(len(meta)))
+    chunks.append(meta)
+    for name in sorted(segment.members):
+        payload = encode_summary(segment.members[name], codec)
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        raw_name = name.encode("utf-8")
+        chunks.append(_U16.pack(len(raw_name)))
+        chunks.append(raw_name)
+        chunks.append(_U32.pack(len(payload)))
+        chunks.append(payload)
+    blob = b"".join(chunks)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def read_segment(path: str) -> Segment:
+    """Load one ``.rseg`` container written by :func:`write_segment`."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise SerializationError(f"{path}: cannot read segment container") from exc
+    if len(blob) < len(_SEGMENT_MAGIC) + 1 + 4 or not blob.startswith(_SEGMENT_MAGIC):
+        raise SerializationError(f"{path}: not a segment container")
+    offset = len(_SEGMENT_MAGIC)
+    (version,) = _U8.unpack_from(blob, offset)
+    offset += 1
+    if version != _SEGMENT_VERSION:
+        raise SerializationError(
+            f"{path}: unsupported segment container version {version}"
+        )
+    (meta_len,) = _U32.unpack_from(blob, offset)
+    offset += 4
+    try:
+        meta = json.loads(blob[offset : offset + meta_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"{path}: corrupt segment metadata") from exc
+    offset += meta_len
+    members = {}
+    while offset < len(blob):
+        (name_len,) = _U16.unpack_from(blob, offset)
+        offset += 2
+        name = blob[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (payload_len,) = _U32.unpack_from(blob, offset)
+        offset += 4
+        payload = blob[offset : offset + payload_len]
+        if len(payload) != payload_len:
+            raise SerializationError(f"{path}: truncated segment container")
+        offset += payload_len
+        members[name] = decode_summary(payload)
+    if sorted(members) != meta.get("members"):
+        raise SerializationError(
+            f"{path}: member payloads do not match the container metadata"
+        )
+    return Segment(
+        segment_id=meta["id"],
+        level=int(meta["level"]),
+        start=int(meta["start"]),
+        count=int(meta["count"]),
+        members=members,
+    )
+
+
+def save_store(store: Any, path: str) -> Dict[str, int]:
+    """Persist a :class:`~repro.store.store.SegmentStore` to a directory.
+
+    Returns counters: ``segments`` written and total payload ``bytes``.
+    Overwrites any previous save at ``path``.
+    """
+    seg_dir = os.path.join(path, "segments")
+    os.makedirs(seg_dir, exist_ok=True)
+    for stale in os.listdir(seg_dir):
+        if stale.endswith(".rseg"):
+            os.remove(os.path.join(seg_dir, stale))
+    segments = store.segments()
+    total = 0
+    for segment in segments:
+        total += write_segment(
+            segment,
+            os.path.join(seg_dir, f"{segment.segment_id}.rseg"),
+            store.codec,
+        )
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "width": store.width,
+        "codec": store.codec,
+        "generation": store.generation,
+        "records": store.records,
+        "max_level": store._max_level,
+        "next_segment_id": store._next_segment_id,
+        "view_capacity": store._views.capacity,
+        "schema": {
+            name: spec.to_dict() for name, spec in store.schema.items()
+        },
+        "segments": [segment.meta() for segment in segments],
+    }
+    manifest_path = os.path.join(path, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return {"segments": len(segments), "bytes": total}
+
+
+def load_store(path: str) -> Any:
+    """Load a store saved by :func:`save_store`."""
+    from .store import SegmentStore
+
+    manifest_path = os.path.join(path, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise SerializationError(f"{path}: no store manifest found") from None
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: corrupt store manifest") from exc
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise SerializationError(
+            f"{path}: unsupported store manifest format "
+            f"{manifest.get('format')!r}"
+        )
+    store = SegmentStore(
+        width=manifest["width"],
+        codec=manifest["codec"],
+        view_capacity=manifest.get("view_capacity", 8),
+    )
+    for name, spec in manifest["schema"].items():
+        store._schema[name] = MemberSpec.from_dict(spec)
+    seg_dir = os.path.join(path, "segments")
+    for meta in manifest["segments"]:
+        segment = read_segment(os.path.join(seg_dir, f"{meta['id']}.rseg"))
+        if segment.level == 0:
+            store._base[segment.start] = segment
+        else:
+            store._rollups[(segment.level, segment.start)] = segment
+    store._max_level = int(manifest.get("max_level", 0))
+    store._generation = int(manifest.get("generation", 0))
+    store._records = int(manifest.get("records", 0))
+    store._next_segment_id = int(manifest.get("next_segment_id", 0))
+    return store

@@ -1,0 +1,161 @@
+"""Range-query planning: cover ``[lo, hi)`` with O(log S) merges.
+
+The mergeability guarantee makes pre-merged roll-ups *exact* citizens:
+a dyadic roll-up node carries the same error parameter and size bound
+as the base segments it merged, so the planner is free to answer a
+range query from the largest pre-merged blocks available — the
+Storyboard optimization — instead of merging every covered base
+segment.
+
+The decomposition is the classic segment-tree cover: a query spanning
+``E`` epochs splits into at most ``2 * ceil(log2 E) + 2`` aligned
+dyadic blocks (at most two blocks per level — one ragged edge on each
+side).  With the roll-up tree fully compacted, each block is served by
+one pre-merged segment, so a query over a store of ``S`` base segments
+merges ``O(log S)`` summaries instead of ``O(S)``.  Blocks whose
+roll-up has not been materialized (compaction pending, or partially
+invalidated by fresh ingest) gracefully decompose into their children,
+bottoming out at base segments — the plan degrades toward the naive
+scan but never returns stale data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.exceptions import ParameterError
+from .segment import Segment
+
+__all__ = ["QueryPlan", "plan_range", "fan_in_bound"]
+
+
+@dataclass
+class QueryPlan:
+    """The pre-merged segments chosen to answer one range query.
+
+    ``segments`` lists the chosen cover in key order; ``fan_in`` is the
+    number of merges the query will pay.  ``base_covered`` counts the
+    level-0 segments the cover represents — what a naive full scan
+    would have merged — so ``base_covered / fan_in`` is the planner's
+    leverage.
+    """
+
+    lo_epoch: int
+    hi_epoch: int
+    segments: List[Segment] = field(default_factory=list)
+
+    @property
+    def fan_in(self) -> int:
+        """Summaries merged per member to answer the query."""
+        return len(self.segments)
+
+    @property
+    def rollup_nodes(self) -> int:
+        """Chosen segments that are pre-merged roll-ups (level >= 1)."""
+        return sum(1 for s in self.segments if s.level >= 1)
+
+    @property
+    def base_segments(self) -> int:
+        """Chosen segments that are raw level-0 segments."""
+        return sum(1 for s in self.segments if s.level == 0)
+
+    #: segment_id -> number of present base epochs it covers (filled at
+    #: plan time; a roll-up's span is only an upper bound when some
+    #: epochs in its block never received data)
+    _present: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def base_covered(self) -> int:
+        """Level-0 segments represented by the cover (naive scan cost)."""
+        return sum(
+            self._present.get(s.segment_id, s.span) for s in self.segments
+        )
+
+    @property
+    def records(self) -> int:
+        """Total records covered by the plan."""
+        return sum(s.count for s in self.segments)
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary."""
+        parts = ", ".join(
+            f"L{s.level}[{s.start},{s.end})" for s in self.segments
+        )
+        return (
+            f"epochs [{self.lo_epoch},{self.hi_epoch}): fan_in={self.fan_in} "
+            f"({self.rollup_nodes} roll-ups + {self.base_segments} base, "
+            f"covering {self.base_covered} base segments) -> [{parts}]"
+        )
+
+
+def fan_in_bound(num_epochs: int) -> int:
+    """Worst-case fan-in of a fully compacted cover of ``num_epochs``.
+
+    At most two dyadic blocks per level plus the two ragged edges:
+    ``2 * ceil(log2 E) + 2``.  This is the O(log S) the planner proof
+    asserts against.
+    """
+    if num_epochs <= 1:
+        return 2
+    return 2 * math.ceil(math.log2(num_epochs)) + 2
+
+
+def plan_range(
+    lo_epoch: int,
+    hi_epoch: int,
+    base: Dict[int, Segment],
+    rollups: Dict[Tuple[int, int], Segment],
+    max_level: int,
+    use_rollups: bool = True,
+) -> QueryPlan:
+    """Compile epoch range ``[lo_epoch, hi_epoch)`` into a segment cover.
+
+    ``base`` maps epoch -> level-0 segment; ``rollups`` maps
+    ``(level, start)`` -> roll-up segment (``start`` aligned to
+    ``2**level``).  A roll-up is chosen when its whole block lies inside
+    the query range and it is materialized; otherwise the block splits
+    into its two children, bottoming out at base segments.  With
+    ``use_rollups=False`` the plan is the naive full scan (every
+    covered base segment) — the benchmark baseline.
+    """
+    if hi_epoch <= lo_epoch:
+        raise ParameterError(
+            f"empty query range: [{lo_epoch}, {hi_epoch}) covers no epochs"
+        )
+    plan = QueryPlan(lo_epoch=lo_epoch, hi_epoch=hi_epoch)
+    if not base:
+        return plan
+
+    def present(start: int, end: int) -> int:
+        return sum(1 for e in range(start, end) if e in base)
+
+    def cover(level: int, start: int) -> None:
+        """Emit the cover of dyadic block (level, start) ∩ query range."""
+        span = 1 << level
+        block_lo, block_hi = start, start + span
+        if block_hi <= lo_epoch or block_lo >= hi_epoch:
+            return
+        if level == 0:
+            segment = base.get(start)
+            if segment is not None:
+                plan.segments.append(segment)
+                plan._present[segment.segment_id] = 1
+            return
+        inside = lo_epoch <= block_lo and block_hi <= hi_epoch
+        if inside and use_rollups:
+            node = rollups.get((level, start))
+            if node is not None:
+                plan.segments.append(node)
+                plan._present[node.segment_id] = present(block_lo, block_hi)
+                return
+        half = span >> 1
+        cover(level - 1, start)
+        cover(level - 1, start + half)
+
+    top_span = 1 << max_level
+    first_block = (lo_epoch // top_span) * top_span
+    for start in range(first_block, hi_epoch, top_span):
+        cover(max_level, start)
+    return plan

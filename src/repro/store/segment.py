@@ -1,0 +1,148 @@
+"""Immutable segments: one key-range slice of the stream, pre-summarized.
+
+A :class:`Segment` is the store's unit of pre-computation, the shape
+Storyboard-style serving systems persist: it covers a half-open key
+range (time range, usually) and holds one summary per configured store
+member, built from exactly the records whose key fell in that range.
+Segments are *immutable* — ingesting more data into a covered range
+produces a replacement segment (built by merging, never by mutating),
+so any segment ever handed out stays valid and roll-ups/caches key off
+segment identity.
+
+Base segments (level 0) cover one *epoch* — one ``width``-wide slot of
+the key axis.  Roll-up segments (level ``ℓ >= 1``) cover an aligned
+dyadic block of ``2**ℓ`` epochs and hold the merge of their children;
+:mod:`repro.store.planner` serves range queries from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.base import Summary
+from ..core.exceptions import ParameterError
+from ..core.registry import get_summary_class
+
+__all__ = ["MemberSpec", "Segment", "copy_summary", "merged_segment"]
+
+
+def copy_summary(summary: Summary) -> Summary:
+    """Deep-copy a summary via its own state round-trip.
+
+    ``to_dict``/``from_dict`` is the library's canonical full-state
+    contract, so this is always a faithful copy — and it is what keeps
+    segments immutable: every merge the store performs receives a copy
+    as its mutable left operand, never a stored segment's summary.
+    """
+    return type(summary).from_dict(summary.to_dict())
+
+
+@dataclass(frozen=True)
+class MemberSpec:
+    """One configured summary of the store schema.
+
+    ``type_name`` is a registry name, ``kwargs`` its constructor
+    arguments (JSON-compatible, so the schema persists in the
+    manifest), and ``field`` the record field the member ingests.
+    """
+
+    type_name: str
+    field: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Summary:
+        """Construct an empty summary for one segment."""
+        cls = get_summary_class(self.type_name)
+        try:
+            return cls(**self.kwargs)
+        except TypeError as exc:
+            raise ParameterError(
+                f"cannot construct {self.type_name} with {self.kwargs!r}: {exc}"
+            ) from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.type_name, "field": self.field, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MemberSpec":
+        return cls(
+            type_name=payload["type"],
+            field=payload["field"],
+            kwargs=dict(payload.get("kwargs", {})),
+        )
+
+
+@dataclass
+class Segment:
+    """An immutable pre-summarized slice ``[start, start + span)`` of epochs.
+
+    ``level`` 0 segments are ingest output (``span == 1``); higher
+    levels are dyadic roll-ups (``span == 2**level``, ``start`` aligned
+    to ``span``).  ``members`` maps member name to that member's
+    summary over the covered records; treat both the mapping and the
+    summaries as frozen — the store only ever *replaces* segments.
+    """
+
+    segment_id: str
+    level: int
+    start: int
+    count: int
+    members: Dict[str, Summary]
+
+    @property
+    def span(self) -> int:
+        """Number of base epochs covered (``2**level``)."""
+        return 1 << self.level
+
+    @property
+    def end(self) -> int:
+        """One past the last covered epoch."""
+        return self.start + self.span
+
+    def key_range(self, width: float) -> tuple:
+        """The half-open key range ``[lo, hi)`` this segment covers."""
+        return (self.start * width, self.end * width)
+
+    def meta(self) -> Dict[str, Any]:
+        """JSON-compatible descriptor (no summary payloads)."""
+        return {
+            "id": self.segment_id,
+            "level": self.level,
+            "start": self.start,
+            "count": self.count,
+            "members": sorted(self.members),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Segment {self.segment_id} level={self.level} "
+            f"epochs=[{self.start},{self.end}) count={self.count}>"
+        )
+
+
+def merged_segment(
+    segment_id: str,
+    level: int,
+    start: int,
+    parts: list,
+) -> Segment:
+    """Build a roll-up segment as the k-way merge of ``parts``.
+
+    ``parts`` are existing segments (left untouched); the new segment's
+    members are ``merge_many`` folds over member-wise copies, so one
+    combine/compaction pass covers the whole group.
+    """
+    if not parts:
+        raise ParameterError("cannot roll up an empty segment group")
+    members: Dict[str, Summary] = {}
+    for name in parts[0].members:
+        first = copy_summary(parts[0].members[name])
+        members[name] = first.merge_many([p.members[name] for p in parts[1:]])
+    return Segment(
+        segment_id=segment_id,
+        level=level,
+        start=start,
+        count=sum(p.count for p in parts),
+        members=members,
+    )

@@ -1,0 +1,485 @@
+"""The segmented summary store.
+
+:class:`SegmentStore` is the serving layer the ROADMAP's production
+north-star asks for, built directly on the paper's mergeability
+guarantee: records are partitioned by a numeric key (a timestamp,
+usually) into ``width``-wide *epochs*, each epoch's records are folded
+into an immutable level-0 :class:`~repro.store.segment.Segment`
+holding one summary per configured member, and :meth:`compact` rolls
+adjacent segments up into a dyadic tree of pre-merged segments.  A
+range query is then compiled by :mod:`repro.store.planner` into
+``O(log S)`` pre-merged nodes instead of an ``O(S)`` scan — and because
+every summary is mergeable, the roll-up answers carry exactly the same
+guarantees as the naive scan would.
+
+The store's persistence (:mod:`repro.store.persistence`) and the
+distributed wire format share one serialization layer
+(:mod:`repro.core.codecs`), so a segment written with the compact
+binary codec is byte-compatible with what a node would ship upstream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.base import Summary, normalize_batch
+from ..core.codecs import DEFAULT_CODEC, get_codec
+from ..core.exceptions import ParameterError, QueryError
+from ..core.parallel import ExecutorLike, resolve_executor
+from .planner import QueryPlan, plan_range
+from .segment import MemberSpec, Segment, copy_summary, merged_segment
+from .views import ViewCache
+
+__all__ = ["SegmentStore", "QueryResult"]
+
+
+class QueryResult:
+    """The merged answer to one range query.
+
+    Holds one merged summary per store member (``result["latency"]``),
+    plus the :class:`~repro.store.planner.QueryPlan` that produced it
+    and the actual (epoch-aligned) key range covered.  Results may be
+    served from the store's view cache — treat the summaries as
+    read-only query views.
+    """
+
+    def __init__(
+        self,
+        members: Dict[str, Summary],
+        plan: QueryPlan,
+        key_range: Tuple[float, float],
+    ) -> None:
+        self._members = members
+        #: the segment cover that answered the query
+        self.plan = plan
+        #: actual half-open key span covered (query rounded out to epochs)
+        self.key_range = key_range
+
+    def __getitem__(self, name: str) -> Summary:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise ParameterError(
+                f"no store member named {name!r}; members: {sorted(self._members)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def members(self) -> Dict[str, Summary]:
+        """Snapshot of the member name -> merged summary mapping."""
+        return dict(self._members)
+
+    @property
+    def n(self) -> int:
+        """Records covered by the answer."""
+        return self.plan.records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryResult n={self.n} fan_in={self.plan.fan_in} "
+            f"range={self.key_range}>"
+        )
+
+
+class SegmentStore:
+    """A segmented summary store with dyadic roll-ups and a query planner.
+
+    Parameters
+    ----------
+    width:
+        Key-axis width of one epoch (one base segment).
+    codec:
+        :mod:`repro.core.codecs` name used by persistence
+        (``json.v2`` default; ``binary.v1`` for compact storage).
+    view_capacity:
+        Size of the merged-query-view LRU (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        codec: str = DEFAULT_CODEC,
+        view_capacity: int = 8,
+    ) -> None:
+        if not width > 0:
+            raise ParameterError(f"width must be positive, got {width!r}")
+        get_codec(codec)  # fail fast on unknown codecs
+        self.width = float(width)
+        self.codec = codec
+        self._schema: Dict[str, MemberSpec] = {}
+        self._base: Dict[int, Segment] = {}
+        self._rollups: Dict[Tuple[int, int], Segment] = {}
+        self._max_level = 0
+        self._generation = 0
+        self._next_segment_id = 0
+        self._records = 0
+        self._views = ViewCache(view_capacity)
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def add_member(
+        self,
+        name: str,
+        type_name: str,
+        field: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "SegmentStore":
+        """Configure a summary member fed from record ``field``.
+
+        Must happen before the first ingest: segments are immutable, so
+        a member added later could never be backfilled.
+        """
+        if name in self._schema:
+            raise ParameterError(f"store already has a member named {name!r}")
+        if self._base:
+            raise ParameterError(
+                "cannot add members after ingest has begun; the schema is "
+                "fixed once segments exist"
+            )
+        spec = MemberSpec(type_name=type_name, field=field or name, kwargs=kwargs)
+        spec.build()  # validate the constructor arguments eagerly
+        self._schema[name] = spec
+        return self
+
+    @property
+    def schema(self) -> Dict[str, MemberSpec]:
+        """Snapshot of the member name -> spec mapping."""
+        return dict(self._schema)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic state version (bumped by ingest and compaction)."""
+        return self._generation
+
+    @property
+    def records(self) -> int:
+        """Total records ingested."""
+        return self._records
+
+    @property
+    def num_segments(self) -> int:
+        """Live level-0 segments."""
+        return len(self._base)
+
+    @property
+    def num_rollups(self) -> int:
+        """Materialized roll-up segments."""
+        return len(self._rollups)
+
+    def epoch_of(self, key: float) -> int:
+        """The epoch (base-segment index) a key falls into."""
+        return int(math.floor(float(key) / self.width))
+
+    def key_span(self) -> Optional[Tuple[float, float]]:
+        """Half-open key range covered by ingested data, or ``None``."""
+        if not self._base:
+            return None
+        lo = min(self._base) * self.width
+        hi = (max(self._base) + 1) * self.width
+        return (lo, hi)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _new_segment_id(self, level: int, start: int) -> str:
+        self._next_segment_id += 1
+        return f"s{self._next_segment_id:06d}-L{level}-e{start}"
+
+    def _build_base_segment(
+        self,
+        epoch: int,
+        records: Sequence[Mapping[str, Any]],
+        weights: Optional[Sequence[int]],
+    ) -> Segment:
+        members: Dict[str, Summary] = {}
+        for name, spec in self._schema.items():
+            summary = spec.build()
+            values: List[Any] = []
+            value_weights: Optional[List[int]] = (
+                [] if weights is not None else None
+            )
+            for index, record in enumerate(records):
+                if spec.field in record:
+                    values.append(record[spec.field])
+                    if value_weights is not None:
+                        value_weights.append(weights[index])
+            if values:
+                summary.update_batch(values, value_weights)
+            members[name] = summary
+        return Segment(
+            segment_id=self._new_segment_id(0, epoch),
+            level=0,
+            start=epoch,
+            count=len(records),
+            members=members,
+        )
+
+    def _invalidate_rollups(self, epoch: int) -> int:
+        """Drop every roll-up whose block contains ``epoch``."""
+        dropped = 0
+        for level in range(1, self._max_level + 1):
+            start = (epoch >> level) << level
+            if self._rollups.pop((level, start), None) is not None:
+                dropped += 1
+        return dropped
+
+    def ingest(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        keys: Optional[Sequence[float]] = None,
+        weights: Optional[Sequence[int]] = None,
+    ) -> Dict[str, int]:
+        """Partition ``records`` by key into immutable base segments.
+
+        ``keys`` is a parallel sequence of numeric partition keys
+        (timestamps); when omitted, the running record index is used, so
+        epochs become fixed-size arrival batches.  ``weights`` is an
+        optional parallel sequence of positive integer multiplicities,
+        forwarded to each member's batched ingestion.
+
+        Re-ingesting into an epoch that already has a segment does not
+        mutate it: a fresh segment is built from the batch and *merged*
+        with the old one into a replacement, and every roll-up covering
+        that epoch is invalidated (rebuilt on the next :meth:`compact`).
+        Returns counters: ``segments_created``, ``segments_replaced``,
+        ``rollups_invalidated``, ``records``.
+        """
+        if not self._schema:
+            raise ParameterError("store has no members; add_member() first")
+        records, weights, _total = normalize_batch(records, weights)
+        if keys is None:
+            keys = [float(self._records + i) for i in range(len(records))]
+        else:
+            keys = list(keys)
+            if len(keys) != len(records):
+                raise ParameterError(
+                    f"keys must align with records: got {len(records)} "
+                    f"record(s) and {len(keys)} key(s)"
+                )
+        by_epoch: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            if not math.isfinite(float(key)):
+                raise ParameterError(f"partition keys must be finite, got {key!r}")
+            by_epoch.setdefault(self.epoch_of(key), []).append(index)
+
+        created = replaced = invalidated = 0
+        weight_list = None if weights is None else weights.tolist()
+        for epoch in sorted(by_epoch):
+            idx = by_epoch[epoch]
+            batch = [records[i] for i in idx]
+            batch_weights = (
+                None if weight_list is None else [weight_list[i] for i in idx]
+            )
+            fresh = self._build_base_segment(epoch, batch, batch_weights)
+            old = self._base.get(epoch)
+            if old is None:
+                self._base[epoch] = fresh
+                created += 1
+            else:
+                self._base[epoch] = merged_segment(
+                    self._new_segment_id(0, epoch), 0, epoch, [old, fresh]
+                )
+                replaced += 1
+            invalidated += self._invalidate_rollups(epoch)
+        self._records += len(records)
+        self._generation += 1
+        return {
+            "segments_created": created,
+            "segments_replaced": replaced,
+            "rollups_invalidated": invalidated,
+            "records": len(records),
+        }
+
+    # ------------------------------------------------------------------
+    # Compaction: the dyadic roll-up tree
+    # ------------------------------------------------------------------
+
+    def compact(self, executor: ExecutorLike = None) -> Dict[str, int]:
+        """Materialize the dyadic roll-up tree over the base segments.
+
+        Level ``ℓ`` holds one pre-merged segment per aligned block of
+        ``2**ℓ`` epochs that contains data; each is the k-way
+        ``merge_many`` of its (at most two) children from the level
+        below.  Blocks whose roll-up is already materialized are
+        skipped, so repeated compactions are incremental.  With an
+        ``executor`` (int worker count or
+        :class:`~repro.core.parallel.ParallelExecutor`) the independent
+        merges of each level fan out across workers.
+
+        Returns counters: ``levels``, ``rollups_built``,
+        ``merge_inputs`` (summaries consumed by the new roll-ups).
+        """
+        if len(self._base) == 0:
+            return {"levels": 0, "rollups_built": 0, "merge_inputs": 0}
+        lo, hi = min(self._base), max(self._base)
+        span = hi - lo + 1
+        levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
+        pool = resolve_executor(executor)
+        built = inputs = 0
+        for level in range(1, levels + 1):
+            block = 1 << level
+            half = block >> 1
+            jobs: List[Tuple[Tuple[int, int], str, List[Segment]]] = []
+            first = (lo // block) * block
+            for start in range(first, hi + 1, block):
+                if (level, start) in self._rollups:
+                    continue
+                parts = [
+                    child
+                    for child_start in (start, start + half)
+                    for child in (self._child_node(level - 1, child_start),)
+                    if child is not None
+                ]
+                if not parts:
+                    continue
+                key = (level, start)
+                jobs.append((key, self._new_segment_id(level, start), parts))
+            if not jobs:
+                continue
+            if pool is not None and len(jobs) > 1:
+                tasks = [
+                    (segment_id, level, key[1], parts)
+                    for key, segment_id, parts in jobs
+                ]
+                nodes = pool.map(merged_segment, tasks)
+            else:
+                nodes = [
+                    merged_segment(segment_id, level, key[1], parts)
+                    for key, segment_id, parts in jobs
+                ]
+            for (key, _segment_id, parts), node in zip(jobs, nodes):
+                self._rollups[key] = node
+                built += 1
+                inputs += len(parts)
+        self._max_level = max(self._max_level, levels)
+        if built:
+            self._generation += 1
+        return {"levels": levels, "rollups_built": built, "merge_inputs": inputs}
+
+    def _child_node(self, level: int, start: int) -> Optional[Segment]:
+        """The materialized node covering block ``(level, start)``, if any."""
+        if level == 0:
+            return self._base.get(start)
+        return self._rollups.get((level, start))
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def plan(self, lo: float, hi: float, use_rollups: bool = True) -> QueryPlan:
+        """Compile key range ``[lo, hi)`` into a segment cover.
+
+        The range is rounded outward to whole epochs (segments are the
+        store's resolution); see :mod:`repro.store.planner` for the
+        O(log S) decomposition.
+        """
+        if not hi > lo:
+            raise ParameterError(
+                f"query range must satisfy lo < hi, got [{lo!r}, {hi!r})"
+            )
+        lo_epoch = self.epoch_of(lo)
+        hi_epoch = int(math.ceil(float(hi) / self.width))
+        return plan_range(
+            lo_epoch,
+            hi_epoch,
+            self._base,
+            self._rollups,
+            max_level=max(self._max_level, 1),
+            use_rollups=use_rollups,
+        )
+
+    def query(
+        self, lo: float, hi: float, use_rollups: bool = True
+    ) -> QueryResult:
+        """Answer a ``[lo, hi)`` range query from pre-merged segments.
+
+        Plans the minimal cover, merges each member across the cover
+        (one k-way ``merge_many`` per member), and caches the merged
+        view in the store's LRU — repeated queries for the same range
+        at the same store generation are served without re-merging.
+        ``use_rollups=False`` forces the naive full scan over base
+        segments (the benchmark baseline; answers are equivalent).
+        """
+        if not self._schema:
+            raise QueryError("store has no members; add_member() first")
+        cache_key = (
+            self._generation,
+            self.epoch_of(lo),
+            int(math.ceil(float(hi) / self.width)),
+            use_rollups,
+        )
+        cached = self._views.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = self.plan(lo, hi, use_rollups=use_rollups)
+        members: Dict[str, Summary] = {}
+        for name, spec in self._schema.items():
+            parts = [segment.members[name] for segment in plan.segments]
+            if not parts:
+                members[name] = spec.build()
+                continue
+            merged = copy_summary(parts[0])
+            merged.merge_many(parts[1:])
+            members[name] = merged
+        result = QueryResult(
+            members,
+            plan,
+            key_range=(
+                plan.lo_epoch * self.width,
+                plan.hi_epoch * self.width,
+            ),
+        )
+        self._views.put(cache_key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def segments(self) -> List[Segment]:
+        """All live segments (base in epoch order, then roll-ups by level)."""
+        base = [self._base[e] for e in sorted(self._base)]
+        ups = [self._rollups[k] for k in sorted(self._rollups)]
+        return base + ups
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-level statistics for the CLI and the benchmarks."""
+        per_level: Dict[int, int] = {}
+        for level, _start in self._rollups:
+            per_level[level] = per_level.get(level, 0) + 1
+        return {
+            "width": self.width,
+            "codec": self.codec,
+            "members": {
+                name: spec.to_dict() for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "generation": self._generation,
+            "base_segments": len(self._base),
+            "rollups": len(self._rollups),
+            "rollups_per_level": {str(k): per_level[k] for k in sorted(per_level)},
+            "key_span": self.key_span(),
+            "view_cache": self._views.stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (delegates to repro.store.persistence)
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> Dict[str, int]:
+        """Persist the store to a directory via the configured codec."""
+        from .persistence import save_store
+
+        return save_store(self, path)
+
+    @classmethod
+    def open(cls, path) -> "SegmentStore":
+        """Load a store persisted by :meth:`save`."""
+        from .persistence import load_store
+
+        return load_store(path)

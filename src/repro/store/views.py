@@ -1,0 +1,70 @@
+"""LRU cache of merged query views.
+
+Dashboards hammer the same ranges ("last hour", "today") over and over;
+re-merging the plan's segments on every hit wastes the planner's work.
+:class:`ViewCache` keeps the most recent merged results keyed by
+``(store generation, epoch range, use_rollups)`` — the same
+generation-keyed invalidation idea as the cached sorted view on
+:class:`~repro.quantiles.estimator.QuantileSummary` (PR 3): ingest and
+compaction bump the store generation, so a stale view can never be
+served, and no explicit invalidation hooks are needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["ViewCache"]
+
+
+class ViewCache:
+    """A tiny ordered-dict LRU for merged query views.
+
+    ``capacity`` bounds the number of retained views; 0 disables
+    caching entirely (every lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 0:
+            raise ParameterError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached view for ``key``, refreshed as most recent, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, view: Any) -> None:
+        """Insert ``view``, evicting the least recently used on overflow."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = view
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache instrumentation: ``{"hits": ..., "misses": ..., "size": ...}``."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._entries),
+        }

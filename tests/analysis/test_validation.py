@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import TrialStats, failure_rate, run_trials
+from repro.analysis import failure_rate, run_trials
 from repro.core import ParameterError
 
 

@@ -1,0 +1,191 @@
+"""Codec-stack conformance: every registered summary x every codec.
+
+The codec registry is the single serialization layer shared by the
+distributed wire format and the segment store, so its contract is
+checked combinatorially:
+
+- every registered summary type round-trips through every registered
+  codec with **byte-identical** ``to_dict()`` state;
+- :func:`decode_summary` auto-detects each codec's payloads;
+- legacy payloads (format-1 envelopes, no checksum) still load;
+- corruption — bit flips, truncation, wrong magic, checksum edits —
+  is detected, never silently decoded.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.core import (
+    SerializationError,
+    decode_summary,
+    encode_summary,
+    get_codec,
+    registered_codecs,
+    registered_names,
+)
+from repro.core.codecs import (
+    _BINARY_MAGIC,
+    DEFAULT_CODEC,
+    state_checksum,
+    to_envelope,
+)
+from repro.frequency import MisraGries
+
+from .test_serialization import _build_all_registered
+
+
+def _canonical_state(summary) -> str:
+    """Serialized ``to_dict`` with the volatile RNG re-seed field removed.
+
+    Randomized summaries draw a fresh seed on every ``to_dict`` call so
+    that restored copies own an independent stream; every other byte of
+    state must survive any codec unchanged.
+    """
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k != "seed"}
+        if isinstance(value, list):
+            return [strip(v) for v in value]
+        return value
+
+    return json.dumps(strip(summary.to_dict()), sort_keys=True)
+
+
+def test_expected_codecs_are_registered():
+    names = registered_codecs()
+    assert {"json.v1", "json.v2", "binary.v1"} <= set(names)
+    assert DEFAULT_CODEC in names
+
+
+def test_unknown_codec_raises():
+    with pytest.raises(SerializationError, match="unknown codec"):
+        get_codec("carrier.pigeon")
+    with pytest.raises(SerializationError, match="unknown codec"):
+        encode_summary(MisraGries(4), codec="carrier.pigeon")
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return _build_all_registered()
+
+
+class TestConformanceMatrix:
+    """Registry x codec round trips, driven off both registries."""
+
+    def test_no_registered_type_is_missing(self, instances):
+        missing = set(registered_names()) - set(instances)
+        assert not missing, f"codec conformance misses types: {missing}"
+
+    @pytest.mark.parametrize("codec_name", sorted(registered_codecs()))
+    def test_every_type_round_trips_byte_identically(
+        self, instances, codec_name
+    ):
+        for name, summary in instances.items():
+            payload = encode_summary(summary, codec=codec_name)
+            restored = decode_summary(payload)
+            assert type(restored) is type(summary), (codec_name, name)
+            assert _canonical_state(restored) == _canonical_state(summary), (
+                codec_name,
+                name,
+            )
+
+    @pytest.mark.parametrize("codec_name", sorted(registered_codecs()))
+    def test_payload_kind_matches_codec_declaration(self, codec_name):
+        codec = get_codec(codec_name)
+        payload = encode_summary(MisraGries(4).extend([1, 1, 2]), codec_name)
+        if codec.binary:
+            assert isinstance(payload, bytes)
+        else:
+            assert isinstance(payload, str)
+
+    def test_binary_payload_is_smaller_for_bulky_state(self, instances):
+        bulky = instances["mergeable_quantiles"]
+        text = encode_summary(bulky, codec="json.v2").encode("utf-8")
+        binary = encode_summary(bulky, codec="binary.v1")
+        assert len(binary) < len(text)
+
+
+class TestAutoDetection:
+    def test_binary_payloads_sniffed_by_magic(self):
+        payload = encode_summary(MisraGries(4).extend([1, 2]), "binary.v1")
+        assert payload.startswith(_BINARY_MAGIC)
+        assert decode_summary(payload).n == 2
+
+    def test_json_text_and_bytes_both_accepted(self):
+        payload = encode_summary(MisraGries(4).extend([1, 2]), "json.v2")
+        assert decode_summary(payload).n == 2
+        assert decode_summary(payload.encode("utf-8")).n == 2
+
+    def test_v1_codec_output_loads_through_v2_decoder(self):
+        """Envelopes written by the legacy codec keep loading forever."""
+        payload = encode_summary(MisraGries(4).extend([1, 2, 2]), "json.v1")
+        envelope = json.loads(payload)
+        assert envelope["format"] == 1
+        assert "checksum" not in envelope
+        assert decode_summary(payload).n == 3
+
+
+class TestCorruptionDetection:
+    def _binary(self):
+        return encode_summary(MisraGries(8).extend([1, 1, 2, 3]), "binary.v1")
+
+    def test_wrong_magic_rejected(self):
+        payload = b"XXXX" + self._binary()[4:]
+        with pytest.raises(SerializationError):
+            decode_summary(payload)
+
+    def test_truncated_binary_rejected(self):
+        payload = self._binary()
+        for cut in (3, len(payload) // 2, len(payload) - 1):
+            with pytest.raises(SerializationError):
+                decode_summary(payload[:cut])
+
+    def test_flipped_body_byte_rejected(self):
+        payload = bytearray(self._binary())
+        payload[-1] ^= 0xFF
+        with pytest.raises(SerializationError):
+            decode_summary(bytes(payload))
+
+    def test_corrupted_compressed_body_rejected(self):
+        # flip a byte in the middle of the zlib stream
+        payload = bytearray(self._binary())
+        payload[len(payload) // 2] ^= 0x01
+        with pytest.raises(SerializationError):
+            decode_summary(bytes(payload))
+
+    def test_checksum_guards_decompressed_state(self):
+        """A forged body with valid zlib framing still fails the CRC."""
+        summary = MisraGries(8).extend([1, 1, 2, 3])
+        envelope = to_envelope(summary)
+        good = state_checksum(envelope["state"])
+        envelope["state"]["n"] = 999
+        assert state_checksum(envelope["state"]) != good
+
+    def test_binary_trailing_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_summary(self._binary() + b"extra")
+
+
+class TestCompression:
+    def test_body_is_zlib_of_canonical_state(self):
+        summary = MisraGries(8).extend([5, 5, 6])
+        payload = encode_summary(summary, "binary.v1")
+        # layout: magic | header | name | zlib body
+        import struct
+
+        header = struct.Struct("!BHIII")
+        offset = len(_BINARY_MAGIC)
+        _v, name_len, _crc, _raw, comp = header.unpack_from(payload, offset)
+        offset += header.size
+        name = payload[offset : offset + name_len].decode("ascii")
+        assert name == "misra_gries"
+        body = zlib.decompress(payload[offset + name_len :])
+        assert json.loads(body) == json.loads(
+            json.dumps(summary.to_dict(), sort_keys=True)
+        )
+        assert comp == len(payload) - offset - name_len

@@ -43,7 +43,6 @@ class TestContinuousAggregation:
     def test_guarantee_holds_after_many_epochs(self):
         """The coordinator is a deep merge tree; the MG bound must hold
         over everything observed across all epochs."""
-        rng = np.random.default_rng(2)
         k = 32
         agg = ContinuousAggregation(lambda: MisraGries(k), nodes=8)
         everything = []

@@ -1,0 +1,146 @@
+"""Segment-store persistence: RSEG containers, manifest, reload fidelity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ParameterError, SerializationError
+from repro.store import SegmentStore
+from repro.store.persistence import read_segment, write_segment
+
+
+def _populated_store(codec: str = "binary.v1") -> SegmentStore:
+    store = SegmentStore(width=1.0, codec=codec)
+    store.add_member("count", "exact_counter", field="value")
+    store.add_member("hot", "misra_gries", field="value", k=8)
+    store.ingest(
+        [{"value": i % 7} for i in range(96)],
+        [float(i // 4) for i in range(96)],
+    )
+    store.compact()
+    return store
+
+
+@pytest.mark.parametrize("codec", ["json.v2", "binary.v1"])
+def test_save_open_round_trip(tmp_path, codec):
+    store = _populated_store(codec)
+    before = store.query(3.0, 21.0)
+    report = store.save(tmp_path / "store")
+    assert report["segments"] == store.num_segments + store.num_rollups
+    assert report["bytes"] > 0
+
+    loaded = SegmentStore.open(tmp_path / "store")
+    assert loaded.width == store.width
+    assert loaded.records == store.records
+    assert loaded.num_segments == store.num_segments
+    assert loaded.num_rollups == store.num_rollups
+    assert set(loaded.schema) == {"count", "hot"}
+    after = loaded.query(3.0, 21.0)
+    assert after.n == before.n
+    for name in ("count", "hot"):
+        assert after[name].to_dict() == before[name].to_dict()
+    assert after.plan.fan_in == before.plan.fan_in
+
+
+def test_reloaded_store_keeps_growing(tmp_path):
+    store = _populated_store()
+    store.save(tmp_path / "store")
+    loaded = SegmentStore.open(tmp_path / "store")
+    with pytest.raises(ParameterError, match="after ingest"):
+        loaded.add_member("late", "exact_counter", field="value")
+    loaded.ingest([{"value": 3}], [2.5])
+    assert loaded.records == store.records + 1
+    loaded.compact()
+    assert loaded.query(0.0, 24.0)["count"].n == 97
+
+
+def test_save_removes_stale_segment_files(tmp_path):
+    store = _populated_store()
+    target = tmp_path / "store"
+    store.save(target)
+    stale = target / "segments" / "zzz-stale.rseg"
+    stale.write_bytes(b"junk")
+    store.save(target)
+    assert not stale.exists()
+    listed = {p.name for p in (target / "segments").iterdir()}
+    manifest = json.loads((target / "manifest.json").read_text())
+    assert listed == {f"{meta['id']}.rseg" for meta in manifest["segments"]}
+
+
+def test_segment_container_round_trip(tmp_path):
+    store = _populated_store()
+    segment = store.segments()[0]
+    path = tmp_path / "one.rseg"
+    written = write_segment(segment, path, "binary.v1")
+    assert written == path.stat().st_size
+    restored = read_segment(path)
+    assert restored.segment_id == segment.segment_id
+    assert restored.level == segment.level
+    assert restored.start == segment.start
+    assert restored.count == segment.count
+    assert sorted(restored.members) == sorted(segment.members)
+    for name, summary in segment.members.items():
+        assert restored.members[name].to_dict() == summary.to_dict()
+
+
+class TestCorruption:
+    def _segment_file(self, tmp_path):
+        store = _populated_store()
+        path = tmp_path / "seg.rseg"
+        write_segment(store.segments()[0], path, "binary.v1")
+        return path
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self._segment_file(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[:4] = b"XXXX"
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SerializationError, match="segment container"):
+            read_segment(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = self._segment_file(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[4] = 99
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SerializationError, match="version"):
+            read_segment(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = self._segment_file(tmp_path)
+        payload = path.read_bytes()
+        for cut in (2, 6, len(payload) // 2, len(payload) - 1):
+            path.write_bytes(payload[:cut])
+            with pytest.raises(SerializationError):
+                read_segment(path)
+
+    def test_corrupt_meta_json_rejected(self, tmp_path):
+        path = self._segment_file(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[12] ^= 0xFF  # inside the meta JSON block
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SerializationError):
+            read_segment(path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="manifest"):
+            SegmentStore.open(tmp_path / "nowhere")
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        store = _populated_store()
+        target = tmp_path / "store"
+        store.save(target)
+        (target / "manifest.json").write_text("{not json")
+        with pytest.raises(SerializationError):
+            SegmentStore.open(target)
+
+    def test_missing_segment_file_rejected(self, tmp_path):
+        store = _populated_store()
+        target = tmp_path / "store"
+        store.save(target)
+        victim = next((target / "segments").iterdir())
+        victim.unlink()
+        with pytest.raises(SerializationError):
+            SegmentStore.open(target)

@@ -1,0 +1,125 @@
+"""The planner proof: range queries cost O(log S) merges, never O(S).
+
+Builds stores with S >= 64 base segments, compacts the dyadic roll-up
+tree, and asserts for exhaustive and randomized ranges that the plan's
+fan-in respects the segment-tree bound ``2 * ceil(log2 E) + 2`` while
+the naive plan pays one merge per covered segment — plus the graceful
+degradation cases (no compaction, partially invalidated tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError
+from repro.store import SegmentStore, fan_in_bound, plan_range
+
+
+def _store(num_epochs: int, compact: bool = True) -> SegmentStore:
+    store = SegmentStore(width=1.0)
+    store.add_member("count", "exact_counter", field="value")
+    values = list(range(num_epochs * 3))
+    keys = [float(i // 3) for i in range(num_epochs * 3)]
+    store.ingest([{"value": v} for v in values], keys)
+    assert store.num_segments == num_epochs
+    if compact:
+        store.compact()
+    return store
+
+
+class TestFanInBound:
+    def test_bound_formula(self):
+        assert fan_in_bound(1) == 2
+        assert fan_in_bound(2) == 4
+        assert fan_in_bound(64) == 14
+        assert fan_in_bound(100) == 16
+
+    @pytest.mark.parametrize("num_epochs", [64, 100, 256])
+    def test_exhaustive_ranges_respect_logarithmic_fan_in(self, num_epochs):
+        store = _store(num_epochs)
+        step = max(1, num_epochs // 32)
+        for lo in range(0, num_epochs, step):
+            for hi in range(lo + 1, num_epochs + 1, step):
+                plan = store.plan(float(lo), float(hi))
+                bound = fan_in_bound(hi - lo)
+                assert plan.fan_in <= bound, plan.describe()
+                assert plan.base_covered == hi - lo
+                naive = store.plan(float(lo), float(hi), use_rollups=False)
+                assert naive.fan_in == hi - lo
+                assert naive.rollup_nodes == 0
+                assert plan.records == naive.records
+
+    def test_full_span_collapses_to_one_node(self):
+        store = _store(64)
+        plan = store.plan(0.0, 64.0)
+        assert plan.fan_in == 1
+        assert plan.segments[0].level == 6
+
+    def test_wide_query_beats_naive_by_a_growing_margin(self):
+        store = _store(256)
+        plan = store.plan(1.0, 255.0)
+        naive = store.plan(1.0, 255.0, use_rollups=False)
+        assert naive.fan_in == 254
+        assert plan.fan_in <= fan_in_bound(254) == 18
+        assert plan.rollup_nodes >= 1
+
+    def test_randomized_ranges_with_sparse_epochs(self):
+        # only every third epoch has data; present-count accounting and
+        # the bound must both survive holes
+        store = SegmentStore(width=1.0)
+        store.add_member("count", "exact_counter", field="value")
+        epochs = [e for e in range(96) if e % 3 == 0]
+        store.ingest(
+            [{"value": e} for e in epochs], [float(e) for e in epochs]
+        )
+        store.compact()
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            lo = int(rng.integers(0, 95))
+            hi = int(rng.integers(lo + 1, 97))
+            plan = store.plan(float(lo), float(hi))
+            assert plan.fan_in <= fan_in_bound(hi - lo)
+            covered = sum(1 for e in epochs if lo <= e < hi)
+            assert plan.base_covered == covered
+            assert plan.records == covered
+
+
+class TestGracefulDegradation:
+    def test_uncompacted_store_degrades_to_base_segments(self):
+        store = _store(64, compact=False)
+        plan = store.plan(0.0, 64.0)
+        assert plan.fan_in == 64
+        assert plan.rollup_nodes == 0
+
+    def test_invalidated_blocks_split_into_children(self):
+        store = _store(64)
+        # fresh ingest into epoch 10 drops every roll-up covering it
+        store.ingest([{"value": -1}], [10.0])
+        plan = store.plan(0.0, 64.0)
+        naive = store.plan(0.0, 64.0, use_rollups=False)
+        # degraded but still logarithmic: the invalidated path re-opens
+        # one dyadic block per level, never the whole tree
+        assert plan.fan_in <= fan_in_bound(64) + 7
+        assert plan.fan_in < naive.fan_in == 64
+        assert plan.records == naive.records
+        # recompacting restores the single-node cover
+        store.compact()
+        assert store.plan(0.0, 64.0).fan_in == 1
+
+    def test_plan_range_rejects_empty_range(self):
+        store = _store(4)
+        with pytest.raises(ParameterError):
+            store.plan(3.0, 3.0)
+        with pytest.raises(ParameterError):
+            plan_range(5, 5, {}, {}, max_level=1)
+
+    def test_empty_store_plans_empty_cover(self):
+        plan = plan_range(0, 8, {}, {}, max_level=3)
+        assert plan.fan_in == 0
+        assert plan.records == 0
+
+    def test_describe_mentions_fan_in(self):
+        store = _store(8)
+        text = store.plan(0.0, 8.0).describe()
+        assert "fan_in=" in text and "roll-ups" in text

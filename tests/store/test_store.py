@@ -1,0 +1,461 @@
+"""SegmentStore behavior + the planner ≡ naive-scan equivalence proof.
+
+The equivalence class covers **every registered summary type** (the
+suite fails loudly when a new registration dodges it): one store with
+one member per type ingests S = 64 epochs, compacts the roll-up tree,
+and answers a wide range query twice — through the planner's O(log S)
+cover and through the naive full scan.  Both answers summarize exactly
+the same records; how strongly they must agree is pinned per type:
+
+- ``STATE_IDENTICAL`` — merge is associative (linear sketches,
+  lattices, exact baselines): canonical serialized state must match
+  bit-for-bit;
+- bounded types reuse the merge-runtime suite's checkers (the roll-up
+  tree is just another merge order, which mergeability says costs no
+  accuracy);
+- the rest get per-type answer checks against ground truth computed
+  from the covered records.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterError, QueryError, registered_names
+from repro.store import SegmentStore, fan_in_bound
+from tests.test_merge_runtime import MERGE_SPECS, SKIPPED_TYPES
+
+# ---------------------------------------------------------------------------
+# Store mechanics
+# ---------------------------------------------------------------------------
+
+
+def _counter_store(width: float = 1.0, **kwargs) -> SegmentStore:
+    store = SegmentStore(width=width, **kwargs)
+    store.add_member("count", "exact_counter", field="value")
+    return store
+
+
+class TestSchema:
+    def test_members_fixed_after_first_ingest(self):
+        store = _counter_store()
+        store.ingest([{"value": 1}], [0.0])
+        with pytest.raises(ParameterError, match="after ingest"):
+            store.add_member("late", "exact_counter", field="value")
+
+    def test_duplicate_member_name_rejected(self):
+        store = _counter_store()
+        with pytest.raises(ParameterError, match="already has a member"):
+            store.add_member("count", "exact_counter", field="value")
+
+    def test_bad_constructor_kwargs_fail_eagerly(self):
+        store = SegmentStore(width=1.0)
+        with pytest.raises(ParameterError, match="cannot construct"):
+            store.add_member("bad", "misra_gries", field="v", wrong_kwarg=3)
+
+    def test_unknown_codec_rejected(self):
+        from repro.core import SerializationError
+
+        with pytest.raises(SerializationError, match="unknown codec"):
+            SegmentStore(width=1.0, codec="nope")
+
+    def test_nonpositive_width_rejected(self):
+        for width in (0, -1.5):
+            with pytest.raises(ParameterError):
+                SegmentStore(width=width)
+
+    def test_ingest_without_members_rejected(self):
+        with pytest.raises(ParameterError, match="no members"):
+            SegmentStore(width=1.0).ingest([{"value": 1}])
+        with pytest.raises(QueryError, match="no members"):
+            SegmentStore(width=1.0).query(0.0, 1.0)
+
+
+class TestIngest:
+    def test_partitioning_by_key(self):
+        store = _counter_store(width=10.0)
+        stats = store.ingest(
+            [{"value": i} for i in range(6)],
+            keys=[0.0, 5.0, 10.0, 19.9, 20.0, 35.0],
+        )
+        assert stats == {
+            "segments_created": 4,
+            "segments_replaced": 0,
+            "rollups_invalidated": 0,
+            "records": 6,
+        }
+        assert store.key_span() == (0.0, 40.0)
+
+    def test_default_keys_are_arrival_index(self):
+        store = _counter_store(width=2.0)
+        store.ingest([{"value": i} for i in range(4)])  # keys 0..3
+        store.ingest([{"value": i} for i in range(2)])  # keys 4..5
+        assert store.num_segments == 3
+
+    def test_misaligned_keys_rejected(self):
+        store = _counter_store()
+        with pytest.raises(ParameterError, match="keys must align"):
+            store.ingest([{"value": 1}, {"value": 2}], keys=[0.0])
+
+    def test_non_finite_keys_rejected(self):
+        store = _counter_store()
+        with pytest.raises(ParameterError, match="finite"):
+            store.ingest([{"value": 1}], keys=[float("nan")])
+
+    def test_reingest_replaces_without_mutating_old_segment(self):
+        store = _counter_store()
+        store.ingest([{"value": 1}], [0.0])
+        old = store.segments()[0]
+        old_state = json.dumps(old.members["count"].to_dict(), sort_keys=True)
+        store.ingest([{"value": 2}], [0.0])
+        new = store.segments()[0]
+        assert new.segment_id != old.segment_id
+        assert new.count == 2
+        # the replaced segment object is untouched (immutability)
+        assert (
+            json.dumps(old.members["count"].to_dict(), sort_keys=True)
+            == old_state
+        )
+
+    def test_weighted_ingest(self):
+        store = SegmentStore(width=1.0)
+        store.add_member("hot", "misra_gries", field="value", k=4)
+        store.ingest(
+            [{"value": "a"}, {"value": "b"}], keys=[0.0, 0.0], weights=[5, 2]
+        )
+        result = store.query(0.0, 1.0)
+        assert result["hot"].n == 7
+        assert result["hot"].estimate("a") == 5
+
+    def test_generation_bumps_on_ingest_and_compact(self):
+        store = _counter_store()
+        g0 = store.generation
+        store.ingest([{"value": 1}, {"value": 2}], [0.0, 1.0])
+        g1 = store.generation
+        assert g1 > g0
+        store.compact()
+        assert store.generation > g1
+        # compacting an already-compacted store builds nothing, keeps
+        # the generation (cached views stay valid)
+        g2 = store.generation
+        assert store.compact()["rollups_built"] == 0
+        assert store.generation == g2
+
+
+class TestQueryCache:
+    def test_repeat_query_served_from_cache(self):
+        store = _counter_store()
+        store.ingest([{"value": i} for i in range(8)], [float(i) for i in range(8)])
+        first = store.query(0.0, 8.0)
+        assert store.query(0.0, 8.0) is first
+        assert store.stats()["view_cache"]["hits"] == 1
+
+    def test_ingest_invalidates_cached_views(self):
+        store = _counter_store()
+        store.ingest([{"value": 1}], [0.0])
+        first = store.query(0.0, 1.0)
+        store.ingest([{"value": 2}], [0.0])
+        second = store.query(0.0, 1.0)
+        assert second is not first
+        assert second.n == 2 and first.n == 1
+
+    def test_rollup_and_naive_views_cached_separately(self):
+        store = _counter_store()
+        store.ingest([{"value": i} for i in range(8)], [float(i) for i in range(8)])
+        store.compact()
+        fast = store.query(0.0, 8.0)
+        naive = store.query(0.0, 8.0, use_rollups=False)
+        assert fast is not naive
+        assert fast.plan.fan_in < naive.plan.fan_in
+
+    def test_view_capacity_zero_disables_cache(self):
+        store = _counter_store(view_capacity=0)
+        store.ingest([{"value": 1}], [0.0])
+        assert store.query(0.0, 1.0) is not store.query(0.0, 1.0)
+
+
+class TestQueryResult:
+    def test_member_access_and_metadata(self):
+        store = _counter_store(width=10.0)
+        store.ingest([{"value": i} for i in range(5)], [float(i * 7) for i in range(5)])
+        result = store.query(0.0, 30.0)
+        assert result["count"].n == result.n == 5
+        assert "count" in result and "other" not in result
+        assert result.key_range == (0.0, 30.0)
+        assert set(result.members()) == {"count"}
+        with pytest.raises(ParameterError, match="no store member"):
+            result["other"]
+
+    def test_empty_range_over_data_gap_yields_empty_summaries(self):
+        store = _counter_store(width=1.0)
+        store.ingest([{"value": 1}], [0.0])
+        result = store.query(5.0, 6.0)
+        assert result.n == 0
+        assert result["count"].is_empty
+
+    def test_invalid_range_rejected(self):
+        store = _counter_store()
+        store.ingest([{"value": 1}], [0.0])
+        with pytest.raises(ParameterError, match="lo < hi"):
+            store.query(3.0, 3.0)
+
+
+class TestCompact:
+    def test_parallel_compact_matches_serial(self):
+        def build():
+            store = _counter_store()
+            store.ingest(
+                [{"value": i % 13} for i in range(128)],
+                [float(i) for i in range(128)],
+            )
+            return store
+
+        serial, pooled = build(), build()
+        serial.compact()
+        pooled.compact(executor=3)
+        assert serial.num_rollups == pooled.num_rollups
+        a = serial.query(3.0, 121.0)
+        b = pooled.query(3.0, 121.0)
+        assert a["count"].to_dict() == b["count"].to_dict()
+
+    def test_compact_is_incremental(self):
+        store = _counter_store()
+        store.ingest(
+            [{"value": i} for i in range(64)], [float(i) for i in range(64)]
+        )
+        first = store.compact()
+        assert first["rollups_built"] > 0
+        # new epochs only rebuild the blocks they touch
+        store.ingest([{"value": 99}], [64.0])
+        second = store.compact()
+        assert 0 < second["rollups_built"] < first["rollups_built"] + 2
+
+    def test_compact_empty_store_is_noop(self):
+        assert _counter_store().compact() == {
+            "levels": 0,
+            "rollups_built": 0,
+            "merge_inputs": 0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Planner ≡ naive scan, for every registered type
+# ---------------------------------------------------------------------------
+
+EPOCHS = 64
+QUERY = (5, 61)  # covers 56 epochs, mixing ragged edges and deep blocks
+
+#: member name == registry name; (constructor kwargs, feed kind)
+STORE_MEMBERS = {
+    "ams_f2": ({"width": 8, "depth": 3, "seed": 1}, "ints"),
+    "bloom_filter": ({"bits": 256, "hashes": 3, "seed": 1}, "ints"),
+    "bottom_k_sample": ({"k": 20, "rng": 1}, "floats"),
+    "conservative_count_min": ({"width": 64, "depth": 3, "seed": 1}, "ints"),
+    "count_min": ({"width": 64, "depth": 3, "seed": 1}, "ints"),
+    "count_sketch": ({"width": 64, "depth": 3, "seed": 1}, "ints"),
+    "decayed_misra_gries": ({"k": 16, "half_life": 10.0}, "ints"),
+    "dyadic_hierarchy": ({"k": 8, "bits": 8}, "ints"),
+    "eps_approximation": ({"space": "intervals_1d", "s": 8, "rng": 1}, "floats"),
+    "eps_kernel": ({"epsilon": 0.2}, "points"),
+    "exact_counter": ({}, "ints"),
+    "exact_quantiles": ({}, "floats"),
+    "gk_quantiles": ({"epsilon": 0.05}, "floats"),
+    "hybrid_quantiles": ({"epsilon": 0.15, "rng": 1}, "floats"),
+    "hyperloglog": ({"p": 6, "seed": 1}, "ints"),
+    "k_min_values": ({"k": 16, "seed": 1}, "ints"),
+    "kll_quantiles": ({"k": 64, "rng": 1}, "floats"),
+    "majority_vote": ({}, "ints"),
+    "mergeable_quantiles": ({"s": 32, "rng": 1}, "floats"),
+    "misra_gries": ({"k": 16}, "ints"),
+    "mrl_quantiles": ({"s": 32}, "floats"),
+    "space_saving": ({"k": 16}, "ints"),
+    "windowed_misra_gries": (
+        {"k": 16, "bucket_width": 5.0, "num_buckets": 8},
+        "ints",
+    ),
+}
+
+#: associative merges: the roll-up tree must reproduce the naive scan's
+#: state bit-for-bit (canonicalized: volatile seed stripped, KMV's
+#: heap order sorted)
+STATE_IDENTICAL = {
+    "ams_f2",
+    "bloom_filter",
+    "count_min",
+    "count_sketch",
+    "eps_kernel",
+    "exact_counter",
+    "exact_quantiles",
+    "hyperloglog",
+    "k_min_values",
+    "majority_vote",
+}
+
+
+def _canon(summary) -> str:
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k != "seed"}
+        if isinstance(value, list):
+            return sorted(
+                (strip(v) for v in value),
+                key=lambda x: json.dumps(x, sort_keys=True),
+            )
+        return value
+
+    return json.dumps(strip(summary.to_dict()), sort_keys=True)
+
+
+def _check_underestimating_hitters(rollup, naive, truth, bound):
+    for item, count in truth.most_common(15):
+        for summary in (rollup, naive):
+            estimate = summary.estimate(item)
+            assert estimate <= count + 1e-9
+            assert count - estimate <= bound + 1e-9, (item, count, estimate)
+
+
+#: per-type answer checks for types that are neither state-identical
+#: nor covered by a bounded merge spec: check(rollup, naive, feeds)
+def _check_bottom_k(rollup, naive, feeds):
+    # merging keeps the k smallest *tags* of the union, so the tag
+    # multiset is invariant to merge order; the attached values may
+    # differ only on tag ties (every segment's member shares a seed,
+    # so tie tags across segments are common)
+    rollup_tags = sorted(e[0] for e in rollup.to_dict()["entries"])
+    naive_tags = sorted(e[0] for e in naive.to_dict()["entries"])
+    assert rollup_tags == naive_tags
+    assert len(rollup_tags) == 20
+
+
+def _check_conservative_cm(rollup, naive, feeds):
+    truth = Counter(v for feed in feeds for v in feed)
+    n = sum(truth.values())
+    for item, count in truth.most_common(15):
+        for summary in (rollup, naive):
+            estimate = summary.estimate(item)
+            assert estimate >= count  # CM never underestimates
+            assert estimate - count <= n / 8
+
+
+def _check_decayed_mg(rollup, naive, feeds):
+    truth = Counter(v for feed in feeds for v in feed)
+    n = sum(truth.values())
+    assert abs(rollup.decayed_total - naive.decayed_total) <= 1e-6 * n
+    _check_underestimating_hitters(rollup, naive, truth, n / (16 + 1))
+
+
+def _check_windowed_mg(rollup, naive, feeds):
+    truth = Counter(v for feed in feeds for v in feed)
+    n = sum(truth.values())
+    _check_underestimating_hitters(rollup, naive, truth, n / (16 + 1))
+
+
+def _check_dyadic(rollup, naive, feeds):
+    truth = Counter(v for feed in feeds for v in feed)
+    n = sum(truth.values())
+    _check_underestimating_hitters(rollup, naive, truth, n / (8 + 1))
+
+
+def _check_eps_approximation(rollup, naive, feeds):
+    data = np.sort(np.concatenate([np.asarray(f) for f in feeds]))
+    n = len(data)
+    for lo, hi in ((0.2, 0.7), (0.0, 0.5), (0.4, 1.0)):
+        true = float(((data >= lo) & (data < hi)).sum())
+        for summary in (rollup, naive):
+            assert abs(summary.count((lo, hi)) - true) <= 0.35 * n + 1
+
+
+CUSTOM_CHECKS = {
+    "bottom_k_sample": _check_bottom_k,
+    "conservative_count_min": _check_conservative_cm,
+    "decayed_misra_gries": _check_decayed_mg,
+    "windowed_misra_gries": _check_windowed_mg,
+    "dyadic_hierarchy": _check_dyadic,
+    "eps_approximation": _check_eps_approximation,
+}
+
+
+def test_every_registered_type_is_classified():
+    classified = (
+        set(STORE_MEMBERS)
+        | set(SKIPPED_TYPES)  # same skips (and reasons) as the merge suite
+    )
+    missing = set(registered_names()) - classified
+    assert not missing, f"store equivalence misses registered types: {missing}"
+    for name in STORE_MEMBERS:
+        covered = (
+            name in STATE_IDENTICAL
+            or name in CUSTOM_CHECKS
+            or (name in MERGE_SPECS and MERGE_SPECS[name].mode == "bounded")
+        )
+        assert covered, f"{name} has no equivalence check"
+
+
+@pytest.fixture(scope="module")
+def populated():
+    """One store holding every registered type, plus the per-epoch feeds."""
+    store = SegmentStore(width=1.0)
+    for name, (kwargs, _kind) in sorted(STORE_MEMBERS.items()):
+        store.add_member(name, name, field=_kind_field(name), **kwargs)
+    feeds = {"ints": [], "floats": [], "points": []}
+    records, keys = [], []
+    for epoch in range(EPOCHS):
+        rng = np.random.default_rng(900 + epoch)
+        ints = rng.integers(0, 50, size=160).tolist()
+        floats = rng.random(160).tolist()
+        points = list(rng.random((24, 2)))
+        feeds["ints"].append(ints)
+        feeds["floats"].append(floats)
+        feeds["points"].append(points)
+        for i in range(160):
+            record = {"ints": ints[i], "floats": floats[i]}
+            if i < 24:
+                record["points"] = points[i]
+            records.append(record)
+            keys.append(float(epoch))
+    store.ingest(records, keys)
+    store.compact()
+    return store, feeds
+
+
+def _kind_field(name: str) -> str:
+    return STORE_MEMBERS[name][1]
+
+
+@pytest.fixture(scope="module")
+def answers(populated):
+    store, feeds = populated
+    lo, hi = QUERY
+    rollup = store.query(float(lo), float(hi))
+    naive = store.query(float(lo), float(hi), use_rollups=False)
+    return store, feeds, rollup, naive
+
+
+def test_planner_fan_in_is_logarithmic(answers):
+    _store, _feeds, rollup, naive = answers
+    lo, hi = QUERY
+    assert naive.plan.fan_in == hi - lo == 56
+    assert rollup.plan.fan_in <= fan_in_bound(hi - lo) == 14
+    assert rollup.plan.rollup_nodes >= 1
+    assert rollup.plan.base_covered == naive.plan.fan_in
+
+
+@pytest.mark.parametrize("name", sorted(STORE_MEMBERS))
+def test_rollup_answers_match_naive_scan(answers, name):
+    _store, feeds, rollup_result, naive_result = answers
+    rollup, naive = rollup_result[name], naive_result[name]
+    assert rollup.n == naive.n
+    lo, hi = QUERY
+    covered = feeds[_kind_field(name)][lo:hi]
+    if name in STATE_IDENTICAL:
+        assert _canon(rollup) == _canon(naive)
+    elif name in CUSTOM_CHECKS:
+        CUSTOM_CHECKS[name](rollup, naive, covered)
+    else:
+        spec = MERGE_SPECS[name]
+        assert spec.mode == "bounded"
+        spec.check(naive, rollup, covered)

@@ -1,0 +1,51 @@
+"""ViewCache: LRU behavior, capacity handling, instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterError
+from repro.store import ViewCache
+
+
+class TestViewCache:
+    def test_get_put_round_trip(self):
+        cache = ViewCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_lru_eviction_order(self):
+        cache = ViewCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_overwrite_same_key_keeps_size(self):
+        cache = ViewCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ViewCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            ViewCache(capacity=-1)
+
+    def test_clear(self):
+        cache = ViewCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert len(cache) == 0

@@ -38,7 +38,8 @@ class BatchSpec:
     name: str
     factory: Callable[[], Any]
     feed: Callable[[], list]
-    #: "exact" | "frequency" | "quantile" | "ranges" | "kernel"
+    #: "exact" | "frequency" | "decay_frequency" | "quantile" | "ranges"
+    #: | "kernel"
     mode: str
     #: frequency mode: allowed estimate gap as a fraction of total weight
     freq_bound: float = 0.0
@@ -131,7 +132,11 @@ def _specs() -> List[BatchSpec]:
         BatchSpec("exact_counter", ExactCounter, lambda: _ints(8), mode="exact"),
         BatchSpec("exact_quantiles", ExactQuantiles, lambda: _vals(9), mode="exact"),
         BatchSpec(
-            "gk_quantiles", lambda: GKQuantiles(0.1), lambda: _vals(10), mode="exact"
+            # bulk insertion defers compression to the end of the batch, so
+            # states diverge from the per-item schedule; the rank guarantee
+            # is what the fast path preserves
+            "gk_quantiles", lambda: GKQuantiles(0.05), lambda: _vals(10),
+            mode="quantile",
         ),
         BatchSpec(
             "equal_weight_quantiles",
@@ -191,16 +196,19 @@ def _specs() -> List[BatchSpec]:
             mode="exact",
         ),
         BatchSpec(
+            # Counter pre-aggregation reorders decrements; each run stays
+            # within N_decayed/(k+1) of truth, so runs differ by at most 2x
             "decayed_misra_gries",
             lambda: DecayedMisraGries(8, half_life=10.0),
             lambda: _ints(23),
-            mode="exact", weight_in_n=False,
+            mode="decay_frequency", freq_bound=2 / 9, weight_in_n=False,
         ),
         BatchSpec(
+            # batches delegate to the latest bucket's pre-aggregated MG path
             "windowed_misra_gries",
             lambda: WindowedMisraGries(8, bucket_width=5.0, num_buckets=8),
             lambda: _ints(24),
-            mode="exact",
+            mode="frequency", freq_bound=2 / 9,
         ),
     ]
 
@@ -270,6 +278,15 @@ def _assert_equivalent(spec: BatchSpec, seq, bat, items, weights) -> None:
         assert a == b
     elif spec.mode == "frequency":
         allowed = spec.freq_bound * seq.n + 1
+        for item in set(items):
+            assert abs(seq.estimate(item) - bat.estimate(item)) <= allowed
+    elif spec.mode == "decay_frequency":
+        # estimates live in decayed-mass units; the bound's denominator is
+        # the decayed total, not the observation count n
+        assert abs(seq.decayed_total - bat.decayed_total) <= 1e-9 * max(
+            1.0, seq.decayed_total
+        )
+        allowed = spec.freq_bound * seq.decayed_total + 1
         for item in set(items):
             assert abs(seq.estimate(item) - bat.estimate(item)) <= allowed
     elif spec.mode == "quantile":

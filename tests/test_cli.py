@@ -194,6 +194,91 @@ class TestSimulate:
         assert "error" in capsys.readouterr().err
 
 
+class TestStore:
+    @pytest.fixture
+    def keyed_stream(self, tmp_path):
+        items = tmp_path / "items.txt"
+        keys = tmp_path / "keys.txt"
+        values = [i % 11 for i in range(640)]
+        items.write_text("\n".join(str(v) for v in values))
+        keys.write_text("\n".join(str(i // 10) for i in range(640)))
+        return items, keys, values
+
+    def _ingest(self, tmp_path, items, keys):
+        return main(["store", "ingest", "--dir", str(tmp_path / "st"),
+                     "--type", "misra_gries", "--arg", "k=16",
+                     "--width", "1", "--input", str(items),
+                     "--keys", str(keys), "--codec", "binary.v1"])
+
+    def test_ingest_compact_query(self, keyed_stream, tmp_path, capsys):
+        items, keys, values = keyed_stream
+        assert self._ingest(tmp_path, items, keys) == 0
+        assert "ingested 640 records" in capsys.readouterr().out
+        assert main(["store", "compact", "--dir", str(tmp_path / "st")]) == 0
+        assert "roll-ups" in capsys.readouterr().out
+        assert main(["store", "query", "--dir", str(tmp_path / "st"),
+                     "--lo", "0", "--hi", "64", "--estimate", "3",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "fan_in=1" in out  # full span collapses to one roll-up
+        assert out.strip().endswith(str(values.count(3)))
+
+    def test_query_range_and_no_rollups_agree(self, keyed_stream, tmp_path, capsys):
+        items, keys, values = keyed_stream
+        self._ingest(tmp_path, items, keys)
+        main(["store", "compact", "--dir", str(tmp_path / "st")])
+        capsys.readouterr()
+        answers = []
+        for extra in ([], ["--no-rollups"]):
+            assert main(["store", "query", "--dir", str(tmp_path / "st"),
+                         "--lo", "5", "--hi", "61", "--estimate", "3",
+                         *extra]) == 0
+            answers.append(capsys.readouterr().out.strip())
+        assert answers[0] == answers[1]
+        assert int(answers[0]) == sum(
+            1 for i, v in enumerate(values) if v == 3 and 50 <= i < 610
+        )
+
+    def test_second_ingest_appends(self, keyed_stream, tmp_path, capsys):
+        items, keys, _ = keyed_stream
+        self._ingest(tmp_path, items, keys)
+        # re-ingest into existing store: --type no longer needed
+        assert main(["store", "ingest", "--dir", str(tmp_path / "st"),
+                     "--input", str(items), "--keys", str(keys)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", str(tmp_path / "st")]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 1280
+        assert stats["members"]["value"]["type"] == "misra_gries"
+
+    def test_new_store_without_type_exits(self, keyed_stream, tmp_path):
+        items, keys, _ = keyed_stream
+        with pytest.raises(SystemExit, match="--type"):
+            main(["store", "ingest", "--dir", str(tmp_path / "st"),
+                  "--input", str(items), "--keys", str(keys)])
+
+    def test_key_length_mismatch_exits(self, keyed_stream, tmp_path):
+        items, _, _ = keyed_stream
+        short = tmp_path / "short.txt"
+        short.write_text("1\n2\n")
+        with pytest.raises(SystemExit, match="--keys"):
+            main(["store", "ingest", "--dir", str(tmp_path / "st"),
+                  "--type", "exact_counter", "--input", str(items),
+                  "--keys", str(short)])
+
+    def test_query_missing_store_fails(self, tmp_path, capsys):
+        assert main(["store", "query", "--dir", str(tmp_path / "nowhere"),
+                     "--lo", "0", "--hi", "1", "--distinct"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_query_without_selector_exits(self, keyed_stream, tmp_path):
+        items, keys, _ = keyed_stream
+        self._ingest(tmp_path, items, keys)
+        with pytest.raises(SystemExit):
+            main(["store", "query", "--dir", str(tmp_path / "st"),
+                  "--lo", "0", "--hi", "64"])
+
+
 class TestInspectAndTypes:
     def test_inspect(self, item_files, tmp_path, capsys):
         a, _ = item_files

@@ -29,7 +29,6 @@ class TestQuantileVsEpsApproximation:
 
     def test_rank_errors_same_magnitude(self):
         data = value_stream(2**14, "uniform", rng=1)
-        n = len(data)
         s = 128
         mq = MergeableQuantiles(s, rng=2).extend(data)
         ea = EpsApproximation("intervals_1d", s=s, rng=3).extend_points(data)

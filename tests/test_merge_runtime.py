@@ -148,7 +148,6 @@ def _specs() -> List[MergeSpec]:
         ),
         MergeSpec("dyadic_hierarchy", lambda i: DyadicHierarchy(8, 8), _ints, "exact"),
         MergeSpec("exact_quantiles", lambda i: ExactQuantiles(), _floats, "exact"),
-        MergeSpec("gk_quantiles", lambda i: GKQuantiles(0.1), _floats, "exact"),
         MergeSpec(
             "bottom_k_sample", lambda i: BottomKSample(20, rng=100 + i), _floats, "exact"
         ),
@@ -189,6 +188,16 @@ def _specs() -> List[MergeSpec]:
             _ints,
             "bounded",
             _check_heavy_hitter_bound,
+        ),
+        MergeSpec(
+            # the k-way combine reinserts all operands in one pass, paying
+            # one merge generation instead of len(others) — deliberately
+            # different (better) state than the sequential fold
+            "gk_quantiles",
+            lambda i: GKQuantiles(0.1),
+            _floats,
+            "bounded",
+            _check_rank_bound(0.3),
         ),
         MergeSpec(
             "kll_quantiles",
