@@ -1,0 +1,410 @@
+"""E25: merge-engine overhead — compiled plans vs the inline legacy loops.
+
+PR-5 routes ``merge_all``, the distributed simulator, and store
+compaction through one compiled :class:`~repro.engine.plan.MergePlan`
+and one :func:`~repro.engine.execute_plan` runner.  The IR indirection
+must be close to free; this benchmark measures it against in-process
+replicas of the loops the engine replaced:
+
+1. fold strategies (chain / tree / kway) over ``m`` parts: engine
+   ``merge_all`` vs the inline fold, same merge sequence, with a
+   byte-identity sanity check;
+2. distributed aggregation: ``run_aggregation`` (plan-compiled) vs a
+   manual build-then-schedule-replay;
+3. store compaction: ``SegmentStore.compact`` (plan-compiled) vs an
+   inline dyadic roll-up loop over ``merged_segment``.
+
+Efficiency is ``legacy_seconds / engine_seconds`` (1.0 = free
+abstraction; the target is staying above 0.9, i.e. <10% overhead).
+
+Standalone, writes the JSON artifact for CI::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick --out BENCH_engine.json
+
+CI regression gate — machine-independent efficiency ratios against the
+checked-in snapshot, non-zero exit past a 2x regression::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick \
+        --out BENCH_engine.json --check benchmarks/BENCH_engine_snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import sys
+import time
+from contextlib import contextmanager
+
+from repro.core import dumps, merge_all
+from repro.distributed import ContiguousPartitioner, build_topology, run_aggregation
+from repro.frequency import MisraGries
+from repro.store import SegmentStore
+from repro.store.segment import merged_segment
+from repro.workloads import zipf_stream
+
+
+@contextmanager
+def _gc_paused():
+    """Keep the collector out of the timed region (both sides equally)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _paired_best(engine_fn, legacy_fn, repeats: int) -> tuple:
+    """Interleave the two sides so load shifts hit both equally.
+
+    Timing each side in its own block makes the efficiency ratio
+    hostage to whatever else the machine was doing during that block;
+    alternating engine/legacy within every repeat and taking each
+    side's best keeps the comparison honest on a noisy box.
+    """
+    engine_best = legacy_best = float("inf")
+    with _gc_paused():
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            engine_fn()
+            engine_best = min(engine_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            legacy_fn()
+            legacy_best = min(legacy_best, time.perf_counter() - t0)
+    return engine_best, legacy_best
+
+
+# ---------------------------------------------------------------------------
+# the inline loops the engine replaced
+# ---------------------------------------------------------------------------
+
+
+def _legacy_chain(parts):
+    acc = parts[0]
+    for other in parts[1:]:
+        acc.merge(other)
+    return acc
+
+
+def _legacy_tree(parts):
+    level = list(parts)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            level[i].merge(level[i + 1])
+            nxt.append(level[i])
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def _legacy_kway(parts):
+    return parts[0].merge_many(parts[1:])
+
+
+LEGACY_FOLDS = {"chain": _legacy_chain, "tree": _legacy_tree, "kway": _legacy_kway}
+
+
+# ---------------------------------------------------------------------------
+# section 1: fold strategies
+# ---------------------------------------------------------------------------
+
+
+def bench_folds(parts_count: int, items_per: int, repeats: int) -> dict:
+    feeds = [
+        zipf_stream(items_per, alpha=1.2, universe=2_000, rng=10 + i).tolist()
+        for i in range(parts_count)
+    ]
+    blueprints = [MisraGries(64).extend(feed).to_dict() for feed in feeds]
+
+    def make_parts():
+        return [MisraGries.from_dict(d) for d in blueprints]
+
+    rows = {}
+    for strategy, fold in LEGACY_FOLDS.items():
+        assert dumps(merge_all(make_parts(), strategy=strategy)) == dumps(
+            fold(make_parts())
+        ), f"engine fold diverged from legacy loop for {strategy!r}"
+        engine_seconds, legacy_seconds = _paired_best(
+            lambda: merge_all(make_parts(), strategy=strategy),
+            lambda: fold(make_parts()),
+            repeats,
+        )
+        rows[strategy] = {
+            "parts": int(parts_count),
+            "engine_seconds": engine_seconds,
+            "legacy_seconds": legacy_seconds,
+            "efficiency": legacy_seconds / engine_seconds,
+            "overhead_pct": (engine_seconds / legacy_seconds - 1.0) * 100.0,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# section 2: distributed aggregation
+# ---------------------------------------------------------------------------
+
+
+def bench_aggregation(leaves: int, n_items: int, repeats: int) -> dict:
+    data = zipf_stream(n_items, alpha=1.2, universe=3_000, rng=5)
+    schedule = build_topology("balanced", leaves, rng=1)
+    partitioner = ContiguousPartitioner()
+
+    def engine():
+        return run_aggregation(
+            data, partitioner, lambda: MisraGries(64), schedule
+        ).summary
+
+    def legacy():
+        shards = partitioner.split(data, leaves)
+        replicas = [MisraGries(64).extend(shard) for shard in shards]
+        for dst, src in schedule.steps:
+            replicas[dst].merge(replicas[src])
+        return replicas[schedule.root]
+
+    assert dumps(engine()) == dumps(legacy()), "simulator diverged from replay"
+    engine_seconds, legacy_seconds = _paired_best(engine, legacy, repeats)
+    return {
+        "leaves": int(leaves),
+        "n_items": int(n_items),
+        "engine_seconds": engine_seconds,
+        "legacy_seconds": legacy_seconds,
+        "efficiency": legacy_seconds / engine_seconds,
+        "overhead_pct": (engine_seconds / legacy_seconds - 1.0) * 100.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# section 3: store compaction
+# ---------------------------------------------------------------------------
+
+
+def _fresh_store(epochs: int, per_epoch: int) -> SegmentStore:
+    # the canonical serving schema: a heavy-hitter member plus a
+    # quantile member per segment (paper sections 3 and 4)
+    store = SegmentStore(width=1.0)
+    store.add_member("hot", "misra_gries", field="item", k=64)
+    store.add_member("q", "kll_quantiles", field="item", k=96, rng=17)
+    items = zipf_stream(epochs * per_epoch, alpha=1.2, universe=2_000, rng=3)
+    records = [{"item": int(item)} for item in items]
+    keys = [float(i % epochs) + 0.5 for i in range(len(records))]
+    store.ingest(records, keys)
+    return store
+
+
+def _legacy_compact(store: SegmentStore) -> int:
+    """The pre-engine ``SegmentStore.compact`` loop, serial path.
+
+    Replays the replaced implementation verbatim — same roll-up
+    discovery, same segment-id allocation order, same install
+    bookkeeping — so the comparison charges both sides the full cost
+    of a real compaction.
+    """
+    lo, hi = min(store._base), max(store._base)
+    span = hi - lo + 1
+    levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
+    built = 0
+    for level in range(1, levels + 1):
+        block = 1 << level
+        half = block >> 1
+        first = (lo // block) * block
+        for start in range(first, hi + 1, block):
+            if (level, start) in store._rollups:
+                continue
+            parts = [
+                child
+                for child_start in (start, start + half)
+                for child in (store._child_node(level - 1, child_start),)
+                if child is not None
+            ]
+            if not parts:
+                continue
+            store._rollups[(level, start)] = merged_segment(
+                store._new_segment_id(level, start), level, start, parts
+            )
+            built += 1
+    store._max_level = max(store._max_level, levels)
+    if built:
+        store._generation += 1
+    return built
+
+
+def _rollup_state(store: SegmentStore) -> dict:
+    return {
+        key: (
+            segment.segment_id,
+            segment.count,
+            {name: dumps(summary) for name, summary in segment.members.items()},
+        )
+        for key, segment in store._rollups.items()
+    }
+
+
+def bench_compaction(epochs: int, per_epoch: int, repeats: int) -> dict:
+    # both sides mutate their store, so each timed run gets its own
+    engine_stores = [_fresh_store(epochs, per_epoch) for _ in range(repeats)]
+    legacy_stores = [_fresh_store(epochs, per_epoch) for _ in range(repeats)]
+
+    probe_engine, probe_legacy = _fresh_store(epochs, per_epoch), _fresh_store(
+        epochs, per_epoch
+    )
+    probe_engine.compact()
+    _legacy_compact(probe_legacy)
+    assert _rollup_state(probe_engine) == _rollup_state(
+        probe_legacy
+    ), "engine compaction diverged from the pre-engine loop"
+
+    engine_seconds = legacy_seconds = float("inf")
+    with _gc_paused():
+        for engine_store, legacy_store in zip(engine_stores, legacy_stores):
+            t0 = time.perf_counter()
+            engine_store.compact()
+            engine_seconds = min(engine_seconds, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            _legacy_compact(legacy_store)
+            legacy_seconds = min(legacy_seconds, time.perf_counter() - t0)
+    rollups = engine_stores[0].num_rollups
+    return {
+        "epochs": int(epochs),
+        "rollups": int(rollups),
+        "engine_seconds": engine_seconds,
+        "legacy_seconds": legacy_seconds,
+        "efficiency": legacy_seconds / engine_seconds,
+        "overhead_pct": (engine_seconds / legacy_seconds - 1.0) * 100.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run_report(args) -> dict:
+    return {
+        "experiment": "E25-merge-engine-overhead",
+        "quick": bool(args.quick),
+        "repeats": int(args.repeats),
+        "sections": {
+            "folds": bench_folds(args.parts, args.items_per_part, args.repeats),
+            "aggregation": bench_aggregation(
+                args.leaves, args.items, args.repeats
+            ),
+            "compaction": bench_compaction(
+                args.epochs, args.items_per_epoch, args.repeats
+            ),
+        },
+    }
+
+
+def _smoke_metrics(report: dict) -> dict:
+    """Machine-independent efficiency ratios gated against the snapshot."""
+    sections = report["sections"]
+    metrics = {
+        f"fold_{strategy}_efficiency": row["efficiency"]
+        for strategy, row in sections["folds"].items()
+    }
+    metrics["aggregation_efficiency"] = sections["aggregation"]["efficiency"]
+    metrics["compaction_efficiency"] = sections["compaction"]["efficiency"]
+    return metrics
+
+
+def check_against_snapshot(report: dict, snapshot_path: str, factor: float = 2.0):
+    """Return regression messages (empty = pass); ratios only, no seconds."""
+    with open(snapshot_path) as handle:
+        snapshot = json.load(handle)
+    current = _smoke_metrics(report)
+    baseline = _smoke_metrics(snapshot)
+    failures = []
+    for key, base in baseline.items():
+        if key not in current:
+            failures.append(f"missing smoke metric {key!r}")
+            continue
+        now = current[key]
+        if now < base / factor:
+            failures.append(
+                f"{key}: {now:.2f}x vs snapshot {base:.2f}x "
+                f"(fell below 1/{factor:.0f} of snapshot)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="merge-engine overhead (E25)")
+    parser.add_argument("--parts", type=int, default=64)
+    parser.add_argument("--items-per-part", type=int, default=400)
+    parser.add_argument("--leaves", type=int, default=32)
+    parser.add_argument("--items", type=int, default=2**16)
+    parser.add_argument("--epochs", type=int, default=64)
+    parser.add_argument("--items-per-epoch", type=int, default=200)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small streams, fewer repeats (CI smoke run)",
+    )
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument(
+        "--check", default=None, metavar="SNAPSHOT",
+        help="compare efficiency ratios against this snapshot JSON; exit 1 "
+             "on a >2x regression",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.parts, args.items_per_part = 32, 200
+        args.leaves, args.items = 16, 2**14
+        args.epochs, args.items_per_epoch = 32, 100
+        args.repeats = 5
+
+    report = run_report(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    for strategy, row in report["sections"]["folds"].items():
+        print(
+            f"fold {strategy:<6} {row['parts']} parts: "
+            f"engine {row['engine_seconds']*1e3:.2f} ms vs "
+            f"legacy {row['legacy_seconds']*1e3:.2f} ms "
+            f"(overhead {row['overhead_pct']:+.1f}%)"
+        )
+    agg = report["sections"]["aggregation"]
+    print(
+        f"aggregation {agg['leaves']} leaves over {agg['n_items']} items: "
+        f"engine {agg['engine_seconds']*1e3:.2f} ms vs "
+        f"legacy {agg['legacy_seconds']*1e3:.2f} ms "
+        f"(overhead {agg['overhead_pct']:+.1f}%)"
+    )
+    comp = report["sections"]["compaction"]
+    print(
+        f"compaction {comp['epochs']} epochs -> {comp['rollups']} roll-ups: "
+        f"engine {comp['engine_seconds']*1e3:.2f} ms vs "
+        f"legacy {comp['legacy_seconds']*1e3:.2f} ms "
+        f"(overhead {comp['overhead_pct']:+.1f}%)"
+    )
+    print(f"report -> {args.out}")
+
+    if args.check:
+        failures = check_against_snapshot(report, args.check)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            return 1
+        print(f"snapshot check passed ({args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

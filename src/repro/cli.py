@@ -36,11 +36,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from .core import (
+    MERGE_STRATEGIES,
     ReproError,
     dumps,
     get_summary_class,
     loads,
     merge_all,
+    registered_codecs,
     registered_names,
 )
 
@@ -116,6 +118,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_merge(args: argparse.Namespace) -> int:
     summaries = [_load_summary(path) for path in args.inputs]
+    # --seed is only forwarded when given; a seed on a deterministic
+    # strategy is a user error that merge_all reports precisely
     merged = merge_all(summaries, strategy=args.strategy, rng=args.seed)
     Path(args.out).write_text(dumps(merged))
     print(
@@ -174,6 +178,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_types(_args: argparse.Namespace) -> int:
     for name in registered_names():
         print(name)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .engine import compile_aggregation, compile_fold, plan_step_waves
+
+    if args.topology is not None:
+        from .distributed import build_topology
+
+        schedule = build_topology(
+            args.topology, args.nodes, rng=args.seed if args.seed is not None else 0
+        )
+        plan = compile_aggregation(schedule)
+    else:
+        strategy = args.strategy or "tree"
+        if args.seed is not None and not MERGE_STRATEGIES[strategy].uses_rng:
+            raise SystemExit(
+                f"--seed is only meaningful with a randomized strategy, "
+                f"not {strategy!r}"
+            )
+        plan = compile_fold(strategy, args.count, rng=args.seed)
+    print(plan.describe())
+    if args.waves:
+        if not plan.groupable:
+            print("waves: (plan is not groupable; it always runs step by step)")
+            return 0
+        waves = plan_step_waves(
+            plan.merge_steps,
+            first_index=len(plan.build_steps),
+            fuse=plan.fuse_fanin,
+        )
+        print(f"waves: {len(waves)} over {len(plan.merge_steps)} merge step(s)")
+        for number, wave in enumerate(waves):
+            rendered = ", ".join(
+                f"{group.dst!r}<-[{', '.join(repr(s) for s in group.srcs)}]"
+                for group in wave
+            )
+            print(f"  wave {number}: {rendered}")
     return 0
 
 
@@ -356,9 +398,14 @@ def _build_parser() -> argparse.ArgumentParser:
     merge.add_argument("inputs", nargs="+", help="summary JSON files")
     merge.add_argument("--out", required=True)
     merge.add_argument(
-        "--strategy", default="tree", choices=["tree", "chain", "random", "kway"]
+        # choices track the strategy registry; a new strategy shows up
+        # here (and in `repro plan`) without touching the CLI
+        "--strategy", default="tree", choices=sorted(MERGE_STRATEGIES)
     )
-    merge.add_argument("--seed", type=int, default=0)
+    merge.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (only the 'random' strategy accepts one)",
+    )
     merge.set_defaults(func=_cmd_merge)
 
     query = sub.add_parser("query", help="query a summary file")
@@ -376,6 +423,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     types = sub.add_parser("types", help="list registered summary types")
     types.set_defaults(func=_cmd_types)
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile a merge plan and print it without executing anything",
+    )
+    mode = plan.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strategy", default=None, choices=sorted(MERGE_STRATEGIES),
+        help="fold strategy to compile (default: tree)",
+    )
+    mode.add_argument(
+        "--topology", default=None,
+        choices=["balanced", "chain", "star", "kary", "random"],
+        help="compile a distributed aggregation schedule instead of a fold",
+    )
+    plan.add_argument("--count", type=int, default=8,
+                      help="number of fold inputs (with --strategy)")
+    plan.add_argument("--nodes", type=int, default=16,
+                      help="number of leaves (with --topology)")
+    plan.add_argument("--seed", type=int, default=None,
+                      help="RNG seed for random strategies/topologies")
+    plan.add_argument("--waves", action="store_true",
+                      help="also print the parallel wave packing")
+    plan.set_defaults(func=_cmd_plan)
 
     simulate = sub.add_parser(
         "simulate",
@@ -445,7 +516,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="key width of one segment (first ingest only)",
     )
     ingest.add_argument(
-        "--codec", default="json.v2", choices=["json.v1", "json.v2", "binary.v1"],
+        "--codec", default="json.v2", choices=registered_codecs(),
         help="segment persistence codec (first ingest only)",
     )
     ingest.set_defaults(func=_cmd_store_ingest)

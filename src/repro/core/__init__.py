@@ -18,7 +18,15 @@ from .codecs import (
     register_codec,
     registered_codecs,
 )
-from .merge import merge_all, merge_chain, merge_kway, merge_random_tree, merge_tree
+from .merge import (
+    MERGE_STRATEGIES,
+    MergeStrategy,
+    merge_all,
+    merge_chain,
+    merge_kway,
+    merge_random_tree,
+    merge_tree,
+)
 from .parallel import ParallelExecutor, resolve_executor
 from .registry import get_summary_class, register_summary, registered_names
 from .rng import resolve_rng, spawn
@@ -34,6 +42,8 @@ __all__ = [
     "QueryError",
     "SerializationError",
     "EmptySummaryError",
+    "MERGE_STRATEGIES",
+    "MergeStrategy",
     "merge_all",
     "merge_chain",
     "merge_tree",

@@ -1,9 +1,12 @@
-"""Generic merge executors.
+"""Merge strategies, executed through the shared merge engine.
 
 The paper's central claim is that its summaries keep their guarantees
-under *any* merge sequence.  This module provides the reduction
-strategies used throughout the tests and benchmarks to realize those
-sequences over a list of summaries:
+under *any* merge sequence.  This module exposes the reduction
+strategies used throughout the tests and benchmarks — but since the
+engine refactor it no longer executes anything itself: each strategy is
+a *plan compiler* (see :mod:`repro.engine.compilers`) and every merge
+runs through :func:`repro.engine.execute_plan`, the same runner behind
+the distributed simulator and the store's compaction:
 
 - :func:`merge_chain` — the caterpillar/left-fold order, the worst case
   for non-mergeable summaries whose error grows per merge;
@@ -13,25 +16,34 @@ sequences over a list of summaries:
   "arbitrary sequence" the definition of mergeability quantifies over;
 - :func:`merge_kway` — one s-way :meth:`~repro.core.base.Summary.merge_many`
   call (single combine pass, no intermediate compactions);
-- :func:`merge_all` — strategy dispatcher.
+- :func:`merge_all` — strategy dispatcher over :data:`MERGE_STRATEGIES`.
 
-All executors mutate the *first* operand of every pairwise merge and
+All strategies mutate the *first* operand of every pairwise merge and
 never touch later inputs more than once, mirroring how an in-network
 aggregation consumes child summaries.  Callers that need the inputs
 preserved should pass copies.  With a parallel executor the merges of
 a tree level run in worker processes; the merged summaries then come
 back as copies, so the caller's input objects are left untouched on
 that path.
+
+Optional knobs are validated against the strategy: ``rng`` belongs to
+``"random"`` and ``executor`` to ``"tree"`` — passing either to a
+strategy that cannot honor it raises
+:class:`~repro.core.exceptions.ParameterError` (historically they were
+silently dropped).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Sequence
 
+from ..engine.compilers import MERGE_STRATEGIES, MergeStrategy, fold_slots
+from ..engine.executor import execute_plan
 from .base import Summary
 from .exceptions import MergeError, ParameterError
-from .parallel import ExecutorLike, resolve_executor
-from .rng import RngLike, resolve_rng
+from .parallel import ExecutorLike
+from .rng import RngLike
 
 __all__ = [
     "merge_chain",
@@ -39,6 +51,7 @@ __all__ = [
     "merge_random_tree",
     "merge_kway",
     "merge_all",
+    "MergeStrategy",
     "MERGE_STRATEGIES",
 ]
 
@@ -48,21 +61,42 @@ def _require_nonempty(summaries: Sequence[Summary]) -> None:
         raise MergeError("cannot merge an empty list of summaries")
 
 
+@lru_cache(maxsize=256)
+def _cached_fold_plan(strategy: str, count: int):
+    """Deterministic fold plans depend only on (strategy, count)."""
+    return MERGE_STRATEGIES[strategy].compile(fold_slots(count), None)
+
+
+def _run_fold(
+    strategy: str,
+    summaries: Sequence[Summary],
+    rng: RngLike = None,
+    executor: ExecutorLike = None,
+) -> Summary:
+    """Compile the strategy over the summaries and execute the plan."""
+    _require_nonempty(summaries)
+    slots = fold_slots(len(summaries))
+    descriptor = MERGE_STRATEGIES[strategy]
+    if descriptor.uses_rng:
+        plan = descriptor.compile(slots, rng)
+    else:
+        # plans are immutable programs: reuse the compiled shape
+        plan = _cached_fold_plan(strategy, len(summaries))
+    # the fold result is the merged summary alone; skip the report's
+    # size/coverage accounting on this hot path
+    result = execute_plan(
+        plan, dict(zip(slots, summaries)), executor=executor, accounting=False
+    )
+    return result.value
+
+
 def merge_chain(summaries: Sequence[Summary]) -> Summary:
     """Left-fold merge: ``((s0 ⊎ s1) ⊎ s2) ⊎ ...``.
 
     Produces a maximally unbalanced (depth ``m-1``) merge tree — the
     adversarial shape for summaries that are only "one-way" mergeable.
     """
-    _require_nonempty(summaries)
-    acc = summaries[0]
-    for s in summaries[1:]:
-        acc = acc.merge(s)
-    return acc
-
-
-def _merge_pair(left: Summary, right: Summary) -> Summary:
-    return left.merge(right)
+    return _run_fold("chain", summaries)
 
 
 def merge_tree(
@@ -77,21 +111,7 @@ def merge_tree(
     for any worker count because each pair's merge sees only its own
     two operands.
     """
-    _require_nonempty(summaries)
-    pool = resolve_executor(executor)
-    level: List[Summary] = list(summaries)
-    while len(level) > 1:
-        pairs = [
-            (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
-        ]
-        if pool is not None:
-            nxt = pool.map(_merge_pair, pairs)
-        else:
-            nxt = [left.merge(right) for left, right in pairs]
-        if len(level) % 2 == 1:
-            nxt.append(level[-1])
-        level = nxt
-    return level[0]
+    return _run_fold("tree", summaries, executor=executor)
 
 
 def merge_random_tree(summaries: Sequence[Summary], rng: RngLike = None) -> Summary:
@@ -99,19 +119,10 @@ def merge_random_tree(summaries: Sequence[Summary], rng: RngLike = None) -> Summ
 
     Repeatedly picks two distinct surviving summaries at random and
     merges them, realizing an arbitrary merge sequence.  Deterministic
-    under a fixed ``rng`` seed.
+    under a fixed ``rng`` seed (the randomness is consumed at plan
+    compile time; execution replays the realized tree).
     """
-    _require_nonempty(summaries)
-    gen = resolve_rng(rng)
-    pool: List[Summary] = list(summaries)
-    while len(pool) > 1:
-        i, j = gen.choice(len(pool), size=2, replace=False)
-        i, j = int(i), int(j)
-        if i > j:
-            i, j = j, i
-        right = pool.pop(j)
-        pool[i] = pool[i].merge(right)
-    return pool[0]
+    return _run_fold("random", summaries, rng=rng)
 
 
 def merge_kway(summaries: Sequence[Summary]) -> Summary:
@@ -121,16 +132,7 @@ def merge_kway(summaries: Sequence[Summary]) -> Summary:
     sum / register max / compaction cascade for the whole fan-in
     instead of ``s - 1`` sequential merges.
     """
-    _require_nonempty(summaries)
-    return summaries[0].merge_many(summaries[1:])
-
-
-MERGE_STRATEGIES = {
-    "chain": merge_chain,
-    "tree": merge_tree,
-    "random": merge_random_tree,
-    "kway": merge_kway,
-}
+    return _run_fold("kway", summaries)
 
 
 def merge_all(
@@ -141,19 +143,29 @@ def merge_all(
 ) -> Summary:
     """Merge ``summaries`` with the named strategy.
 
-    ``strategy`` is one of ``"chain"``, ``"tree"``, ``"random"``,
-    ``"kway"``; ``rng`` only affects ``"random"``; ``executor`` (an int
-    worker count or a :class:`~repro.core.parallel.ParallelExecutor`)
-    only affects ``"tree"``, whose per-level pairs are independent.
+    ``strategy`` is one of :data:`MERGE_STRATEGIES` (``"chain"``,
+    ``"tree"``, ``"random"``, ``"kway"``).  ``rng`` is honored only by
+    ``"random"`` and ``executor`` (an int worker count or a
+    :class:`~repro.core.parallel.ParallelExecutor`) only by ``"tree"``;
+    passing a knob the strategy cannot honor raises
+    :class:`~repro.core.exceptions.ParameterError` rather than silently
+    ignoring it.
     """
     try:
-        fn = MERGE_STRATEGIES[strategy]
+        descriptor = MERGE_STRATEGIES[strategy]
     except KeyError:
         raise ParameterError(
             f"unknown merge strategy {strategy!r}; choose from {sorted(MERGE_STRATEGIES)}"
         ) from None
-    if strategy == "random":
-        return fn(summaries, rng)
-    if strategy == "tree":
-        return fn(summaries, executor)
-    return fn(summaries)
+    if rng is not None and not descriptor.uses_rng:
+        raise ParameterError(
+            f"strategy {strategy!r} does not use rng; only "
+            f"{sorted(n for n, s in MERGE_STRATEGIES.items() if s.uses_rng)} do"
+        )
+    if executor is not None and not descriptor.supports_executor:
+        raise ParameterError(
+            f"strategy {strategy!r} cannot run on an executor; only "
+            f"{sorted(n for n, s in MERGE_STRATEGIES.items() if s.supports_executor)} "
+            f"parallelize"
+        )
+    return _run_fold(strategy, summaries, rng=rng, executor=executor)

@@ -1,10 +1,15 @@
 """End-to-end distributed aggregation simulator.
 
 ``run_aggregation`` wires the pieces together: partition the dataset,
-build one summary per node, execute the merge schedule (optionally
-shipping every summary through the JSON wire format), and return the
-root summary with full instrumentation — exactly the pipeline of a
-sensor network or a MapReduce combiner tree, minus the sockets.
+compile the merge schedule into a :class:`~repro.engine.plan.MergePlan`
+(one build step per node, one merge step per schedule edge — see
+:func:`repro.engine.compilers.compile_aggregation`), and hand the plan
+to :func:`repro.engine.execute_plan`, the same runner behind
+``merge_all`` folds and the store's compaction.  The engine owns leaf
+build fan-out, wave-packed k-way merges, the retry/ledger fault loop,
+and the per-run counters; this module owns what is *simulation*: the
+partitioning, the ``Node`` fleet, and the aggregation-level result
+accounting.
 
 The instrumentation captures what the paper's theorems speak about:
 the merge count and tree depth (mergeable summaries must not degrade
@@ -12,9 +17,9 @@ with either) and the maximum summary size observed anywhere en route
 (the size bound must hold at *every* intermediate node, not just the
 root).
 
-A :class:`~repro.distributed.faults.FaultModel` turns the simulator
-into an unreliable fabric: messages drop, payloads corrupt, nodes
-crash, retransmissions duplicate.  Deliveries then run through a
+A :class:`~repro.engine.faults.FaultModel` turns the simulator into an
+unreliable fabric: messages drop, payloads corrupt, nodes crash,
+retransmissions duplicate.  Deliveries then run through a
 retry-with-backoff loop, parents dedup via per-delivery merge ledgers
 (exactly-once semantics), and the result carries *graceful degradation*
 accounting — which leaves actually reached the root and what fraction
@@ -24,18 +29,18 @@ of less data than asked for.
 
 from __future__ import annotations
 
-import inspect
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..core import Summary
-from ..core.exceptions import ParameterError, SerializationError
-from ..core.parallel import ExecutorLike, ParallelExecutor, resolve_executor
-from ..core.rng import RngLike, resolve_rng
-from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy
+from ..core.exceptions import ParameterError
+from ..core.parallel import ExecutorLike
+from ..core.rng import RngLike
+from ..engine import MergeLedger, execute_plan, plan_merge_waves
+from ..engine.compilers import compile_aggregation
+from .faults import FaultModel, FaultStats, RetryPolicy
 from .node import Node
 from .partition import Partitioner
 from .topology import MergeSchedule
@@ -77,77 +82,6 @@ class AggregationResult:
     bytes_retransmitted: int = 0
 
 
-def plan_merge_waves(
-    steps: Sequence[Tuple[int, int]],
-) -> List[List[Tuple[int, List[int]]]]:
-    """Group schedule steps into parallel waves of k-way fan-ins.
-
-    Consecutive steps sharing a destination collapse into one
-    ``(dst, [srcs])`` group — a single ``merge_many`` fan-in.  Groups
-    are then packed greedily into *waves*: a wave takes groups in
-    schedule order until a group touches a node some earlier group in
-    the wave already used, at which point the wave is flushed.  Groups
-    within a wave touch disjoint node sets, so they commute and may run
-    concurrently; groups in later waves see every earlier wave's
-    effects, preserving the schedule's sequential semantics.
-    """
-    groups: List[Tuple[int, List[int]]] = []
-    for dst, src in steps:
-        if groups and groups[-1][0] == dst:
-            groups[-1][1].append(src)
-        else:
-            groups.append((dst, [src]))
-    waves: List[List[Tuple[int, List[int]]]] = []
-    wave: List[Tuple[int, List[int]]] = []
-    used: Set[int] = set()
-    for dst, srcs in groups:
-        touched = {dst, *srcs}
-        if wave and (touched & used):
-            waves.append(wave)
-            wave, used = [], set()
-        wave.append((dst, srcs))
-        used |= touched
-    if wave:
-        waves.append(wave)
-    return waves
-
-
-def _factory_takes_node_index(factory: Callable[..., Summary]) -> bool:
-    """True when ``factory`` wants the node index (one required arg).
-
-    Factories may accept the node index to derive per-node RNG streams
-    (``lambda i: KLLQuantiles(200, rng=1000 + i)``); zero-argument
-    factories are called as before.
-    """
-    try:
-        signature = inspect.signature(factory)
-    except (TypeError, ValueError):
-        return False
-    required = [
-        p
-        for p in signature.parameters.values()
-        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
-        and p.default is p.empty
-    ]
-    return len(required) == 1
-
-
-def _build_node_summary(
-    node: Node, factory: Callable[..., Summary], takes_index: bool
-) -> Summary:
-    if takes_index:
-        return node.build(lambda: factory(node.node_id))
-    return node.build(factory)
-
-
-def _absorb_group(summary: Summary, payloads: List[Any], serialized: bool) -> Summary:
-    """Merge one wave group in a worker: deserialize + one k-way merge."""
-    from ..core.codecs import decode_summary
-
-    children = [decode_summary(p) if serialized else p for p in payloads]
-    return summary.merge_many(children)
-
-
 def _validate_schedule_indices(schedule: MergeSchedule, node_count: int) -> None:
     """Schedules referencing nodes the partitioner never produced are a
     configuration error, not an IndexError."""
@@ -161,90 +95,6 @@ def _validate_schedule_indices(schedule: MergeSchedule, node_count: int) -> None
             f"merge schedule references node(s) {out_of_range} but the "
             f"partitioner produced only {node_count} node(s)"
         )
-
-
-def _deliver_with_retries(
-    nodes: List[Node],
-    dst: int,
-    src: int,
-    delivery_id: str,
-    serialize: bool,
-    faults: FaultModel,
-    policy: RetryPolicy,
-    stats: FaultStats,
-) -> bool:
-    """One delivery through the lossy fabric; True iff it ever landed."""
-    for attempt in policy.attempts():
-        stats.attempts += 1
-        if attempt > 1:
-            stats.retries += 1
-            stats.backoff_seconds += policy.delay_before(attempt)
-        payload = nodes[src].emit(serialize=serialize)
-        if faults.draw_loss():
-            stats.messages_lost += 1
-            continue
-        if serialize and faults.draw_corruption():
-            payload = faults.corrupt(payload)
-            stats.corrupted_payloads += 1
-        try:
-            nodes[dst].absorb(payload, serialized=serialize, delivery_id=delivery_id)
-        except SerializationError:
-            stats.corruption_detected += 1
-            continue
-        # a late retransmission can still arrive after the ACKed original
-        if faults.draw_duplicate():
-            stats.duplicates_delivered += 1
-            dup = nodes[src].emit(serialize=serialize)
-            if nodes[dst].absorb(dup, serialized=serialize, delivery_id=delivery_id):
-                stats.duplicates_merged += 1
-            else:
-                stats.duplicates_suppressed += 1
-        return True
-    stats.deliveries_failed += 1
-    return False
-
-
-def _run_schedule_with_faults(
-    nodes: List[Node],
-    schedule: MergeSchedule,
-    serialize: bool,
-    faults: FaultModel,
-    policy: RetryPolicy,
-    stats: FaultStats,
-) -> Tuple[int, Dict[int, Set[int]], int]:
-    """Execute the schedule over the faulty fabric.
-
-    Returns ``(delivered_steps, coverage_map, max_size)`` where
-    ``coverage_map[i]`` is the set of leaves whose data node ``i``'s
-    summary currently incorporates.
-    """
-    covered: Dict[int, Set[int]] = {i: {i} for i in range(len(nodes))}
-    crashed: Set[int] = set()
-    delivered_steps = 0
-    max_size = max(node.summary.size() for node in nodes)
-    for step_index, (dst, src) in enumerate(schedule.steps):
-        # the root plays coordinator and is recovered out-of-band
-        # (see recovery.py); every other node may die before this step
-        for node_id in (src, dst):
-            if (
-                node_id not in crashed
-                and node_id != schedule.root
-                and faults.draw_crash()
-            ):
-                crashed.add(node_id)
-                stats.nodes_crashed += 1
-                stats.crashed_nodes.append(node_id)
-        if src in crashed or dst in crashed:
-            # src's subtree has no surviving route to the root
-            continue
-        delivery_id = f"step{step_index}:{src}->{dst}"
-        if _deliver_with_retries(
-            nodes, dst, src, delivery_id, serialize, faults, policy, stats
-        ):
-            covered[dst] |= covered[src]
-            delivered_steps += 1
-            max_size = max(max_size, nodes[dst].summary.size())
-    return delivered_steps, covered, max_size
 
 
 def run_aggregation(
@@ -300,21 +150,6 @@ def run_aggregation(
     needs ``serialize=True`` (it garbles wire bytes that the envelope
     checksum then catches).
     """
-    if not 0.0 <= duplicate_probability <= 1.0:
-        raise ParameterError(
-            f"duplicate_probability must be in [0, 1], got {duplicate_probability!r}"
-        )
-    if fault_model is not None and duplicate_probability:
-        raise ParameterError(
-            "pass duplicates via FaultModel(duplicate=...) when fault_model "
-            "is given; duplicate_probability is the legacy knob"
-        )
-    if fault_model is not None and fault_model.corruption and not serialize:
-        raise ParameterError(
-            "corruption injection garbles wire payloads; it requires serialize=True"
-        )
-    fault_rng = resolve_rng(rng)
-    pool: Optional[ParallelExecutor] = resolve_executor(executor)
     shards = partitioner.split(np.asarray(data), schedule.leaves)
     if len(shards) != schedule.leaves:
         raise ParameterError(
@@ -322,48 +157,43 @@ def run_aggregation(
             f"{schedule.leaves} leaves"
         )
     _validate_schedule_indices(schedule, len(shards))
-    use_ledger = fault_model is not None and exactly_once
     nodes: List[Node] = [
-        Node(node_id=i, shard=shard, ledger=MergeLedger() if use_ledger else None)
-        for i, shard in enumerate(shards)
+        Node(node_id=i, shard=shard) for i, shard in enumerate(shards)
     ]
+    use_ledger = fault_model is not None and exactly_once
 
-    takes_index = _factory_takes_node_index(summary_factory)
-    t0 = time.perf_counter()
-    if pool is not None:
-        built = pool.map(
-            _build_node_summary,
-            [(node, summary_factory, takes_index) for node in nodes],
-        )
-        for node, summary in zip(nodes, built):
-            node.summary = summary
-    else:
-        for node in nodes:
-            _build_node_summary(node, summary_factory, takes_index)
-    t1 = time.perf_counter()
+    plan = compile_aggregation(schedule, summary_factory)
+    result = execute_plan(
+        plan,
+        {i: node for i, node in enumerate(nodes)},
+        executor=executor,
+        serialize=serialize,
+        duplicate_probability=duplicate_probability,
+        rng=rng,
+        fault_model=fault_model,
+        retry_policy=retry_policy,
+        ledger_factory=MergeLedger if use_ledger else None,
+    )
+    report = result.report
 
     shard_sizes = [len(shard) for shard in shards]
     total_records = sum(shard_sizes)
+    root = nodes[schedule.root].summary
+    assert root is not None
+
     if fault_model is not None:
-        stats = FaultStats()
-        policy = retry_policy or RetryPolicy()
-        delivered_steps, covered, max_size = _run_schedule_with_faults(
-            nodes, schedule, serialize, fault_model, policy, stats
-        )
-        t2 = time.perf_counter()
-        delivered_leaves = sorted(covered[schedule.root])
+        delivered_leaves = sorted(report.covered[schedule.root])
         delivered_records = sum(shard_sizes[i] for i in delivered_leaves)
-        root = nodes[schedule.root].summary
-        assert root is not None
+        stats = report.fault_stats
         return AggregationResult(
             summary=root,
             nodes=schedule.leaves,
-            merges=delivered_steps,
+            merges=report.merges,
             depth=schedule.depth,
-            max_size_en_route=max_size,
-            bytes_shipped=sum(node.bytes_sent for node in nodes),
-            build_seconds=t1 - t0,
-            merge_seconds=t2 - t1,
+            max_size_en_route=report.max_size,
+            bytes_shipped=report.bytes_shipped,
+            build_seconds=report.build_seconds,
+            merge_seconds=report.merge_seconds,
             duplicated_deliveries=stats.duplicates_delivered,
             delivered_leaves=delivered_leaves,
             delivered_records=delivered_records,
@@ -371,53 +201,24 @@ def run_aggregation(
             lost_leaves=sorted(set(range(schedule.leaves)) - set(delivered_leaves)),
             shard_sizes=shard_sizes,
             fault_stats=stats,
-            bytes_retransmitted=sum(n.bytes_retransmitted for n in nodes),
+            bytes_retransmitted=report.bytes_retransmitted,
         )
 
-    max_size = max(node.summary.size() for node in nodes)
-    duplicated = 0
-    if pool is not None and not duplicate_probability:
-        # wave-planned runtime: serialization and byte accounting stay
-        # in this process; each wave's disjoint fan-ins merge via one
-        # merge_many per group, concurrently when the pool is parallel
-        for wave in plan_merge_waves(schedule.steps):
-            tasks = []
-            for dst, srcs in wave:
-                payloads = [nodes[src].emit(serialize=serialize) for src in srcs]
-                tasks.append((nodes[dst].summary, payloads, serialize))
-            merged = pool.map(_absorb_group, tasks)
-            for (dst, srcs), summary in zip(wave, merged):
-                nodes[dst].summary = summary
-                nodes[dst].merges_performed += len(srcs)
-                max_size = max(max_size, summary.size())
-    else:
-        for dst, src in schedule.steps:
-            payload = nodes[src].emit(serialize=serialize)
-            nodes[dst].absorb(payload, serialized=serialize)
-            if duplicate_probability and fault_rng.random() < duplicate_probability:
-                payload = nodes[src].emit(serialize=serialize)
-                nodes[dst].absorb(payload, serialized=serialize)
-                duplicated += 1
-            max_size = max(max_size, nodes[dst].summary.size())
-    t2 = time.perf_counter()
-
-    root = nodes[schedule.root].summary
-    assert root is not None
     return AggregationResult(
         summary=root,
         nodes=schedule.leaves,
-        merges=len(schedule.steps),
+        merges=report.merges,
         depth=schedule.depth,
-        max_size_en_route=max_size,
-        bytes_shipped=sum(node.bytes_sent for node in nodes),
-        build_seconds=t1 - t0,
-        merge_seconds=t2 - t1,
-        duplicated_deliveries=duplicated,
+        max_size_en_route=report.max_size,
+        bytes_shipped=report.bytes_shipped,
+        build_seconds=report.build_seconds,
+        merge_seconds=report.merge_seconds,
+        duplicated_deliveries=report.duplicated_deliveries,
         delivered_leaves=list(range(schedule.leaves)),
         delivered_records=total_records,
         coverage=1.0,
         lost_leaves=[],
         shard_sizes=shard_sizes,
         fault_stats=None,
-        bytes_retransmitted=sum(n.bytes_retransmitted for n in nodes),
+        bytes_retransmitted=report.bytes_retransmitted,
     )

@@ -1,0 +1,60 @@
+"""The merge engine: one plan IR and one executor for every merge DAG.
+
+The paper proves that mergeable summaries survive *arbitrary* merge
+sequences; this package makes the sequence a first-class value.  A
+:class:`MergePlan` (of :class:`MergeStep` build/merge/emit ops over
+named slots) says *what* to merge; :func:`execute_plan` is the single
+runner that decides *how* — scalar step-by-step, packed into parallel
+waves of k-way fan-ins, or through the retry/ledger fault runtime —
+and reports what happened (:class:`ExecutionReport`).
+
+Call sites compile to the IR instead of hand-rolling loops:
+``repro.core.merge`` compiles its fold strategies
+(:data:`MERGE_STRATEGIES`), the distributed simulator compiles its
+:class:`~repro.distributed.topology.MergeSchedule` objects
+(:func:`compile_aggregation`), and
+:meth:`repro.store.store.SegmentStore.compact` compiles its dyadic
+roll-up — which is how the store gets fault injection and exactly-once
+compaction without any code of its own.
+
+Fault primitives (:class:`FaultModel`, :class:`RetryPolicy`,
+:class:`MergeLedger`, :class:`FaultStats`) live here too, because the
+engine's executor is the one place that runs the retry/ledger loop;
+:mod:`repro.distributed.faults` re-exports them for compatibility.
+"""
+
+from .agents import SegmentSlot, SummarySlot, wrap_slot
+from .compilers import (
+    MERGE_STRATEGIES,
+    MergeStrategy,
+    compile_aggregation,
+    compile_fold,
+    fold_slots,
+)
+from .executor import ExecutionReport, ExecutionResult, execute_plan
+from .faults import FaultModel, FaultStats, MergeLedger, RetryPolicy, corrupt_payload
+from .plan import MergePlan, MergeStep
+from .waves import plan_merge_waves, plan_step_waves
+
+__all__ = [
+    "MergePlan",
+    "MergeStep",
+    "execute_plan",
+    "ExecutionReport",
+    "ExecutionResult",
+    "MergeStrategy",
+    "MERGE_STRATEGIES",
+    "compile_fold",
+    "compile_aggregation",
+    "fold_slots",
+    "plan_merge_waves",
+    "plan_step_waves",
+    "SummarySlot",
+    "SegmentSlot",
+    "wrap_slot",
+    "FaultModel",
+    "FaultStats",
+    "MergeLedger",
+    "RetryPolicy",
+    "corrupt_payload",
+]

@@ -1,0 +1,592 @@
+"""``execute_plan``: the one runner every merge in the library goes through.
+
+The paper's mergeability guarantee is about *what* gets merged; this
+module owns *how*, once, for every call site: ``merge_all`` folds, the
+distributed simulator's schedules, and the store's dyadic compactions
+all compile to :class:`~repro.engine.plan.MergePlan` and run here.
+Three execution regimes cover the plan space:
+
+- **scalar** — steps run one by one in plan order, each source emitted
+  and absorbed by its destination (the legacy step-by-step semantics;
+  also carries the bare ``duplicate_probability`` at-least-once knob);
+- **wave** — with a parallel executor and a ``groupable`` plan,
+  consecutive merges are grouped into k-way fan-ins, packed into
+  slot-disjoint waves (:mod:`repro.engine.waves`), and dispatched
+  through :class:`~repro.core.parallel.ParallelExecutor`; emission and
+  counter updates stay in the calling process so worker forks never
+  double-account;
+- **fault** — with a :class:`~repro.engine.faults.FaultModel`, every
+  delivery runs a retry-with-backoff loop against injected loss,
+  corruption, crashes and duplicates, parents dedup via per-slot
+  :class:`~repro.engine.faults.MergeLedger` (exactly-once merges), and
+  the report carries coverage/degradation accounting.
+
+Build steps fan out across the executor in all three regimes (leaf
+ingestion is embarrassingly parallel even on an unreliable fabric);
+only the merge phase is forced scalar under faults, because retries are
+inherently sequential.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, Tuple
+
+from ..core.codecs import decode_summary
+from ..core.exceptions import ParameterError, SerializationError
+from ..core.parallel import ExecutorLike, ParallelExecutor, resolve_executor
+from ..core.rng import RngLike, resolve_rng
+from .agents import (
+    is_segment,
+    merge_segment_into,
+    set_slot_value,
+    slot_size,
+    slot_value,
+    wrap_slot,
+)
+from .faults import FaultModel, FaultStats, RetryPolicy
+from .plan import MergePlan, MergeStep
+from .waves import StepGroup, plan_step_waves
+
+__all__ = ["ExecutionReport", "ExecutionResult", "execute_plan"]
+
+#: per-merge-step outcomes recorded in :attr:`ExecutionReport.step_status`
+STEP_DONE = "done"
+STEP_FAILED = "failed"
+STEP_SKIPPED = "skipped"
+
+
+@dataclass
+class ExecutionReport:
+    """What one :func:`execute_plan` run actually did."""
+
+    plan: str
+    #: fan-in actually delivered (source slots merged into destinations)
+    merges: int = 0
+    #: build steps executed
+    builds: int = 0
+    #: parallel rounds: consecutive builds dispatched together
+    build_waves: int = 0
+    #: merge waves dispatched on the wave path (0 on scalar/fault paths)
+    waves: int = 0
+    #: k-way groups executed on the wave path
+    groups: int = 0
+    #: largest summary size observed at any slot during the run
+    max_size: int = 0
+    #: serialized payload bytes shipped (each generation counted once)
+    bytes_shipped: int = 0
+    #: bytes re-sent for already-serialized generations (retry overhead)
+    bytes_retransmitted: int = 0
+    #: merge steps delivered twice by the legacy at-least-once knob
+    duplicated_deliveries: int = 0
+    build_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    #: merge-step index -> "done" | "failed" | "skipped"
+    step_status: Dict[int, str] = field(default_factory=dict)
+    #: slot -> set of slots whose data that slot's value now covers
+    covered: Dict[Hashable, Set[Hashable]] = field(default_factory=dict)
+    #: slots lost to crash injection
+    crashed: Set[Hashable] = field(default_factory=set)
+    #: fault-injection accounting (None for fault-free runs)
+    fault_stats: Optional[FaultStats] = None
+
+    @property
+    def steps_done(self) -> int:
+        return sum(1 for s in self.step_status.values() if s == STEP_DONE)
+
+    @property
+    def steps_failed(self) -> int:
+        return sum(1 for s in self.step_status.values() if s == STEP_FAILED)
+
+    @property
+    def steps_skipped(self) -> int:
+        return sum(1 for s in self.step_status.values() if s == STEP_SKIPPED)
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus report plus the live agents of one plan execution.
+
+    ``outputs`` maps every *reachable* emitted slot to its final value;
+    slots lost to faults (a roll-up whose every retry failed) are
+    absent, so callers can distinguish "empty" from "gone".
+    """
+
+    outputs: Dict[Hashable, Any]
+    report: ExecutionReport
+    agents: Dict[Hashable, Any]
+
+    @property
+    def value(self) -> Any:
+        """The single output of a one-output plan."""
+        if len(self.outputs) != 1:
+            raise ParameterError(
+                f"plan produced {len(self.outputs)} outputs; use .outputs"
+            )
+        return next(iter(self.outputs.values()))
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (run inside ParallelExecutor forks — must not touch
+# agent counters, which live in the calling process)
+# ---------------------------------------------------------------------------
+
+
+def _run_build(builder: Callable[..., Any], agent: Any) -> Any:
+    return builder(agent) if agent is not None else builder()
+
+
+def _combine_values(target: Any, children: List[Any]) -> Any:
+    if is_segment(target):
+        return merge_segment_into(target, children)
+    if not children:
+        return target
+    if len(children) == 1:
+        return target.merge(children[0])
+    return target.merge_many(children)
+
+
+def _execute_group(
+    target: Any, payloads: List[Any], serialized: bool, fresh: bool
+) -> Any:
+    """One k-way group: decode children, then merge (or seed-and-merge)."""
+    children = [decode_summary(p) if serialized else p for p in payloads]
+    if fresh:
+        seed = target(children[0])
+        if is_segment(seed):
+            # merged_segment semantics: one member-wise merge_many over
+            # the remaining parts, issued even when the group had one part
+            return merge_segment_into(seed, children[1:])
+        return _combine_values(seed, children[1:])
+    return _combine_values(target, children)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class _Run:
+    """Mutable state of one plan execution."""
+
+    def __init__(
+        self,
+        plan: MergePlan,
+        inputs: Mapping[Hashable, Any],
+        pool: Optional[ParallelExecutor],
+        serialize: bool,
+        duplicate_probability: float,
+        rng: RngLike,
+        fault_model: Optional[FaultModel],
+        retry_policy: Optional[RetryPolicy],
+        ledger_factory: Optional[Callable[[], Any]],
+        instrument: Optional[Callable[[str, Dict[str, Any]], None]],
+        accounting: bool,
+    ) -> None:
+        self.plan = plan
+        self.pool = pool
+        self.serialize = serialize
+        self.duplicate_probability = duplicate_probability
+        # entropy is only drawn when the duplicate knob is actually live
+        self.dup_rng = resolve_rng(rng) if duplicate_probability else None
+        self.faults = fault_model
+        self.policy = retry_policy or RetryPolicy()
+        self.ledger_factory = ledger_factory
+        self.instrument = instrument
+        # the fault runtime's skip/coverage logic reads these structures
+        self.accounting = accounting or fault_model is not None
+        self.report = ExecutionReport(plan=plan.name)
+        if fault_model is not None:
+            self.report.fault_stats = FaultStats()
+        self.slots: Dict[Hashable, Any] = {}
+        self.outputs: Dict[Hashable, Any] = {}
+        for slot, value in inputs.items():
+            self._install(slot, wrap_slot(value))
+        #: wave path applies only to fault-free, knob-free groupable runs
+        self.use_waves = (
+            pool is not None
+            and plan.groupable
+            and fault_model is None
+            and not duplicate_probability
+        )
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _install(self, slot: Hashable, agent: Any) -> None:
+        if (
+            self.faults is not None
+            and self.ledger_factory is not None
+            and getattr(agent, "ledger", None) is None
+        ):
+            agent.ledger = self.ledger_factory()
+        self.slots[slot] = agent
+        if self.accounting:
+            self.report.covered.setdefault(slot, {slot})
+            self._observe_size(agent)
+
+    def _observe_size(self, agent: Any) -> None:
+        self.report.max_size = max(self.report.max_size, slot_size(agent))
+
+    def _emit_event(self, event: str, **info: Any) -> None:
+        if self.instrument is not None:
+            self.instrument(event, info)
+
+    # -- build phase ------------------------------------------------------
+
+    def run_builds(self, steps: List[MergeStep]) -> None:
+        t0 = time.perf_counter()
+        agents = [self.slots.get(step.slot) for step in steps]
+        tasks = [(step.builder, agent) for step, agent in zip(steps, agents)]
+        if self.pool is not None:
+            values = self.pool.map(_run_build, tasks)
+        else:
+            values = [_run_build(builder, agent) for builder, agent in tasks]
+        for step, agent, value in zip(steps, agents, values):
+            if agent is None:
+                self._install(step.slot, wrap_slot(value))
+            elif self.accounting:
+                set_slot_value(agent, value)
+                self.report.covered.setdefault(step.slot, {step.slot})
+                self._observe_size(agent)
+            else:
+                set_slot_value(agent, value)
+        self.report.builds += len(steps)
+        self.report.build_waves += 1
+        self.report.build_seconds += time.perf_counter() - t0
+        self._emit_event("build_wave", builds=len(steps))
+
+    # -- scalar merge path ------------------------------------------------
+
+    def run_scalar(self, steps: List[MergeStep], first_index: int) -> None:
+        # hot path: merge_all and compaction run every step through this
+        # loop, so frequently-read attributes are hoisted to locals
+        slots = self.slots
+        serialize = self.serialize
+        dup_p = self.duplicate_probability
+        accounting = self.accounting
+        report = self.report
+        status = report.step_status
+        instrument = self.instrument
+        for offset, step in enumerate(steps):
+            index = first_index + offset
+            srcs = step.srcs
+            missing = False
+            for src in srcs:
+                if src not in slots:
+                    missing = True
+                    break
+            if missing:
+                status[index] = STEP_SKIPPED
+                continue
+            if step.builder is None:
+                agent = slots[step.slot]
+                if len(srcs) == 1:
+                    agent.absorb(
+                        slots[srcs[0]].emit(serialize=serialize),
+                        serialized=serialize,
+                    )
+                else:
+                    agent.absorb_many(
+                        [slots[src].emit(serialize=serialize) for src in srcs],
+                        serialized=serialize,
+                    )
+            else:
+                payloads = [slots[src].emit(serialize=serialize) for src in srcs]
+                first = decode_summary(payloads[0]) if serialize else payloads[0]
+                agent = wrap_slot(step.builder(first))
+                agent.absorb_many(payloads[1:], serialized=serialize)
+                self._install(step.slot, agent)
+            if dup_p:
+                for src in srcs:
+                    if float(self.dup_rng.random()) < dup_p:
+                        dup = slots[src].emit(serialize=serialize)
+                        agent.absorb(dup, serialized=serialize)
+                        report.duplicated_deliveries += 1
+            if accounting:
+                for src in srcs:
+                    report.covered[step.slot] |= report.covered[src]
+                self._observe_size(agent)
+            report.merges += len(srcs)
+            status[index] = STEP_DONE
+            if instrument is not None:
+                self._emit_event(
+                    "step", index=index, dst=step.slot, fan_in=len(srcs)
+                )
+
+    # -- wave merge path --------------------------------------------------
+
+    def run_waves(self, steps: List[MergeStep], first_index: int) -> None:
+        waves = plan_step_waves(steps, first_index, fuse=self.plan.fuse_fanin)
+        for wave in waves:
+            tasks: List[Tuple[Any, List[Any], bool, bool]] = []
+            for group in wave:
+                payloads = [
+                    self.slots[src].emit(serialize=self.serialize)
+                    for src in group.srcs
+                ]
+                if group.builder is not None:
+                    tasks.append((group.builder, payloads, self.serialize, True))
+                else:
+                    target = slot_value(self.slots[group.dst])
+                    tasks.append((target, payloads, self.serialize, False))
+            merged = self.pool.map(_execute_group, tasks)
+            for group, value in zip(wave, merged):
+                self._finish_group(group, value)
+            self.report.waves += 1
+            self.report.groups += len(wave)
+            self._emit_event("wave", groups=len(wave))
+
+    def _finish_group(self, group: StepGroup, value: Any) -> None:
+        if group.builder is not None:
+            agent = wrap_slot(value)
+            self._install(group.dst, agent)
+        else:
+            agent = self.slots[group.dst]
+            set_slot_value(agent, value)
+        if hasattr(agent, "merges_performed"):
+            agent.merges_performed += len(group.srcs)
+        if self.accounting:
+            for src in group.srcs:
+                self.report.covered[group.dst] |= self.report.covered[src]
+            self._observe_size(agent)
+        for index in group.indices:
+            self.report.step_status[index] = STEP_DONE
+        self.report.merges += len(group.srcs)
+
+    # -- fault merge path -------------------------------------------------
+
+    def _draw_crashes(self, candidates: Tuple[Hashable, ...]) -> None:
+        stats = self.report.fault_stats
+        for slot in candidates:
+            if (
+                slot in self.slots
+                and slot not in self.report.crashed
+                and slot not in self.plan.protected
+                and self.faults.draw_crash()
+            ):
+                self.report.crashed.add(slot)
+                stats.nodes_crashed += 1
+                stats.crashed_nodes.append(slot)
+
+    def _deliver_with_retries(
+        self,
+        src: Hashable,
+        dst_agent: Optional[Any],
+        builder: Optional[Callable[..., Any]],
+        delivery_id: str,
+    ) -> Tuple[bool, Optional[Any]]:
+        """One delivery through the lossy fabric.
+
+        Returns ``(landed, agent)`` — ``agent`` is the freshly seeded
+        destination when ``builder`` consumed this delivery, else
+        ``dst_agent`` unchanged.
+        """
+        stats = self.report.fault_stats
+        src_agent = self.slots[src]
+        for attempt in self.policy.attempts():
+            stats.attempts += 1
+            if attempt > 1:
+                stats.retries += 1
+                stats.backoff_seconds += self.policy.delay_before(attempt)
+            payload = src_agent.emit(serialize=self.serialize)
+            if self.faults.draw_loss():
+                stats.messages_lost += 1
+                continue
+            if self.serialize and self.faults.draw_corruption():
+                payload = self.faults.corrupt(payload)
+                stats.corrupted_payloads += 1
+            try:
+                if dst_agent is None:
+                    child = decode_summary(payload) if self.serialize else payload
+                    dst_agent = wrap_slot(builder(child))
+                    if self.ledger_factory is not None:
+                        dst_agent.ledger = self.ledger_factory()
+                        dst_agent.ledger.witness(delivery_id)
+                else:
+                    dst_agent.absorb(
+                        payload, serialized=self.serialize, delivery_id=delivery_id
+                    )
+            except SerializationError:
+                stats.corruption_detected += 1
+                continue
+            # a late retransmission can still arrive after the ACKed original
+            if self.faults.draw_duplicate():
+                stats.duplicates_delivered += 1
+                dup = src_agent.emit(serialize=self.serialize)
+                if dst_agent.absorb(
+                    dup, serialized=self.serialize, delivery_id=delivery_id
+                ):
+                    stats.duplicates_merged += 1
+                else:
+                    stats.duplicates_suppressed += 1
+            return True, dst_agent
+        stats.deliveries_failed += 1
+        return False, dst_agent
+
+    def run_faulty(self, steps: List[MergeStep], first_index: int) -> None:
+        for offset, step in enumerate(steps):
+            index = first_index + offset
+            dst = step.slot
+            fresh = step.builder is not None
+            agent = None if fresh else self.slots.get(dst)
+            delivered: List[Hashable] = []
+            attempted = False
+            for src in step.srcs:
+                if src not in self.slots:
+                    continue  # lost upstream: no surviving route
+                self._draw_crashes((src, dst))
+                if src in self.report.crashed or dst in self.report.crashed:
+                    continue
+                attempted = True
+                delivery_id = f"step{index}:{src}->{dst}"
+                landed, agent = self._deliver_with_retries(
+                    src, agent, step.builder, delivery_id
+                )
+                if landed:
+                    delivered.append(src)
+                    if not fresh:
+                        self.report.covered[dst] |= self.report.covered[src]
+                        self.report.merges += 1
+                        self._observe_size(agent)
+            if fresh:
+                if agent is not None and len(delivered) == len(step.srcs):
+                    # exactly-once or nothing: a partially delivered
+                    # roll-up is discarded so dependents fall back to
+                    # the children instead of serving partial data
+                    self._install(dst, agent)
+                    for src in delivered:
+                        self.report.covered[dst] |= self.report.covered[src]
+                    self.report.merges += len(delivered)
+                    self._observe_size(agent)
+                    self.report.step_status[index] = STEP_DONE
+                else:
+                    self.report.step_status[index] = (
+                        STEP_FAILED if attempted else STEP_SKIPPED
+                    )
+            elif len(delivered) == len(step.srcs):
+                self.report.step_status[index] = STEP_DONE
+            else:
+                self.report.step_status[index] = (
+                    STEP_FAILED if attempted else STEP_SKIPPED
+                )
+            self._emit_event(
+                "step", index=index, dst=dst, fan_in=len(step.srcs),
+                delivered=len(delivered),
+            )
+
+    # -- driver -----------------------------------------------------------
+
+    def execute(self) -> ExecutionResult:
+        steps = self.plan.steps
+        merge_index = 0
+        i = 0
+        while i < len(steps):
+            op = steps[i].op
+            j = i
+            while j < len(steps) and steps[j].op == op:
+                j += 1
+            run = list(steps[i:j])
+            if op == "build":
+                self.run_builds(run)
+            elif op == "merge":
+                t0 = time.perf_counter()
+                if self.faults is not None:
+                    self.run_faulty(run, merge_index)
+                elif self.use_waves:
+                    self.run_waves(run, merge_index)
+                else:
+                    self.run_scalar(run, merge_index)
+                merge_index += len(run)
+                self.report.merge_seconds += time.perf_counter() - t0
+            else:
+                for step in run:
+                    if step.slot in self.slots:
+                        self.outputs[step.slot] = slot_value(self.slots[step.slot])
+            i = j
+        if self.accounting:
+            self.report.bytes_shipped = sum(
+                getattr(a, "bytes_sent", 0) for a in self.slots.values()
+            )
+            self.report.bytes_retransmitted = sum(
+                getattr(a, "bytes_retransmitted", 0) for a in self.slots.values()
+            )
+        self._emit_event(
+            "done", merges=self.report.merges, waves=self.report.waves,
+            max_size=self.report.max_size,
+        )
+        return ExecutionResult(
+            outputs=self.outputs, report=self.report, agents=self.slots
+        )
+
+
+def execute_plan(
+    plan: MergePlan,
+    inputs: Mapping[Hashable, Any],
+    *,
+    executor: ExecutorLike = None,
+    serialize: bool = False,
+    duplicate_probability: float = 0.0,
+    rng: RngLike = None,
+    fault_model: Optional[FaultModel] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    ledger_factory: Optional[Callable[[], Any]] = None,
+    instrument: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    accounting: bool = True,
+) -> ExecutionResult:
+    """Execute ``plan`` over ``inputs`` and return outputs plus report.
+
+    ``inputs`` maps slot names to values (summaries, store segments) or
+    ready-made agents (the simulator's ``Node`` objects).  ``executor``
+    opts into parallel dispatch (builds always; merges only for
+    ``groupable`` fault-free plans).  ``serialize`` round-trips every
+    emitted summary through the wire codec.  ``duplicate_probability``
+    is the legacy bare at-least-once knob (each delivery is, with that
+    probability, merged twice); ``rng`` seeds its draws.
+
+    ``fault_model`` switches the merge phase to the retry runtime:
+    deliveries retry per ``retry_policy`` against injected loss,
+    corruption, crashes and duplicates; when ``ledger_factory`` is also
+    given, every destination gets a merge ledger and redeliveries merge
+    exactly once.  The report's ``covered``/``crashed``/``fault_stats``
+    then carry the degradation accounting.
+
+    ``instrument`` is called as ``instrument(event, info)`` at build
+    waves, merge waves or steps, and completion — a hook for benchmarks
+    and progress displays, never for semantics.
+
+    ``accounting=False`` skips the per-step size and coverage tracking
+    (``report.max_size`` stays 0, ``report.covered`` stays empty) for
+    hot paths that discard the report — ``merge_all`` folds, fault-free
+    compactions.  It is forced back on whenever ``fault_model`` is
+    given, because the fault runtime's degradation accounting *is* the
+    product there.
+    """
+    if not 0.0 <= duplicate_probability <= 1.0:
+        raise ParameterError(
+            f"duplicate_probability must be in [0, 1], got {duplicate_probability!r}"
+        )
+    if fault_model is not None and duplicate_probability:
+        raise ParameterError(
+            "pass duplicates via FaultModel(duplicate=...) when fault_model "
+            "is given; duplicate_probability is the legacy knob"
+        )
+    if fault_model is not None and fault_model.corruption and not serialize:
+        raise ParameterError(
+            "corruption injection garbles wire payloads; it requires serialize=True"
+        )
+    plan.validate(inputs.keys())
+    run = _Run(
+        plan,
+        inputs,
+        resolve_executor(executor),
+        serialize,
+        duplicate_probability,
+        rng,
+        fault_model,
+        retry_policy,
+        ledger_factory,
+        instrument,
+        accounting,
+    )
+    return run.execute()

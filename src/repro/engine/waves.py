@@ -1,0 +1,139 @@
+"""Wave planning: pack independent merges into concurrent rounds.
+
+Given an ordered list of merge operations, two transformations prepare
+them for parallel dispatch:
+
+1. **Grouping** — consecutive operations sharing a destination collapse
+   into one ``(dst, [srcs])`` group, a single k-way ``merge_many``
+   fan-in (one combine/compaction pass for the whole group).
+2. **Wave packing** — groups are packed greedily, in order, into
+   *waves*: a wave takes groups until one touches a slot an earlier
+   group in the wave already used, at which point the wave is flushed.
+   Groups within a wave touch disjoint slot sets, so they commute and
+   may run concurrently; groups in later waves see every earlier wave's
+   effects, preserving the sequential semantics of the input order.
+
+:func:`plan_merge_waves` is the historical public entry point over
+``(dst, src)`` schedule pairs (re-exported by
+:mod:`repro.distributed.simulator`); :func:`plan_step_waves` is the
+engine-internal variant over :class:`~repro.engine.plan.MergeStep` runs,
+which additionally understands multi-source steps, copy-on-write
+destinations, and plans that forbid fan-in fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Sequence, Set, Tuple
+
+from .plan import MergeStep
+
+__all__ = ["plan_merge_waves", "plan_step_waves", "StepGroup"]
+
+
+def plan_merge_waves(
+    steps: Sequence[Tuple[int, int]],
+) -> List[List[Tuple[int, List[int]]]]:
+    """Group schedule steps into parallel waves of k-way fan-ins.
+
+    Consecutive steps sharing a destination collapse into one
+    ``(dst, [srcs])`` group — a single ``merge_many`` fan-in.  Groups
+    are then packed greedily into *waves*: a wave takes groups in
+    schedule order until a group touches a node some earlier group in
+    the wave already used, at which point the wave is flushed.  Groups
+    within a wave touch disjoint node sets, so they commute and may run
+    concurrently; groups in later waves see every earlier wave's
+    effects, preserving the schedule's sequential semantics.
+    """
+    groups: List[Tuple[int, List[int]]] = []
+    for dst, src in steps:
+        if groups and groups[-1][0] == dst:
+            groups[-1][1].append(src)
+        else:
+            groups.append((dst, [src]))
+    waves: List[List[Tuple[int, List[int]]]] = []
+    wave: List[Tuple[int, List[int]]] = []
+    used: Set[int] = set()
+    for dst, srcs in groups:
+        touched = {dst, *srcs}
+        if wave and (touched & used):
+            waves.append(wave)
+            wave, used = [], set()
+        wave.append((dst, srcs))
+        used |= touched
+    if wave:
+        waves.append(wave)
+    return waves
+
+
+@dataclass
+class StepGroup:
+    """One k-way fan-in of the wave runtime: ``srcs`` merged into ``dst``.
+
+    ``indices`` are the plan-wide merge-step indices fused into the
+    group (one per source, aligned), so the executor can report per-step
+    status even after fusion.  ``builder`` is non-None for copy-on-write
+    destinations (the first source is copied through it).
+    """
+
+    dst: Hashable
+    srcs: List[Hashable] = field(default_factory=list)
+    indices: List[int] = field(default_factory=list)
+    builder: object = None
+
+    @property
+    def touched(self) -> Set[Hashable]:
+        return {self.dst, *self.srcs}
+
+
+def plan_step_waves(
+    steps: Sequence[MergeStep],
+    first_index: int = 0,
+    fuse: bool = True,
+) -> List[List[StepGroup]]:
+    """Pack a run of merge steps into waves of disjoint :class:`StepGroup`.
+
+    ``first_index`` is the plan-wide index of ``steps[0]`` (used to
+    label groups for status reporting).  With ``fuse=True`` consecutive
+    in-place single-source steps sharing a destination collapse into one
+    k-way group, exactly like :func:`plan_merge_waves`; ``fuse=False``
+    keeps every step its own group — required by plans whose
+    step-by-step merge shape is the contract (the balanced-tree fold
+    merges pairwise per level, never k-way).  Copy-on-write steps
+    (``builder`` set) and multi-source steps never fuse with neighbours.
+    """
+    groups: List[StepGroup] = []
+    for offset, step in enumerate(steps):
+        index = first_index + offset
+        fusable = (
+            fuse
+            and step.builder is None
+            and len(step.srcs) == 1
+            and groups
+            and groups[-1].builder is None
+            and groups[-1].dst == step.slot
+        )
+        if fusable:
+            groups[-1].srcs.append(step.srcs[0])
+            groups[-1].indices.append(index)
+        else:
+            groups.append(
+                StepGroup(
+                    dst=step.slot,
+                    srcs=list(step.srcs),
+                    indices=[index] * len(step.srcs) or [index],
+                    builder=step.builder,
+                )
+            )
+    waves: List[List[StepGroup]] = []
+    wave: List[StepGroup] = []
+    used: Set[Hashable] = set()
+    for group in groups:
+        if wave and (group.touched & used):
+            waves.append(wave)
+            wave, used = [], set()
+        wave.append(group)
+        used |= group.touched
+    if wave:
+        waves.append(wave)
+    return waves

@@ -26,7 +26,15 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..core.base import Summary, normalize_batch
 from ..core.codecs import DEFAULT_CODEC, get_codec
 from ..core.exceptions import ParameterError, QueryError
-from ..core.parallel import ExecutorLike, resolve_executor
+from ..core.parallel import ExecutorLike
+from ..engine import (
+    FaultModel,
+    MergeLedger,
+    MergePlan,
+    MergeStep,
+    RetryPolicy,
+    execute_plan,
+)
 from .planner import QueryPlan, plan_range
 from .segment import MemberSpec, Segment, copy_summary, merged_segment
 from .views import ViewCache
@@ -299,67 +307,170 @@ class SegmentStore:
     # Compaction: the dyadic roll-up tree
     # ------------------------------------------------------------------
 
-    def compact(self, executor: ExecutorLike = None) -> Dict[str, int]:
+    def _seed_rollup(self, segment_id: str, level: int, start: int):
+        """Copy-on-write builder for a roll-up's merge step.
+
+        Receives the first child segment of the block and returns the
+        fresh roll-up seeded with member-wise copies of it (exactly how
+        :func:`~repro.store.segment.merged_segment` starts); the engine
+        then merges the remaining children in.
+        """
+
+        def seed(first: Segment) -> Segment:
+            return Segment(
+                segment_id=segment_id,
+                level=level,
+                start=start,
+                count=first.count,
+                members={
+                    name: copy_summary(summary)
+                    for name, summary in first.members.items()
+                },
+            )
+
+        return seed
+
+    def _compile_compaction(
+        self, lo: int, hi: int, levels: int
+    ) -> Tuple[MergePlan, Dict[Tuple[int, int], Segment]]:
+        """Compile the incremental dyadic roll-up into a merge plan.
+
+        Slots are ``(level, start)`` block coordinates.  Jobs are
+        discovered level by level exactly like the historical loop —
+        same block iteration, same skip of materialized roll-ups, same
+        segment-id allocation order — but a job may now reference a
+        *planned* sibling from the level below as a source slot, which
+        is what lets the whole tree execute as one plan (the engine's
+        wave packer rediscovers the per-level barriers from the slot
+        conflicts).
+        """
+        steps: List[MergeStep] = []
+        inputs: Dict[Tuple[int, int], Segment] = {}
+        planned: set = set()
+        for level in range(1, levels + 1):
+            block = 1 << level
+            half = block >> 1
+            first = (lo // block) * block
+            for start in range(first, hi + 1, block):
+                if (level, start) in self._rollups:
+                    continue
+                srcs: List[Tuple[int, int]] = []
+                for child_start in (start, start + half):
+                    child_slot = (level - 1, child_start)
+                    if level - 1 >= 1 and child_slot in planned:
+                        srcs.append(child_slot)
+                        continue
+                    child = self._child_node(level - 1, child_start)
+                    if child is not None:
+                        inputs[child_slot] = child
+                        srcs.append(child_slot)
+                if not srcs:
+                    continue
+                slot = (level, start)
+                steps.append(
+                    MergeStep(
+                        "merge",
+                        slot,
+                        tuple(srcs),
+                        builder=self._seed_rollup(
+                            self._new_segment_id(level, start), level, start
+                        ),
+                    )
+                )
+                planned.add(slot)
+        for slot in sorted(planned):
+            steps.append(MergeStep("emit", slot))
+        plan = MergePlan(
+            name=f"compact[{len(self._base)} segments, {levels} levels]",
+            steps=steps,
+            groupable=True,
+            fuse_fanin=False,
+        )
+        return plan, inputs
+
+    def compact(
+        self,
+        executor: ExecutorLike = None,
+        *,
+        fault_model: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        exactly_once: bool = True,
+    ) -> Dict[str, int]:
         """Materialize the dyadic roll-up tree over the base segments.
 
         Level ``ℓ`` holds one pre-merged segment per aligned block of
         ``2**ℓ`` epochs that contains data; each is the k-way
         ``merge_many`` of its (at most two) children from the level
         below.  Blocks whose roll-up is already materialized are
-        skipped, so repeated compactions are incremental.  With an
-        ``executor`` (int worker count or
-        :class:`~repro.core.parallel.ParallelExecutor`) the independent
-        merges of each level fan out across workers.
+        skipped, so repeated compactions are incremental.  The roll-up
+        is compiled into a :class:`~repro.engine.plan.MergePlan` and run
+        by :func:`repro.engine.execute_plan`; with an ``executor`` (int
+        worker count or :class:`~repro.core.parallel.ParallelExecutor`)
+        the independent merges of each level fan out across workers.
+
+        ``fault_model`` runs the compaction over the engine's unreliable
+        fabric: each child delivery is retried per ``retry_policy``, and
+        with ``exactly_once`` (the default) every fresh roll-up keeps a
+        merge ledger so injected duplicate deliveries merge exactly
+        once.  A roll-up whose retries are exhausted is *dropped* — not
+        installed partially — so queries degrade to its children; its
+        block is retried by the next :meth:`compact`.  Corruption
+        injection is meaningless here (segments never cross a wire
+        during compaction) and raises
+        :class:`~repro.core.exceptions.ParameterError`.
 
         Returns counters: ``levels``, ``rollups_built``,
-        ``merge_inputs`` (summaries consumed by the new roll-ups).
+        ``merge_inputs`` (summaries consumed by the new roll-ups); under
+        a fault model also ``retries`` and ``rollups_failed``.
         """
+        if fault_model is not None and fault_model.corruption:
+            raise ParameterError(
+                "compaction never serializes segments, so corruption "
+                "injection cannot apply; use loss/duplicate/crash faults"
+            )
         if len(self._base) == 0:
             return {"levels": 0, "rollups_built": 0, "merge_inputs": 0}
         lo, hi = min(self._base), max(self._base)
         span = hi - lo + 1
         levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
-        pool = resolve_executor(executor)
-        built = inputs = 0
-        for level in range(1, levels + 1):
-            block = 1 << level
-            half = block >> 1
-            jobs: List[Tuple[Tuple[int, int], str, List[Segment]]] = []
-            first = (lo // block) * block
-            for start in range(first, hi + 1, block):
-                if (level, start) in self._rollups:
-                    continue
-                parts = [
-                    child
-                    for child_start in (start, start + half)
-                    for child in (self._child_node(level - 1, child_start),)
-                    if child is not None
-                ]
-                if not parts:
-                    continue
-                key = (level, start)
-                jobs.append((key, self._new_segment_id(level, start), parts))
-            if not jobs:
-                continue
-            if pool is not None and len(jobs) > 1:
-                tasks = [
-                    (segment_id, level, key[1], parts)
-                    for key, segment_id, parts in jobs
-                ]
-                nodes = pool.map(merged_segment, tasks)
-            else:
-                nodes = [
-                    merged_segment(segment_id, level, key[1], parts)
-                    for key, segment_id, parts in jobs
-                ]
-            for (key, _segment_id, parts), node in zip(jobs, nodes):
-                self._rollups[key] = node
+        plan, inputs = self._compile_compaction(lo, hi, levels)
+        built = merge_inputs = retries = failed = 0
+        if plan.merge_steps:
+            use_ledger = fault_model is not None and exactly_once
+            result = execute_plan(
+                plan,
+                inputs,
+                executor=executor,
+                fault_model=fault_model,
+                retry_policy=retry_policy,
+                ledger_factory=MergeLedger if use_ledger else None,
+                # the compaction counters come from the plan itself;
+                # size/coverage tracking is only needed under faults
+                # (where execute_plan forces it back on)
+                accounting=False,
+            )
+            fan_in = {
+                step.slot: len(step.srcs) for step in plan.merge_steps
+            }
+            for slot, segment in result.outputs.items():
+                self._rollups[slot] = segment
                 built += 1
-                inputs += len(parts)
+                merge_inputs += fan_in[slot]
+            failed = len(fan_in) - built
+            if result.report.fault_stats is not None:
+                retries = result.report.fault_stats.retries
         self._max_level = max(self._max_level, levels)
         if built:
             self._generation += 1
-        return {"levels": levels, "rollups_built": built, "merge_inputs": inputs}
+        counters = {
+            "levels": levels,
+            "rollups_built": built,
+            "merge_inputs": merge_inputs,
+        }
+        if fault_model is not None:
+            counters["retries"] = retries
+            counters["rollups_failed"] = failed
+        return counters
 
     def _child_node(self, level: int, start: int) -> Optional[Segment]:
         """The materialized node covering block ``(level, start)``, if any."""

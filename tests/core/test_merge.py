@@ -70,11 +70,24 @@ class TestMergeRandomTree:
 
 
 class TestMergeAll:
-    @pytest.mark.parametrize("strategy", ["chain", "tree", "random"])
+    @pytest.mark.parametrize("strategy", ["chain", "tree", "random", "kway"])
     def test_all_strategies_agree_on_exact_counts(self, strategy):
-        merged = merge_all(_parts(GROUPS), strategy=strategy, rng=5)
+        rng = 5 if strategy == "random" else None
+        merged = merge_all(_parts(GROUPS), strategy=strategy, rng=rng)
         assert merged.counters() == dict(EXPECTED)
 
     def test_unknown_strategy_raises(self):
         with pytest.raises(ParameterError, match="unknown merge strategy"):
             merge_all(_parts(GROUPS), strategy="zigzag")
+
+    def test_rng_rejected_by_deterministic_strategies(self):
+        with pytest.raises(ParameterError, match="does not use rng"):
+            merge_all(_parts(GROUPS), strategy="kway", rng=5)
+        with pytest.raises(ParameterError, match="does not use rng"):
+            merge_all(_parts(GROUPS), strategy="chain", rng=5)
+
+    def test_executor_rejected_by_sequential_strategies(self):
+        with pytest.raises(ParameterError, match="cannot run on an executor"):
+            merge_all(_parts(GROUPS), strategy="random", rng=1, executor=2)
+        with pytest.raises(ParameterError, match="cannot run on an executor"):
+            merge_all(_parts(GROUPS), strategy="chain", executor=2)
