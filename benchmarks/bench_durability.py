@@ -1,0 +1,297 @@
+"""E25: durability benchmarks — WAL overhead, replay, incremental saves.
+
+Measures what the crash-safety layer costs and what it buys:
+
+1. WAL ingest overhead vs the plain in-memory path: fsync-per-batch
+   (``fsync_every=1``, every returned ingest is durable), batched
+   fsync (``fsync_every=8``), and log-only (``fsync_every=0``);
+2. recovery: WAL replay rate over the last snapshot, across tail
+   lengths (how long a crashed store takes to reconverge);
+3. snapshot commit: the atomic first save vs an incremental re-save
+   (committed segments are immutable and skipped) — time and the
+   fraction of containers actually rewritten.
+
+Standalone (no pytest-benchmark), writes the JSON artifact for CI::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick \
+        --out BENCH_durability.json
+
+CI regression gate — machine-independent ratios (WAL efficiency vs the
+plain path, replay rate vs ingest rate, incremental-save speedup)
+checked against the snapshot, exit non-zero past a 2x regression::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py --quick \
+        --out BENCH_durability.json \
+        --check benchmarks/BENCH_durability_snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.store import SegmentStore
+from repro.workloads import zipf_stream
+
+
+def _batches(n_batches: int, batch_size: int):
+    items = zipf_stream(n_batches * batch_size, alpha=1.2, universe=2_000, rng=3)
+    out = []
+    for b in range(n_batches):
+        chunk = items[b * batch_size : (b + 1) * batch_size]
+        records = [{"value": int(v)} for v in chunk]
+        keys = [float(b) + i / batch_size for i in range(batch_size)]
+        out.append((records, keys))
+    return out
+
+
+def _fresh_store(width: float = 1.0) -> SegmentStore:
+    store = SegmentStore(width=width, codec="binary.v1")
+    store.add_member("hot", "misra_gries", field="value", k=32)
+    return store
+
+
+def _time_best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# section 1: WAL ingest overhead
+# ---------------------------------------------------------------------------
+
+def bench_wal_overhead(n_batches: int, batch_size: int, repeats: int, workdir: Path) -> dict:
+    batches = _batches(n_batches, batch_size)
+
+    def run_plain():
+        store = _fresh_store()
+        for records, keys in batches:
+            store.ingest(records, keys)
+
+    def run_wal(fsync_every: int, tag: str):
+        def inner():
+            wal_dir = workdir / f"wal-{tag}"
+            shutil.rmtree(wal_dir, ignore_errors=True)
+            store = _fresh_store()
+            store.enable_wal(str(wal_dir), fsync_every=fsync_every)
+            for records, keys in batches:
+                store.ingest(records, keys)
+            store.wal.close()
+        return inner
+
+    plain = _time_best_of(run_plain, repeats)
+    unbuffered = _time_best_of(run_wal(1, "unbuffered"), repeats)
+    batched = _time_best_of(run_wal(8, "batched"), repeats)
+    log_only = _time_best_of(run_wal(0, "logonly"), repeats)
+    rate = n_batches / plain
+    return {
+        "n_batches": int(n_batches),
+        "batch_size": int(batch_size),
+        "plain_seconds": plain,
+        "plain_batches_per_second": rate,
+        "wal_unbuffered_seconds": unbuffered,
+        "wal_batched_seconds": batched,
+        "wal_log_only_seconds": log_only,
+        "unbuffered_overhead": unbuffered / plain,
+        "batched_overhead": batched / plain,
+        "log_only_overhead": log_only / plain,
+    }
+
+
+# ---------------------------------------------------------------------------
+# section 2: recovery replay rate vs WAL tail length
+# ---------------------------------------------------------------------------
+
+def bench_replay(n_batches: int, batch_size: int, workdir: Path) -> list:
+    rows = []
+    for tail in (n_batches // 4, n_batches // 2, n_batches):
+        target = workdir / f"replay-{tail}"
+        shutil.rmtree(target, ignore_errors=True)
+        store = _fresh_store()
+        store.ingest([{"value": 0}], [0.0])
+        store.save(target)  # tiny committed snapshot
+        durable = SegmentStore.open_durable(target, fsync_every=0)
+        for records, keys in _batches(tail, batch_size):
+            durable.ingest(records, keys)
+        durable.wal.close()
+
+        t0 = time.perf_counter()
+        recovered = SegmentStore.open(target)  # replays the whole tail
+        seconds = time.perf_counter() - t0
+        assert recovered.wal_seq == tail
+        rows.append(
+            {
+                "wal_batches": int(tail),
+                "replay_seconds": seconds,
+                "replay_batches_per_second": tail / seconds,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# section 3: atomic snapshot commit — full vs incremental
+# ---------------------------------------------------------------------------
+
+def bench_save(n_batches: int, batch_size: int, repeats: int, workdir: Path) -> dict:
+    store = _fresh_store()
+    for records, keys in _batches(n_batches, batch_size):
+        store.ingest(records, keys)
+    store.compact()
+
+    full_dir = workdir / "save-full"
+
+    def full_save():
+        shutil.rmtree(full_dir, ignore_errors=True)
+        store._snapshot = 0  # forget the previous commit: stage everything
+        store.save(full_dir)
+
+    full_seconds = _time_best_of(full_save, repeats)
+    first = store.save(full_dir)
+
+    # touch one epoch, then re-save: only the replaced base segment and
+    # the invalidated roll-up chain should be rewritten
+    store.ingest([{"value": 1}], [0.5])
+    second = store.save(full_dir)
+    incr_seconds = _time_best_of(lambda: store.save(full_dir), max(repeats, 3))
+    return {
+        "segments": int(first["segments"]),
+        "full_save_seconds": full_seconds,
+        "full_save_written": int(first["segments"]),
+        "incremental_save_seconds": incr_seconds,
+        "incremental_save_written": int(second["written"]),
+        "incremental_written_fraction": second["written"] / max(1, second["segments"]),
+        "incremental_speedup": full_seconds / incr_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_report(args) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        return {
+            "experiment": "E25-durability",
+            "quick": bool(args.quick),
+            "n_batches": int(args.batches),
+            "batch_size": int(args.batch_size),
+            "repeats": int(args.repeats),
+            "sections": {
+                "wal": bench_wal_overhead(
+                    args.batches, args.batch_size, args.repeats, workdir
+                ),
+                "replay": bench_replay(args.batches, args.batch_size, workdir),
+                "save": bench_save(
+                    args.batches, args.batch_size, args.repeats, workdir
+                ),
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _smoke_metrics(report: dict) -> dict:
+    """Machine-independent bigger-is-better ratios gated vs the snapshot."""
+    sections = report["sections"]
+    wal = sections["wal"]
+    replay_rate = sections["replay"][-1]["replay_batches_per_second"]
+    return {
+        # throughput kept relative to the plain path (1.0 = free WAL)
+        "wal_batched_efficiency": 1.0 / wal["batched_overhead"],
+        "wal_unbuffered_efficiency": 1.0 / wal["unbuffered_overhead"],
+        # replay should reconverge about as fast as plain ingest
+        "replay_vs_ingest": replay_rate / wal["plain_batches_per_second"],
+        "incremental_save_speedup": sections["save"]["incremental_speedup"],
+    }
+
+
+def check_against_snapshot(report: dict, snapshot_path: str, factor: float = 2.0):
+    """Return regression messages (empty = pass); ratios only, no seconds."""
+    with open(snapshot_path) as handle:
+        snapshot = json.load(handle)
+    current = _smoke_metrics(report)
+    baseline = _smoke_metrics(snapshot)
+    failures = []
+    for key, base in baseline.items():
+        if key not in current:
+            failures.append(f"missing smoke metric {key!r}")
+            continue
+        now = current[key]
+        if now < base / factor:
+            failures.append(
+                f"{key}: {now:.2f}x vs snapshot {base:.2f}x "
+                f"(fell below 1/{factor:.0f} of snapshot)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="durability benchmarks (E25)")
+    parser.add_argument("--batches", type=int, default=256)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small streams, one repeat (CI smoke run)",
+    )
+    parser.add_argument("--out", default="BENCH_durability.json")
+    parser.add_argument(
+        "--check", default=None, metavar="SNAPSHOT",
+        help="compare smoke ratios against this snapshot JSON; exit 1 on "
+             "a >2x regression",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.batches, args.batch_size, args.repeats = 48, 512, 1
+
+    report = run_report(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    wal = report["sections"]["wal"]
+    print(
+        f"wal: {wal['n_batches']} batches of {wal['batch_size']} — "
+        f"plain {wal['plain_seconds']*1e3:.1f} ms, "
+        f"fsync-every-batch {wal['unbuffered_overhead']:.2f}x, "
+        f"batched(8) {wal['batched_overhead']:.2f}x, "
+        f"log-only {wal['log_only_overhead']:.2f}x"
+    )
+    for row in report["sections"]["replay"]:
+        print(
+            f"replay: {row['wal_batches']:>4} batches in "
+            f"{row['replay_seconds']*1e3:8.2f} ms "
+            f"({row['replay_batches_per_second']:,.0f} batches/s)"
+        )
+    save = report["sections"]["save"]
+    print(
+        f"save: full {save['full_save_seconds']*1e3:.1f} ms "
+        f"({save['segments']} containers) vs incremental "
+        f"{save['incremental_save_seconds']*1e3:.1f} ms "
+        f"({save['incremental_save_written']} rewritten, "
+        f"{save['incremental_speedup']:.1f}x faster)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_against_snapshot(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"snapshot check against {args.check}: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,10 +21,12 @@ Examples
         --input items.txt --nodes 16 --topology balanced \
         --loss 0.2 --crash 0.05 --duplicate 0.2 --seed 7
     python -m repro store ingest --dir ./hits --type misra_gries \
-        --arg k=64 --width 3600 --input items.txt --keys stamps.txt
+        --arg k=64 --width 3600 --input items.txt --keys stamps.txt --wal
     python -m repro store compact --dir ./hits
     python -m repro store query --dir ./hits --lo 0 --hi 86400 \
         --heavy-hitters 0.01 --explain
+    python -m repro store verify --dir ./hits
+    python -m repro store recover --dir ./hits
 """
 
 from __future__ import annotations
@@ -304,11 +306,18 @@ def _open_store(directory: str):
 
 
 def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    import os
+
     from .store import SegmentStore
 
     target = Path(args.dir)
     if (target / "manifest.json").exists():
-        store = _open_store(args.dir)
+        if args.wal:
+            store = SegmentStore.open_durable(
+                args.dir, fsync_every=args.fsync_every
+            )
+        else:
+            store = _open_store(args.dir)
     else:
         if not args.type:
             raise SystemExit("--type is required when creating a new store")
@@ -316,6 +325,10 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
         store.add_member(
             "value", args.type, field="value", **_parse_args_kv(args.arg)
         )
+        if args.wal:
+            store.enable_wal(
+                os.path.join(args.dir, "wal"), fsync_every=args.fsync_every
+            )
     items = _read_items(args.input)
     keys = _read_keys(args.keys) if args.keys else None
     if keys is not None and len(keys) != len(items):
@@ -330,12 +343,19 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
             f"{len(items)} item(s)"
         )
     stats = store.ingest([{"value": item} for item in items], keys, weights)
-    store.save(args.dir)
+    report = store.save(args.dir)
+    wal_note = ""
+    if args.wal:
+        wal_note = (
+            f" [wal seq {store.wal_seq}, "
+            f"retired {report.get('wal_retired', 0)} file(s)]"
+        )
     print(
         f"ingested {stats['records']} records: "
         f"segments +{stats['segments_created']} "
         f"(replaced {stats['segments_replaced']}, "
-        f"invalidated {stats['rollups_invalidated']} roll-ups) -> {args.dir}"
+        f"invalidated {stats['rollups_invalidated']} roll-ups) "
+        f"-> {args.dir}{wal_note}"
     )
     return 0
 
@@ -371,6 +391,65 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 
     print(_json.dumps(_open_store(args.dir).stats(), indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_store_recover(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .store import SegmentStore
+
+    store, report = SegmentStore.recover(args.dir)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"recovered {args.dir}: snapshot {report.snapshot_loaded} -> "
+            f"{report.snapshot_committed}, replayed "
+            f"{report.wal_records_replayed} WAL batch(es) "
+            f"({report.records_recovered} records), retired "
+            f"{report.wal_files_retired} log file(s)"
+        )
+        for entry in report.wal_quarantined:
+            print(f"  quarantined WAL: {entry['file']} ({entry['reason']})")
+        for entry in report.segments_quarantined:
+            print(
+                f"  quarantined segment {entry['id']}: {entry['file']} "
+                f"({entry['reason']})"
+            )
+        if report.clean:
+            print(f"  clean: {store.records} records served")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .store import SegmentStore
+
+    report = SegmentStore.verify(args.dir)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    elif report["ok"]:
+        segs = report["segments"]
+        print(
+            f"ok: {args.dir} (snapshot {report['snapshot']}, "
+            f"{segs['ok']}/{segs['referenced']} segments verified, "
+            f"{report['wal']['replayable']} replayable WAL batch(es))"
+        )
+    else:
+        print(f"NOT ok: {args.dir}")
+        if report.get("manifest") != "ok":
+            print(f"  manifest: {report['manifest']}")
+        for entry in report.get("segments", {}).get("corrupt", []):
+            print(f"  corrupt segment {entry['id']}: {entry['reason']}")
+        for seg_id in report.get("segments", {}).get("missing", []):
+            print(f"  missing segment {seg_id}")
+        for entry in report.get("wal", {}).get("torn", []):
+            print(f"  torn WAL {entry['file']}: {entry['reason']}")
+        for name in report.get("orphans", []):
+            print(f"  orphan file: {name}")
+        print("  run `repro store recover` to quarantine and re-commit")
+    return 0 if report["ok"] else 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -519,6 +598,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--codec", default="json.v2", choices=registered_codecs(),
         help="segment persistence codec (first ingest only)",
     )
+    ingest.add_argument(
+        "--wal", action="store_true",
+        help="write-ahead log the batch (durable before segments seal; "
+        "crash-recoverable via `repro store recover`)",
+    )
+    ingest.add_argument(
+        "--fsync-every", type=int, default=1, metavar="N",
+        help="with --wal: fsync once per N batches (1 = every batch)",
+    )
     ingest.set_defaults(func=_cmd_store_ingest)
 
     compact = store_sub.add_parser(
@@ -549,6 +637,25 @@ def _build_parser() -> argparse.ArgumentParser:
     sstats = store_sub.add_parser("stats", help="print store statistics as JSON")
     sstats.add_argument("--dir", required=True)
     sstats.set_defaults(func=_cmd_store_stats)
+
+    recover = store_sub.add_parser(
+        "recover",
+        help="crash recovery: quarantine damage, replay the WAL, re-commit",
+    )
+    recover.add_argument("--dir", required=True)
+    recover.add_argument("--json", action="store_true",
+                         help="print the full recovery report as JSON")
+    recover.set_defaults(func=_cmd_store_recover)
+
+    sverify = store_sub.add_parser(
+        "verify",
+        help="read-only audit: manifest, segment checksums, WAL health "
+        "(exit 1 when damaged)",
+    )
+    sverify.add_argument("--dir", required=True)
+    sverify.add_argument("--json", action="store_true",
+                         help="print the full audit report as JSON")
+    sverify.set_defaults(func=_cmd_store_verify)
 
     return parser
 

@@ -1,0 +1,171 @@
+"""Filesystem seam for the durability layer.
+
+Crash safety is a property of a *sequence of syscalls* — which bytes
+were written, which were fsynced, which renames were made durable by a
+directory fsync.  Everything in the library that must survive process
+death (:mod:`repro.store.persistence`, :mod:`repro.store.wal`, the
+checkpoint store in :mod:`repro.distributed.recovery`) therefore routes
+its mutating filesystem operations through one tiny interface,
+:class:`Filesystem`, instead of calling :mod:`os` directly.
+
+In production the default :class:`RealFilesystem` (the module-level
+:data:`REAL_FS`) is a thin pass-through.  The point of the seam is the
+test side: ``tests/store/crashfs.py`` implements the same interface
+with a syscall counter and a durability model (synced vs volatile
+bytes, pending metadata ops), which is what lets the crash-injection
+suite kill an operation at *every* mutating syscall and check that
+recovery lands on a consistent state.
+
+The write discipline the durability code follows (and the model
+assumes) is deliberately narrow:
+
+- files are written fresh (:meth:`Filesystem.open_write`) or appended
+  to (:meth:`Filesystem.open_append`) — never patched in place;
+- a file's bytes are durable only after :meth:`Filesystem.fsync`;
+- renames, removals, and file creation are durable only after an
+  :meth:`Filesystem.fsync_dir` of the containing directory;
+- :func:`write_file_durable` bundles the canonical publish sequence:
+  write a sibling temp file, fsync it, :meth:`Filesystem.replace` it
+  over the destination, fsync the directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, List
+
+__all__ = ["Filesystem", "RealFilesystem", "REAL_FS", "write_file_durable"]
+
+
+class Filesystem:
+    """Mutating-syscall interface the durability layer writes through.
+
+    Read-side helpers (:meth:`read_bytes`, :meth:`exists`,
+    :meth:`listdir`) are included so a shim can serve reads from the
+    same tree it mutates, but only the mutating methods participate in
+    crash-point counting.
+    """
+
+    # -- mutations (crash-countable) -----------------------------------
+
+    def open_write(self, path: str) -> BinaryIO:
+        """Open ``path`` fresh for binary writing (creates/truncates)."""
+        raise NotImplementedError
+
+    def open_append(self, path: str) -> BinaryIO:
+        """Open ``path`` for binary appending (creates if missing)."""
+        raise NotImplementedError
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        """Append ``data`` through an open handle."""
+        raise NotImplementedError
+
+    def fsync(self, handle: BinaryIO) -> None:
+        """Flush and fsync an open handle (bytes durable after this)."""
+        raise NotImplementedError
+
+    def close(self, handle: BinaryIO) -> None:
+        """Close a handle (does *not* imply durability)."""
+        raise NotImplementedError
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` over ``dst`` (``os.replace``)."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        """Unlink one file."""
+        raise NotImplementedError
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory tree (no-op when it exists)."""
+        raise NotImplementedError
+
+    def fsync_dir(self, path: str) -> None:
+        """fsync a directory: makes renames/creates/removes durable."""
+        raise NotImplementedError
+
+    # -- reads ---------------------------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> List[str]:
+        raise NotImplementedError
+
+
+class RealFilesystem(Filesystem):
+    """The production pass-through to :mod:`os` / builtin ``open``."""
+
+    def open_write(self, path: str) -> BinaryIO:
+        return open(path, "wb")
+
+    def open_append(self, path: str) -> BinaryIO:
+        return open(path, "ab")
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        handle.write(data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self, handle: BinaryIO) -> None:
+        handle.close()
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def fsync_dir(self, path: str) -> None:
+        # directory fsync is what makes renames/creates durable on
+        # POSIX; on platforms where directories cannot be opened
+        # (Windows) the rename itself is the best available guarantee
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(path)
+
+
+#: the default (production) filesystem every durability entry point uses
+REAL_FS = RealFilesystem()
+
+
+def write_file_durable(fs: Filesystem, path: str, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically and durably.
+
+    The canonical commit sequence: write a sibling ``path + ".tmp"``,
+    fsync it, rename it over ``path``, fsync the directory.  A crash at
+    any point leaves either the old ``path`` content (temp file is
+    garbage, never loaded) or the new content — never a torn file.
+    """
+    tmp = path + ".tmp"
+    handle = fs.open_write(tmp)
+    try:
+        fs.write(handle, data)
+        fs.fsync(handle)
+    finally:
+        fs.close(handle)
+    fs.replace(tmp, path)
+    fs.fsync_dir(os.path.dirname(path) or ".")

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from ..core import Summary, loads
 from ..core.exceptions import SerializationError
+from ..core.fsio import REAL_FS, write_file_durable
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -146,22 +147,29 @@ class InMemoryCheckpointStore(CheckpointStore):
 
 
 class FileCheckpointStore(CheckpointStore):
-    """One ``checkpoint-<epoch>.json`` file per epoch under a directory."""
+    """One ``checkpoint-<epoch>.json`` file per epoch under a directory.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``fs`` is the :class:`~repro.core.fsio.Filesystem` writes go
+    through — the default is the real disk; tests inject the crash
+    shim to prove checkpoint publication is power-cut safe.
+    """
+
+    def __init__(self, directory: str | Path, fs: Any = None) -> None:
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fs = fs or REAL_FS
+        self._fs.makedirs(str(self.directory))
 
     def _path(self, epoch: int) -> Path:
         return self.directory / f"checkpoint-{epoch:06d}.json"
 
     def save(self, checkpoint: Checkpoint) -> None:
-        # write-then-rename so a crash mid-write never clobbers the
-        # previous good checkpoint with a truncated file
+        # the canonical durable-publish sequence (see repro.core.fsio):
+        # write temp, fsync it *before* the rename (else the rename can
+        # reach disk ahead of the bytes and a power cut leaves an empty
+        # checkpoint), rename atomically, fsync the directory so the
+        # new dirent itself survives
         final = self._path(checkpoint.epoch)
-        tmp = final.with_suffix(".json.tmp")
-        tmp.write_text(checkpoint.to_json())
-        tmp.replace(final)
+        write_file_durable(self._fs, str(final), checkpoint.to_json().encode("utf-8"))
 
     def latest(self) -> Optional[Checkpoint]:
         candidates = sorted(self.directory.glob("checkpoint-*.json"))

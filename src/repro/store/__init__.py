@@ -7,10 +7,12 @@ tree, and the planner answers ``[lo, hi)`` range queries from
 ``O(log S)`` pre-merged nodes with the same guarantees as a full scan.
 """
 
+from .persistence import RecoveryReport, recover_store, save_store, verify_store
 from .planner import QueryPlan, fan_in_bound, plan_range
 from .segment import MemberSpec, Segment, copy_summary, merged_segment
 from .store import QueryResult, SegmentStore
 from .views import ViewCache
+from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal, wal_files
 
 __all__ = [
     "SegmentStore",
@@ -23,4 +25,13 @@ __all__ = [
     "copy_summary",
     "merged_segment",
     "ViewCache",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalScan",
+    "scan_wal",
+    "wal_files",
+    "RecoveryReport",
+    "recover_store",
+    "save_store",
+    "verify_store",
 ]

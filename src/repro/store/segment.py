@@ -114,6 +114,27 @@ class Segment:
             "members": sorted(self.members),
         }
 
+    def fingerprint(self) -> str:
+        """Digest of the full logical segment state (meta + member states).
+
+        The unit the crash-safety proofs compare: two segments with
+        equal fingerprints are indistinguishable to every query, so
+        "recovery restored this segment" can be asserted byte-for-byte
+        without comparing container files (which may differ in codec).
+        """
+        import hashlib
+        import json
+
+        state = {
+            "meta": self.meta(),
+            "members": {
+                name: summary.to_dict()
+                for name, summary in sorted(self.members.items())
+            },
+        }
+        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<Segment {self.segment_id} level={self.level} "

@@ -16,11 +16,21 @@ The store's persistence (:mod:`repro.store.persistence`) and the
 distributed wire format share one serialization layer
 (:mod:`repro.core.codecs`), so a segment written with the compact
 binary codec is byte-compatible with what a node would ship upstream.
+
+Durability: snapshots commit atomically (stage, fsync, one manifest
+rename — see :mod:`repro.store.persistence`), and with a write-ahead
+log attached (:meth:`SegmentStore.enable_wal`) every ingest batch is
+logged durably *before* it mutates the in-memory state, so
+:meth:`SegmentStore.recover` reconverges a crashed store to the exact
+pre-crash answers by replaying the WAL tail over the last snapshot.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import os
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.base import Summary, normalize_batch
@@ -124,6 +134,9 @@ class SegmentStore:
         self._next_segment_id = 0
         self._records = 0
         self._views = ViewCache(view_capacity)
+        self._wal = None
+        self._wal_seq = 0
+        self._snapshot = 0
 
     # ------------------------------------------------------------------
     # Schema
@@ -256,23 +269,50 @@ class SegmentStore:
         that epoch is invalidated (rebuilt on the next :meth:`compact`).
         Returns counters: ``segments_created``, ``segments_replaced``,
         ``rollups_invalidated``, ``records``.
+
+        With a write-ahead log attached (:meth:`enable_wal`) the batch
+        is appended — and, per the log's fsync policy, made durable —
+        *before* the in-memory state changes, so a crash at any later
+        instant is recoverable by replay.
         """
         if not self._schema:
             raise ParameterError("store has no members; add_member() first")
         records, weights, _total = normalize_batch(records, weights)
+        records = list(records)
         if keys is None:
             keys = [float(self._records + i) for i in range(len(records))]
         else:
-            keys = list(keys)
             if len(keys) != len(records):
                 raise ParameterError(
                     f"keys must align with records: got {len(records)} "
                     f"record(s) and {len(keys)} key(s)"
                 )
+            keys = [float(key) for key in keys]
+        for key in keys:
+            if not math.isfinite(key):
+                raise ParameterError(f"partition keys must be finite, got {key!r}")
+        if self._wal is not None:
+            seq = self._wal_seq + 1
+            self._wal.append(
+                seq,
+                records,
+                keys,
+                None if weights is None else [int(w) for w in weights],
+            )
+            counters = self._apply_ingest(records, keys, weights)
+            self._wal_seq = seq
+            return counters
+        return self._apply_ingest(records, keys, weights)
+
+    def _apply_ingest(
+        self,
+        records: List[Mapping[str, Any]],
+        keys: List[float],
+        weights,
+    ) -> Dict[str, int]:
+        """Partition a validated batch into segments (the WAL replay path)."""
         by_epoch: Dict[int, List[int]] = {}
         for index, key in enumerate(keys):
-            if not math.isfinite(float(key)):
-                raise ParameterError(f"partition keys must be finite, got {key!r}")
             by_epoch.setdefault(self.epoch_of(key), []).append(index)
 
         created = replaced = invalidated = 0
@@ -302,6 +342,85 @@ class SegmentStore:
             "rollups_invalidated": invalidated,
             "records": len(records),
         }
+
+    # ------------------------------------------------------------------
+    # Durability: the write-ahead log and replay
+    # ------------------------------------------------------------------
+
+    def enable_wal(
+        self,
+        directory: str,
+        fsync_every: int = 1,
+        fs: Any = None,
+    ):
+        """Attach a write-ahead ingest log rooted at ``directory``.
+
+        Subsequent :meth:`ingest` calls append their batch to the log
+        before applying it; ``fsync_every`` is the durability/throughput
+        knob (see :mod:`repro.store.wal`).  :meth:`save` records the
+        covered sequence in the manifest and retires fully-covered log
+        files after the snapshot commits.  Returns the attached
+        :class:`~repro.store.wal.WriteAheadLog`.
+        """
+        from .wal import WriteAheadLog
+
+        if self._wal is not None:
+            raise ParameterError("store already has a write-ahead log attached")
+        self._wal = WriteAheadLog(directory, fs=fs, fsync_every=fsync_every)
+        return self._wal
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.store.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    @property
+    def wal_seq(self) -> int:
+        """Sequence number of the last logged-and-applied ingest batch."""
+        return self._wal_seq
+
+    @property
+    def snapshot(self) -> int:
+        """Generation of the last committed snapshot (0 before any save)."""
+        return self._snapshot
+
+    def _replay_wal(self, record) -> None:
+        """Re-apply one logged ingest batch (recovery path; no re-logging)."""
+        records, weights, _total = normalize_batch(record.records, record.weights)
+        self._apply_ingest(list(records), record.keys, weights)
+        self._wal_seq = record.seq
+
+    def fingerprint(self) -> str:
+        """Digest of the logical store state, for crash-safety proofs.
+
+        Covers everything a snapshot persists and a query can observe —
+        schema, counters, every segment's metadata and member states —
+        but not administrative counters (snapshot generation, cache
+        stats).  Two stores with equal fingerprints give byte-identical
+        answers to every query.
+        """
+        state = {
+            "width": self.width,
+            "codec": self.codec,
+            "schema": {
+                name: spec.to_dict() for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "max_level": self._max_level,
+            "wal_seq": self._wal_seq,
+            "segments": [
+                {
+                    "meta": segment.meta(),
+                    "members": {
+                        name: summary.to_dict()
+                        for name, summary in sorted(segment.members.items())
+                    },
+                }
+                for segment in self.segments()
+            ],
+        }
+        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Compaction: the dyadic roll-up tree
@@ -582,15 +701,68 @@ class SegmentStore:
     # Persistence (delegates to repro.store.persistence)
     # ------------------------------------------------------------------
 
-    def save(self, path) -> Dict[str, int]:
-        """Persist the store to a directory via the configured codec."""
+    def save(self, path, fs: Any = None) -> Dict[str, int]:
+        """Commit an atomic snapshot of the store to a directory.
+
+        Segments stage under temp names and the manifest rename is the
+        single commit point (:func:`~repro.store.persistence.save_store`),
+        so a crash mid-save always leaves a loadable store.  With a WAL
+        attached, log files fully covered by the committed snapshot are
+        retired afterwards (``wal_retired`` in the returned counters).
+        """
         from .persistence import save_store
 
-        return save_store(self, path)
+        report = save_store(self, path, fs=fs)
+        if self._wal is not None:
+            report["wal_retired"] = self._wal.retire(self._wal_seq)
+        return report
 
     @classmethod
-    def open(cls, path) -> "SegmentStore":
-        """Load a store persisted by :meth:`save`."""
+    def open(cls, path, fs: Any = None) -> "SegmentStore":
+        """Load the latest committed snapshot and replay the WAL tail.
+
+        Strict: damage anywhere raises
+        :class:`~repro.core.exceptions.SerializationError` (a torn WAL
+        tail points at :meth:`recover`, which quarantines instead).
+        """
         from .persistence import load_store
 
-        return load_store(path)
+        return load_store(path, fs=fs)
+
+    @classmethod
+    def open_durable(
+        cls,
+        path,
+        fsync_every: int = 1,
+        fs: Any = None,
+    ) -> "SegmentStore":
+        """:meth:`open` + :meth:`enable_wal` under ``<path>/wal``.
+
+        The one-call way to get a crash-safe serving store: every
+        subsequent ingest is WAL-logged, every :meth:`save` commits
+        atomically and retires covered logs.
+        """
+        store = cls.open(path, fs=fs)
+        store.enable_wal(
+            os.path.join(str(path), "wal"), fsync_every=fsync_every, fs=fs
+        )
+        return store
+
+    @classmethod
+    def recover(cls, path, fs: Any = None):
+        """Crash recovery: quarantine damage, replay, re-commit.
+
+        Returns ``(store, report)`` — see
+        :func:`~repro.store.persistence.recover_store`.
+        """
+        from .persistence import recover_store
+
+        return recover_store(path, fs=fs)
+
+    @staticmethod
+    def verify(path, fs: Any = None) -> Dict[str, Any]:
+        """Read-only audit of a store directory
+        (:func:`~repro.store.persistence.verify_store`)."""
+        from .persistence import verify_store
+
+        return verify_store(path, fs=fs)

@@ -86,6 +86,37 @@ class TestStores:
         store.save(Checkpoint(epoch=1, coordinator_payload=dumps(MisraGries(4))))
         assert not list(tmp_path.glob("*.tmp"))
 
+    def test_checkpoint_publish_survives_any_crash(self, tmp_path):
+        """Kill the save at every syscall under every disk outcome: the
+        store always restores either the old or the new checkpoint —
+        never a torn file (the pre-fix bug: rename durable before the
+        bytes, resurrecting an empty coordinator)."""
+        from tests.store.crashfs import run_crash_sweep
+
+        summary = MisraGries(8).extend([5, 5, 6])
+        second = Checkpoint(
+            epoch=2, coordinator_payload=dumps(summary), ledger_ids=["x"]
+        )
+        initial = tmp_path / "initial"
+        FileCheckpointStore(initial).save(
+            Checkpoint(epoch=1, coordinator_payload=dumps(summary))
+        )
+
+        def operation(fs, root):
+            FileCheckpointStore(root, fs=fs).save(second)
+
+        states = 0
+        for kill, variant, crashed in run_crash_sweep(
+            str(initial), operation, str(tmp_path / "sweep")
+        ):
+            states += 1
+            latest = FileCheckpointStore(crashed).latest()
+            assert latest.epoch in (1, 2), f"kill={kill} variant={variant}"
+            assert latest.restore_summary().counters() == summary.counters()
+            if latest.epoch == 2:
+                assert latest.ledger_ids == ["x"]
+        assert states >= 5 * 6  # 5 syscalls x 6 variants, all swept
+
 
 class TestContinuousCheckpointing:
     def test_initial_checkpoint_at_epoch_zero(self):

@@ -1,0 +1,385 @@
+"""Crash-injection filesystem for the store durability proofs.
+
+This is the storage-layer sibling of the engine's fault injection
+(PR 1/PR 5 proved *aggregation* exactly-once under injected faults;
+this shim proves the same discipline for *persistence*).  It
+implements the :class:`repro.core.fsio.Filesystem` seam over a real
+directory tree while keeping a durability model of what a power loss
+would actually preserve:
+
+- bytes written through :meth:`CrashFilesystem.write` land in the real
+  file immediately (that's the page cache), but only bytes covered by
+  an :meth:`CrashFilesystem.fsync` are *durable*;
+- file creation, truncating re-open, rename, and unlink are *pending
+  metadata* until the containing directory is fsynced;
+- every mutating call is one numbered syscall.  With
+  ``crash_after=k`` the shim executes ``k`` syscalls and raises
+  :class:`SimulatedCrash` on syscall ``k + 1`` (post-crash calls are
+  inert no-ops so ``finally`` blocks can't keep mutating).
+
+After a crash, :meth:`CrashFilesystem.materialize` replays the model
+onto a copy of the tree to produce what a disk could plausibly hold,
+one :data:`CRASH_VARIANTS` member at a time:
+
+====================  ====================================================
+``keep-all``          every write and metadata op reached disk
+``sync-only``         only fsynced bytes and fsynced metadata survive
+``data-lost``         metadata survived, un-fsynced bytes did not
+``meta-lost``         file bytes survived, un-fsynced metadata did not
+``torn-1``            sync-only, plus 1 stray byte of each unsynced tail
+``torn-half``         sync-only, plus half of each unsynced tail
+====================  ====================================================
+
+Exhaustively sweeping ``crash_after`` over every syscall *times* every
+variant is the harness the crash-safety invariant is proven against:
+recovery must land byte-identically on the pre- or post-operation
+state (:func:`run_crash_sweep`).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.fsio import Filesystem
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashFilesystem",
+    "CRASH_VARIANTS",
+    "copy_tree",
+    "run_crash_sweep",
+]
+
+#: the post-crash disk states materialized at every kill point
+CRASH_VARIANTS = (
+    "keep-all",
+    "sync-only",
+    "data-lost",
+    "meta-lost",
+    "torn-1",
+    "torn-half",
+)
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death at a numbered syscall.
+
+    A ``BaseException`` so no library ``except Exception`` can swallow
+    the kill — exactly like a real ``SIGKILL`` wouldn't be caught.
+    """
+
+    def __init__(self, step: int, op: str) -> None:
+        super().__init__(f"simulated crash at syscall #{step} ({op})")
+        self.step = step
+        self.op = op
+
+
+class _Handle:
+    """An open file plus the relative path the model tracks it under."""
+
+    __slots__ = ("file", "rel")
+
+    def __init__(self, file, rel: str) -> None:
+        self.file = file
+        self.rel = rel
+
+
+class CrashFilesystem(Filesystem):
+    """The :class:`~repro.core.fsio.Filesystem` seam with a kill switch."""
+
+    def __init__(self, root: str, crash_after: Optional[int] = None) -> None:
+        self.root = str(root)
+        self.crash_after = crash_after
+        self.steps = 0
+        self.crashed = False
+        #: rel path -> bytes guaranteed on disk (untracked files are
+        #: fully durable: they predate this filesystem instance)
+        self.durable_len: Dict[str, int] = {}
+        #: metadata ops not yet committed by a directory fsync, oldest
+        #: first; each entry carries what an undo needs
+        self.pending_meta: List[Dict[str, Any]] = []
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _rel(self, path: str) -> str:
+        return os.path.relpath(str(path), self.root)
+
+    @staticmethod
+    def _dir_of(rel: str) -> str:
+        return os.path.dirname(rel) or "."
+
+    def _abs(self, rel: str) -> str:
+        return os.path.join(self.root, rel)
+
+    def _tick(self, op: str) -> bool:
+        """Count one syscall; True when it should execute, raise on kill."""
+        if self.crashed:
+            return False
+        self.steps += 1
+        if self.crash_after is not None and self.steps > self.crash_after:
+            self.crashed = True
+            raise SimulatedCrash(self.steps, op)
+        return True
+
+    def _snapshot_file(self, rel: str) -> Tuple[bool, Optional[bytes], int]:
+        path = self._abs(rel)
+        if not os.path.exists(path):
+            return False, None, 0
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return True, data, self.durable_len.get(rel, len(data))
+
+    # -- mutations -----------------------------------------------------
+
+    def open_write(self, path: str):
+        rel = self._rel(path)
+        if not self._tick(f"open_write {rel}"):
+            return _Handle(open(os.devnull, "wb"), rel)
+        existed, old_bytes, old_durable = self._snapshot_file(rel)
+        if existed:
+            self.pending_meta.append(
+                {
+                    "op": "truncate",
+                    "path": rel,
+                    "dir": self._dir_of(rel),
+                    "old_bytes": old_bytes,
+                    "old_durable": old_durable,
+                }
+            )
+        else:
+            self.pending_meta.append(
+                {"op": "create", "path": rel, "dir": self._dir_of(rel)}
+            )
+        self.durable_len[rel] = 0
+        return _Handle(open(self._abs(rel), "wb"), rel)
+
+    def open_append(self, path: str):
+        rel = self._rel(path)
+        if not self._tick(f"open_append {rel}"):
+            return _Handle(open(os.devnull, "wb"), rel)
+        existed, _old, _durable = self._snapshot_file(rel)
+        if not existed:
+            self.pending_meta.append(
+                {"op": "create", "path": rel, "dir": self._dir_of(rel)}
+            )
+            self.durable_len[rel] = 0
+        else:
+            self.durable_len.setdefault(
+                rel, os.path.getsize(self._abs(rel))
+            )
+        return _Handle(open(self._abs(rel), "ab"), rel)
+
+    def write(self, handle, data: bytes) -> None:
+        if not self._tick(f"write {handle.rel} ({len(data)}B)"):
+            return
+        handle.file.write(data)
+        handle.file.flush()  # the model's "page cache" is the real file
+
+    def fsync(self, handle) -> None:
+        if not self._tick(f"fsync {handle.rel}"):
+            return
+        handle.file.flush()
+        self.durable_len[handle.rel] = os.path.getsize(self._abs(handle.rel))
+
+    def close(self, handle) -> None:
+        # closing is not a durability event and not a useful kill point
+        handle.file.close()
+
+    def replace(self, src: str, dst: str) -> None:
+        src_rel, dst_rel = self._rel(src), self._rel(dst)
+        if not self._tick(f"replace {src_rel} -> {dst_rel}"):
+            return
+        dst_existed, dst_bytes, dst_durable = self._snapshot_file(dst_rel)
+        _existed, src_bytes, src_durable = self._snapshot_file(src_rel)
+        self.pending_meta.append(
+            {
+                "op": "replace",
+                "src": src_rel,
+                "dst": dst_rel,
+                "dir": self._dir_of(dst_rel),
+                "dst_existed": dst_existed,
+                "dst_bytes": dst_bytes,
+                "dst_durable": dst_durable,
+                "src_bytes": src_bytes,
+                "src_durable": src_durable,
+            }
+        )
+        os.replace(self._abs(src_rel), self._abs(dst_rel))
+        self.durable_len[dst_rel] = self.durable_len.pop(
+            src_rel, len(src_bytes or b"")
+        )
+
+    def remove(self, path: str) -> None:
+        rel = self._rel(path)
+        if not self._tick(f"remove {rel}"):
+            return
+        _existed, old_bytes, old_durable = self._snapshot_file(rel)
+        self.pending_meta.append(
+            {
+                "op": "remove",
+                "path": rel,
+                "dir": self._dir_of(rel),
+                "old_bytes": old_bytes,
+                "old_durable": old_durable,
+            }
+        )
+        os.remove(self._abs(rel))
+        self.durable_len.pop(rel, None)
+
+    def makedirs(self, path: str) -> None:
+        rel = self._rel(path)
+        if os.path.isdir(self._abs(rel)):
+            return  # no-op, not a syscall worth a kill point
+        if not self._tick(f"makedirs {rel}"):
+            return
+        missing: List[str] = []
+        probe = rel
+        while probe and probe != "." and not os.path.isdir(self._abs(probe)):
+            missing.append(probe)
+            probe = os.path.dirname(probe)
+        os.makedirs(self._abs(rel), exist_ok=True)
+        for created in reversed(missing):
+            self.pending_meta.append(
+                {"op": "mkdir", "path": created, "dir": self._dir_of(created)}
+            )
+
+    def fsync_dir(self, path: str) -> None:
+        rel = self._rel(path)
+        if not self._tick(f"fsync_dir {rel}"):
+            return
+        self.pending_meta = [
+            op for op in self.pending_meta if op["dir"] != rel
+        ]
+
+    # -- reads (never kill points) --------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(self._abs(self._rel(path)), "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(self._abs(self._rel(path)))
+
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(self._abs(self._rel(path)))
+
+    # -- post-crash materialization -------------------------------------
+
+    def materialize(self, variant: str, dest_root: str) -> None:
+        """Rewrite ``dest_root`` (a copy of :attr:`root` taken *after*
+        the crash) into what a disk could hold under ``variant``."""
+        if variant not in CRASH_VARIANTS:
+            raise ValueError(f"unknown crash variant {variant!r}")
+        keep_data = variant in ("keep-all", "meta-lost")
+        keep_meta = variant in ("keep-all", "data-lost")
+        torn = {"torn-1": 1, "torn-half": None}.get(variant)
+
+        def dpath(rel: str) -> str:
+            return os.path.join(dest_root, rel)
+
+        def put(rel: str, data: Optional[bytes]) -> None:
+            if data is None:
+                if os.path.exists(dpath(rel)):
+                    os.remove(dpath(rel))
+                return
+            os.makedirs(os.path.dirname(dpath(rel)) or dest_root, exist_ok=True)
+            with open(dpath(rel), "wb") as handle:
+                handle.write(data)
+
+        if not keep_meta:
+            # undo uncommitted metadata, newest first
+            for op in reversed(self.pending_meta):
+                kind = op["op"]
+                if kind == "create":
+                    put(op["path"], None)
+                elif kind == "mkdir":
+                    shutil.rmtree(dpath(op["path"]), ignore_errors=True)
+                elif kind == "truncate":
+                    data = op["old_bytes"]
+                    if not keep_data:
+                        data = data[: op["old_durable"]]
+                    put(op["path"], data)
+                elif kind == "remove":
+                    data = op["old_bytes"]
+                    if data is not None and not keep_data:
+                        data = data[: op["old_durable"]]
+                    put(op["path"], data)
+                elif kind == "replace":
+                    # the rename never happened: dst reverts, src returns
+                    dst_data = op["dst_bytes"] if op["dst_existed"] else None
+                    src_data = op["src_bytes"]
+                    if not keep_data:
+                        if dst_data is not None:
+                            dst_data = dst_data[: op["dst_durable"]]
+                        if src_data is not None:
+                            src_data = src_data[: op["src_durable"]]
+                    put(op["dst"], dst_data)
+                    put(op["src"], src_data)
+
+        if not keep_data:
+            for rel, durable in self.durable_len.items():
+                target = dpath(rel)
+                if not os.path.isfile(target):
+                    continue
+                size = os.path.getsize(target)
+                if size <= durable:
+                    continue
+                cut = durable
+                if torn == 1:
+                    cut = min(size, durable + 1)
+                elif torn is None and variant == "torn-half":
+                    cut = durable + (size - durable) // 2
+                with open(target, "rb+") as handle:
+                    handle.truncate(cut)
+
+
+def copy_tree(src: str, dst: str) -> str:
+    """Copy a directory tree (the harness's cheap disk snapshot)."""
+    shutil.copytree(src, dst)
+    return dst
+
+
+def run_crash_sweep(
+    initial: str,
+    operation: Callable[[Filesystem, str], None],
+    scratch: str,
+    variants: Tuple[str, ...] = CRASH_VARIANTS,
+) -> Iterator[Tuple[int, str, str]]:
+    """Kill ``operation`` at every mutating syscall, in every variant.
+
+    ``operation(fs, store_dir)`` must perform all its writes through
+    ``fs``.  ``initial`` is the starting store directory; ``scratch``
+    is a work area for the many tree copies.  Yields
+    ``(kill_step, variant, crashed_dir)`` for every post-crash disk
+    state — the caller runs recovery on ``crashed_dir`` and asserts the
+    invariant.  The sweep is exhaustive by construction: the operation
+    is first run uncrashed to count its syscalls, then every prefix
+    length is killed.
+    """
+    probe_dir = copy_tree(initial, os.path.join(scratch, "probe"))
+    probe_fs = CrashFilesystem(probe_dir)
+    operation(probe_fs, probe_dir)
+    total_steps = probe_fs.steps
+
+    for kill in range(total_steps):
+        crash_dir = copy_tree(initial, os.path.join(scratch, f"crash-{kill}"))
+        fs = CrashFilesystem(crash_dir, crash_after=kill)
+        try:
+            operation(fs, crash_dir)
+        except SimulatedCrash:
+            pass
+        else:  # pragma: no cover - sweep bound mismatch is a harness bug
+            raise AssertionError(
+                f"operation finished despite crash_after={kill} "
+                f"(probe counted {total_steps} syscalls)"
+            )
+        for variant in variants:
+            dest = copy_tree(
+                crash_dir, os.path.join(scratch, f"disk-{kill}-{variant}")
+            )
+            fs.materialize(variant, dest)
+            yield kill, variant, dest
+            shutil.rmtree(dest, ignore_errors=True)
+        shutil.rmtree(crash_dir, ignore_errors=True)

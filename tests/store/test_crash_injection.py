@@ -1,0 +1,338 @@
+"""Exhaustive crash-injection proofs for the store's durability stack.
+
+The invariant under test (the PR's tentpole): *after a crash at any
+point during ingest, save, or compact, recovery yields either the
+pre-operation or the post-operation state, byte-identical, with no
+partial roll-ups served*.  "Byte-identical" is asserted through
+:meth:`SegmentStore.fingerprint` — a digest over everything a query
+can observe — and "any point" is literal: every operation is killed at
+every mutating syscall, and every kill point is materialized under
+every :data:`~tests.store.crashfs.CRASH_VARIANTS` disk outcome
+(fsync-only, torn tails, lost metadata, ...).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+
+import pytest
+
+from repro.store import SegmentStore
+
+from .crashfs import (
+    CRASH_VARIANTS,
+    CrashFilesystem,
+    SimulatedCrash,
+    copy_tree,
+    run_crash_sweep,
+)
+
+# one shared ingest batch: epoch 0 already exists in the seed store (so
+# the op replaces a segment and invalidates roll-ups — exercising the
+# GC delete path), epochs 4 and 5 are new
+BATCH = [{"value": i % 5} for i in range(6)]
+KEYS = [0.5, 0.75, 4.0, 4.5, 5.0, 5.5]
+
+
+def _seed_store() -> SegmentStore:
+    store = SegmentStore(width=1.0, codec="binary.v1")
+    store.add_member("count", "exact_counter", field="value")
+    store.add_member("hot", "misra_gries", field="value", k=8)
+    store.ingest(
+        [{"value": i % 7} for i in range(16)],
+        [float(i // 4) for i in range(16)],
+    )
+    store.compact()
+    return store
+
+
+@pytest.fixture
+def initial(tmp_path):
+    """A committed snapshot (4 base epochs + roll-up tree) on disk."""
+    target = tmp_path / "initial"
+    _seed_store().save(target)
+    return str(target)
+
+
+def _fingerprints(initial: str, operation, scratch: str):
+    """(pre_fp, post_fp): the only two states recovery may land on."""
+    pre_fp = SegmentStore.open(initial).fingerprint()
+    post_dir = copy_tree(initial, os.path.join(scratch, "post"))
+    operation(CrashFilesystem(post_dir), post_dir)
+    post_store, post_report = SegmentStore.recover(post_dir)
+    assert post_report.clean  # an uncrashed run leaves nothing to fix
+    post_fp = post_store.fingerprint()
+    assert SegmentStore.open(post_dir).fingerprint() == post_fp
+    assert post_fp != pre_fp  # the operation must actually change state
+    return pre_fp, post_fp
+
+
+def _assert_invariant(initial: str, operation, scratch: str) -> int:
+    """Sweep every kill point x variant; return the number of states."""
+    pre_fp, post_fp = _fingerprints(initial, operation, scratch)
+    states = 0
+    for kill, variant, crashed in run_crash_sweep(
+        initial, operation, os.path.join(scratch, "sweep")
+    ):
+        states += 1
+        context = f"kill={kill} variant={variant}"
+        recovered, report = SegmentStore.recover(crashed)
+        fp = recovered.fingerprint()
+        assert fp in (pre_fp, post_fp), (
+            f"{context}: recovery produced a third state (neither the "
+            f"pre- nor the post-operation fingerprint)"
+        )
+        # recovery is idempotent: a second pass finds a clean store
+        again, second = SegmentStore.recover(crashed)
+        assert again.fingerprint() == fp, f"{context}: recovery not stable"
+        assert second.clean, f"{context}: second recovery still dirty"
+        # and the strict loader now serves the same answers
+        assert SegmentStore.open(crashed).fingerprint() == fp, (
+            f"{context}: strict open disagrees with recovery"
+        )
+        if report.wal_quarantined or report.segments_quarantined:
+            qdir = os.path.join(crashed, "quarantine")
+            assert os.path.isdir(qdir), f"{context}: quarantine dir missing"
+            names = os.listdir(qdir)
+            assert any(n.startswith("recovery-") for n in names), (
+                f"{context}: damage quarantined without a recovery report"
+            )
+    assert states > 0
+    return states
+
+
+def op_wal_ingest(fs, root):
+    """Durable ingest: WAL append + fsync, no snapshot."""
+    store = SegmentStore.open(root, fs=fs)
+    store.enable_wal(os.path.join(root, "wal"), fsync_every=1, fs=fs)
+    store.ingest(BATCH, KEYS)
+
+
+def op_save(fs, root):
+    """Snapshot commit after an in-memory ingest (replaces a segment)."""
+    store = SegmentStore.open(root, fs=fs)
+    store.ingest(BATCH, KEYS)
+    store.save(root, fs=fs)
+
+
+def op_compact_save(fs, root):
+    """Roll-up rebuild + snapshot commit (writes fresh roll-up files)."""
+    store = SegmentStore.open(root, fs=fs)
+    store.ingest(BATCH, KEYS)
+    store.compact()
+    store.save(root, fs=fs)
+
+
+def op_full_lifecycle(fs, root):
+    """WAL ingest, then snapshot + WAL retirement — the serving loop."""
+    store = SegmentStore.open_durable(root, fsync_every=1, fs=fs)
+    store.ingest(BATCH, KEYS)
+    store.save(root, fs=fs)
+
+
+@pytest.mark.parametrize(
+    "operation",
+    [op_wal_ingest, op_save, op_compact_save, op_full_lifecycle],
+    ids=["wal-ingest", "save", "compact-save", "full-lifecycle"],
+)
+def test_crash_at_every_syscall(initial, tmp_path, operation):
+    states = _assert_invariant(
+        initial, operation, str(tmp_path / operation.__name__)
+    )
+    # exhaustiveness sanity: each op has many kill points, and every one
+    # was tried under every variant
+    assert states % len(CRASH_VARIANTS) == 0
+    assert states // len(CRASH_VARIANTS) >= 5
+
+
+def test_batched_wal_crash_loses_only_a_suffix(initial, tmp_path):
+    """fsync_every=N: a crash may drop trailing batches but never
+    reorders, interleaves, or corrupts — recovery is always an exact
+    batch prefix."""
+    batches = [([{"value": v}], [10.0 + v]) for v in range(5)]
+
+    def operation(fs, root):
+        store = SegmentStore.open(root, fs=fs)
+        store.enable_wal(os.path.join(root, "wal"), fsync_every=3, fs=fs)
+        for records, keys in batches:
+            store.ingest(records, keys)
+
+    prefix_fps = set()
+    for j in range(len(batches) + 1):
+        ref = copy_tree(initial, str(tmp_path / f"ref-{j}"))
+        store = SegmentStore.open_durable(ref)
+        for records, keys in batches[:j]:
+            store.ingest(records, keys)
+        prefix_fps.add(store.fingerprint())
+    assert len(prefix_fps) == len(batches) + 1
+
+    seen = set()
+    for kill, variant, crashed in run_crash_sweep(
+        initial, operation, str(tmp_path / "sweep")
+    ):
+        recovered, _report = SegmentStore.recover(crashed)
+        fp = recovered.fingerprint()
+        assert fp in prefix_fps, (
+            f"kill={kill} variant={variant}: recovered state is not a "
+            f"batch prefix"
+        )
+        seen.add(fp)
+    # the sweep actually produced several distinct prefixes (not just
+    # the trivial pre-state)
+    assert len(seen) >= 3
+
+
+def test_torn_wal_tail_at_every_byte(initial, tmp_path):
+    """Truncate the log at every byte offset: recovery always restores
+    the longest clean frame prefix and quarantines the torn tail."""
+    workdir = copy_tree(initial, str(tmp_path / "wal-store"))
+    store = SegmentStore.open_durable(workdir)
+    store.ingest([{"value": 1}], [10.0])
+    store.ingest([{"value": 2}, {"value": 3}], [11.0, 11.5])
+    wal_path = store.wal.path
+    data = open(wal_path, "rb").read()
+
+    # frame boundaries: the only offsets where a cut leaves a clean file
+    boundaries = {5}
+    offset = 5
+    while offset < len(data):
+        (body_len,) = struct.unpack_from("!I", data, offset)
+        offset += 8 + body_len
+        boundaries.add(offset)
+    assert len(boundaries) == 3  # header + two frames
+
+    prefix_fps = []
+    for j in range(3):
+        ref = copy_tree(workdir, str(tmp_path / f"ref-{j}"))
+        ref_wal = os.path.join(ref, "wal", os.path.basename(wal_path))
+        with open(ref_wal, "rb+") as handle:
+            handle.truncate(sorted(boundaries)[j])
+        prefix_fps.append(SegmentStore.open(ref).fingerprint())
+    assert len(set(prefix_fps)) == 3
+
+    for cut in range(len(data)):
+        crashed = copy_tree(workdir, str(tmp_path / f"cut-{cut}"))
+        victim = os.path.join(crashed, "wal", os.path.basename(wal_path))
+        with open(victim, "rb+") as handle:
+            handle.truncate(cut)
+        recovered, report = SegmentStore.recover(crashed)
+        assert recovered.fingerprint() in prefix_fps, f"cut={cut}"
+        if cut in boundaries:
+            assert report.clean, f"cut={cut}: clean prefix quarantined"
+        else:
+            assert len(report.wal_quarantined) == 1, (
+                f"cut={cut}: torn tail not quarantined"
+            )
+            quarantined = report.wal_quarantined[0]["file"]
+            assert os.path.exists(quarantined), (
+                f"cut={cut}: quarantined bytes were deleted, not moved"
+            )
+        # strict open refused the torn file before recovery, works after
+        assert SegmentStore.open(crashed).fingerprint() in prefix_fps
+        shutil.rmtree(crashed)
+
+
+def test_no_partial_rollups_after_crash(initial, tmp_path):
+    """A crash during compact+save never serves a roll-up that merges
+    only part of its block: every recovered plan's answer equals the
+    base-scan answer."""
+    for kill, variant, crashed in run_crash_sweep(
+        initial,
+        op_compact_save,
+        str(tmp_path / "sweep"),
+        variants=("sync-only", "torn-half"),
+    ):
+        recovered, _report = SegmentStore.recover(crashed)
+        lo, hi = recovered.key_span()
+        fast = recovered.query(lo, hi, use_rollups=True)
+        slow = recovered.query(lo, hi, use_rollups=False)
+        assert fast["count"].to_dict() == slow["count"].to_dict(), (
+            f"kill={kill} variant={variant}: roll-up answer diverges "
+            f"from the base scan"
+        )
+
+
+class TestCrashFilesystemModel:
+    """The shim's durability model itself (so harness green means
+    something): volatile bytes vanish, fsync pins them, metadata undo
+    restores rename/unlink victims."""
+
+    def test_unsynced_writes_vanish_synced_stay(self, tmp_path):
+        root = tmp_path / "fs"
+        root.mkdir()
+        fs = CrashFilesystem(str(root))
+        handle = fs.open_write(str(root / "f"))
+        fs.write(handle, b"durable")
+        fs.fsync(handle)
+        fs.write(handle, b"-volatile")
+        fs.close(handle)
+        fs.fsync_dir(str(root))  # commit the creation
+
+        dest = copy_tree(str(root), str(tmp_path / "dest"))
+        fs.materialize("sync-only", dest)
+        assert open(os.path.join(dest, "f"), "rb").read() == b"durable"
+        dest2 = copy_tree(str(root), str(tmp_path / "dest2"))
+        fs.materialize("keep-all", dest2)
+        assert open(os.path.join(dest2, "f"), "rb").read() == b"durable-volatile"
+
+    def test_uncommitted_creation_vanishes(self, tmp_path):
+        root = tmp_path / "fs"
+        root.mkdir()
+        fs = CrashFilesystem(str(root))
+        handle = fs.open_write(str(root / "f"))
+        fs.write(handle, b"x")
+        fs.fsync(handle)
+        fs.close(handle)  # no fsync_dir: the dirent is volatile
+        dest = copy_tree(str(root), str(tmp_path / "dest"))
+        fs.materialize("meta-lost", dest)
+        assert not os.path.exists(os.path.join(dest, "f"))
+
+    def test_replace_undo_restores_both_files(self, tmp_path):
+        root = tmp_path / "fs"
+        root.mkdir()
+        (root / "dst").write_bytes(b"old")
+        fs = CrashFilesystem(str(root))
+        handle = fs.open_write(str(root / "src"))
+        fs.write(handle, b"new")
+        fs.fsync(handle)
+        fs.close(handle)
+        fs.fsync_dir(str(root))  # commit src's creation; only the
+        fs.replace(str(root / "src"), str(root / "dst"))  # rename is pending
+        dest = copy_tree(str(root), str(tmp_path / "dest"))
+        fs.materialize("meta-lost", dest)
+        assert open(os.path.join(dest, "dst"), "rb").read() == b"old"
+        assert open(os.path.join(dest, "src"), "rb").read() == b"new"
+        dest2 = copy_tree(str(root), str(tmp_path / "dest2"))
+        fs.materialize("data-lost", dest2)
+        assert open(os.path.join(dest2, "dst"), "rb").read() == b"new"
+
+    def test_remove_undo_restores_bytes(self, tmp_path):
+        root = tmp_path / "fs"
+        root.mkdir()
+        (root / "f").write_bytes(b"keep me")
+        fs = CrashFilesystem(str(root))
+        fs.remove(str(root / "f"))
+        dest = copy_tree(str(root), str(tmp_path / "dest"))
+        fs.materialize("sync-only", dest)
+        assert open(os.path.join(dest, "f"), "rb").read() == b"keep me"
+        dest2 = copy_tree(str(root), str(tmp_path / "dest2"))
+        fs.materialize("keep-all", dest2)
+        assert not os.path.exists(os.path.join(dest2, "f"))
+
+    def test_kill_switch_counts_and_goes_inert(self, tmp_path):
+        root = tmp_path / "fs"
+        root.mkdir()
+        fs = CrashFilesystem(str(root), crash_after=2)
+        handle = fs.open_write(str(root / "f"))
+        fs.write(handle, b"a")
+        with pytest.raises(SimulatedCrash):
+            fs.write(handle, b"b")
+        # post-crash calls are inert, not errors (finally-blocks run)
+        fs.write(handle, b"c")
+        fs.close(handle)
+        fs.replace(str(root / "f"), str(root / "g"))
+        assert open(os.path.join(str(root), "f"), "rb").read() == b"a"
+        assert not os.path.exists(os.path.join(str(root), "g"))
+        assert fs.steps == 3

@@ -1,0 +1,171 @@
+"""Unit tests for the write-ahead ingest log (framing, policies, retire)."""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.core import SerializationError
+from repro.store import WriteAheadLog, scan_wal, wal_files
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def test_append_scan_round_trip(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append(1, [{"v": 1}, {"v": 2}], [0.0, 1.5], [3, 4])
+    wal.append(2, [{"v": 9}], [2.0], None)
+    wal.close()
+    scan = scan_wal(wal_files(tmp_path)[0])
+    assert not scan.torn
+    assert scan.good_bytes == scan.total_bytes
+    assert [r.seq for r in scan.records] == [1, 2]
+    assert scan.records[0].records == [{"v": 1}, {"v": 2}]
+    assert scan.records[0].keys == [0.0, 1.5]
+    assert scan.records[0].weights == [3, 4]
+    assert scan.records[1].weights is None
+    assert scan.last_seq == 2
+
+
+def test_each_writer_gets_a_fresh_file(tmp_path):
+    first = WriteAheadLog(tmp_path)
+    first.append(1, [{"v": 1}], [0.0])
+    first.close()
+    second = WriteAheadLog(tmp_path)
+    second.append(2, [{"v": 2}], [1.0])
+    second.close()
+    files = wal_files(tmp_path)
+    assert len(files) == 2
+    assert [os.path.basename(f) for f in files] == [
+        "wal-000001.log",
+        "wal-000002.log",
+    ]
+    assert scan_wal(files[0]).last_seq == 1
+    assert scan_wal(files[1]).last_seq == 2
+
+
+def test_idle_writer_leaves_no_file(tmp_path):
+    WriteAheadLog(tmp_path).close()
+    assert wal_files(tmp_path) == []
+
+
+def test_fsync_batching_policy(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync_every=3)
+    wal.append(1, [{"v": 1}], [0.0])
+    wal.append(2, [{"v": 2}], [1.0])
+    assert wal.pending == 2
+    wal.append(3, [{"v": 3}], [2.0])
+    assert wal.pending == 0  # third append crossed the batch boundary
+    manual = WriteAheadLog(tmp_path, fsync_every=0)
+    manual.append(4, [{"v": 4}], [3.0])
+    assert manual.pending == 1
+    manual.sync()
+    assert manual.pending == 0
+    with pytest.raises(SerializationError, match="fsync_every"):
+        WriteAheadLog(tmp_path, fsync_every=-1)
+
+
+def test_sequence_must_be_monotonic(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append(5, [{"v": 1}], [0.0])
+    with pytest.raises(SerializationError, match="monotonic"):
+        wal.append(5, [{"v": 2}], [1.0])
+    with pytest.raises(SerializationError, match="monotonic"):
+        wal.append(4, [{"v": 2}], [1.0])
+
+
+def test_records_must_be_json_compatible(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    with pytest.raises(SerializationError, match="JSON"):
+        wal.append(1, [{"v": object()}], [0.0])
+
+
+class TestScanDamage:
+    def _wal_file(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(1, [{"v": 1}], [0.0])
+        wal.append(2, [{"v": 2}], [1.0])
+        wal.close()
+        return Path(wal_files(tmp_path)[0])
+
+    def test_missing_file(self, tmp_path):
+        scan = scan_wal(tmp_path / "wal-000009.log")
+        assert scan.torn and "cannot read" in scan.error
+
+    def test_bad_magic(self, tmp_path):
+        path = self._wal_file(tmp_path)
+        data = bytearray(_read(path))
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert "header" in scan_wal(path).error
+
+    def test_unsupported_version(self, tmp_path):
+        path = self._wal_file(tmp_path)
+        data = bytearray(_read(path))
+        data[4] = 99
+        path.write_bytes(bytes(data))
+        assert "version" in scan_wal(path).error
+
+    def test_crc_flip_stops_scan_at_good_prefix(self, tmp_path):
+        path = self._wal_file(tmp_path)
+        data = bytearray(_read(path))
+        data[-1] ^= 0x01  # inside the second frame's body
+        path.write_bytes(bytes(data))
+        scan = scan_wal(path)
+        assert scan.torn and "CRC" in scan.error
+        assert [r.seq for r in scan.records] == [1]
+        assert 0 < scan.good_bytes < scan.total_bytes
+
+    def test_truncated_frame_header_and_body(self, tmp_path):
+        path = self._wal_file(tmp_path)
+        data = _read(path)
+        path.write_bytes(data[: 5 + 3])  # mid frame header
+        assert "truncated frame header" in scan_wal(path).error
+        path.write_bytes(data[: 5 + 10])  # mid body
+        assert "truncated frame body" in scan_wal(path).error
+
+    def test_non_monotonic_sequence(self, tmp_path):
+        path = tmp_path / "wal-000001.log"
+        body = b'{"keys":[0.0],"records":[{"v":1}],"seq":1,"weights":null}'
+        frame = struct.pack("!II", len(body), zlib.crc32(body)) + body
+        path.write_bytes(b"RWAL\x01" + frame + frame)  # seq 1 twice
+        scan = scan_wal(path)
+        assert scan.torn and "non-monotonic" in scan.error
+        assert [r.seq for r in scan.records] == [1]
+
+
+def test_retire_removes_only_clean_covered_files(tmp_path):
+    first = WriteAheadLog(tmp_path)
+    first.append(1, [{"v": 1}], [0.0])
+    first.close()
+    second = WriteAheadLog(tmp_path)
+    second.append(2, [{"v": 2}], [1.0])
+    second.close()
+    torn = tmp_path / "wal-000000.log"  # sorts first, damaged
+    torn.write_bytes(b"RWAL\x01" + b"\x00\x00")
+    wal = WriteAheadLog(tmp_path)
+    assert wal.retire(1) == 1  # only wal-000001 is clean AND covered
+    names = {os.path.basename(f) for f in wal_files(tmp_path)}
+    assert names == {"wal-000000.log", "wal-000002.log"}
+    assert wal.retire(2) == 1
+    assert {os.path.basename(f) for f in wal_files(tmp_path)} == {
+        "wal-000000.log"
+    }
+
+
+def test_retire_spares_the_active_file_with_newer_records(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append(1, [{"v": 1}], [0.0])
+    wal.append(2, [{"v": 2}], [1.0])
+    assert wal.retire(1) == 0  # active file holds seq 2 > 1
+    assert len(wal_files(tmp_path)) == 1
+    wal.append(3, [{"v": 3}], [2.0])  # still appendable
+    wal.close()
+    assert scan_wal(wal_files(tmp_path)[0]).last_seq == 3
