@@ -1,17 +1,28 @@
 """E23: merge-runtime benchmarks — parallel aggregation, k-way merges,
 cached query views, and the KLL compress-cost guard.
 
-Times the three layers added by the merge-runtime work:
+Times the layers added by the merge-runtime work:
 
 1. ``run_aggregation`` worker sweep over a 64-leaf balanced tree
-   (legacy scalar path vs ``executor=1/2/4``);
+   (legacy scalar path vs ``executor=1/2/4``), with the run's
+   ``degraded_to_serial`` flag on every row — a "parallel" number that
+   silently ran serial is a lie;
 2. k-way ``merge_many`` vs the sequential pairwise fold at fan-ins
    4/16/64 for one type per merge shape (stack-and-sum, register max,
    compaction concat, counter combine);
 3. cold vs warm batched ``quantiles(qs)`` against the cached sorted
    view;
 4. the ``KLLQuantiles._compress`` scan-cost counter, normalized per
-   item — a deterministic, machine-independent linearity guard.
+   item — a deterministic, machine-independent linearity guard;
+5. ``wave_dispatch`` — the persistent runtime's IPC accounting: round
+   trips per wave, command bytes shipped per merge (plan-step ids, not
+   summaries), and how much bulk state moved through shared memory
+   instead of the pipes.  ``cmd_bytes_per_merge`` is machine-independent
+   and snapshot-gated;
+6. ``parallel_gate`` — the honesty gate: ``workers=4`` must beat serial
+   by >= 2x on the gate workload.  Enforced (with ``--check``) only on
+   boxes with >= 4 CPUs; smaller boxes print an explicit
+   ``PARALLEL-GATE SKIPPED`` marker instead of silently passing.
 
 Standalone (no pytest-benchmark), writes the JSON artifact for CI::
 
@@ -32,6 +43,7 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import os
 import sys
 import time
 
@@ -45,6 +57,7 @@ from repro import (
     MisraGries,
 )
 from repro.core.merge import merge_chain
+from repro.core.parallel import ParallelExecutor
 from repro.distributed import ContiguousPartitioner, balanced_tree, run_aggregation
 from repro.workloads import value_stream, zipf_stream
 
@@ -73,16 +86,20 @@ def bench_parallel_aggregation(n_items: int, repeats: int) -> list:
     for name, (stream, factory) in cases.items():
         serial = None
         for workers in (None, 1, 2, 4):
-            seconds = _time_best_of(
-                lambda: run_aggregation(
+            last = {}
+
+            def once():
+                result = run_aggregation(
                     stream,
                     ContiguousPartitioner(),
                     factory,
                     balanced_tree(64),
                     executor=workers,
-                ),
-                repeats,
-            )
+                )
+                last["degraded"] = result.degraded_to_serial
+                last["events"] = list(result.degradation_events)
+
+            seconds = _time_best_of(once, repeats)
             if workers is None:
                 serial = seconds
             rows.append(
@@ -91,6 +108,8 @@ def bench_parallel_aggregation(n_items: int, repeats: int) -> list:
                     "workers": workers,
                     "seconds": seconds,
                     "speedup_vs_legacy": serial / seconds,
+                    "degraded_to_serial": last["degraded"],
+                    "degradation_events": last["events"],
                 }
             )
     return rows
@@ -198,6 +217,111 @@ def bench_kll_compress(n_items: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# section 5: persistent-runtime wave-dispatch overhead
+# ---------------------------------------------------------------------------
+
+def bench_wave_dispatch(n_items: int) -> dict:
+    """IPC accounting of one resident-runtime aggregation.
+
+    A 64-leaf CountMin(512, 4) tree: each summary's table alone is
+    512*4*8 = 16 KiB, so shipping summaries over the pipes would cost
+    ~1 MiB of command traffic for the 63 merges.  The runtime ships
+    plan-step ids instead; ``cmd_bytes_per_merge`` (machine-independent,
+    snapshot-gated) is the proof.
+    """
+    data = zipf_stream(n_items, alpha=1.2, universe=20_000, rng=10)
+    pool = ParallelExecutor(max_workers=4)
+    result = run_aggregation(
+        data,
+        ContiguousPartitioner(),
+        lambda i: CountMin(512, 4, seed=1),
+        balanced_tree(64),
+        executor=pool,
+    )
+    stats = result.runtime_stats
+    if stats is None:
+        return {
+            "available": False,
+            "degraded_to_serial": result.degraded_to_serial,
+            "degradation_events": list(result.degradation_events),
+        }
+    merges = result.merges
+    waves = stats["dispatch_rounds"]  # one round-trip per wave, builds included
+    summary_bytes = 512 * 4 * 8
+    return {
+        "available": True,
+        "degraded_to_serial": result.degraded_to_serial,
+        "merges": int(merges),
+        "dispatch_rounds": int(waves),
+        "round_trips_per_wave": 1,  # by construction: scatter + gather once
+        "messages_sent": int(stats["messages_sent"]),
+        "cmd_bytes": int(stats["cmd_bytes"]),
+        "cmd_bytes_per_merge": stats["cmd_bytes"] / merges,
+        "naive_pipe_bytes_per_merge": float(summary_bytes),
+        "pipe_savings_factor": summary_bytes / (stats["cmd_bytes"] / merges),
+        "ack_bytes": int(stats["ack_bytes"]),
+        "synced_slots": int(stats["synced_slots"]),
+        "sync_shm_bytes": int(stats["sync_shm_bytes"]),
+        "exported_bytes": int(stats["exported_bytes"]),
+        "worker_crashes": int(stats["worker_crashes"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# section 6: the workers=4 > 2x honesty gate
+# ---------------------------------------------------------------------------
+
+#: gate threshold: workers=4 must beat serial by at least this factor
+GATE_SPEEDUP = 2.0
+#: the gate only makes sense with real cores to spread over
+GATE_MIN_CPUS = 4
+
+
+def bench_parallel_gate(repeats: int) -> dict:
+    """Measure workers=4 vs serial on the gate workload.
+
+    The workload is fixed-size (never shrunk by ``--quick``): a 64-leaf
+    MisraGries(256) aggregation over 2**17 zipf items — enough build
+    and merge work that four real cores must win by >= 2x through the
+    persistent runtime.  On boxes with fewer than four CPUs the
+    measurement still runs (and is recorded) but the gate is *skipped
+    with an explicit marker*, never silently passed.
+    """
+    cpus = os.cpu_count() or 1
+    data = zipf_stream(2**17, alpha=1.2, universe=50_000, rng=12)
+
+    def run(workers):
+        return run_aggregation(
+            data,
+            ContiguousPartitioner(),
+            lambda: MisraGries(256),
+            balanced_tree(64),
+            executor=workers,
+        )
+
+    serial_seconds = _time_best_of(lambda: run(1), repeats)
+    degraded = {}
+
+    def parallel_run():
+        result = run(4)
+        degraded["flag"] = result.degraded_to_serial
+        degraded["events"] = list(result.degradation_events)
+
+    parallel_seconds = _time_best_of(parallel_run, repeats)
+    speedup = serial_seconds / parallel_seconds
+    return {
+        "cpus": int(cpus),
+        "enforced": cpus >= GATE_MIN_CPUS,
+        "required_speedup": GATE_SPEEDUP,
+        "serial_seconds": serial_seconds,
+        "workers4_seconds": parallel_seconds,
+        "speedup": speedup,
+        "degraded_to_serial": degraded["flag"],
+        "degradation_events": degraded["events"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -216,6 +340,8 @@ def run_report(args) -> dict:
                 args.items, args.queries, args.repeats
             ),
             "kll_compress": bench_kll_compress(args.items),
+            "wave_dispatch": bench_wave_dispatch(args.items),
+            "parallel_gate": bench_parallel_gate(args.repeats),
         },
     }
 
@@ -232,6 +358,10 @@ def _smoke_metrics(report: dict) -> dict:
     for row in sections["query_cache"]:
         metrics[f"query_cache_speedup:{row['summary']}"] = row["speedup"]
     metrics["kll_steps_per_item"] = sections["kll_compress"]["steps_per_item"]
+    dispatch = sections.get("wave_dispatch", {})
+    if dispatch.get("available"):
+        # lower is better: commands must stay plan-step-id sized
+        metrics["cmd_bytes_per_merge"] = dispatch["cmd_bytes_per_merge"]
     return metrics
 
 
@@ -253,10 +383,10 @@ def check_against_snapshot(report: dict, snapshot_path: str, factor: float = 2.0
             failures.append(f"missing smoke metric {key!r}")
             continue
         now = current[key]
-        if key == "kll_steps_per_item":
+        if key in ("kll_steps_per_item", "cmd_bytes_per_merge"):
             if now > base * factor:
                 failures.append(
-                    f"{key}: {now:.2f} steps/item vs snapshot {base:.2f} "
+                    f"{key}: {now:.2f} vs snapshot {base:.2f} "
                     f"(>{factor:.0f}x regression)"
                 )
         elif now < base / factor:
@@ -264,6 +394,41 @@ def check_against_snapshot(report: dict, snapshot_path: str, factor: float = 2.0
                 f"{key}: {now:.2f}x vs snapshot {base:.2f}x "
                 f"(fell below 1/{factor:.0f} of snapshot)"
             )
+    failures.extend(check_parallel_gate(report))
+    return failures
+
+
+def check_parallel_gate(report: dict):
+    """Enforce workers=4 > 2x serial — only where four CPUs exist.
+
+    On smaller boxes the skip is loud (``PARALLEL-GATE SKIPPED``), so a
+    CI fleet quietly downgraded to 2-CPU runners cannot make the gate
+    evaporate unnoticed.
+    """
+    gate = report["sections"].get("parallel_gate")
+    if gate is None:
+        return ["parallel_gate section missing from the report"]
+    if not gate["enforced"]:
+        print(
+            f"PARALLEL-GATE SKIPPED: need >= {GATE_MIN_CPUS} CPUs to "
+            f"enforce workers=4 > {gate['required_speedup']:.0f}x, this box "
+            f"has {gate['cpus']} (measured {gate['speedup']:.2f}x anyway)",
+            file=sys.stderr,
+        )
+        return []
+    failures = []
+    if gate["degraded_to_serial"]:
+        failures.append(
+            "parallel_gate: the workers=4 run degraded to serial: "
+            + "; ".join(gate["degradation_events"])
+        )
+    if gate["speedup"] < gate["required_speedup"]:
+        failures.append(
+            f"parallel_gate: workers=4 speedup {gate['speedup']:.2f}x "
+            f"< required {gate['required_speedup']:.1f}x "
+            f"(serial {gate['serial_seconds']*1e3:.0f} ms, "
+            f"workers=4 {gate['workers4_seconds']*1e3:.0f} ms)"
+        )
     return failures
 
 
@@ -296,9 +461,10 @@ def main(argv=None) -> int:
 
     for row in report["sections"]["parallel_aggregation"]:
         label = "legacy" if row["workers"] is None else f"{row['workers']}w"
+        flag = "  DEGRADED-TO-SERIAL" if row["degraded_to_serial"] else ""
         print(
             f"aggregate {row['summary']:>22} {label:>7}: "
-            f"{row['seconds']*1e3:8.1f} ms  ({row['speedup_vs_legacy']:5.2f}x)"
+            f"{row['seconds']*1e3:8.1f} ms  ({row['speedup_vs_legacy']:5.2f}x){flag}"
         )
     for row in report["sections"]["kway_merge"]:
         print(
@@ -317,6 +483,32 @@ def main(argv=None) -> int:
     print(
         f"kll_compress: {kll['compress_steps']} level visits / "
         f"{kll['n_items']} items = {kll['steps_per_item']:.4f} per item"
+    )
+    dispatch = report["sections"]["wave_dispatch"]
+    if dispatch["available"]:
+        print(
+            f"wave_dispatch: {dispatch['dispatch_rounds']} round-trips for "
+            f"{dispatch['merges']} merges "
+            f"(1 per wave, {dispatch['messages_sent']} messages); "
+            f"{dispatch['cmd_bytes_per_merge']:.0f} cmd bytes/merge vs "
+            f"{dispatch['naive_pipe_bytes_per_merge']:.0f} if summaries "
+            f"rode the pipes ({dispatch['pipe_savings_factor']:.0f}x less); "
+            f"{dispatch['sync_shm_bytes']} sync + "
+            f"{dispatch['exported_bytes']} exported bytes via shared memory"
+        )
+    else:
+        print(
+            "wave_dispatch: runtime unavailable on this box: "
+            + "; ".join(dispatch["degradation_events"])
+        )
+    gate = report["sections"]["parallel_gate"]
+    print(
+        f"parallel_gate: cpus={gate['cpus']} "
+        f"serial {gate['serial_seconds']*1e3:.0f} ms, "
+        f"workers=4 {gate['workers4_seconds']*1e3:.0f} ms "
+        f"({gate['speedup']:.2f}x; "
+        + ("enforced" if gate["enforced"] else "not enforced: <4 CPUs")
+        + ")"
     )
     print(f"wrote {args.out}")
 

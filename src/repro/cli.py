@@ -256,6 +256,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     stats = result.fault_stats
     report = degradation_report(result)
+    if result.degraded_to_serial:
+        print(
+            "warning: --workers requested parallel execution but (part of) "
+            "the run degraded to serial:"
+        )
+        for event in result.degradation_events:
+            print(f"  - {event}")
     print(
         f"root: type={args.type} n={result.summary.n} size={result.summary.size()}"
     )

@@ -1,0 +1,479 @@
+"""Shared-memory state transport: zero-copy summary handoff between processes.
+
+The persistent worker runtime (:mod:`repro.core.parallel`) keeps slot
+state resident in long-lived workers and ships only *plan-step ids*
+over the command pipes.  When a slot's value must move anyway — a wave
+result handed to the coordinator, a stale slot synced into another
+worker — the bulk bytes go through :mod:`multiprocessing.shared_memory`
+blocks instead of being pickled across a pipe: the producer writes the
+state into its *arena* once, and every consumer maps the same pages.
+Only a small picklable *descriptor* (block name, offsets, shapes)
+crosses the pipe.
+
+Two export shapes:
+
+- **adapted** — summary types whose bulk state is numpy arrays
+  (CountMin / ConservativeCountMin / CountSketch tables, HyperLogLog
+  registers, KLL compactor levels) register a :class:`StateAdapter`
+  that splits the value into raw array buffers (written to the arena
+  verbatim) plus a small pickled *shell* (the object with its arrays
+  stripped).  Store segments are adapted member-wise with the same
+  adapters.
+- **pickled** — everything else is pickled whole, but the pickle bytes
+  still live in the arena, so pipes never carry payloads.
+
+Imports default to ``copy=True``: the consumer materializes a private
+copy and the arena page can be retired.  ``copy=False`` returns views
+into the shared block — valid only while the block exists, used for
+read-only peeks.
+
+Crash safety: producers never mutate previously exported bytes (the
+arena is append-only), so a consumer can re-import any descriptor it
+has seen even after the producing worker died mid-wave — the
+exactly-once recovery path in the engine depends on this.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from .exceptions import ParameterError
+
+__all__ = [
+    "StateAdapter",
+    "ShmArena",
+    "BlockCache",
+    "export_value",
+    "import_value",
+    "shared_memory_available",
+    "register_state_adapter",
+]
+
+#: minimum size of a freshly allocated arena block (bytes); exports
+#: larger than this get a block of exactly their size
+_MIN_BLOCK = 1 << 20
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` blocks can be created."""
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    _untrack(block.name)
+    block.close()
+    _unlink_block(block)
+    return True
+
+
+def _untrack(name: str) -> None:
+    """Opt a block out of the per-process resource tracker.
+
+    The tracker unlinks every block its owning process registered the
+    moment that process dies — which would destroy a crashed worker's
+    exports exactly when the coordinator needs them for exactly-once
+    recovery.  Lifetime is managed explicitly instead: the coordinator
+    unlinks every block it has seen at runtime close.  (Python 3.13 has
+    ``track=False`` for this; this helper covers 3.10+.)
+    """
+    try:  # pragma: no cover - depends on CPython internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_block(block: Any) -> None:
+    """Unlink a block without another tracker round-trip.
+
+    ``SharedMemory.unlink()`` also unregisters from the resource
+    tracker; untracked blocks (ours all are) would double-unregister and
+    spam the tracker log, so unlink goes straight to the OS.
+    """
+    try:
+        from multiprocessing.shared_memory import _posixshmem
+
+        _posixshmem.shm_unlink(block._name)
+    except ImportError:  # pragma: no cover - Windows has no fork anyway
+        block.unlink()
+    except FileNotFoundError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Per-type adapters
+# ---------------------------------------------------------------------------
+
+
+class StateAdapter:
+    """How to split one summary type into (picklable shell, raw arrays).
+
+    ``extract(value)`` returns the bulk state as a list of C-contiguous
+    numpy arrays; ``strip(value)`` temporarily removes that state from
+    the object (returning an undo token) so the remaining shell pickles
+    small; ``restore(value, token)`` undoes the strip; ``inject(value,
+    arrays)`` installs (re-imported) arrays into a fresh shell.
+    """
+
+    def __init__(
+        self,
+        extract: Callable[[Any], List[np.ndarray]],
+        strip: Callable[[Any], Any],
+        restore: Callable[[Any, Any], None],
+        inject: Callable[[Any, List[np.ndarray]], None],
+    ) -> None:
+        self.extract = extract
+        self.strip = strip
+        self.restore = restore
+        self.inject = inject
+
+
+_ADAPTERS: Dict[Type, StateAdapter] = {}
+
+
+def register_state_adapter(cls: Type, adapter: StateAdapter) -> None:
+    """Register a shared-memory adapter for one concrete summary class."""
+    _ADAPTERS[cls] = adapter
+
+
+def _attr_adapter(attr: str) -> StateAdapter:
+    """Adapter for types whose bulk state is one ndarray attribute."""
+
+    def extract(value: Any) -> List[np.ndarray]:
+        return [np.ascontiguousarray(getattr(value, attr))]
+
+    def strip(value: Any) -> Any:
+        token = getattr(value, attr)
+        setattr(value, attr, None)
+        return token
+
+    def restore(value: Any, token: Any) -> None:
+        setattr(value, attr, token)
+
+    def inject(value: Any, arrays: List[np.ndarray]) -> None:
+        setattr(value, attr, arrays[0])
+
+    return StateAdapter(extract, strip, restore, inject)
+
+
+def _kll_adapter() -> StateAdapter:
+    """KLL levels: ragged ``List[List[float]]`` packed as lengths + concat.
+
+    The cached sorted query view is dropped from the shell (it is a
+    pure cache, rebuilt on demand) so exports never carry it.
+    """
+
+    def extract(value: Any) -> List[np.ndarray]:
+        levels = value._levels
+        lengths = np.array([len(level) for level in levels], dtype=np.int64)
+        if len(levels):
+            flat = np.concatenate(
+                [np.asarray(level, dtype=np.float64) for level in levels]
+            ) if any(lengths) else np.empty(0, dtype=np.float64)
+        else:  # pragma: no cover - KLL always has >= 1 level
+            flat = np.empty(0, dtype=np.float64)
+        return [lengths, flat]
+
+    def strip(value: Any) -> Any:
+        # ``_view`` defaults on the class; only touch it when the
+        # instance actually carries one, or strip/restore would grow the
+        # instance __dict__ and change the object's pickle bytes
+        instance = value.__dict__
+        token = (value._levels, ("_view" in instance, instance.get("_view")))
+        value._levels = None
+        if "_view" in instance:
+            instance["_view"] = None
+        return token
+
+    def restore(value: Any, token: Any) -> None:
+        levels, (had_view, view) = token
+        value._levels = levels
+        if had_view:
+            value.__dict__["_view"] = view
+
+    def inject(value: Any, arrays: List[np.ndarray]) -> None:
+        lengths, flat = arrays
+        levels: List[List[float]] = []
+        offset = 0
+        for length in lengths.tolist():
+            levels.append(flat[offset:offset + length].tolist())
+            offset += length
+        value._levels = levels
+        value.__dict__.pop("_view", None)
+
+    return StateAdapter(extract, strip, restore, inject)
+
+
+def _install_default_adapters() -> None:
+    from ..frequency.conservative import ConservativeCountMin
+    from ..frequency.count_min import CountMin
+    from ..frequency.count_sketch import CountSketch
+    from ..quantiles.kll import KLLQuantiles
+    from ..sketches.hyperloglog import HyperLogLog
+
+    register_state_adapter(CountMin, _attr_adapter("_table"))
+    register_state_adapter(ConservativeCountMin, _attr_adapter("_table"))
+    register_state_adapter(CountSketch, _attr_adapter("_table"))
+    register_state_adapter(HyperLogLog, _attr_adapter("_registers"))
+    register_state_adapter(KLLQuantiles, _kll_adapter())
+
+
+_defaults_installed = False
+
+
+def _adapter_for(value: Any) -> Optional[StateAdapter]:
+    global _defaults_installed
+    if not _defaults_installed:
+        _install_default_adapters()
+        _defaults_installed = True
+    return _ADAPTERS.get(type(value))
+
+
+def _is_segment(value: Any) -> bool:
+    return hasattr(value, "members") and hasattr(value, "segment_id")
+
+
+# ---------------------------------------------------------------------------
+# Arenas (producer side) and block caches (consumer side)
+# ---------------------------------------------------------------------------
+
+
+class ShmArena:
+    """Append-only bump allocator over shared-memory blocks.
+
+    One producer process owns an arena and writes exports into it;
+    consumers attach blocks read-only by name through a
+    :class:`BlockCache`.  Blocks are never recycled while the runtime
+    lives — previously exported descriptors stay valid even if the
+    producer dies — and the *coordinator* unlinks every block at
+    runtime close (see :func:`_untrack` for why producers must not).
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        #: with a ``prefix``, blocks get deterministic names
+        #: ``{prefix}{seq}`` so a coordinator can probe-unlink blocks the
+        #: producer allocated but never got to report before crashing
+        self._prefix = prefix
+        self._block = None
+        self._offset = 0
+        self.blocks: List[str] = []
+        self.bytes_written = 0
+        self.available = True
+
+    def _ensure(self, size: int):
+        if self._block is not None and self._offset + size <= self._block.size:
+            return self._block
+        from multiprocessing import shared_memory
+
+        capacity = max(size, _MIN_BLOCK)
+        if self._prefix is None:
+            block = shared_memory.SharedMemory(create=True, size=capacity)
+        else:
+            block = shared_memory.SharedMemory(
+                name=f"{self._prefix}{len(self.blocks)}",
+                create=True,
+                size=capacity,
+            )
+        _untrack(block.name)
+        if self._block is not None:
+            self._block.close()
+        self._block = block
+        self._offset = 0
+        self.blocks.append(block.name)
+        return block
+
+    def put(self, data) -> Tuple[str, int, int]:
+        """Copy ``data`` (a buffer) into the arena; return (block, off, len)."""
+        view = memoryview(data).cast("B")
+        size = len(view)
+        block = self._ensure(size)
+        offset = self._offset
+        block.buf[offset:offset + size] = view
+        self._offset += size
+        self.bytes_written += size
+        return block.name, offset, size
+
+    def close(self) -> None:
+        """Drop this process's mapping (does not unlink the blocks)."""
+        if self._block is not None:
+            self._block.close()
+            self._block = None
+
+
+class BlockCache:
+    """Consumer-side cache of attached shared-memory blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, Any] = {}
+
+    def view(self, name: str, offset: int, length: int) -> memoryview:
+        block = self._blocks.get(name)
+        if block is None:
+            from multiprocessing import shared_memory
+
+            block = shared_memory.SharedMemory(name=name)
+            _untrack(block.name)
+            self._blocks[name] = block
+        return block.buf[offset:offset + length]
+
+    def close(self) -> None:
+        for block in self._blocks.values():
+            block.close()
+        self._blocks.clear()
+
+    def unlink_all(self, names) -> None:
+        """Unlink every named block (coordinator-only, at runtime close)."""
+        from multiprocessing import shared_memory
+
+        for name in names:
+            block = self._blocks.pop(name, None)
+            if block is None:
+                try:
+                    block = shared_memory.SharedMemory(name=name)
+                    _untrack(block.name)
+                except FileNotFoundError:
+                    continue
+            block.close()
+            _unlink_block(block)
+
+
+# ---------------------------------------------------------------------------
+# Export / import
+# ---------------------------------------------------------------------------
+
+
+def _collect(value: Any):
+    """Split ``value`` into (stripped holders, arrays) per its adapters.
+
+    Returns ``(holders, arrays)`` where ``holders`` is a list of
+    ``(obj, adapter, token, n_arrays)`` undo records and ``arrays`` the
+    concatenated array list, or ``None`` when nothing about ``value``
+    is adapted (caller falls back to whole-object pickling).
+    """
+    if _is_segment(value):
+        holders = []
+        arrays: List[np.ndarray] = []
+        for name in sorted(value.members):
+            member = value.members[name]
+            adapter = _adapter_for(member)
+            if adapter is None:
+                continue
+            extracted = adapter.extract(member)
+            holders.append((member, adapter, None, len(extracted)))
+            arrays.extend(extracted)
+        return (holders, arrays) if holders else None
+    adapter = _adapter_for(value)
+    if adapter is None:
+        return None
+    extracted = adapter.extract(value)
+    return [(value, adapter, None, len(extracted))], extracted
+
+
+def export_value(value: Any, arena: ShmArena) -> Dict[str, Any]:
+    """Export ``value`` into ``arena``; return a small picklable descriptor."""
+    if arena.available:
+        try:
+            return _export_shm(value, arena)
+        except OSError:
+            # /dev/shm missing or full: degrade to inline transport for
+            # the rest of this arena's life, but keep running
+            arena.available = False
+    return {"kind": "inline", "data": pickle.dumps(value, pickle.HIGHEST_PROTOCOL)}
+
+
+def _export_shm(value: Any, arena: ShmArena) -> Dict[str, Any]:
+    collected = _collect(value)
+    if collected is None:
+        payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        block, offset, length = arena.put(payload)
+        return {"kind": "pickled", "block": block, "span": (offset, length)}
+    holders, arrays = collected
+    spans = []
+    metas = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        spans.append(arena.put(array))
+        metas.append((array.shape, array.dtype.str))
+    # strip arrays, pickle the light shell, then restore — the exported
+    # object must come out of this function exactly as it went in
+    tokens = []
+    try:
+        for i, (obj, adapter, _t, _n) in enumerate(holders):
+            tokens.append(adapter.strip(obj))
+        shell = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+    finally:
+        for (obj, adapter, _t, _n), token in zip(holders, tokens):
+            adapter.restore(obj, token)
+    block, offset, length = arena.put(shell)
+    return {
+        "kind": "adapted",
+        "block": block,
+        "span": (offset, length),
+        "spans": spans,
+        "arrays": metas,
+        "counts": [n for (_o, _a, _t, n) in holders],
+    }
+
+
+def import_value(
+    descriptor: Dict[str, Any], cache: BlockCache, copy: bool = True
+) -> Any:
+    """Materialize a value from an :func:`export_value` descriptor.
+
+    ``copy=True`` (the default) detaches the result from the shared
+    block; ``copy=False`` returns array state viewing the block
+    directly (valid only while the block exists).
+    """
+    kind = descriptor["kind"]
+    if kind == "inline":
+        return pickle.loads(descriptor["data"])
+    offset, length = descriptor["span"]
+    shell_bytes = bytes(cache.view(descriptor["block"], offset, length))
+    if kind == "pickled":
+        return pickle.loads(shell_bytes)
+    if kind != "adapted":
+        raise ParameterError(f"unknown shared-state descriptor kind {kind!r}")
+    value = pickle.loads(shell_bytes)
+    arrays: List[np.ndarray] = []
+    for (block, off, ln), (shape, dtype) in zip(
+        descriptor["spans"], descriptor["arrays"]
+    ):
+        view = cache.view(block, off, ln)
+        array = np.frombuffer(view, dtype=np.dtype(dtype)).reshape(shape)
+        arrays.append(array.copy() if copy else array)
+    targets = _collect_shell(value)
+    counts = descriptor["counts"]
+    if len(targets) != len(counts):
+        raise ParameterError(
+            f"shared-state descriptor names {len(counts)} adapted object(s) "
+            f"but the shell exposes {len(targets)}"
+        )
+    cursor = 0
+    for (obj, adapter), count in zip(targets, counts):
+        adapter.inject(obj, arrays[cursor:cursor + count])
+        cursor += count
+    if cursor != len(arrays):
+        raise ParameterError(
+            f"shared-state descriptor carries {len(arrays)} array(s) but the "
+            f"shell consumed {cursor}"
+        )
+    return value
+
+
+def _collect_shell(value: Any) -> List[Tuple[Any, StateAdapter]]:
+    """The inject targets of a just-unpickled shell, in export order."""
+    if _is_segment(value):
+        out = []
+        for name in sorted(value.members):
+            member = value.members[name]
+            adapter = _adapter_for(member)
+            if adapter is not None:
+                out.append((member, adapter))
+        return out
+    return [(value, _adapter_for(value))]

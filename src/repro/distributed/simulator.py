@@ -80,6 +80,15 @@ class AggregationResult:
     fault_stats: Optional[FaultStats] = None
     #: bytes re-sent for already-serialized generations (retry overhead)
     bytes_retransmitted: int = 0
+    #: True when parallelism was requested but (some of) the run
+    #: actually executed serially — no fork, pool failure, worker crash.
+    #: Benchmarks and the CLI must surface this; a "parallel" number
+    #: that silently ran serial is a lie.
+    degraded_to_serial: bool = False
+    #: what degraded, in order (empty for healthy runs)
+    degradation_events: List[str] = field(default_factory=list)
+    #: persistent-runtime dispatch accounting (None off the wave path)
+    runtime_stats: Optional[dict] = None
 
 
 def _validate_schedule_indices(schedule: MergeSchedule, node_count: int) -> None:
@@ -202,6 +211,9 @@ def run_aggregation(
             shard_sizes=shard_sizes,
             fault_stats=stats,
             bytes_retransmitted=report.bytes_retransmitted,
+            degraded_to_serial=report.degraded_to_serial,
+            degradation_events=list(report.degradation_events),
+            runtime_stats=report.runtime_stats,
         )
 
     return AggregationResult(
@@ -221,4 +233,7 @@ def run_aggregation(
         shard_sizes=shard_sizes,
         fault_stats=None,
         bytes_retransmitted=report.bytes_retransmitted,
+        degraded_to_serial=report.degraded_to_serial,
+        degradation_events=list(report.degradation_events),
+        runtime_stats=report.runtime_stats,
     )

@@ -35,8 +35,14 @@ from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Set, 
 
 from ..core.codecs import decode_summary
 from ..core.exceptions import ParameterError, SerializationError
-from ..core.parallel import ExecutorLike, ParallelExecutor, resolve_executor
+from ..core.parallel import (
+    ExecutorLike,
+    ParallelExecutor,
+    RuntimeUnavailable,
+    resolve_executor,
+)
 from ..core.rng import RngLike, resolve_rng
+from ..core.shared_state import export_value
 from .agents import (
     is_segment,
     merge_segment_into,
@@ -47,7 +53,7 @@ from .agents import (
 )
 from .faults import FaultModel, FaultStats, RetryPolicy
 from .plan import MergePlan, MergeStep
-from .waves import StepGroup, plan_step_waves
+from .waves import StepGroup, assign_groups, plan_step_waves
 
 __all__ = ["ExecutionReport", "ExecutionResult", "execute_plan"]
 
@@ -90,6 +96,18 @@ class ExecutionReport:
     crashed: Set[Hashable] = field(default_factory=set)
     #: fault-injection accounting (None for fault-free runs)
     fault_stats: Optional[FaultStats] = None
+    #: True when parallelism was *requested* (executor with >1 workers)
+    #: but some or all of the run actually executed serially — platform
+    #: without fork, pool failures, runtime worker crashes.  Callers
+    #: must surface this instead of reporting serial numbers as parallel.
+    degraded_to_serial: bool = False
+    #: human-readable record of every degradation the executor saw
+    degradation_events: List[str] = field(default_factory=list)
+    #: persistent-runtime dispatch accounting (None when the resident
+    #: runtime was not used): workers, dispatch_rounds, messages_sent,
+    #: cmd_bytes/ack_bytes on the pipes, synced_slots, sync_shm_bytes,
+    #: exported_bytes through shared memory, worker_crashes
+    runtime_stats: Optional[Dict[str, Any]] = None
 
     @property
     def steps_done(self) -> int:
@@ -162,6 +180,69 @@ def _execute_group(
     return _combine_values(target, children)
 
 
+def _value_size(value: Any) -> int:
+    if value is None:
+        return 0
+    if is_segment(value):
+        return sum(member.size() for member in value.members.values())
+    return value.size()
+
+
+class _ResidentSession:
+    """Worker-resident half of the persistent runtime.
+
+    Instantiated *inside* each forked worker by
+    :class:`~repro.core.parallel.WorkerRuntime`; the payload is the
+    plan plus the coordinator's agent dict, both inherited copy-on-write
+    at fork time — builder closures, slot values and shard arrays all
+    arrive without a single pickle.  From then on the coordinator ships
+    only ids: builds as slot names, merge groups as
+    ``(dst, srcs, builder_ordinal)``.  Every produced value is exported
+    into this worker's append-only shared-memory arena so the
+    coordinator (or another worker, via sync) can import it later —
+    including after this worker crashes, which is what makes the
+    engine's exactly-once recovery work.
+    """
+
+    def __init__(self, worker_id: int, payload: Any, arena: Any) -> None:
+        plan, slots = payload
+        self.worker_id = worker_id
+        self.arena = arena
+        self.slots = slots
+        self.merge_steps = plan.merge_steps
+        self.builders = {step.slot: step.builder for step in plan.build_steps}
+
+    def install(self, slot: Hashable, value: Any) -> None:
+        agent = self.slots.get(slot)
+        if agent is None:
+            self.slots[slot] = wrap_slot(value)
+        else:
+            set_slot_value(agent, value)
+
+    def execute(self, kind: str, item: Any) -> Tuple[Hashable, Dict[str, Any], int]:
+        if kind == "build":
+            slot = item
+            agent = self.slots.get(slot)
+            value = _run_build(self.builders[slot], agent)
+            self.install(slot, value)
+            return slot, export_value(value, self.arena), _value_size(value)
+        dst, srcs, ordinal = item
+        payloads = [slot_value(self.slots[src]) for src in srcs]
+        if ordinal is not None:
+            # copy-on-write destination: seed through the plan's builder
+            builder = self.merge_steps[ordinal].builder
+            value = _execute_group(builder, payloads, False, True)
+            agent = wrap_slot(value)
+            self.slots[dst] = agent
+        else:
+            agent = self.slots[dst]
+            value = _execute_group(slot_value(agent), payloads, False, False)
+            set_slot_value(agent, value)
+        if hasattr(agent, "merges_performed"):
+            agent.merges_performed += len(srcs)
+        return dst, export_value(value, self.arena), _value_size(value)
+
+
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
@@ -210,6 +291,21 @@ class _Run:
             and fault_model is None
             and not duplicate_probability
         )
+        #: the persistent runtime additionally requires serialize=False:
+        #: wire-format byte accounting must run in the coordinator, so
+        #: serialized runs keep the legacy per-wave pool
+        self.use_resident = self.use_waves and not serialize
+        self._runtime = None
+        #: slot -> worker ids holding its latest value; missing key means
+        #: everyone does (the fork-time snapshot, or no runtime at all)
+        self._fresh: Dict[Hashable, Set[int]] = {}
+        #: slot -> shared-memory descriptor of its latest worker export
+        self._desc: Dict[Hashable, Dict[str, Any]] = {}
+        #: slots whose coordinator agent also holds the latest value
+        self._coord_fresh: Set[Hashable] = set()
+        self._events_baseline = (
+            len(pool.degradation_events) if pool is not None else 0
+        )
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -255,6 +351,251 @@ class _Run:
         self.report.build_waves += 1
         self.report.build_seconds += time.perf_counter() - t0
         self._emit_event("build_wave", builds=len(steps))
+
+    # -- persistent (resident) runtime ------------------------------------
+
+    @property
+    def _resident_active(self) -> bool:
+        return self._runtime is not None and bool(self._runtime.live)
+
+    def _maybe_start_runtime(self) -> None:
+        """Fork the persistent workers for this plan, if eligible.
+
+        A start failure records a degradation on the pool and leaves
+        ``self._runtime`` unset — every path below then falls back to
+        the legacy pool.map / scalar execution with identical results.
+        """
+        if not self.use_resident or not self.pool.is_parallel:
+            return
+        work = len(self.plan.merge_steps) + len(self.plan.build_steps)
+        if work < 2:
+            return  # nothing to overlap; forking workers is pure overhead
+        try:
+            self._runtime = self.pool.start_runtime(
+                _ResidentSession, (self.plan, self.slots)
+            )
+        except RuntimeUnavailable:
+            self._runtime = None
+
+    def _freshness(self, slot: Hashable) -> Optional[Set[int]]:
+        return self._fresh.get(slot)
+
+    def _pack_sync(
+        self, worker_id: int, slot: Hashable, sync: List[Any], synced: Set[Hashable]
+    ) -> None:
+        """Queue ``slot``'s latest value for ``worker_id`` if it is stale
+        there — by shared-memory descriptor when a worker produced it,
+        inline only for coordinator-recovered values (post-crash)."""
+        fresh = self._fresh.get(slot)
+        if fresh is None or worker_id in fresh or slot in synced:
+            return
+        synced.add(slot)
+        descriptor = self._desc.get(slot)
+        if descriptor is not None:
+            sync.append((slot, ("desc", descriptor)))
+        else:
+            sync.append((slot, ("val", slot_value(self.slots[slot]))))
+        fresh.add(worker_id)
+
+    def _materialize(self, slot: Hashable) -> Any:
+        """Bring the coordinator's agent for ``slot`` up to date and
+        return the value (imports from shared memory at most once)."""
+        agent = self.slots.get(slot)
+        if slot in self._coord_fresh or slot not in self._fresh:
+            return slot_value(agent) if agent is not None else None
+        descriptor = self._desc.get(slot)
+        if descriptor is None:  # pragma: no cover - coordinator is latest
+            self._coord_fresh.add(slot)
+            return slot_value(agent) if agent is not None else None
+        value = self._runtime.fetch(descriptor)
+        if agent is None:
+            self._install(slot, wrap_slot(value))
+        else:
+            set_slot_value(agent, value)
+        self._coord_fresh.add(slot)
+        return value
+
+    def _coordinator_owns(self, slot: Hashable) -> None:
+        """Record that the coordinator's value for ``slot`` is now the
+        only fresh copy (after a serial re-execution or local build)."""
+        self._fresh[slot] = set()
+        self._desc.pop(slot, None)
+        self._coord_fresh.add(slot)
+
+    def _handle_crash(self, worker_id: int) -> None:
+        for fresh in self._fresh.values():
+            fresh.discard(worker_id)
+        self.pool.fallbacks += 1
+        self.pool.degradation_events.append(
+            f"runtime worker {worker_id} crashed mid-wave; its "
+            f"unacknowledged groups were re-executed serially (exactly-once)"
+        )
+
+    def _deactivate_runtime(self) -> None:
+        """Materialize every pending worker value, then drop the runtime.
+
+        Called at normal completion, and mid-plan when the last worker
+        dies — after it, coordinator state is fully current and the
+        legacy paths continue the plan seamlessly.
+        """
+        for slot in list(self._desc):
+            self._materialize(slot)
+        self.report.runtime_stats = dict(self._runtime.stats)
+        self._runtime.close()
+        self._runtime = None
+        self._fresh.clear()
+        self._desc.clear()
+        self._coord_fresh.clear()
+
+    def _finish_resident_build(
+        self, slot: Hashable, worker_id: int, descriptor: Dict[str, Any], size: int
+    ) -> None:
+        self._fresh[slot] = {worker_id}
+        self._desc[slot] = descriptor
+        self._coord_fresh.discard(slot)
+        if self.accounting:
+            self.report.covered.setdefault(slot, {slot})
+            self.report.max_size = max(self.report.max_size, size)
+
+    def _local_build(self, step: MergeStep) -> None:
+        """Serial re-execution of one build whose worker died before
+        acking — its partial work was never published anywhere, so this
+        runs exactly once from the coordinator's (fork-equal) state."""
+        agent = self.slots.get(step.slot)
+        value = _run_build(step.builder, agent)
+        if agent is None:
+            self._install(step.slot, wrap_slot(value))
+        else:
+            set_slot_value(agent, value)
+            if self.accounting:
+                self.report.covered.setdefault(step.slot, {step.slot})
+                self._observe_size(agent)
+        self._coordinator_owns(step.slot)
+
+    def run_builds_resident(self, steps: List[MergeStep]) -> None:
+        """One IPC round-trip builds every leaf: workers get contiguous
+        slot ranges (so later merge waves stay worker-local as long as
+        possible) and ship back only descriptors and sizes."""
+        t0 = time.perf_counter()
+        workers = sorted(self._runtime.live)
+        per_worker: Dict[int, List[MergeStep]] = {w: [] for w in workers}
+        for index, step in enumerate(steps):
+            per_worker[workers[index * len(workers) // len(steps)]].append(step)
+        assignments: Dict[int, Tuple[str, List[Any], List[Any]]] = {}
+        for worker_id, assigned in per_worker.items():
+            if not assigned:
+                continue
+            items: List[Any] = []
+            sync: List[Any] = []
+            synced: Set[Hashable] = set()
+            for step in assigned:
+                self._pack_sync(worker_id, step.slot, sync, synced)
+                items.append(step.slot)
+            assignments[worker_id] = ("build", items, sync)
+        results, crashed = self._runtime.dispatch(assignments)
+        for worker_id, rows in results.items():
+            for (slot, descriptor, size) in rows:
+                self._finish_resident_build(slot, worker_id, descriptor, size)
+        for worker_id in crashed:
+            self._handle_crash(worker_id)
+        for worker_id in crashed:
+            for step in per_worker[worker_id]:
+                self._local_build(step)
+        if self._runtime is not None and not self._runtime.live:
+            self._deactivate_runtime()
+        self.report.builds += len(steps)
+        self.report.build_waves += 1
+        self.report.build_seconds += time.perf_counter() - t0
+        self._emit_event("build_wave", builds=len(steps))
+
+    def _finish_resident_group(
+        self,
+        group: StepGroup,
+        worker_id: int,
+        descriptor: Dict[str, Any],
+        size: int,
+    ) -> None:
+        self._fresh[group.dst] = {worker_id}
+        self._desc[group.dst] = descriptor
+        self._coord_fresh.discard(group.dst)
+        agent = self.slots.get(group.dst)
+        if agent is not None and hasattr(agent, "merges_performed"):
+            agent.merges_performed += len(group.srcs)
+        self._account_group(group, size)
+
+    def _account_group(self, group: StepGroup, size: int) -> None:
+        if self.accounting:
+            self.report.covered.setdefault(group.dst, {group.dst})
+            for src in group.srcs:
+                self.report.covered[group.dst] |= self.report.covered[src]
+            self.report.max_size = max(self.report.max_size, size)
+        for index in group.indices:
+            self.report.step_status[index] = STEP_DONE
+        self.report.merges += len(group.srcs)
+
+    def _local_group(self, group: StepGroup) -> None:
+        """Serial re-execution of one merge group whose worker died
+        before acking.  Operand state is recovered from acked exports
+        (append-only arenas survive their producer), so the group runs
+        exactly once — never zero times, never one-and-a-half."""
+        payloads = [self._materialize(src) for src in group.srcs]
+        if group.builder is not None:
+            value = _execute_group(group.builder, payloads, False, True)
+            agent = self.slots.get(group.dst)
+            if agent is None:
+                self._install(group.dst, wrap_slot(value))
+                agent = self.slots[group.dst]
+            else:
+                set_slot_value(agent, value)
+        else:
+            target = self._materialize(group.dst)
+            value = _execute_group(target, payloads, False, False)
+            agent = self.slots[group.dst]
+            set_slot_value(agent, value)
+        if hasattr(agent, "merges_performed"):
+            agent.merges_performed += len(group.srcs)
+        self._coordinator_owns(group.dst)
+        self._account_group(group, _value_size(value))
+
+    def _wave_resident(self, wave: List[StepGroup]) -> None:
+        """One merge wave, one IPC round-trip: groups are assigned to the
+        workers already holding their operands, stale operands sync via
+        shared-memory descriptors, and only (dst, srcs, ordinal) ids
+        travel on the pipes."""
+        workers = sorted(self._runtime.live)
+        by_worker = assign_groups(wave, workers, self._freshness)
+        assignments: Dict[int, Tuple[str, List[Any], List[Any]]] = {}
+        for worker_id, groups in by_worker.items():
+            if not groups:
+                continue
+            items: List[Any] = []
+            sync: List[Any] = []
+            synced: Set[Hashable] = set()
+            for group in groups:
+                needed = (
+                    list(group.srcs)
+                    if group.builder is not None
+                    else [group.dst, *group.srcs]
+                )
+                for slot in needed:
+                    self._pack_sync(worker_id, slot, sync, synced)
+                ordinal = group.indices[0] if group.builder is not None else None
+                items.append((group.dst, list(group.srcs), ordinal))
+            assignments[worker_id] = ("merge", items, sync)
+        results, crashed = self._runtime.dispatch(assignments)
+        for worker_id, rows in results.items():
+            for group, (slot, descriptor, size) in zip(by_worker[worker_id], rows):
+                self._finish_resident_group(group, worker_id, descriptor, size)
+        for worker_id in crashed:
+            self._handle_crash(worker_id)
+        for worker_id in crashed:
+            for group in by_worker[worker_id]:
+                self._local_group(group)
+        if self._runtime is not None and not self._runtime.live:
+            self._deactivate_runtime()
+        self.report.waves += 1
+        self.report.groups += len(wave)
+        self._emit_event("wave", groups=len(wave))
 
     # -- scalar merge path ------------------------------------------------
 
@@ -319,23 +660,31 @@ class _Run:
     def run_waves(self, steps: List[MergeStep], first_index: int) -> None:
         waves = plan_step_waves(steps, first_index, fuse=self.plan.fuse_fanin)
         for wave in waves:
-            tasks: List[Tuple[Any, List[Any], bool, bool]] = []
-            for group in wave:
-                payloads = [
-                    self.slots[src].emit(serialize=self.serialize)
-                    for src in group.srcs
-                ]
-                if group.builder is not None:
-                    tasks.append((group.builder, payloads, self.serialize, True))
-                else:
-                    target = slot_value(self.slots[group.dst])
-                    tasks.append((target, payloads, self.serialize, False))
-            merged = self.pool.map(_execute_group, tasks)
-            for group, value in zip(wave, merged):
-                self._finish_group(group, value)
-            self.report.waves += 1
-            self.report.groups += len(wave)
-            self._emit_event("wave", groups=len(wave))
+            # a runtime can die mid-run (all workers crashed); remaining
+            # waves continue on the legacy per-wave pool transparently
+            if self._resident_active:
+                self._wave_resident(wave)
+            else:
+                self._wave_legacy(wave)
+
+    def _wave_legacy(self, wave: List[StepGroup]) -> None:
+        tasks: List[Tuple[Any, List[Any], bool, bool]] = []
+        for group in wave:
+            payloads = [
+                self.slots[src].emit(serialize=self.serialize)
+                for src in group.srcs
+            ]
+            if group.builder is not None:
+                tasks.append((group.builder, payloads, self.serialize, True))
+            else:
+                target = slot_value(self.slots[group.dst])
+                tasks.append((target, payloads, self.serialize, False))
+        merged = self.pool.map(_execute_group, tasks)
+        for group, value in zip(wave, merged):
+            self._finish_group(group, value)
+        self.report.waves += 1
+        self.report.groups += len(wave)
+        self._emit_event("wave", groups=len(wave))
 
     def _finish_group(self, group: StepGroup, value: Any) -> None:
         if group.builder is not None:
@@ -480,30 +829,53 @@ class _Run:
     def execute(self) -> ExecutionResult:
         steps = self.plan.steps
         merge_index = 0
-        i = 0
-        while i < len(steps):
-            op = steps[i].op
-            j = i
-            while j < len(steps) and steps[j].op == op:
-                j += 1
-            run = list(steps[i:j])
-            if op == "build":
-                self.run_builds(run)
-            elif op == "merge":
-                t0 = time.perf_counter()
-                if self.faults is not None:
-                    self.run_faulty(run, merge_index)
-                elif self.use_waves:
-                    self.run_waves(run, merge_index)
+        if self.use_waves:
+            self._maybe_start_runtime()
+        try:
+            i = 0
+            while i < len(steps):
+                op = steps[i].op
+                j = i
+                while j < len(steps) and steps[j].op == op:
+                    j += 1
+                run = list(steps[i:j])
+                if op == "build":
+                    if self._resident_active:
+                        self.run_builds_resident(run)
+                    else:
+                        self.run_builds(run)
+                elif op == "merge":
+                    t0 = time.perf_counter()
+                    if self.faults is not None:
+                        self.run_faulty(run, merge_index)
+                    elif self.use_waves:
+                        self.run_waves(run, merge_index)
+                    else:
+                        self.run_scalar(run, merge_index)
+                    merge_index += len(run)
+                    self.report.merge_seconds += time.perf_counter() - t0
                 else:
-                    self.run_scalar(run, merge_index)
-                merge_index += len(run)
-                self.report.merge_seconds += time.perf_counter() - t0
-            else:
-                for step in run:
-                    if step.slot in self.slots:
-                        self.outputs[step.slot] = slot_value(self.slots[step.slot])
-            i = j
+                    for step in run:
+                        if self._runtime is not None:
+                            self._materialize(step.slot)
+                        if step.slot in self.slots:
+                            self.outputs[step.slot] = slot_value(
+                                self.slots[step.slot]
+                            )
+                i = j
+            if self._runtime is not None:
+                self._deactivate_runtime()
+        finally:
+            if self._runtime is not None:  # exception path: just release
+                self.report.runtime_stats = dict(self._runtime.stats)
+                self._runtime.close()
+                self._runtime = None
+        if self.pool is not None:
+            events = self.pool.degradation_events
+            self.report.degradation_events = list(events)
+            self.report.degraded_to_serial = self.pool.max_workers > 1 and (
+                len(events) > self._events_baseline or self.pool.degraded
+            )
         if self.accounting:
             self.report.bytes_shipped = sum(
                 getattr(a, "bytes_sent", 0) for a in self.slots.values()

@@ -24,11 +24,11 @@ destinations, and plans that forbid fan-in fusion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Sequence, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from .plan import MergeStep
 
-__all__ = ["plan_merge_waves", "plan_step_waves", "StepGroup"]
+__all__ = ["plan_merge_waves", "plan_step_waves", "assign_groups", "StepGroup"]
 
 
 def plan_merge_waves(
@@ -137,3 +137,39 @@ def plan_step_waves(
     if wave:
         waves.append(wave)
     return waves
+
+
+def assign_groups(
+    groups: Sequence[StepGroup],
+    workers: Sequence[int],
+    freshness: Callable[[Hashable], Optional[Set[int]]],
+) -> Dict[int, List[StepGroup]]:
+    """Assign one wave's groups to persistent workers, by slot affinity.
+
+    ``freshness(slot)`` returns the set of worker ids currently holding
+    the slot's latest value, or ``None`` when every worker does (the
+    fork-time snapshot).  Each group goes to the worker already holding
+    the most of the group's touched slots — those need no state sync at
+    all — with ties broken toward the least-loaded, then lowest-id,
+    worker.  The result is deterministic for a given wave and fleet,
+    which keeps runs reproducible (assignment never affects *values*,
+    only where they are computed, but determinism keeps the dispatch
+    accounting stable too).
+    """
+    assignments: Dict[int, List[StepGroup]] = {w: [] for w in workers}
+    loads: Dict[int, int] = {w: 0 for w in workers}
+    for group in groups:
+        best = None
+        best_key = None
+        for w in workers:
+            overlap = 0
+            for slot in group.touched:
+                fresh = freshness(slot)
+                if fresh is None or w in fresh:
+                    overlap += 1
+            key = (overlap, -loads[w], -w)
+            if best_key is None or key > best_key:
+                best, best_key = w, key
+        assignments[best].append(group)
+        loads[best] += max(1, len(group.srcs))
+    return assignments

@@ -1,0 +1,222 @@
+"""Shared-memory state transport: export/import round-trips.
+
+The persistent worker runtime moves slot state between processes as
+small descriptors over pipes plus bulk bytes in shared-memory arenas
+(:mod:`repro.core.shared_state`).  These tests pin the transport's
+contract in-process: exports must not mutate the exported object,
+imports must be byte-identical, descriptors must stay small, and the
+copy/view semantics must hold.  Cross-process behaviour is covered by
+the runtime tests in ``tests/test_merge_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import dumps
+from repro.core.shared_state import (
+    BlockCache,
+    ShmArena,
+    export_value,
+    import_value,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this platform"
+)
+
+
+@pytest.fixture
+def transport():
+    """(arena, cache) pair torn down with the blocks unlinked."""
+    arena = ShmArena()
+    cache = BlockCache()
+    yield arena, cache
+    arena.close()
+    cache.unlink_all(list(arena.blocks))
+    cache.close()
+
+
+def _adapted_values():
+    from repro.frequency import ConservativeCountMin, CountMin, CountSketch
+    from repro.quantiles import KLLQuantiles
+    from repro.sketches import HyperLogLog
+
+    rng = np.random.default_rng(7)
+    ints = rng.integers(0, 400, size=2000)
+    floats = rng.random(2000)
+
+    cm = CountMin(64, 3, seed=1)
+    cm.update_batch(ints)
+    ccm = ConservativeCountMin(64, 3, seed=1)
+    ccm.update_batch(ints)
+    cs = CountSketch(64, 3, seed=1)
+    cs.update_batch(ints)
+    hll = HyperLogLog(p=6, seed=1)
+    hll.update_batch(ints)
+    kll = KLLQuantiles(32, rng=5)
+    kll.update_batch(floats)
+    return {
+        "count_min": cm,
+        "conservative_count_min": ccm,
+        "count_sketch": cs,
+        "hyperloglog": hll,
+        "kll_quantiles": kll,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_adapted_values()))
+def test_adapted_round_trip_is_byte_identical(transport, name):
+    arena, cache = transport
+    value = _adapted_values()[name]
+    before = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+
+    descriptor = export_value(value, arena)
+    assert descriptor["kind"] == "adapted", f"{name} should ship via adapter"
+    # export is strictly read-only on the value
+    assert pickle.dumps(value, pickle.HIGHEST_PROTOCOL) == before
+
+    restored = import_value(descriptor, cache)
+    assert dumps(restored) == dumps(value)
+    if name != "kll_quantiles":
+        # KLL imports deliberately shed the instance view-cache slot
+        # (see test_kll_export_drops_the_query_view_cache); everything
+        # else round-trips to the exact same pickle bytes
+        assert pickle.dumps(restored, pickle.HIGHEST_PROTOCOL) == before
+
+
+def test_unadapted_types_round_trip_via_arena_pickle(transport):
+    from repro.frequency import MisraGries
+
+    arena, cache = transport
+    mg = MisraGries(16)
+    mg.update_batch(np.random.default_rng(3).integers(0, 50, size=500))
+
+    descriptor = export_value(mg, arena)
+    assert descriptor["kind"] == "pickled"
+    # the pickle bytes live in the arena, not the descriptor
+    assert "data" not in descriptor
+    restored = import_value(descriptor, cache)
+    assert dumps(restored) == dumps(mg)
+
+
+def test_store_segments_adapt_member_wise(transport):
+    from repro.frequency import CountMin, MisraGries
+    from repro.store.segment import Segment
+
+    arena, cache = transport
+    ints = np.random.default_rng(5).integers(0, 300, size=1500)
+    cm = CountMin(64, 3, seed=2)
+    cm.update_batch(ints)
+    mg = MisraGries(16)
+    mg.update_batch(ints)
+    segment = Segment(
+        segment_id="s000001-L0-e0",
+        level=0,
+        start=0,
+        count=len(ints),
+        members={"freq": cm, "heavy": mg},
+    )
+
+    descriptor = export_value(segment, arena)
+    assert descriptor["kind"] == "adapted"
+    restored = import_value(descriptor, cache)
+    assert restored.segment_id == segment.segment_id
+    assert restored.fingerprint() == segment.fingerprint()
+
+
+def test_descriptor_is_small_relative_to_the_state(transport):
+    from repro.frequency import CountMin
+
+    arena, cache = transport
+    cm = CountMin(4096, 5, seed=1)  # 160 KiB of table
+    cm.update_batch(np.random.default_rng(1).integers(0, 10000, size=100))
+
+    descriptor = export_value(cm, arena)
+    wire = pickle.dumps(descriptor, pickle.HIGHEST_PROTOCOL)
+    assert len(wire) < 2048, "descriptor must stay pipe-sized"
+    assert arena.bytes_written >= cm._table.nbytes
+
+
+def test_copy_import_detaches_from_the_block(transport):
+    from repro.frequency import CountMin
+
+    arena, cache = transport
+    cm = CountMin(32, 3, seed=1)
+    cm.update_batch(np.arange(100))
+    descriptor = export_value(cm, arena)
+
+    copied = import_value(descriptor, cache, copy=True)
+    viewed = import_value(descriptor, cache, copy=False)
+    assert not copied._table.flags["OWNDATA"] or copied._table.base is None
+    # the view aliases the shared block; the copy does not
+    offset, length = descriptor["spans"][0][1], descriptor["spans"][0][2]
+    raw = cache.view(descriptor["spans"][0][0], offset, length)
+    np.frombuffer(raw, dtype=viewed._table.dtype)[0] = 424242
+    assert viewed._table.flat[0] == 424242
+    assert copied._table.flat[0] != 424242
+
+
+def test_kll_export_drops_the_query_view_cache(transport):
+    from repro.quantiles import KLLQuantiles
+
+    arena, cache = transport
+    kll = KLLQuantiles(32, rng=5)
+    kll.update_batch(np.random.default_rng(2).random(2000))
+    kll.quantile(0.5)  # populate the cached sorted view
+    assert "_view" in kll.__dict__
+
+    before = pickle.dumps(kll, pickle.HIGHEST_PROTOCOL)
+    descriptor = export_value(kll, arena)
+    # strip/restore must leave the exported object untouched, view and all
+    assert pickle.dumps(kll, pickle.HIGHEST_PROTOCOL) == before
+
+    restored = import_value(descriptor, cache)
+    assert "_view" not in restored.__dict__, "imports must not carry the cache"
+    assert restored.quantile(0.5) == kll.quantile(0.5)
+    assert dumps(restored) == dumps(kll)
+
+
+def test_inline_fallback_when_the_arena_is_unavailable(transport):
+    from repro.frequency import CountMin
+
+    arena, cache = transport
+    arena.available = False
+    cm = CountMin(32, 3, seed=1)
+    cm.update_batch(np.arange(64))
+    descriptor = export_value(cm, arena)
+    assert descriptor["kind"] == "inline"
+    assert arena.bytes_written == 0
+    assert dumps(import_value(descriptor, cache)) == dumps(cm)
+
+
+def test_prefixed_arena_names_blocks_deterministically():
+    arena = ShmArena(prefix="rstestcorex")
+    cache = BlockCache()
+    try:
+        arena.put(b"x" * 16)
+        assert arena.blocks == ["rstestcorex0"]
+        # force a second block: larger than what remains of the first
+        arena.put(b"y" * (64 << 20) if False else bytes(2 << 20))
+        assert arena.blocks == ["rstestcorex0", "rstestcorex1"]
+    finally:
+        arena.close()
+        cache.unlink_all(list(arena.blocks))
+        cache.close()
+
+
+def test_unlink_all_releases_the_blocks():
+    from multiprocessing import shared_memory
+
+    arena = ShmArena()
+    arena.put(b"z" * 128)
+    names = list(arena.blocks)
+    arena.close()
+    BlockCache().unlink_all(names)
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

@@ -455,6 +455,47 @@ class TestFaultInjectedCompaction:
         assert set(stats) == {"levels", "rollups_built", "merge_inputs"}
 
 
+class TestAssignGroups:
+    """Affinity assignment of wave groups to persistent workers."""
+
+    def _groups(self, pairs):
+        from repro.engine.waves import StepGroup
+
+        return [StepGroup(dst=d, srcs=list(s), indices=[0] * len(s)) for d, s in pairs]
+
+    def test_groups_follow_their_resident_slots(self):
+        from repro.engine.waves import assign_groups
+
+        fresh = {"a": {0}, "b": {0}, "c": {1}, "d": {1}}
+        groups = self._groups([("a", ["b"]), ("c", ["d"])])
+        assignments = assign_groups(groups, [0, 1], lambda slot: fresh.get(slot))
+        assert [g.dst for g in assignments[0]] == ["a"]
+        assert [g.dst for g in assignments[1]] == ["c"]
+
+    def test_fork_fresh_slots_spread_by_load(self):
+        from repro.engine.waves import assign_groups
+
+        # freshness None = every worker holds the fork snapshot, so
+        # assignment balances load instead of piling onto worker 0
+        groups = self._groups([(i, [i + 100]) for i in range(6)])
+        assignments = assign_groups(groups, [0, 1, 2], lambda slot: None)
+        assert sorted(len(v) for v in assignments.values()) == [2, 2, 2]
+
+    def test_assignment_is_deterministic(self):
+        from repro.engine.waves import assign_groups
+
+        fresh = {"a": {2}, "x": {1}}
+        groups = self._groups([("a", ["b", "c"]), ("x", ["y"]), ("p", ["q"])])
+        first = assign_groups(groups, [0, 1, 2], lambda slot: fresh.get(slot))
+        second = assign_groups(groups, [0, 1, 2], lambda slot: fresh.get(slot))
+        assert {w: [g.dst for g in v] for w, v in first.items()} == {
+            w: [g.dst for g in v] for w, v in second.items()
+        }
+        # the affinity winner actually got its group
+        assert "a" in [g.dst for g in first[2]]
+        assert "x" in [g.dst for g in first[1]]
+
+
 def test_skipped_types_documented():
     # keep the fold-equivalence coverage honest: anything not in
     # MERGE_SPECS must carry an explicit skip reason

@@ -591,6 +591,193 @@ class TestParallelExecutor:
         with pytest.raises(ValueError, match="task"):
             pool.map(boom, [(1,), (2,)])
 
+    def test_fork_payload_is_released_after_map(self):
+        from repro.core import parallel
+
+        pool = ParallelExecutor(max_workers=2)
+        pool.map(lambda x: x * 2, [(i,) for i in range(6)])
+        assert parallel._FORK_PAYLOAD is None
+
+    def test_fork_payload_is_released_when_tasks_raise(self):
+        from repro.core import parallel
+
+        pool = ParallelExecutor(max_workers=2)
+
+        def boom(x):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            pool.map(boom, [(1,), (2,)])
+        assert parallel._FORK_PAYLOAD is None
+
+    def test_map_payload_does_not_pin_task_objects(self):
+        # the fork-payload slot must not keep the last map's tasks (and
+        # whatever summaries their closures capture) alive afterwards
+        import gc
+        import weakref
+
+        class Token:
+            pass
+
+        token = Token()
+        ref = weakref.ref(token)
+        pool = ParallelExecutor(max_workers=2)
+        pool.map(lambda t: type(t).__name__, [(token,)])
+        del token
+        gc.collect()
+        assert ref() is None
+
+
+class TestRecoverableDegradation:
+    """Pool failures must degrade *visibly* and heal after a cooldown —
+    the legacy sticky ``_broken`` flag turned one transient fault into
+    serial-forever, silently."""
+
+    def _broken_context(self, monkeypatch):
+        import multiprocessing
+
+        def refuse(method):
+            raise OSError("subprocesses forbidden")
+
+        monkeypatch.setattr(multiprocessing, "get_context", refuse)
+
+    def test_pool_failure_degrades_then_reprobes(self, monkeypatch):
+        import multiprocessing
+
+        real = multiprocessing.get_context
+        pool = ParallelExecutor(max_workers=2, reprobe_after=2)
+        tasks = [(i,) for i in range(4)]
+        self._broken_context(monkeypatch)
+        assert pool.map(lambda x: x * 2, tasks) == [0, 2, 4, 6]
+        assert pool.fallbacks == 1
+        assert pool.degraded and not pool.is_parallel
+        assert any("re-probing after 2" in e for e in pool.degradation_events)
+        monkeypatch.setattr(multiprocessing, "get_context", real)
+        # cooldown calls serve serial (correct results throughout) ...
+        assert pool.map(lambda x: x * 2, tasks) == [0, 2, 4, 6]
+        assert pool.map(lambda x: x * 2, tasks) == [0, 2, 4, 6]
+        # ... then the pool is re-probed and parallelism recovers
+        assert pool.is_parallel
+        assert pool.map(lambda x: x * 2, tasks) == [0, 2, 4, 6]
+        assert pool.fallbacks == 1  # healthy again: no new fallbacks
+
+    def test_consecutive_failures_back_off_exponentially(self, monkeypatch):
+        pool = ParallelExecutor(max_workers=2, reprobe_after=2)
+        self._broken_context(monkeypatch)
+        tasks = [(i,) for i in range(4)]
+        cooldowns = []
+        for _ in range(4):
+            pool.map(lambda x: x, tasks)  # fails, sets the cooldown
+            cooldowns.append(pool._cooldown)
+            pool._cooldown = 0  # fast-forward to the next re-probe
+        assert cooldowns == [2, 4, 8, 16]
+
+    def test_reprobe_zero_restores_permanent_degradation(self, monkeypatch):
+        import multiprocessing
+
+        real = multiprocessing.get_context
+        pool = ParallelExecutor(max_workers=2, reprobe_after=0)
+        tasks = [(i,) for i in range(4)]
+        self._broken_context(monkeypatch)
+        pool.map(lambda x: x, tasks)
+        monkeypatch.setattr(multiprocessing, "get_context", real)
+        for _ in range(5):
+            pool.map(lambda x: x, tasks)
+        assert pool.degraded and not pool.is_parallel
+        assert pool.fallbacks == 1
+        assert any("re-probing disabled" in e for e in pool.degradation_events)
+
+
+class TestWorkerRuntime:
+    """The persistent shared-memory runtime behind the wave path."""
+
+    def _count_min_aggregation(self, executor, leaves=16):
+        from repro.frequency import CountMin
+
+        data = AGGREGATION_DATA["ints"]()
+        return run_aggregation(
+            data,
+            ContiguousPartitioner(),
+            lambda: CountMin(64, 3, seed=2),
+            balanced_tree(leaves),
+            executor=executor,
+        )
+
+    def test_one_ipc_round_trip_per_wave(self):
+        pool = ParallelExecutor(max_workers=3)
+        result = self._count_min_aggregation(pool)
+        if not pool.is_parallel:
+            pytest.skip("no process pool on this platform")
+        stats = result.runtime_stats
+        assert stats is not None, "wave path must report runtime stats"
+        # balanced_tree(16): one build round + four merge waves
+        assert stats["dispatch_rounds"] == 5
+        assert stats["worker_crashes"] == 0
+        assert not result.degraded_to_serial
+        # commands carry step ids, not summaries: a 16-leaf plan's entire
+        # command traffic must stay far below one serialized CountMin
+        # table (64*3*8 = 1536 bytes)
+        assert stats["cmd_bytes"] < 8 * 1024
+        # bulk state moved through shared memory, not the pipes
+        assert stats["exported_bytes"] > 16 * 1536
+
+    def test_results_survive_worker_count_sweep(self):
+        from repro.core import dumps as _dumps
+
+        baseline = None
+        for workers in (1, 2, 3, 5):
+            result = self._count_min_aggregation(workers)
+            payload = _dumps(result.summary)
+            if baseline is None:
+                baseline = payload
+            assert payload == baseline
+
+    def test_runtime_payload_is_released_after_the_run(self):
+        from repro.core import parallel
+
+        self._count_min_aggregation(3)
+        assert parallel._RUNTIME_PAYLOAD is None
+        assert parallel._FORK_PAYLOAD is None
+
+    @pytest.mark.parametrize("skip_runs", [0, 1])
+    def test_worker_crash_mid_wave_is_exactly_once(self, skip_runs):
+        # skip_runs=0 dies in the build wave; skip_runs=1 lets builds
+        # through so the crash lands mid-merge-wave with resident state
+        from repro.core import dumps as _dumps
+
+        serial = self._count_min_aggregation(1)
+        pool = ParallelExecutor(max_workers=3)
+        pool._debug_worker_crash = (1, 0, skip_runs)
+        result = self._count_min_aggregation(pool)
+        if result.runtime_stats is None:
+            pytest.skip("no process pool on this platform")
+        assert _dumps(result.summary) == _dumps(serial.summary)
+        assert result.runtime_stats["worker_crashes"] == 1
+        assert result.degraded_to_serial
+        assert any("exactly-once" in e for e in result.degradation_events)
+
+    def test_crash_recovery_leaves_no_shared_memory_behind(self):
+        import glob
+
+        before = set(glob.glob("/dev/shm/rs*"))
+        pool = ParallelExecutor(max_workers=3)
+        pool._debug_worker_crash = (0, 0, 1)
+        self._count_min_aggregation(pool)
+        assert set(glob.glob("/dev/shm/rs*")) == before
+
+    def test_healthy_runs_report_no_degradation(self):
+        result = self._count_min_aggregation(3)
+        assert not result.degraded_to_serial
+        assert result.degradation_events == []
+
+    def test_serial_executor_is_not_degraded(self):
+        # executor=1 is *requested* serial — reporting it as degraded
+        # would cry wolf on every single-core box
+        result = self._count_min_aggregation(1)
+        assert not result.degraded_to_serial
+        assert result.degradation_events == []
+        assert result.runtime_stats is None
+
 
 # ---------------------------------------------------------------------------
 # cached quantile views
