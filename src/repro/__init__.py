@@ -63,11 +63,12 @@ from .quantiles import (
     HybridQuantiles,
     KLLQuantiles,
     MergeableQuantiles,
+    MomentSketch,
     MRLQuantiles,
 )
 from .ranges import EpsApproximation
 from .sketches import AmsF2Sketch, BloomFilter, HyperLogLog, KMinValues
-from .store import SegmentStore
+from .store import CubeStore, SegmentStore
 
 __version__ = "1.0.0"
 
@@ -112,5 +113,7 @@ __all__ = [
     "DecayedMisraGries",
     "WindowedMisraGries",
     "KLLQuantiles",
+    "MomentSketch",
     "SegmentStore",
+    "CubeStore",
 ]

@@ -27,6 +27,12 @@ Examples
         --heavy-hitters 0.01 --explain
     python -m repro store verify --dir ./hits
     python -m repro store recover --dir ./hits
+    python -m repro store ingest --dir ./cube --type moment_sketch \
+        --dims region,device --width 3600 --input records.jsonl
+    python -m repro store compact --dir ./cube --budget 10000 \
+        --workload shapes.json
+    python -m repro store query --dir ./cube --lo 0 --hi 86400 \
+        --where region=eu --group-by device --quantile 0.99 --explain
 """
 
 from __future__ import annotations
@@ -131,7 +137,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_point_queries(summary, args: argparse.Namespace) -> bool:
+def _run_point_queries(summary, args: argparse.Namespace, prefix: str = "") -> bool:
     """Apply the shared ``--quantile``/``--estimate``/... flags; True if any ran."""
     ran_query = False
     if args.heavy_hitters is not None:
@@ -139,19 +145,19 @@ def _run_point_queries(summary, args: argparse.Namespace) -> bool:
         for item, estimate in sorted(
             summary.heavy_hitters(args.heavy_hitters).items(), key=lambda kv: -kv[1]
         ):
-            print(f"{item}\t{estimate}")
+            print(f"{prefix}{item}\t{estimate}")
     if args.quantile is not None:
         ran_query = True
-        print(summary.quantile(args.quantile))
+        print(f"{prefix}{summary.quantile(args.quantile)}")
     if args.rank is not None:
         ran_query = True
-        print(summary.rank(args.rank))
+        print(f"{prefix}{summary.rank(args.rank)}")
     if args.estimate is not None:
         ran_query = True
-        print(summary.estimate(_parse_item(args.estimate)))
+        print(f"{prefix}{summary.estimate(_parse_item(args.estimate))}")
     if args.distinct:
         ran_query = True
-        print(summary.distinct())
+        print(f"{prefix}{summary.distinct()}")
     return ran_query
 
 
@@ -306,20 +312,80 @@ def _read_keys(path: str) -> List[float]:
     return keys
 
 
-def _open_store(directory: str):
-    from .store import SegmentStore
+def _is_cube_dir(directory: str) -> bool:
+    """True when the directory holds a dimension-cube manifest."""
+    import json as _json
 
+    manifest = Path(directory) / "manifest.json"
+    if not manifest.exists():
+        return False
+    try:
+        return _json.loads(manifest.read_text()).get("kind") == "cube"
+    except (ValueError, OSError):
+        return False
+
+
+def _open_store(directory: str):
+    from .store import CubeStore, SegmentStore
+
+    if _is_cube_dir(directory):
+        return CubeStore.open(directory)
     return SegmentStore.open(directory)
+
+
+def _read_records(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL record file (one JSON object per line) for cube ingest."""
+    import json as _json
+
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            obj = _json.loads(line)
+        except ValueError:
+            raise SystemExit(
+                f"--input line {lineno} is not valid JSON (with --dims each "
+                f"line must be a JSON object): {line!r}"
+            )
+        if not isinstance(obj, dict):
+            raise SystemExit(
+                f"--input line {lineno} must be a JSON object, "
+                f"got {type(obj).__name__}"
+            )
+        records.append(obj)
+    return records
 
 
 def _cmd_store_ingest(args: argparse.Namespace) -> int:
     import os
 
-    from .store import SegmentStore
+    from .store import CubeStore, SegmentStore
 
     target = Path(args.dir)
+    dims = (
+        tuple(d.strip() for d in args.dims.split(",") if d.strip())
+        if args.dims
+        else None
+    )
     if (target / "manifest.json").exists():
-        if args.wal:
+        if _is_cube_dir(args.dir):
+            if args.wal:
+                raise SystemExit(
+                    "--wal is not supported for dimension cubes"
+                )
+            store = CubeStore.open(args.dir)
+            if dims and dims != store.dims:
+                raise SystemExit(
+                    f"{args.dir} is keyed by dims {list(store.dims)}; "
+                    f"--dims must match or be omitted"
+                )
+        elif dims:
+            raise SystemExit(
+                f"{args.dir} is a flat store; --dims only applies when "
+                f"creating a new cube"
+            )
+        elif args.wal:
             store = SegmentStore.open_durable(
                 args.dir, fsync_every=args.fsync_every
             )
@@ -328,7 +394,23 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
     else:
         if not args.type:
             raise SystemExit("--type is required when creating a new store")
-        store = SegmentStore(width=args.width, codec=args.codec)
+        if dims:
+            if args.wal:
+                raise SystemExit(
+                    "--wal is not supported for dimension cubes"
+                )
+            store = CubeStore(
+                width=args.width,
+                dims=dims,
+                codec=args.codec,
+                view_capacity=args.view_capacity,
+            )
+        else:
+            store = SegmentStore(
+                width=args.width,
+                codec=args.codec,
+                view_capacity=args.view_capacity,
+            )
         store.add_member(
             "value", args.type, field="value", **_parse_args_kv(args.arg)
         )
@@ -336,21 +418,34 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
             store.enable_wal(
                 os.path.join(args.dir, "wal"), fsync_every=args.fsync_every
             )
-    items = _read_items(args.input)
+    is_cube = isinstance(store, CubeStore)
+    if is_cube:
+        records = _read_records(args.input)
+    else:
+        records = [{"value": item} for item in _read_items(args.input)]
     keys = _read_keys(args.keys) if args.keys else None
-    if keys is not None and len(keys) != len(items):
+    if keys is not None and len(keys) != len(records):
         raise SystemExit(
             f"--keys has {len(keys)} line(s) but --input has "
-            f"{len(items)} item(s)"
+            f"{len(records)} item(s)"
         )
     weights = _read_weights(args.weights) if args.weights else None
-    if weights is not None and len(weights) != len(items):
+    if weights is not None and len(weights) != len(records):
         raise SystemExit(
             f"--weights has {len(weights)} line(s) but --input has "
-            f"{len(items)} item(s)"
+            f"{len(records)} item(s)"
         )
-    stats = store.ingest([{"value": item} for item in items], keys, weights)
+    stats = store.ingest(records, keys, weights)
     report = store.save(args.dir)
+    if is_cube:
+        print(
+            f"ingested {stats['records']} records: "
+            f"cells +{stats['cells_created']} "
+            f"(replaced {stats['cells_replaced']}, "
+            f"invalidated {stats['rollups_invalidated']} roll-ups) "
+            f"-> {args.dir}"
+        )
+        return 0
     wal_note = ""
     if args.wal:
         wal_note = (
@@ -367,8 +462,45 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_workload(path: str):
+    """Read a JSON workload file for ``repro store compact --workload``."""
+    import json as _json
+
+    try:
+        workload = _json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise SystemExit(f"--workload file is not valid JSON: {exc}")
+    if not isinstance(workload, list):
+        raise SystemExit(
+            "--workload must be a JSON list of query shapes "
+            '(e.g. [{"group_by": ["region"], "weight": 3}])'
+        )
+    return workload
+
+
 def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from .store import CubeStore
+
     store = _open_store(args.dir)
+    if isinstance(store, CubeStore):
+        workload = _read_workload(args.workload) if args.workload else None
+        stats = store.compact(
+            executor=args.workers, budget=args.budget, workload=workload
+        )
+        store.save(args.dir)
+        print(
+            f"compacted cube: {stats['masks']} mask(s) over "
+            f"{stats['candidate_masks']} candidate(s), "
+            f"built {stats['dim_cells_built']} dimension cell(s) + "
+            f"{stats['time_rollups_built']} time roll-up(s), "
+            f"{stats['merge_inputs']} merge inputs -> {args.dir}"
+        )
+        return 0
+    if args.budget is not None or args.workload:
+        raise SystemExit(
+            f"{args.dir} is a flat store; --budget/--workload only apply "
+            f"to dimension cubes"
+        )
     stats = store.compact(executor=args.workers)
     store.save(args.dir)
     print(
@@ -379,8 +511,61 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_where(pairs: Optional[List[str]]) -> Optional[Dict[str, Any]]:
+    """Parse repeated ``--where dim=value`` filters into a mapping."""
+    if not pairs:
+        return None
+    where: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--where expects dim=value, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        where[name] = _parse_item(raw)
+    return where
+
+
 def _cmd_store_query(args: argparse.Namespace) -> int:
+    from .store import CubeStore
+
     store = _open_store(args.dir)
+    if isinstance(store, CubeStore):
+        group_by = (
+            tuple(g.strip() for g in args.group_by.split(",") if g.strip())
+            if args.group_by
+            else None
+        )
+        result = store.query(
+            args.lo,
+            args.hi,
+            where=_parse_where(args.where),
+            group_by=group_by,
+            use_rollups=not args.no_rollups,
+        )
+        if args.explain:
+            print(result.plan.describe())
+        ran = False
+        for key in sorted(result.groups, key=repr):
+            prefix = ""
+            if group_by:
+                labels = ", ".join(
+                    f"{dim}={value}" for dim, value in zip(group_by, key)
+                )
+                prefix = f"[{labels}] "
+            ran = (
+                _run_point_queries(result.groups[key]["value"], args, prefix)
+                or ran
+            )
+        if not ran and not args.explain:
+            raise SystemExit(
+                "store query needs --explain or one of --heavy-hitters/"
+                "--quantile/--rank/--estimate/--distinct"
+            )
+        return 0
+    if args.where or args.group_by:
+        raise SystemExit(
+            f"{args.dir} is a flat store; --where/--group-by only apply "
+            f"to dimension cubes"
+        )
     result = store.query(args.lo, args.hi, use_rollups=not args.no_rollups)
     if args.explain:
         print(result.plan.describe())
@@ -602,6 +787,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="key width of one segment (first ingest only)",
     )
     ingest.add_argument(
+        "--dims", default=None, metavar="D1,D2",
+        help="comma-separated dimension names: create a dimension cube "
+        "instead of a flat store (first ingest only; --input becomes "
+        "JSONL records carrying the dims plus a 'value' field)",
+    )
+    ingest.add_argument(
+        "--view-capacity", type=int, default=8, metavar="N",
+        help="merged-query-view LRU size, 0 disables (first ingest only)",
+    )
+    ingest.add_argument(
         "--codec", default="json.v2", choices=registered_codecs(),
         help="segment persistence codec (first ingest only)",
     )
@@ -622,6 +817,17 @@ def _build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--dir", required=True)
     compact.add_argument("--workers", type=int, default=None,
                          help="merge roll-up levels on a process pool")
+    compact.add_argument(
+        "--budget", type=int, default=None, metavar="CELLS",
+        help="dimension cubes: cap on materialized lattice cells across "
+        "all pre-aggregated masks",
+    )
+    compact.add_argument(
+        "--workload", default=None, metavar="FILE",
+        help="dimension cubes: JSON list of query shapes "
+        '([{"where": ["region"], "group_by": ["device"], "weight": 2}]) '
+        "steering which masks to materialize (default: observed queries)",
+    )
     compact.set_defaults(func=_cmd_store_compact)
 
     squery = store_sub.add_parser(
@@ -632,6 +838,14 @@ def _build_parser() -> argparse.ArgumentParser:
     squery.add_argument("--hi", type=float, required=True)
     squery.add_argument("--no-rollups", action="store_true",
                         help="force the naive one-merge-per-segment scan")
+    squery.add_argument(
+        "--where", action="append", default=None, metavar="DIM=VALUE",
+        help="dimension cubes: filter to one dimension value (repeatable)",
+    )
+    squery.add_argument(
+        "--group-by", default=None, metavar="D1,D2",
+        help="dimension cubes: comma-separated dims to group results by",
+    )
     squery.add_argument("--explain", action="store_true",
                         help="print the query plan before answering")
     squery.add_argument("--heavy-hitters", type=float, default=None, metavar="PHI")

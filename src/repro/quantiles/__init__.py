@@ -8,6 +8,8 @@
   baseline;
 - :class:`MRLQuantiles` — deterministic halving baseline (biased);
 - :class:`BottomKSample` — folklore ``1/eps^2`` sampling baseline;
+- :class:`MomentSketch` — raw arithmetic moments + min/max (Gan et al.),
+  O(1) merge, the cheap-cell workhorse of the dimension cube;
 - :class:`ExactQuantiles` — ground truth.
 """
 
@@ -18,12 +20,14 @@ from .gk import GKQuantiles
 from .hybrid import HybridQuantiles
 from .kll import KLLQuantiles
 from .logarithmic import MergeableQuantiles
+from .moments import MomentSketch
 from .mrl import MRLQuantiles, deterministic_halving
 from .sampling import BottomKSample
 
 __all__ = [
     "QuantileSummary",
     "check_quantile",
+    "MomentSketch",
     "ExactQuantiles",
     "GKQuantiles",
     "EqualWeightQuantiles",

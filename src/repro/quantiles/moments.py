@@ -1,0 +1,251 @@
+"""Moment sketch: quantiles from raw arithmetic moments (Gan et al.).
+
+The smallest mergeable quantile summary in the library: ``k`` raw power
+sums plus min/max/count.  Merging is elementwise addition of the power
+sums and a min/max join — O(1) time, O(k) space, and *lossless*: the
+merged state is exactly the state a single sketch would have reached on
+the concatenated stream (up to float addition order), so the paper's
+mergeability requirement holds with no error-parameter growth at all.
+Accuracy lives entirely in the query, not the merge: quantile estimates
+come from a maximum-smoothness density reconstruction, here the
+practical Legendre-series variant — project the standardized moments
+onto Legendre polynomials over ``[min, max]``, clip the reconstructed
+density at zero, and invert the resulting CDF on a fixed grid.
+
+At ``k = 12`` a cell serializes to ~100 bytes in ``binary.v1`` — an
+order of magnitude smaller than a KLL cell — which is what makes
+pre-aggregating one cell per (dimension-value x epoch) in
+:class:`repro.store.CubeStore` affordable at 10^5+ distinct keys.
+
+Reference: Gan, Ding, Tai, Sharan, Bailis — "Moment-Based Quantile
+Sketches for Efficient High Cardinality Aggregation Queries" (VLDB'18);
+see PAPERS.md.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import normalize_batch
+from ..core.exceptions import EmptySummaryError, ParameterError
+from ..core.registry import register_summary
+from .estimator import QuantileSummary, check_quantile
+
+__all__ = ["MomentSketch"]
+
+#: resolution of the inverted-CDF grid; queries are O(GRID) numpy work.
+_GRID = 1025
+
+
+@register_summary("moment_sketch")
+class MomentSketch(QuantileSummary):
+    """``k`` raw power sums + min/max + count; O(1) merge, O(k) space."""
+
+    def __init__(self, k: int = 12) -> None:
+        super().__init__()
+        if not 2 <= int(k) <= 20:
+            raise ParameterError(
+                f"moment order k must be in [2, 20], got {k!r}"
+            )
+        self.k = int(k)
+        # _sums[i] = sum of x^(i+1) over the weighted stream, i < k
+        self._sums = np.zeros(self.k, dtype=np.float64)
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._version = 0
+        self._cdf_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update(self, item: float, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ParameterError(f"weight must be positive, got {weight!r}")
+        x = float(item)
+        self._sums += weight * np.power(x, np.arange(1, self.k + 1))
+        self._min = x if self._min is None else min(self._min, x)
+        self._max = x if self._max is None else max(self._max, x)
+        self._n += int(weight)
+        self._version += 1
+
+    def update_batch(self, items, weights=None) -> None:
+        items, weights, total = normalize_batch(items, weights)
+        if total == 0:
+            return
+        xs = np.asarray(items, dtype=np.float64)
+        powers = xs[:, None] ** np.arange(1, self.k + 1)[None, :]
+        if weights is None:
+            self._sums += powers.sum(axis=0)
+        else:
+            self._sums += (weights[:, None] * powers).sum(axis=0)
+        lo, hi = float(xs.min()), float(xs.max())
+        self._min = lo if self._min is None else min(self._min, lo)
+        self._max = hi if self._max is None else max(self._max, hi)
+        self._n += total
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "MomentSketch") -> Optional[str]:
+        assert isinstance(other, MomentSketch)
+        if self.k != other.k:
+            return f"moment order mismatch: k={self.k} vs k={other.k}"
+        return None
+
+    def _merge_same_type(self, other: "MomentSketch") -> None:
+        assert isinstance(other, MomentSketch)
+        if other._n == 0:
+            return
+        self._sums += other._sums
+        self._min = (
+            other._min if self._min is None else min(self._min, other._min)
+        )
+        self._max = (
+            other._max if self._max is None else max(self._max, other._max)
+        )
+        self._n += other._n
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Moment accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def minimum(self) -> float:
+        if self._min is None:
+            raise EmptySummaryError("minimum of an empty moment sketch")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._max is None:
+            raise EmptySummaryError("maximum of an empty moment sketch")
+        return self._max
+
+    def moment(self, i: int) -> float:
+        """The i-th raw moment ``E[x^i]`` (``1 <= i <= k``)."""
+        if not 1 <= i <= self.k:
+            raise ParameterError(f"moment index must be in [1, {self.k}]")
+        if self._n == 0:
+            raise EmptySummaryError("moment of an empty moment sketch")
+        return float(self._sums[i - 1]) / self._n
+
+    def mean(self) -> float:
+        return self.moment(1)
+
+    def variance(self) -> float:
+        m = self.mean()
+        return max(0.0, self.moment(2) - m * m)
+
+    # ------------------------------------------------------------------
+    # Quantile queries: Legendre-series density reconstruction
+    # ------------------------------------------------------------------
+
+    def _grid_cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(xs, F)``: monotone CDF samples over ``[min, max]``.
+
+        Standardize to ``t = (2x - (min+max)) / (max - min)`` in
+        ``[-1, 1]``, convert raw moments ``E[x^i]`` to standardized
+        moments ``E[t^j]`` by binomial expansion, form the Legendre
+        series ``f(t) = sum_j (2j+1)/2 * E[P_j(t)] * P_j(t)``, clip the
+        density at zero (the truncated series can undershoot), and
+        integrate on a fixed grid.  Cached per state version.
+        """
+        cache = self._cdf_cache
+        if cache is not None and cache[0] == self._version:
+            self._view_hits += 1
+            return cache[1], cache[2]
+        self._view_misses += 1
+        lo, hi = self._min, self._max
+        assert lo is not None and hi is not None
+        if hi == lo:  # point mass: a step CDF at the single value
+            xs = np.array([lo, lo], dtype=np.float64)
+            cdf = np.array([0.0, 1.0])
+            self._cdf_cache = (self._version, xs, cdf)
+            return xs, cdf
+        # standardized moments E[t^j], j = 0..k, via t = a*x + b
+        a = 2.0 / (hi - lo)
+        b = -(hi + lo) / (hi - lo)
+        raw = np.concatenate([[1.0], self._sums / self._n])  # E[x^i], i=0..k
+        scaled = np.array(
+            [
+                sum(
+                    comb(j, i) * (a**i) * (b ** (j - i)) * raw[i]
+                    for i in range(j + 1)
+                )
+                for j in range(self.k + 1)
+            ]
+        )
+        # Legendre coefficients c_j = (2j+1)/2 * E[P_j(t)], with E[P_j(t)]
+        # read off the power-basis expansion of P_j applied to `scaled`
+        coeffs = np.zeros(self.k + 1)
+        for j in range(self.k + 1):
+            unit = np.zeros(j + 1)
+            unit[j] = 1.0
+            powers = np.polynomial.legendre.leg2poly(unit)
+            coeffs[j] = (2 * j + 1) / 2.0 * float(powers @ scaled[: j + 1])
+        ts = np.linspace(-1.0, 1.0, _GRID)
+        density = np.clip(np.polynomial.legendre.legval(ts, coeffs), 0.0, None)
+        steps = (density[1:] + density[:-1]) * (ts[1] - ts[0]) / 2.0
+        cdf = np.concatenate([[0.0], np.cumsum(steps)])
+        if cdf[-1] <= 0.0:  # degenerate reconstruction: fall back to uniform
+            cdf = (ts + 1.0) / 2.0
+        else:
+            cdf = cdf / cdf[-1]
+        xs = (ts - b) / a
+        self._cdf_cache = (self._version, xs, cdf)
+        return xs, cdf
+
+    def rank(self, x: float) -> float:
+        """Estimated number of summarized values ``<= x``."""
+        if self._n == 0:
+            return 0.0
+        x = float(x)
+        if x < self._min:
+            return 0.0
+        if x >= self._max:
+            return float(self._n)
+        xs, cdf = self._grid_cdf()
+        return float(np.interp(x, xs, cdf)) * self._n
+
+    def quantile(self, q: float) -> float:
+        """A value whose estimated rank approximates ``q * n``."""
+        q = check_quantile(q)
+        if self._n == 0:
+            raise EmptySummaryError("quantile query on an empty moment sketch")
+        if self._min == self._max:
+            return float(self._min)
+        xs, cdf = self._grid_cdf()
+        return float(np.interp(q, cdf, xs))
+
+    # ------------------------------------------------------------------
+    # Serialization / misc
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self.k + 2  # power sums + min + max
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "n": self._n,
+            "min": self._min,
+            "max": self._max,
+            "sums": self._sums.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MomentSketch":
+        sketch = cls(k=payload["k"])
+        sketch._n = int(payload["n"])
+        sketch._min = payload["min"]
+        sketch._max = payload["max"]
+        sketch._sums = np.asarray(payload["sums"], dtype=np.float64)
+        sketch._version = 1 if sketch._n else 0
+        return sketch

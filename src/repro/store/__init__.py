@@ -5,11 +5,28 @@ partitions a stream into immutable per-epoch segments,
 :meth:`~SegmentStore.compact` pre-merges them into a dyadic roll-up
 tree, and the planner answers ``[lo, hi)`` range queries from
 ``O(log S)`` pre-merged nodes with the same guarantees as a full scan.
+:class:`CubeStore` generalizes the store to (dimension-value x epoch)
+cells for ``where``/``group_by`` sub-population queries served from a
+workload-chosen lattice of pre-merged dimension roll-ups.
 """
 
-from .persistence import RecoveryReport, recover_store, save_store, verify_store
+from .cube import CubePlan, CubeResult, CubeStore
+from .persistence import (
+    RecoveryReport,
+    load_cube,
+    recover_store,
+    save_cube,
+    save_store,
+    verify_store,
+)
 from .planner import QueryPlan, fan_in_bound, plan_range
-from .segment import MemberSpec, Segment, copy_summary, merged_segment
+from .segment import (
+    MemberSpec,
+    Segment,
+    build_members,
+    copy_summary,
+    merged_segment,
+)
 from .store import QueryResult, SegmentStore
 from .views import ViewCache
 from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal, wal_files
@@ -17,6 +34,12 @@ from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal, wal_files
 __all__ = [
     "SegmentStore",
     "QueryResult",
+    "CubeStore",
+    "CubePlan",
+    "CubeResult",
+    "save_cube",
+    "load_cube",
+    "build_members",
     "QueryPlan",
     "plan_range",
     "fan_in_bound",

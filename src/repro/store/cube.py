@@ -1,0 +1,1135 @@
+"""Dimension cube: pre-aggregated sketch cells for sub-population queries.
+
+:class:`CubeStore` generalizes :class:`~repro.store.store.SegmentStore`
+from a single time axis to (dimension-value x epoch) *cells*: records
+carry dimension tags (``dims=("country", "version")``), every distinct
+tag combination owns its own per-epoch segment chain, and a query names
+a sub-population (``where={"country": "DE"}``) and/or a grouping
+(``group_by=["version"]``).  This is the killer app the paper's
+mergeability theorem enables — and the one Storyboard and the
+moments-sketch paper (PAPERS.md) both build: "p99 latency for
+country=X, version=Y, last 6h" answered by merging a handful of
+pre-aggregated cells instead of rescanning raw data, with the merged
+answer carrying exactly the guarantees of a from-scratch build.
+
+The cube planner covers a query along two axes:
+
+- **time** — each contributing cell chain is covered dyadically by
+  :func:`~repro.store.planner.plan_range`, the same O(log S)
+  segment-tree decomposition the flat store proves;
+- **dimensions** — the lattice of *roll-up masks*.  A mask is the
+  subset of dimensions kept (the rest summed out); a materialized mask
+  ``M`` answers any query whose needed dimensions (``where`` keys +
+  ``group_by``) are a subset of ``M`` from its pre-merged cells.  The
+  planner picks the cheapest materialized superset, falling back to the
+  base cells when none exists.  The empty mask is the grand total: one
+  cell chain, so a full-population query touches O(log E) cells no
+  matter how many distinct keys exist — query cost scales with the
+  *answer*, not the *data*.
+
+Freshness is per (mask, coarse-key, epoch): ingest marks every covering
+roll-up cell *stale* and the planner transparently re-reads the base
+cells for exactly those epochs (counted in
+:attr:`CubePlan.degraded_blocks`), so roll-ups never serve stale data.
+
+All cube maintenance — building roll-up cells across the dimension
+lattice and the dyadic time tree within every chain — compiles into one
+:class:`~repro.engine.plan.MergePlan` executed by
+:func:`repro.engine.execute_plan`, so cube compaction inherits the
+engine's parallel runtime and exactly-once fault tolerance unchanged.
+
+Which masks to materialize is the Storyboard question:
+:meth:`CubeStore.compact` takes a cell ``budget`` and a ``workload``
+(query-shape log; the store also records one) and greedily picks the
+masks with the best saved-merges-per-cell ratio under the budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.base import Summary, normalize_batch
+from ..core.codecs import DEFAULT_CODEC, get_codec
+from ..core.exceptions import ParameterError, QueryError
+from ..core.parallel import ExecutorLike
+from ..engine import (
+    FaultModel,
+    MergeLedger,
+    MergePlan,
+    MergeStep,
+    RetryPolicy,
+    execute_plan,
+)
+from .planner import plan_range
+from .segment import MemberSpec, Segment, build_members, copy_summary, merged_segment
+from .views import ViewCache
+
+__all__ = ["CubeStore", "CubePlan", "CubeResult"]
+
+#: a full dimension-value tuple (one value per cube dimension, in order)
+Key = Tuple[Any, ...]
+#: a roll-up mask: the subset of dimensions kept, in cube dimension order
+Mask = Tuple[str, ...]
+
+
+class _CubeGroup:
+    """One cell chain: per-epoch segments + their dyadic time roll-ups."""
+
+    __slots__ = ("base", "rollups", "max_level")
+
+    def __init__(self) -> None:
+        self.base: Dict[int, Segment] = {}
+        self.rollups: Dict[Tuple[int, int], Segment] = {}
+        self.max_level = 0
+
+    def plan(self, lo_epoch: int, hi_epoch: int, use_rollups: bool):
+        return plan_range(
+            lo_epoch,
+            hi_epoch,
+            self.base,
+            self.rollups,
+            max_level=max(self.max_level, 1),
+            use_rollups=use_rollups,
+        )
+
+    def drop_covering_rollups(self, epoch: int) -> int:
+        dropped = 0
+        for level in range(1, self.max_level + 1):
+            start = (epoch >> level) << level
+            if self.rollups.pop((level, start), None) is not None:
+                dropped += 1
+        return dropped
+
+
+@dataclass
+class CubePlan:
+    """Accounting for one cube query: which cells, at what cost.
+
+    ``cells_merged`` is the number of segments merged per member — the
+    cube's headline metric against ``base_cells_total`` cells a naive
+    per-key scan would touch.  ``serving_mask`` names the dimension
+    roll-up that served the query (``None`` = base cells).
+    ``stale_epochs`` counts epochs transparently re-read from base cells
+    because ingest invalidated the roll-up; ``degraded_blocks`` adds the
+    time-axis blocks whose dyadic roll-up was missing (see
+    :class:`~repro.store.planner.QueryPlan`).
+    """
+
+    lo_epoch: int
+    hi_epoch: int
+    where: Tuple[Tuple[str, Any], ...] = ()
+    group_by: Mask = ()
+    serving_mask: Optional[Mask] = None
+    groups: int = 0
+    cells_merged: int = 0
+    rollup_nodes: int = 0
+    stale_epochs: int = 0
+    degraded_blocks: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary."""
+        mask = (
+            "base cells"
+            if self.serving_mask is None
+            else f"mask ({','.join(self.serving_mask) or 'total'})"
+        )
+        clauses = []
+        if self.where:
+            clauses.append(
+                "where " + ",".join(f"{d}={v!r}" for d, v in self.where)
+            )
+        if self.group_by:
+            clauses.append("group by " + ",".join(self.group_by))
+        degraded = (
+            f", degraded={self.degraded_blocks} blocks"
+            f"/{self.stale_epochs} stale epochs"
+            if self.degraded_blocks or self.stale_epochs
+            else ""
+        )
+        return (
+            f"epochs [{self.lo_epoch},{self.hi_epoch})"
+            f"{' ' + ' '.join(clauses) if clauses else ''}: "
+            f"{self.groups} group(s) from {mask}, "
+            f"cells_merged={self.cells_merged} "
+            f"({self.rollup_nodes} time roll-ups{degraded})"
+        )
+
+
+class CubeResult:
+    """The merged answer to one cube query.
+
+    Maps each output group key (the ``group_by`` projection; ``()`` for
+    an ungrouped query) to its merged members.  ``result[key]`` accepts
+    a bare value for single-dimension groupings.
+    """
+
+    def __init__(
+        self,
+        groups: Dict[Key, Dict[str, Summary]],
+        plan: CubePlan,
+        key_range: Tuple[float, float],
+    ) -> None:
+        self.groups = groups
+        self.plan = plan
+        self.key_range = key_range
+
+    def _norm(self, key: Any) -> Key:
+        return key if isinstance(key, tuple) else (key,)
+
+    def __getitem__(self, key: Any) -> Dict[str, Summary]:
+        return self.groups[self._norm(key)]
+
+    def __contains__(self, key: Any) -> bool:
+        return self._norm(key) in self.groups
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def keys(self):
+        return self.groups.keys()
+
+    @property
+    def members(self) -> Dict[str, Summary]:
+        """The single group of an ungrouped query."""
+        if len(self.groups) != 1:
+            raise QueryError(
+                f"query produced {len(self.groups)} groups; index by group key"
+            )
+        return next(iter(self.groups.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CubeResult groups={len(self.groups)} plan={self.plan.describe()!r}>"
+
+
+def _mask_label(mask: Mask) -> str:
+    return ",".join(mask) or "()"
+
+
+class CubeStore:
+    """Multi-dimensional sketch cube over (dimension-value x epoch) cells.
+
+    Parameters
+    ----------
+    width:
+        Epoch width on the numeric partition key (as in
+        :class:`~repro.store.store.SegmentStore`).
+    dims:
+        Ordered dimension field names; every ingested record must carry
+        all of them, with JSON-scalar values (str/int/float/bool/None).
+    codec:
+        Serialization codec for persistence.
+    view_capacity:
+        Size of the merged-query-view LRU (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        dims: Sequence[str],
+        codec: str = DEFAULT_CODEC,
+        view_capacity: int = 8,
+    ) -> None:
+        if not width > 0:
+            raise ParameterError(f"width must be positive, got {width!r}")
+        get_codec(codec)  # fail fast on unknown codecs
+        dims = tuple(dims)
+        if not dims:
+            raise ParameterError("a cube needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise ParameterError(f"duplicate dimension names in {dims!r}")
+        for dim in dims:
+            if not isinstance(dim, str) or not dim:
+                raise ParameterError(
+                    f"dimension names must be non-empty strings, got {dim!r}"
+                )
+        self.width = float(width)
+        self.dims: Mask = dims
+        self.codec = codec
+        self._dim_pos = {dim: i for i, dim in enumerate(dims)}
+        self._schema: Dict[str, MemberSpec] = {}
+        #: full-key cell chains — the ground truth
+        self._groups: Dict[Key, _CubeGroup] = {}
+        #: materialized dimension roll-ups: mask -> coarse key -> chain
+        self._masks: Dict[Mask, Dict[Key, _CubeGroup]] = {}
+        #: per (mask, coarse key): epochs whose roll-up cell is missing
+        #: or invalidated — served from base cells until recompacted
+        self._stale: Dict[Mask, Dict[Key, Set[int]]] = {}
+        #: epoch -> full keys with a base cell there (stale-fallback index)
+        self._epoch_keys: Dict[int, Set[Key]] = {}
+        #: query-shape log for workload-aware compaction
+        self._query_log: Dict[Mask, int] = {}
+        self._views = ViewCache(view_capacity)
+        self._generation = 0
+        self._records = 0
+        self._next_segment_id = 0
+        self._degraded_blocks_total = 0
+        self._snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def add_member(
+        self,
+        name: str,
+        type_name: str,
+        field: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "CubeStore":
+        """Configure a summary member fed from record ``field``."""
+        if name in self._schema:
+            raise ParameterError(f"cube already has a member named {name!r}")
+        if self._groups:
+            raise ParameterError(
+                "cannot add members after ingest has begun; the schema is "
+                "fixed once cells exist"
+            )
+        if field in self._dim_pos:
+            raise ParameterError(
+                f"member field {field!r} is a cube dimension; members "
+                "summarize measure fields, dimensions partition them"
+            )
+        self._schema[name] = MemberSpec(
+            type_name=type_name, field=field or name, kwargs=kwargs
+        )
+        self._schema[name].build()  # fail fast on bad kwargs
+        return self
+
+    @property
+    def members(self) -> Dict[str, MemberSpec]:
+        return dict(self._schema)
+
+    @property
+    def records(self) -> int:
+        return self._records
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def num_groups(self) -> int:
+        """Distinct dimension-value combinations seen."""
+        return len(self._groups)
+
+    @property
+    def num_cells(self) -> int:
+        """Live base cells (group x epoch)."""
+        return sum(len(g.base) for g in self._groups.values())
+
+    def materialized_masks(self) -> List[Mask]:
+        return sorted(self._masks)
+
+    def epoch_of(self, key: float) -> int:
+        return int(math.floor(float(key) / self.width))
+
+    def key_span(self) -> Optional[Tuple[float, float]]:
+        if not self._epoch_keys:
+            return None
+        lo = min(self._epoch_keys) * self.width
+        hi = (max(self._epoch_keys) + 1) * self.width
+        return (lo, hi)
+
+    def _project(self, key: Key, mask: Mask) -> Key:
+        return tuple(key[self._dim_pos[dim]] for dim in mask)
+
+    def _as_mask(self, dims: Iterable[str]) -> Mask:
+        wanted = set(dims)
+        unknown = wanted - set(self.dims)
+        if unknown:
+            raise ParameterError(
+                f"unknown dimension(s) {sorted(unknown)}; "
+                f"cube dimensions are {list(self.dims)}"
+            )
+        return tuple(d for d in self.dims if d in wanted)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _new_segment_id(self, level: int, start: int) -> str:
+        self._next_segment_id += 1
+        return f"c{self._next_segment_id:06d}-L{level}-e{start}"
+
+    def _dim_key(self, record: Mapping[str, Any], index: int) -> Key:
+        key = []
+        for dim in self.dims:
+            if dim not in record:
+                raise ParameterError(
+                    f"record {index} is missing dimension field {dim!r}"
+                )
+            value = record[dim]
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise ParameterError(
+                    f"dimension {dim!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+            key.append(value)
+        return tuple(key)
+
+    def ingest(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        keys: Optional[Sequence[float]] = None,
+        weights: Optional[Sequence[int]] = None,
+    ) -> Dict[str, int]:
+        """Partition ``records`` into immutable (dimension x epoch) cells.
+
+        ``keys``/``weights`` behave as in
+        :meth:`~repro.store.store.SegmentStore.ingest`.  Re-ingesting
+        into an existing cell replaces it with the merge of old and new
+        (cells are immutable), and every covering roll-up — the time
+        roll-ups of that chain *and* the dimension roll-up cells of
+        every materialized mask — is invalidated: dropped where
+        materialized, marked stale so queries transparently fall back to
+        base cells until the next :meth:`compact`.
+
+        Returns counters: ``cells_created``, ``cells_replaced``,
+        ``rollups_invalidated``, ``records``.
+        """
+        if not self._schema:
+            raise ParameterError("cube has no members; add_member() first")
+        records, weights, _total = normalize_batch(records, weights)
+        records = list(records)
+        if keys is None:
+            keys = [float(self._records + i) for i in range(len(records))]
+        else:
+            if len(keys) != len(records):
+                raise ParameterError(
+                    f"keys must align with records: got {len(records)} "
+                    f"record(s) and {len(keys)} key(s)"
+                )
+            keys = [float(key) for key in keys]
+        for key in keys:
+            if not math.isfinite(key):
+                raise ParameterError(f"partition keys must be finite, got {key!r}")
+
+        by_cell: Dict[Tuple[Key, int], List[int]] = {}
+        for index, record in enumerate(records):
+            cell = (self._dim_key(record, index), self.epoch_of(keys[index]))
+            by_cell.setdefault(cell, []).append(index)
+
+        created = replaced = invalidated = 0
+        weight_list = None if weights is None else weights.tolist()
+        for dim_key, epoch in sorted(by_cell, key=lambda c: (repr(c[0]), c[1])):
+            idx = by_cell[(dim_key, epoch)]
+            batch = [records[i] for i in idx]
+            batch_weights = (
+                None if weight_list is None else [weight_list[i] for i in idx]
+            )
+            fresh = Segment(
+                segment_id=self._new_segment_id(0, epoch),
+                level=0,
+                start=epoch,
+                count=len(batch),
+                members=build_members(self._schema, batch, batch_weights),
+            )
+            group = self._groups.setdefault(dim_key, _CubeGroup())
+            old = group.base.get(epoch)
+            if old is None:
+                group.base[epoch] = fresh
+                created += 1
+            else:
+                group.base[epoch] = merged_segment(
+                    self._new_segment_id(0, epoch), 0, epoch, [old, fresh]
+                )
+                replaced += 1
+            self._epoch_keys.setdefault(epoch, set()).add(dim_key)
+            invalidated += group.drop_covering_rollups(epoch)
+            invalidated += self._invalidate_mask_cells(dim_key, epoch)
+        self._records += len(records)
+        self._generation += 1
+        return {
+            "cells_created": created,
+            "cells_replaced": replaced,
+            "rollups_invalidated": invalidated,
+            "records": len(records),
+        }
+
+    def _invalidate_mask_cells(self, dim_key: Key, epoch: int) -> int:
+        """Mark every materialized mask's covering cell stale for ``epoch``."""
+        dropped = 0
+        for mask, groups in self._masks.items():
+            coarse = self._project(dim_key, mask)
+            group = groups.get(coarse)
+            if group is not None:
+                if group.base.pop(epoch, None) is not None:
+                    dropped += 1
+                dropped += group.drop_covering_rollups(epoch)
+            self._stale.setdefault(mask, {}).setdefault(coarse, set()).add(epoch)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Compaction: dimension lattice + dyadic time tree, one merge plan
+    # ------------------------------------------------------------------
+
+    def _seed_cell(self, segment_id: str, level: int, start: int):
+        """Copy-on-write builder: seed a fresh cell from its first source."""
+
+        def seed(first: Segment) -> Segment:
+            return Segment(
+                segment_id=segment_id,
+                level=level,
+                start=start,
+                count=first.count,
+                members={
+                    name: copy_summary(summary)
+                    for name, summary in first.members.items()
+                },
+            )
+
+        return seed
+
+    def _normalize_workload(
+        self, workload: Optional[Iterable[Any]]
+    ) -> List[Tuple[Mask, float]]:
+        """Workload entries -> ``(needed mask, weight)`` pairs.
+
+        Accepts explicit entries (dicts with ``where`` dimension names
+        or mapping, ``group_by`` list, optional ``weight``), falls back
+        to the store's own query log, and defaults to the grand-total
+        query so a plain ``compact()`` always materializes something
+        useful.
+        """
+        if workload is not None:
+            entries: List[Tuple[Mask, float]] = []
+            for entry in workload:
+                if isinstance(entry, Mapping):
+                    where = entry.get("where", ())
+                    where_dims = (
+                        where.keys() if isinstance(where, Mapping) else where
+                    )
+                    needed = set(where_dims) | set(entry.get("group_by", ()))
+                    weight = float(entry.get("weight", 1.0))
+                else:  # bare iterable of dimension names
+                    needed = set(entry)
+                    weight = 1.0
+                entries.append((self._as_mask(needed), weight))
+            return entries
+        if self._query_log:
+            return [(mask, float(n)) for mask, n in self._query_log.items()]
+        return [((), 1.0)]
+
+    def _choose_masks(
+        self,
+        workload: Optional[Iterable[Any]],
+        budget: Optional[int],
+    ) -> Tuple[Set[Mask], Dict[str, int]]:
+        """Greedy Storyboard-style mask selection under a cell budget.
+
+        Candidates are the proper sub-masks of the dimension set; the
+        cost of a mask is the number of cells it materializes (distinct
+        projected (key, epoch) pairs), the benefit of adding it is the
+        workload-weighted drop in cells each query shape must merge
+        (serving cost = cells of its cheapest covering mask, the full
+        base cube by default).  Masks are added best
+        benefit-per-cell first while the total materialized cell count
+        stays within ``budget`` (``None`` = unbounded).  Already
+        materialized masks are kept (and count against the budget).
+        """
+        entries = self._normalize_workload(workload)
+        if len(self.dims) <= 10:
+            candidates = [
+                tuple(mask)
+                for r in range(len(self.dims))
+                for mask in combinations(self.dims, r)
+            ]
+        else:  # lattice too wide to enumerate: only query-shaped masks
+            candidates = sorted(
+                {mask for mask, _ in entries if len(mask) < len(self.dims)}
+            )
+        # a candidate is only worth costing if some query shape fits it
+        needed_sets = [set(mask) for mask, _ in entries]
+        candidates = [
+            m
+            for m in candidates
+            if any(n <= set(m) for n in needed_sets) or m in self._masks
+        ]
+        cost: Dict[Mask, int] = {m: 0 for m in candidates}
+        seen: Dict[Mask, Set[Tuple[Key, int]]] = {m: set() for m in candidates}
+        for key, group in self._groups.items():
+            for mask in candidates:
+                coarse = self._project(key, mask)
+                cells = seen[mask]
+                for epoch in group.base:
+                    cells.add((coarse, epoch))
+        for mask in candidates:
+            cost[mask] = len(seen[mask])
+        total_base = self.num_cells
+
+        def serve_cost(needed: Set[str], chosen: Set[Mask]) -> int:
+            best = total_base
+            for mask in chosen:
+                if needed <= set(mask):
+                    best = min(best, cost.get(mask, total_base))
+            return best
+
+        chosen: Set[Mask] = set(self._masks)
+        spent = sum(cost.get(mask, 0) for mask in chosen)
+        while True:
+            best_mask, best_score, best_saving = None, 0.0, 0.0
+            for mask in candidates:
+                if mask in chosen:
+                    continue
+                if budget is not None and spent + cost[mask] > budget:
+                    continue
+                saving = sum(
+                    weight
+                    * (
+                        serve_cost(set(need), chosen)
+                        - serve_cost(set(need), chosen | {mask})
+                    )
+                    for need, weight in entries
+                )
+                score = saving / max(cost[mask], 1)
+                if saving > 0 and score > best_score:
+                    best_mask, best_score, best_saving = mask, score, saving
+            if best_mask is None:
+                break
+            chosen.add(best_mask)
+            spent += cost[best_mask]
+        return chosen, {
+            "candidate_masks": len(candidates),
+            "materialized_cells": spent,
+        }
+
+    def compact(
+        self,
+        executor: ExecutorLike = None,
+        *,
+        budget: Optional[int] = None,
+        workload: Optional[Iterable[Any]] = None,
+        fault_model: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        exactly_once: bool = True,
+    ) -> Dict[str, int]:
+        """Materialize dimension roll-ups and time roll-up trees.
+
+        Two phases, each one :class:`~repro.engine.plan.MergePlan` run
+        by :func:`repro.engine.execute_plan` (parallel with an
+        ``executor``, fault-tolerant with a ``fault_model`` — exactly
+        the contract of :meth:`SegmentStore.compact`):
+
+        1. **dimension cells** — for every chosen mask, each missing or
+           stale (coarse key, epoch) cell is rebuilt as the k-way merge
+           of its matching base cells;
+        2. **time roll-ups** — every chain (base and roll-up) with more
+           than one epoch gets its incremental dyadic tree.
+
+        Mask choice is workload-aware (see :meth:`_choose_masks`):
+        ``budget`` caps total materialized roll-up cells, ``workload``
+        overrides the store's own query log.  A cell whose merge is lost
+        to injected faults past the retry budget is *not* installed and
+        stays stale — queries keep falling back to its base cells.
+
+        Returns counters: ``masks``, ``dim_cells_built``,
+        ``time_rollups_built``, ``merge_inputs``; under a fault model
+        also ``retries`` and ``cells_failed``.
+        """
+        if budget is not None and budget < 0:
+            raise ParameterError(
+                f"budget must be a non-negative cell count, got {budget}"
+            )
+        if fault_model is not None and fault_model.corruption:
+            raise ParameterError(
+                "compaction never serializes segments, so corruption "
+                "injection cannot apply; use loss/duplicate/crash faults"
+            )
+        counters = {
+            "masks": 0,
+            "dim_cells_built": 0,
+            "time_rollups_built": 0,
+            "merge_inputs": 0,
+        }
+        if fault_model is not None:
+            counters["retries"] = 0
+            counters["cells_failed"] = 0
+        if not self._groups:
+            return counters
+        use_ledger = fault_model is not None and exactly_once
+
+        def run(plan: MergePlan, inputs: Dict[Any, Any]):
+            return execute_plan(
+                plan,
+                inputs,
+                executor=executor,
+                fault_model=fault_model,
+                retry_policy=retry_policy,
+                ledger_factory=MergeLedger if use_ledger else None,
+                accounting=False,
+            )
+
+        chosen, choice_stats = self._choose_masks(workload, budget)
+        counters["masks"] = len(chosen)
+        counters.update(choice_stats)
+
+        # phase 1: dimension roll-up cells across the lattice
+        pending: Dict[Tuple[Mask, Key, int], List[Tuple[str, Key, int]]] = {}
+        inputs: Dict[Any, Segment] = {}
+        for key, group in self._groups.items():
+            for mask in chosen:
+                coarse = self._project(key, mask)
+                mask_groups = self._masks.get(mask, {})
+                cell_chain = mask_groups.get(coarse)
+                stale = self._stale.get(mask, {}).get(coarse, set())
+                for epoch, segment in group.base.items():
+                    exists = cell_chain is not None and epoch in cell_chain.base
+                    if exists and epoch not in stale:
+                        continue
+                    src = ("base", key, epoch)
+                    inputs[src] = segment
+                    pending.setdefault((mask, coarse, epoch), []).append(src)
+        if pending:
+            # every target is stale until its rebuild lands — a build lost
+            # to faults must keep falling back to base cells
+            for mask, coarse, epoch in pending:
+                self._stale.setdefault(mask, {}).setdefault(
+                    coarse, set()
+                ).add(epoch)
+            steps: List[MergeStep] = []
+            for target in sorted(pending, key=repr):
+                mask, coarse, epoch = target
+                steps.append(
+                    MergeStep(
+                        "merge",
+                        ("cell",) + target,
+                        tuple(pending[target]),
+                        builder=self._seed_cell(
+                            self._new_segment_id(0, epoch), 0, epoch
+                        ),
+                    )
+                )
+            steps.extend(
+                MergeStep("emit", ("cell",) + target)
+                for target in sorted(pending, key=repr)
+            )
+            plan = MergePlan(
+                name=f"cube-cells[{len(pending)} cells, {len(chosen)} masks]",
+                steps=steps,
+                groupable=True,
+                fuse_fanin=False,
+            )
+            result = run(plan, inputs)
+            for slot, segment in result.outputs.items():
+                _tag, mask, coarse, epoch = slot
+                chain = self._masks.setdefault(mask, {}).setdefault(
+                    coarse, _CubeGroup()
+                )
+                chain.base[epoch] = segment
+                chain.drop_covering_rollups(epoch)
+                stale_epochs = self._stale.get(mask, {}).get(coarse)
+                if stale_epochs is not None:
+                    stale_epochs.discard(epoch)
+                    if not stale_epochs:
+                        del self._stale[mask][coarse]
+                counters["dim_cells_built"] += 1
+                counters["merge_inputs"] += len(pending[(mask, coarse, epoch)])
+            if fault_model is not None:
+                counters["cells_failed"] += len(pending) - len(result.outputs)
+                if result.report.fault_stats is not None:
+                    counters["retries"] += result.report.fault_stats.retries
+        else:
+            for mask in chosen:
+                self._masks.setdefault(mask, {})
+
+        # phase 2: dyadic time trees inside every chain with > 1 epoch
+        steps = []
+        inputs = {}
+        chains: List[Tuple[Any, _CubeGroup]] = [
+            (("g", key), group) for key, group in self._groups.items()
+        ]
+        for mask, groups in self._masks.items():
+            chains.extend(
+                (("m", mask, coarse), group)
+                for coarse, group in groups.items()
+            )
+        chain_levels: Dict[Any, Tuple[_CubeGroup, int]] = {}
+        for chain_id, group in chains:
+            if len(group.base) < 2:
+                continue
+            lo, hi = min(group.base), max(group.base)
+            span = hi - lo + 1
+            levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
+            chain_levels[chain_id] = (group, levels)
+            planned: Set[Tuple[int, int]] = set()
+            for level in range(1, levels + 1):
+                block = 1 << level
+                half = block >> 1
+                first = (lo // block) * block
+                for start in range(first, hi + 1, block):
+                    if (level, start) in group.rollups:
+                        continue
+                    srcs: List[Any] = []
+                    for child_start in (start, start + half):
+                        child = (level - 1, child_start)
+                        child_slot = chain_id + child
+                        if level - 1 >= 1 and child in planned:
+                            srcs.append(child_slot)
+                            continue
+                        node = (
+                            group.base.get(child_start)
+                            if level == 1
+                            else group.rollups.get(child)
+                        )
+                        if node is not None:
+                            inputs[child_slot] = node
+                            srcs.append(child_slot)
+                    if not srcs:
+                        continue
+                    steps.append(
+                        MergeStep(
+                            "merge",
+                            chain_id + (level, start),
+                            tuple(srcs),
+                            builder=self._seed_cell(
+                                self._new_segment_id(level, start), level, start
+                            ),
+                        )
+                    )
+                    planned.add((level, start))
+            steps.extend(
+                MergeStep("emit", chain_id + slot) for slot in sorted(planned)
+            )
+        if steps:
+            plan = MergePlan(
+                name=f"cube-time[{len(chain_levels)} chains]",
+                steps=steps,
+                groupable=True,
+                fuse_fanin=False,
+            )
+            result = run(plan, inputs)
+            fan_in = {
+                step.slot: len(step.srcs) for step in plan.merge_steps
+            }
+            for slot, segment in result.outputs.items():
+                chain_id, block = slot[:-2], slot[-2:]
+                group, levels = chain_levels[chain_id]
+                group.rollups[block] = segment
+                group.max_level = max(group.max_level, levels)
+                counters["time_rollups_built"] += 1
+                counters["merge_inputs"] += fan_in[slot]
+            if fault_model is not None:
+                counters["cells_failed"] += len(fan_in) - len(result.outputs)
+                if result.report.fault_stats is not None:
+                    counters["retries"] += result.report.fault_stats.retries
+            # even on partial failure the attempted levels are recorded so
+            # future planners try the blocks again
+            for chain_id, (group, levels) in chain_levels.items():
+                group.max_level = max(group.max_level, levels)
+
+        if counters["dim_cells_built"] or counters["time_rollups_built"]:
+            self._generation += 1
+        return counters
+
+    # ------------------------------------------------------------------
+    # Query: lattice mask choice x dyadic time cover
+    # ------------------------------------------------------------------
+
+    def _check_where(
+        self, where: Optional[Mapping[str, Any]]
+    ) -> Tuple[Tuple[str, Any], ...]:
+        if not where:
+            return ()
+        self._as_mask(where)  # validates dimension names
+        return tuple(
+            (dim, where[dim]) for dim in self.dims if dim in where
+        )
+
+    def query(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        where: Optional[Mapping[str, Any]] = None,
+        group_by: Optional[Sequence[str]] = None,
+        use_rollups: bool = True,
+    ) -> CubeResult:
+        """Answer a sub-population range query from the covering cells.
+
+        ``where`` filters dimensions to exact values, ``group_by``
+        produces one merged answer per distinct value combination of the
+        named dimensions.  The planner serves the query from the
+        cheapest materialized mask covering the needed dimensions
+        (falling back to base cells), covers each contributing chain
+        dyadically over time, and merges each output group with one
+        k-way ``merge_many`` per member.  ``use_rollups=False`` is the
+        naive full scan over base cells — the benchmark baseline; the
+        answers are equivalent.
+
+        Epochs whose roll-up cells were invalidated by later ingest are
+        transparently served from base cells (never stale data), counted
+        in ``plan.stale_epochs``.
+        """
+        if not self._schema:
+            raise QueryError("cube has no members; add_member() first")
+        if not hi > lo:
+            raise ParameterError(
+                f"query range must satisfy lo < hi, got [{lo!r}, {hi!r})"
+            )
+        where_items = self._check_where(where)
+        group_mask = self._as_mask(group_by or ())
+        overlap = {d for d, _ in where_items} & set(group_mask)
+        if overlap:
+            raise ParameterError(
+                f"dimension(s) {sorted(overlap)} appear in both where and "
+                "group_by; a filtered dimension has a single value"
+            )
+        needed = self._as_mask({d for d, _ in where_items} | set(group_mask))
+        self._query_log[needed] = self._query_log.get(needed, 0) + 1
+        lo_epoch = self.epoch_of(lo)
+        hi_epoch = int(math.ceil(float(hi) / self.width))
+
+        cache_key = (
+            self._generation,
+            lo_epoch,
+            hi_epoch,
+            where_items,
+            group_mask,
+            use_rollups,
+        )
+        cached = self._views.get(cache_key)
+        if cached is not None:
+            return cached
+
+        plan = CubePlan(
+            lo_epoch=lo_epoch,
+            hi_epoch=hi_epoch,
+            where=where_items,
+            group_by=group_mask,
+        )
+        serving: Optional[Mask] = None
+        if use_rollups and needed != self.dims:
+            best_cells = None
+            for mask, groups in self._masks.items():
+                if not set(needed) <= set(mask):
+                    continue
+                cells = sum(len(g.base) for g in groups.values())
+                cells += sum(
+                    len(epochs)
+                    for epochs in self._stale.get(mask, {}).values()
+                )
+                if best_cells is None or cells < best_cells:
+                    serving, best_cells = mask, cells
+        plan.serving_mask = serving
+
+        source_mask = serving if serving is not None else self.dims
+        pos = {dim: i for i, dim in enumerate(source_mask)}
+        where_idx = [(pos[dim], value) for dim, value in where_items]
+        group_idx = [pos[dim] for dim in group_mask]
+
+        def matches(key: Key) -> bool:
+            return all(key[i] == value for i, value in where_idx)
+
+        def out_key_of(key: Key) -> Key:
+            return tuple(key[i] for i in group_idx)
+
+        chosen: Dict[Key, List[Segment]] = {}
+
+        if serving is not None:
+            for coarse, chain in self._masks[serving].items():
+                if not matches(coarse) or not chain.base:
+                    continue
+                sub = chain.plan(lo_epoch, hi_epoch, use_rollups=True)
+                if not sub.segments:
+                    continue
+                out = chosen.setdefault(out_key_of(coarse), [])
+                out.extend(sub.segments)
+                plan.rollup_nodes += sub.rollup_nodes
+                plan.degraded_blocks += sub.degraded_blocks
+            # stale epochs: transparently re-read the base cells
+            for coarse, epochs in self._stale.get(serving, {}).items():
+                if not matches(coarse):
+                    continue
+                in_range = sorted(
+                    e for e in epochs if lo_epoch <= e < hi_epoch
+                )
+                for epoch in in_range:
+                    out = None
+                    for key in self._epoch_keys.get(epoch, ()):
+                        if self._project(key, serving) != coarse:
+                            continue
+                        segment = self._groups[key].base.get(epoch)
+                        if segment is None:
+                            continue
+                        if out is None:
+                            out = chosen.setdefault(out_key_of(coarse), [])
+                        out.append(segment)
+                    if out is not None:
+                        plan.stale_epochs += 1
+                        plan.degraded_blocks += 1
+        else:
+            for key, chain in self._groups.items():
+                if not matches(key):
+                    continue
+                sub = chain.plan(lo_epoch, hi_epoch, use_rollups=use_rollups)
+                if not sub.segments:
+                    continue
+                out = chosen.setdefault(out_key_of(key), [])
+                out.extend(sub.segments)
+                plan.rollup_nodes += sub.rollup_nodes
+                if use_rollups:
+                    plan.degraded_blocks += sub.degraded_blocks
+
+        groups: Dict[Key, Dict[str, Summary]] = {}
+        for out_key in sorted(chosen, key=repr):
+            segments = chosen[out_key]
+            members: Dict[str, Summary] = {}
+            for name in self._schema:
+                parts = [segment.members[name] for segment in segments]
+                merged = copy_summary(parts[0])
+                merged.merge_many(parts[1:])
+                members[name] = merged
+            groups[out_key] = members
+            plan.cells_merged += len(segments)
+        if not groups and not group_mask:
+            # ungrouped query over no data: the empty answer, like
+            # SegmentStore.query on an empty range
+            groups[()] = {
+                name: spec.build() for name, spec in self._schema.items()
+            }
+        plan.groups = len(groups)
+        self._degraded_blocks_total += plan.degraded_blocks
+        result = CubeResult(
+            groups,
+            plan,
+            key_range=(lo_epoch * self.width, hi_epoch * self.width),
+        )
+        self._views.put(cache_key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Cube-level statistics for the CLI and the benchmarks."""
+        masks: Dict[str, Any] = {}
+        for mask in sorted(self._masks):
+            groups = self._masks[mask]
+            masks[_mask_label(mask)] = {
+                "groups": len(groups),
+                "cells": sum(len(g.base) for g in groups.values()),
+                "time_rollups": sum(len(g.rollups) for g in groups.values()),
+                "stale_epochs": sum(
+                    len(epochs)
+                    for epochs in self._stale.get(mask, {}).values()
+                ),
+            }
+        return {
+            "kind": "cube",
+            "width": self.width,
+            "dims": list(self.dims),
+            "codec": self.codec,
+            "members": {
+                name: spec.to_dict()
+                for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "generation": self._generation,
+            "groups": len(self._groups),
+            "base_cells": self.num_cells,
+            "time_rollups": sum(
+                len(g.rollups) for g in self._groups.values()
+            )
+            + sum(
+                len(g.rollups)
+                for groups in self._masks.values()
+                for g in groups.values()
+            ),
+            "masks": masks,
+            "key_span": self.key_span(),
+            "query_log": {
+                _mask_label(mask): count
+                for mask, count in sorted(self._query_log.items())
+            },
+            "view_cache": self._views.stats,
+            "planner": {"degraded_blocks_total": self._degraded_blocks_total},
+        }
+
+    def _chains(self) -> List[Tuple[Any, _CubeGroup]]:
+        """Every chain with a stable sort key (fingerprint/persistence)."""
+        chains: List[Tuple[Any, _CubeGroup]] = [
+            (("g", key), group) for key, group in self._groups.items()
+        ]
+        for mask, groups in self._masks.items():
+            chains.extend(
+                (("m", mask, coarse), group)
+                for coarse, group in groups.items()
+            )
+        return sorted(chains, key=lambda item: repr(item[0]))
+
+    def fingerprint(self) -> str:
+        """Digest of the logical cube state (for persistence proofs)."""
+        state = {
+            "width": self.width,
+            "dims": list(self.dims),
+            "codec": self.codec,
+            "schema": {
+                name: spec.to_dict()
+                for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "chains": [
+                {
+                    "id": repr(chain_id),
+                    "max_level": group.max_level,
+                    "cells": [
+                        {
+                            "meta": segment.meta(),
+                            "members": {
+                                name: summary.to_dict()
+                                for name, summary in sorted(
+                                    segment.members.items()
+                                )
+                            },
+                        }
+                        for _slot, segment in sorted(
+                            list(group.base.items())
+                            + list(group.rollups.items()),
+                            key=lambda item: repr(item[0]),
+                        )
+                    ],
+                }
+                for chain_id, group in self._chains()
+            ],
+            "stale_marks": sorted(
+                (repr(mask), repr(coarse), sorted(epochs))
+                for mask, per_key in self._stale.items()
+                for coarse, epochs in per_key.items()
+                if epochs
+            ),
+        }
+        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Persistence (delegates to repro.store.persistence)
+    # ------------------------------------------------------------------
+
+    def save(self, path, fs: Any = None) -> Dict[str, int]:
+        """Commit an atomic snapshot of the cube to a directory."""
+        from .persistence import save_cube
+
+        return save_cube(self, path, fs=fs)
+
+    @classmethod
+    def open(cls, path, fs: Any = None) -> "CubeStore":
+        """Load a cube previously committed with :meth:`save`."""
+        from .persistence import load_cube
+
+        return load_cube(path, fs=fs)

@@ -76,6 +76,8 @@ from .wal import WalScan, scan_wal, wal_files
 __all__ = [
     "save_store",
     "load_store",
+    "save_cube",
+    "load_cube",
     "recover_store",
     "verify_store",
     "write_segment",
@@ -445,6 +447,11 @@ def load_store(path: str, fs: Optional[Filesystem] = None) -> Any:
     fs = fs or REAL_FS
     path = str(path)
     manifest = _read_manifest(path, fs)
+    if manifest.get("kind") == "cube":
+        raise SerializationError(
+            f"{path}: this directory holds a dimension cube; open it with "
+            "CubeStore.open (repro.store.load_cube)"
+        )
     store = _store_from_manifest(manifest, path, fs)
     for wal_path in wal_files(_wal_dir(path), fs):
         scan = scan_wal(wal_path, fs)
@@ -713,3 +720,191 @@ def verify_store(path: str, fs: Optional[Filesystem] = None) -> Dict[str, Any]:
         and not orphans
     )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Dimension cube snapshots
+# ---------------------------------------------------------------------------
+
+
+def _cells_dir(path: str) -> str:
+    return os.path.join(str(path), "cells")
+
+
+def _chain_manifest(key: List[Any], group: Any) -> Dict[str, Any]:
+    segments = [group.base[e] for e in sorted(group.base)]
+    segments += [group.rollups[k] for k in sorted(group.rollups)]
+    return {
+        "key": list(key),
+        "max_level": group.max_level,
+        "segments": [segment.meta() for segment in segments],
+    }
+
+
+def save_cube(cube: Any, path: str, fs: Optional[Filesystem] = None) -> Dict[str, int]:
+    """Persist a :class:`~repro.store.cube.CubeStore` atomically.
+
+    Same commit protocol as :func:`save_store` — stage-and-fsync new
+    cell containers under ``cells/``, publish the manifest by atomic
+    rename (the single commit point), then garbage-collect — with the
+    cube's extra state (dimension names, per-chain cell indices, the
+    materialized mask lattice and its stale marks) carried by the
+    manifest.  Cells are immutable, so containers committed by the
+    previous snapshot are reused; returns the same counters as
+    :func:`save_store` (``segments`` counts live cells).
+    """
+    fs = fs or REAL_FS
+    path = str(path)
+    cell_dir = _cells_dir(path)
+    fs.makedirs(cell_dir)
+    try:
+        previous_manifest = _read_manifest(path, fs)
+    except SerializationError:
+        previous_manifest = {}
+    previous: set = set()
+    if previous_manifest.get("kind") == "cube":
+        for chain in previous_manifest.get("groups", []):
+            previous.update(meta["id"] for meta in chain.get("segments", []))
+        for mask in previous_manifest.get("masks", []):
+            for chain in mask.get("groups", []):
+                previous.update(meta["id"] for meta in chain.get("segments", []))
+    prior_snapshot = int(getattr(cube, "_snapshot", 0))
+
+    live_segments = []
+    for group in cube._groups.values():
+        live_segments.extend(group.base.values())
+        live_segments.extend(group.rollups.values())
+    for groups in cube._masks.values():
+        for group in groups.values():
+            live_segments.extend(group.base.values())
+            live_segments.extend(group.rollups.values())
+
+    total = written = 0
+    for segment in live_segments:
+        final = os.path.join(cell_dir, f"{segment.segment_id}.rseg")
+        if segment.segment_id in previous and fs.exists(final):
+            continue  # immutable and already durable under the old manifest
+        staging = final + ".tmp"
+        total += write_segment(segment, staging, cube.codec, fs=fs, durable=True)
+        fs.replace(staging, final)
+        written += 1
+    if written:
+        fs.fsync_dir(cell_dir)
+
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "kind": "cube",
+        "snapshot": prior_snapshot + 1,
+        "width": cube.width,
+        "dims": list(cube.dims),
+        "codec": cube.codec,
+        "generation": cube.generation,
+        "records": cube.records,
+        "next_segment_id": cube._next_segment_id,
+        "view_capacity": cube._views.capacity,
+        "schema": {
+            name: spec.to_dict() for name, spec in cube.members.items()
+        },
+        "groups": [
+            _chain_manifest(list(key), group)
+            for key, group in sorted(cube._groups.items(), key=lambda i: repr(i[0]))
+        ],
+        "masks": [
+            {
+                "dims": list(mask),
+                "groups": [
+                    _chain_manifest(list(coarse), group)
+                    for coarse, group in sorted(
+                        cube._masks[mask].items(), key=lambda i: repr(i[0])
+                    )
+                ],
+                "stale": [
+                    [list(coarse), sorted(epochs)]
+                    for coarse, epochs in sorted(
+                        cube._stale.get(mask, {}).items(),
+                        key=lambda i: repr(i[0]),
+                    )
+                    if epochs
+                ],
+            }
+            for mask in sorted(cube._masks)
+        ],
+    }
+    manifest["checksum"] = _manifest_checksum(manifest)
+    payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    write_file_durable(fs, _manifest_path(path), payload)  # <- commit point
+    cube._snapshot = manifest["snapshot"]
+
+    live = {f"{segment.segment_id}.rseg" for segment in live_segments}
+    gc = 0
+    for name in fs.listdir(cell_dir):
+        if name in live:
+            continue
+        if name.endswith(".rseg") or name.endswith(".tmp"):
+            fs.remove(os.path.join(cell_dir, name))
+            gc += 1
+    return {
+        "segments": len(live_segments),
+        "written": written,
+        "bytes": total,
+        "snapshot": manifest["snapshot"],
+        "gc": gc,
+    }
+
+
+def _load_chain(
+    chain_manifest: Dict[str, Any], cell_dir: str, fs: Filesystem, group: Any
+) -> None:
+    for meta in chain_manifest.get("segments", []):
+        file_path = os.path.join(cell_dir, f"{meta['id']}.rseg")
+        segment = read_segment(file_path, fs=fs)
+        if segment.level == 0:
+            group.base[segment.start] = segment
+        else:
+            group.rollups[(segment.level, segment.start)] = segment
+    group.max_level = int(chain_manifest.get("max_level", 0))
+
+
+def load_cube(path: str, fs: Optional[Filesystem] = None) -> Any:
+    """Load a cube saved by :func:`save_cube` (strict, like :func:`load_store`)."""
+    from .cube import CubeStore, _CubeGroup
+
+    fs = fs or REAL_FS
+    path = str(path)
+    manifest = _read_manifest(path, fs)
+    if manifest.get("kind") != "cube":
+        raise SerializationError(
+            f"{path}: this directory holds a flat segment store; open it "
+            "with SegmentStore.open (repro.store.load_store)"
+        )
+    cube = CubeStore(
+        width=manifest["width"],
+        dims=manifest["dims"],
+        codec=manifest["codec"],
+        view_capacity=manifest.get("view_capacity", 8),
+    )
+    for name, spec in manifest["schema"].items():
+        cube._schema[name] = MemberSpec.from_dict(spec)
+    cell_dir = _cells_dir(path)
+    for chain_manifest in manifest.get("groups", []):
+        key = tuple(chain_manifest["key"])
+        group = cube._groups.setdefault(key, _CubeGroup())
+        _load_chain(chain_manifest, cell_dir, fs, group)
+        for epoch in group.base:
+            cube._epoch_keys.setdefault(epoch, set()).add(key)
+    for mask_manifest in manifest.get("masks", []):
+        mask = tuple(mask_manifest["dims"])
+        groups = cube._masks.setdefault(mask, {})
+        for chain_manifest in mask_manifest.get("groups", []):
+            coarse = tuple(chain_manifest["key"])
+            group = groups.setdefault(coarse, _CubeGroup())
+            _load_chain(chain_manifest, cell_dir, fs, group)
+        for coarse, epochs in mask_manifest.get("stale", []):
+            cube._stale.setdefault(mask, {})[tuple(coarse)] = set(
+                int(e) for e in epochs
+            )
+    cube._generation = int(manifest.get("generation", 0))
+    cube._records = int(manifest.get("records", 0))
+    cube._next_segment_id = int(manifest.get("next_segment_id", 0))
+    cube._snapshot = int(manifest.get("snapshot", 0))
+    return cube

@@ -45,6 +45,12 @@ class QueryPlan:
     lo_epoch: int
     hi_epoch: int
     segments: List[Segment] = field(default_factory=list)
+    #: dyadic blocks that held data and lay inside the range but had no
+    #: materialized roll-up (compaction pending, or invalidated by fresh
+    #: ingest) — each forced a split toward base segments.  Zero on a
+    #: fully compacted store; the degradation signal surfaced by
+    #: ``describe()`` and ``repro store stats``.
+    degraded_blocks: int = 0
 
     @property
     def fan_in(self) -> int:
@@ -83,10 +89,15 @@ class QueryPlan:
         parts = ", ".join(
             f"L{s.level}[{s.start},{s.end})" for s in self.segments
         )
+        degraded = (
+            f", degraded={self.degraded_blocks} blocks"
+            if self.degraded_blocks
+            else ""
+        )
         return (
             f"epochs [{self.lo_epoch},{self.hi_epoch}): fan_in={self.fan_in} "
             f"({self.rollup_nodes} roll-ups + {self.base_segments} base, "
-            f"covering {self.base_covered} base segments) -> [{parts}]"
+            f"covering {self.base_covered} base segments{degraded}) -> [{parts}]"
         )
 
 
@@ -150,6 +161,8 @@ def plan_range(
                 plan.segments.append(node)
                 plan._present[node.segment_id] = present(block_lo, block_hi)
                 return
+            if present(block_lo, block_hi):
+                plan.degraded_blocks += 1
         half = span >> 1
         cover(level - 1, start)
         cover(level - 1, start + half)

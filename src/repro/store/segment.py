@@ -24,7 +24,13 @@ from ..core.base import Summary
 from ..core.exceptions import ParameterError
 from ..core.registry import get_summary_class
 
-__all__ = ["MemberSpec", "Segment", "copy_summary", "merged_segment"]
+__all__ = [
+    "MemberSpec",
+    "Segment",
+    "build_members",
+    "copy_summary",
+    "merged_segment",
+]
 
 
 def copy_summary(summary: Summary) -> Summary:
@@ -140,6 +146,36 @@ class Segment:
             f"<Segment {self.segment_id} level={self.level} "
             f"epochs=[{self.start},{self.end}) count={self.count}>"
         )
+
+
+def build_members(
+    schema: Dict[str, MemberSpec],
+    records,
+    weights,
+) -> Dict[str, Summary]:
+    """Fold ``records`` into one fresh summary per schema member.
+
+    The shared ingest kernel of :class:`~repro.store.store.SegmentStore`
+    base segments and :class:`~repro.store.cube.CubeStore` cells: each
+    member ingests the values of its configured field (records missing
+    the field are skipped for that member) through the vectorized
+    ``update_batch`` path, with ``weights`` (when given) subset in
+    parallel.
+    """
+    members: Dict[str, Summary] = {}
+    for name, spec in schema.items():
+        summary = spec.build()
+        values = []
+        value_weights = [] if weights is not None else None
+        for index, record in enumerate(records):
+            if spec.field in record:
+                values.append(record[spec.field])
+                if value_weights is not None:
+                    value_weights.append(weights[index])
+        if values:
+            summary.update_batch(values, value_weights)
+        members[name] = summary
+    return members
 
 
 def merged_segment(

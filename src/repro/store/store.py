@@ -46,7 +46,13 @@ from ..engine import (
     execute_plan,
 )
 from .planner import QueryPlan, plan_range
-from .segment import MemberSpec, Segment, copy_summary, merged_segment
+from .segment import (
+    MemberSpec,
+    Segment,
+    build_members,
+    copy_summary,
+    merged_segment,
+)
 from .views import ViewCache
 
 __all__ = ["SegmentStore", "QueryResult"]
@@ -134,6 +140,7 @@ class SegmentStore:
         self._next_segment_id = 0
         self._records = 0
         self._views = ViewCache(view_capacity)
+        self._degraded_blocks_total = 0
         self._wal = None
         self._wal_seq = 0
         self._snapshot = 0
@@ -217,27 +224,12 @@ class SegmentStore:
         records: Sequence[Mapping[str, Any]],
         weights: Optional[Sequence[int]],
     ) -> Segment:
-        members: Dict[str, Summary] = {}
-        for name, spec in self._schema.items():
-            summary = spec.build()
-            values: List[Any] = []
-            value_weights: Optional[List[int]] = (
-                [] if weights is not None else None
-            )
-            for index, record in enumerate(records):
-                if spec.field in record:
-                    values.append(record[spec.field])
-                    if value_weights is not None:
-                        value_weights.append(weights[index])
-            if values:
-                summary.update_batch(values, value_weights)
-            members[name] = summary
         return Segment(
             segment_id=self._new_segment_id(0, epoch),
             level=0,
             start=epoch,
             count=len(records),
-            members=members,
+            members=build_members(self._schema, records, weights),
         )
 
     def _invalidate_rollups(self, epoch: int) -> int:
@@ -614,7 +606,7 @@ class SegmentStore:
             )
         lo_epoch = self.epoch_of(lo)
         hi_epoch = int(math.ceil(float(hi) / self.width))
-        return plan_range(
+        plan = plan_range(
             lo_epoch,
             hi_epoch,
             self._base,
@@ -622,6 +614,8 @@ class SegmentStore:
             max_level=max(self._max_level, 1),
             use_rollups=use_rollups,
         )
+        self._degraded_blocks_total += plan.degraded_blocks
+        return plan
 
     def query(
         self, lo: float, hi: float, use_rollups: bool = True
@@ -695,6 +689,7 @@ class SegmentStore:
             "rollups_per_level": {str(k): per_level[k] for k in sorted(per_level)},
             "key_span": self.key_span(),
             "view_cache": self._views.stats,
+            "planner": {"degraded_blocks_total": self._degraded_blocks_total},
         }
 
     # ------------------------------------------------------------------

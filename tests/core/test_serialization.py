@@ -24,6 +24,7 @@ def _build_all_registered():
         ExactQuantiles,
         GKQuantiles,
         HybridQuantiles,
+        MomentSketch,
         MRLQuantiles,
     )
 
@@ -59,6 +60,7 @@ def _build_all_registered():
         "decayed_misra_gries": decayed,
         "windowed_misra_gries": windowed,
         "kll_quantiles": KLLQuantiles(16, rng=1).extend(values),
+        "moment_sketch": MomentSketch(10).extend(values),
         "misra_gries": MisraGries(8).extend(items),
         "space_saving": SpaceSaving(8).extend(items),
         "majority_vote": MajorityVote().extend(items),

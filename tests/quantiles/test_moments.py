@@ -1,0 +1,200 @@
+"""Unit tests for the moment sketch (Gan et al., VLDB 2018).
+
+The sketch keeps the first ``k`` raw power sums plus min/max, so a merge
+is an O(k) vector add — the cheapest fully-mergeable quantile summary in
+the library.  Quantiles come from a maximum-smoothness (Legendre series)
+density reconstruction, so accuracy claims are checked on the smooth
+distributions the method targets; the adversarial tests check that
+*merging* never costs accuracy relative to single-stream ingestion, per
+the mergeability contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmptySummaryError,
+    MergeError,
+    ParameterError,
+    dumps,
+    loads,
+    merge_all,
+)
+from repro.quantiles import ExactQuantiles, KLLQuantiles, MomentSketch
+
+
+def _rank_error(sketch, data: np.ndarray, qs=(0.1, 0.25, 0.5, 0.75, 0.9)):
+    """Worst observed rank error (fraction of n) over the given quantiles."""
+    data = np.sort(data)
+    n = len(data)
+    worst = 0.0
+    for q in qs:
+        estimate = sketch.quantile(q)
+        rank = float(np.searchsorted(data, estimate))
+        worst = max(worst, abs(rank - q * (n - 1)) / n)
+    return worst
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        for bad in (0, 1, 21, -3):
+            with pytest.raises(ParameterError):
+                MomentSketch(bad)
+
+    def test_fresh_is_empty(self):
+        sketch = MomentSketch(8)
+        assert sketch.n == 0
+        with pytest.raises(EmptySummaryError):
+            sketch.quantile(0.5)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ParameterError):
+            MomentSketch(8).update(1.0, weight=0)
+
+    def test_size_independent_of_n(self):
+        sketch = MomentSketch(12)
+        sketch.extend(np.random.default_rng(1).random(10_000).tolist())
+        assert sketch.size() == 14  # k sums + min + max
+
+
+class TestMoments:
+    def test_mean_and_variance(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(3.0, 2.0, size=50_000)
+        sketch = MomentSketch(8).extend(data.tolist())
+        assert sketch.mean() == pytest.approx(float(data.mean()), rel=1e-9)
+        assert sketch.variance() == pytest.approx(float(data.var()), rel=1e-9)
+
+    def test_weighted_updates(self):
+        a = MomentSketch(6)
+        a.update(2.0, weight=3)
+        b = MomentSketch(6)
+        for _ in range(3):
+            b.update(2.0)
+        assert a.n == b.n == 3
+        for i in range(1, 7):
+            assert a.moment(i) == pytest.approx(b.moment(i))
+
+    def test_point_mass(self):
+        sketch = MomentSketch(8)
+        sketch.update(7.0, weight=5)
+        assert sketch.quantile(0.01) == 7.0
+        assert sketch.quantile(0.99) == 7.0
+        assert sketch.rank(6.9) == 0.0
+        assert sketch.rank(7.0) == 5.0
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("dist", ["uniform", "gaussian"])
+    def test_smooth_distributions(self, dist):
+        rng = np.random.default_rng(5)
+        if dist == "uniform":
+            data = rng.random(20_000) * 10.0
+        else:
+            data = rng.normal(0.0, 1.0, size=20_000)
+        sketch = MomentSketch(12).extend(data.tolist())
+        assert _rank_error(sketch, data) <= 0.02
+
+    def test_rank_is_monotone(self):
+        rng = np.random.default_rng(6)
+        data = rng.random(5_000)
+        sketch = MomentSketch(10).extend(data.tolist())
+        xs = np.linspace(0.0, 1.0, 64)
+        ranks = [sketch.rank(float(x)) for x in xs]
+        assert all(b >= a - 1e-9 for a, b in zip(ranks, ranks[1:]))
+        assert ranks[0] == 0.0
+        assert ranks[-1] == sketch.n
+
+
+class TestMerge:
+    def test_merge_is_exact_on_moments(self):
+        rng = np.random.default_rng(7)
+        chunks = [rng.random(500) for _ in range(8)]
+        merged = merge_all([MomentSketch(10).extend(c.tolist()) for c in chunks])
+        single = MomentSketch(10).extend(np.concatenate(chunks).tolist())
+        assert merged.n == single.n
+        for i in range(1, 11):
+            assert merged.moment(i) == pytest.approx(single.moment(i), rel=1e-9)
+        assert merged.minimum == single.minimum
+        assert merged.maximum == single.maximum
+
+    def test_incompatible_k_rejected(self):
+        with pytest.raises(MergeError):
+            MomentSketch(8).merge(MomentSketch(10))
+
+    def test_merge_with_empty_is_noop(self):
+        sketch = MomentSketch(8).extend([1.0, 2.0, 3.0])
+        before = dumps(sketch)
+        sketch.merge(MomentSketch(8))
+        assert dumps(sketch) == before
+
+    def test_adversarial_merge_trees_keep_accuracy(self):
+        """The paper's contract: error after ANY merge tree matches the
+        single-stream sketch.  Adversarial setup: 64 skewed shards (each
+        shard covers a narrow slice of the domain, so partial merges see
+        wildly different min/max), merged by chain / balanced / random
+        trees, against quantile ground truth over the union."""
+        rng = np.random.default_rng(11)
+        shards = [
+            (rng.random(250) + i) * (10.0 / 64) for i in rng.permutation(64)
+        ]
+        data = np.concatenate(shards)
+        single = MomentSketch(12).extend(data.tolist())
+        baseline = _rank_error(single, data)
+        for strategy in ("chain", "tree", "random"):
+            parts = [MomentSketch(12).extend(s.tolist()) for s in shards]
+            rng_arg = 13 if strategy == "random" else None
+            merged = merge_all(parts, strategy=strategy, rng=rng_arg)
+            assert merged.n == len(data)
+            # merge must not add error beyond float noise on the sums
+            assert _rank_error(merged, data) <= baseline + 0.01, strategy
+
+    def test_merge_tree_matches_exact_on_uniform(self):
+        rng = np.random.default_rng(12)
+        data = rng.random(16_000)
+        exact = ExactQuantiles().extend(data.tolist())
+        parts = [
+            MomentSketch(12).extend(chunk.tolist())
+            for chunk in np.split(data, 32)
+        ]
+        merged = merge_all(parts, strategy="tree")
+        for q in (0.1, 0.5, 0.9):
+            assert merged.quantile(q) == pytest.approx(
+                exact.quantile(q), abs=0.01
+            )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sketch = MomentSketch(10).extend(
+            np.random.default_rng(3).random(1_000).tolist()
+        )
+        restored = loads(dumps(sketch))
+        assert isinstance(restored, MomentSketch)
+        assert restored.n == sketch.n
+        assert restored.quantile(0.5) == sketch.quantile(0.5)
+        assert _canonical(restored) == _canonical(sketch)
+
+    def test_empty_round_trip(self):
+        restored = loads(dumps(MomentSketch(8)))
+        assert restored.n == 0
+        with pytest.raises(EmptySummaryError):
+            restored.quantile(0.5)
+
+
+def _canonical(sketch) -> str:
+    import json
+
+    return json.dumps(sketch.to_dict(), sort_keys=True)
+
+
+class TestCellEconomics:
+    def test_smaller_than_kll_at_store_accuracy(self):
+        """The cube's motivating trade: a moment-sketch cell is several
+        times smaller than a KLL cell of comparable utility."""
+        data = np.random.default_rng(4).random(5_000).tolist()
+        moment = MomentSketch(12).extend(data)
+        kll = KLLQuantiles(128, rng=1).extend(data)
+        assert moment.size() * 5 <= kll.size()

@@ -107,6 +107,29 @@ class TestGracefulDegradation:
         store.compact()
         assert store.plan(0.0, 64.0).fan_in == 1
 
+    def test_degraded_blocks_counted_and_surfaced(self):
+        store = _store(64)
+        store.ingest([{"value": -1}], [10.0])  # invalidate covering blocks
+        degraded = store.plan(0.0, 64.0)
+        # one re-opened dyadic block per level above the fresh epoch
+        assert degraded.degraded_blocks > 0
+        assert f"degraded={degraded.degraded_blocks} blocks" in degraded.describe()
+        assert store.stats()["planner"]["degraded_blocks_total"] >= (
+            degraded.degraded_blocks
+        )
+        # a clean plan reports none, and describe() stays quiet about it
+        store.compact()
+        clean = store.plan(0.0, 64.0)
+        assert clean.degraded_blocks == 0
+        assert "degraded" not in clean.describe()
+
+    def test_uncompacted_plans_count_every_missing_block(self):
+        store = _store(8, compact=False)
+        plan = store.plan(0.0, 8.0)
+        # every dyadic block above level 0 is absent but has base data
+        assert plan.degraded_blocks > 0
+        assert plan.rollup_nodes == 0
+
     def test_plan_range_rejects_empty_range(self):
         store = _store(4)
         with pytest.raises(ParameterError):

@@ -309,6 +309,7 @@ STORE_MEMBERS = {
     "majority_vote": ({}, "ints"),
     "mergeable_quantiles": ({"s": 32, "rng": 1}, "floats"),
     "misra_gries": ({"k": 16}, "ints"),
+    "moment_sketch": ({"k": 10}, "floats"),
     "mrl_quantiles": ({"s": 32}, "floats"),
     "space_saving": ({"k": 16}, "ints"),
     "windowed_misra_gries": (
@@ -407,6 +408,23 @@ def _check_eps_approximation(rollup, naive, feeds):
             assert abs(summary.count((lo, hi)) - true) <= 0.35 * n + 1
 
 
+def _check_moment_sketch(rollup, naive, feeds):
+    # power sums are float adds: associative up to rounding, so the two
+    # merge orders agree to float tolerance rather than bit-for-bit
+    data = np.sort(np.concatenate([np.asarray(f) for f in feeds]))
+    n = len(data)
+    assert rollup.n == naive.n == n
+    for i in range(1, 11):
+        a, b = rollup.moment(i), naive.moment(i)
+        assert abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b)), i
+    for q in (0.1, 0.5, 0.9):
+        true_rank = q * (n - 1)
+        for summary in (rollup, naive):
+            estimate = summary.quantile(q)
+            rank = np.searchsorted(data, estimate)
+            assert abs(rank - true_rank) <= 0.05 * n + 1, (q, estimate)
+
+
 CUSTOM_CHECKS = {
     "bottom_k_sample": _check_bottom_k,
     "conservative_count_min": _check_conservative_cm,
@@ -414,6 +432,7 @@ CUSTOM_CHECKS = {
     "windowed_misra_gries": _check_windowed_mg,
     "dyadic_hierarchy": _check_dyadic,
     "eps_approximation": _check_eps_approximation,
+    "moment_sketch": _check_moment_sketch,
 }
 
 

@@ -94,6 +94,7 @@ def _specs() -> List[BatchSpec]:
         HybridQuantiles,
         KLLQuantiles,
         MergeableQuantiles,
+        MomentSketch,
         MRLQuantiles,
     )
     from repro.ranges import EpsApproximation
@@ -160,6 +161,15 @@ def _specs() -> List[BatchSpec]:
             "kll_quantiles",
             lambda: KLLQuantiles(200, rng=1),
             lambda: _vals(14),
+            mode="quantile",
+        ),
+        BatchSpec(
+            # batch ingestion sums the power matrix in one vectorized pass,
+            # so the float accumulation order differs from per-item updates;
+            # the quantile guarantee is what both schedules preserve
+            "moment_sketch",
+            lambda: MomentSketch(10),
+            lambda: _vals(22),
             mode="quantile",
         ),
         BatchSpec(

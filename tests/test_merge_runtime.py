@@ -127,6 +127,7 @@ def _specs() -> List[MergeSpec]:
         HybridQuantiles,
         KLLQuantiles,
         MergeableQuantiles,
+        MomentSketch,
         MRLQuantiles,
     )
     from repro.ranges import EpsApproximation
@@ -148,6 +149,7 @@ def _specs() -> List[MergeSpec]:
         ),
         MergeSpec("dyadic_hierarchy", lambda i: DyadicHierarchy(8, 8), _ints, "exact"),
         MergeSpec("exact_quantiles", lambda i: ExactQuantiles(), _floats, "exact"),
+        MergeSpec("moment_sketch", lambda i: MomentSketch(10), _floats, "exact"),
         MergeSpec(
             "bottom_k_sample", lambda i: BottomKSample(20, rng=100 + i), _floats, "exact"
         ),
@@ -353,6 +355,7 @@ def _aggregation_setup(name: str):
         HybridQuantiles,
         KLLQuantiles,
         MergeableQuantiles,
+        MomentSketch,
         MRLQuantiles,
     )
     from repro.ranges import EpsApproximation
@@ -374,6 +377,7 @@ def _aggregation_setup(name: str):
         "mergeable_quantiles": ("floats", lambda i: MergeableQuantiles(32, rng=50 + i)),
         "hybrid_quantiles": ("floats", lambda i: HybridQuantiles(0.2, rng=50 + i)),
         "kll_quantiles": ("floats", lambda i: KLLQuantiles(32, rng=50 + i)),
+        "moment_sketch": ("floats", lambda i: MomentSketch(10)),
         "mrl_quantiles": ("floats", lambda i: MRLQuantiles(32)),
         "bottom_k_sample": ("floats", lambda i: BottomKSample(20, rng=50 + i)),
         "eps_approximation": ("floats", lambda i: EpsApproximation("intervals_1d", s=8, rng=50 + i)),

@@ -73,6 +73,7 @@ def _specs() -> List[Spec]:
         HybridQuantiles,
         KLLQuantiles,
         MergeableQuantiles,
+        MomentSketch,
         MRLQuantiles,
     )
     from repro.ranges import EpsApproximation
@@ -124,6 +125,7 @@ def _specs() -> List[Spec]:
             lambda: _values(24),
         ),
         Spec("kll_quantiles", lambda: KLLQuantiles(16, rng=1), lambda: _values(25), lambda: _values(26)),
+        Spec("moment_sketch", lambda: MomentSketch(10), lambda: _values(49), lambda: _values(50)),
         Spec("mrl_quantiles", lambda: MRLQuantiles(16), lambda: _values(27), lambda: _values(28)),
         Spec(
             "bottom_k_sample",
