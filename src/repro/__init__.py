@@ -70,6 +70,12 @@ from .ranges import EpsApproximation
 from .sketches import AmsF2Sketch, BloomFilter, HyperLogLog, KMinValues
 from .store import CubeStore, SegmentStore
 
+# importing .windows installs the registration hook that derives a
+# windowed.<name> variant for every windowable summary type above (the
+# hook replays over everything already registered, so import order does
+# not matter for coverage — last is simply clearest)
+from .windows import WindowView, WindowedSummary, windowed_merge_all
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -116,4 +122,7 @@ __all__ = [
     "MomentSketch",
     "SegmentStore",
     "CubeStore",
+    "WindowedSummary",
+    "WindowView",
+    "windowed_merge_all",
 ]

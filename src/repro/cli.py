@@ -33,6 +33,10 @@ Examples
         --workload shapes.json
     python -m repro store query --dir ./cube --lo 0 --hi 86400 \
         --where region=eu --group-by device --quantile 0.99 --explain
+    python -m repro build --type misra_gries --arg k=64 \
+        --window 1000 --eps 0.25 --input items.txt --out windowed.json
+    python -m repro store query --dir ./hits --window 3600 \
+        --window-eps 0.25 --heavy-hitters 0.01 --explain
 """
 
 from __future__ import annotations
@@ -110,6 +114,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     cls = get_summary_class(args.type)
     kwargs = _parse_args_kv(args.arg)
     summary = cls(**kwargs)
+    if args.window is not None or args.eps is not None:
+        # lift the (still empty) base summary to sliding-window
+        # semantics; the registry resolves the windowed.<type> variant
+        summary = summary.windowed(
+            eps=args.eps if args.eps is not None else 0.25,
+            window=args.window,
+            granularity=args.granularity,
+        )
     items = _read_items(args.input)
     weights = _read_weights(args.weights) if args.weights else None
     if weights is not None and len(weights) != len(items):
@@ -120,7 +132,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     # one batched (optionally weighted) ingestion call, not a per-line loop
     summary.extend(items, weights)
     Path(args.out).write_text(dumps(summary))
-    print(f"built {args.type}: n={summary.n} size={summary.size()} -> {args.out}")
+    built = getattr(type(summary), "registry_name", args.type)
+    print(f"built {built}: n={summary.n} size={summary.size()} -> {args.out}")
     return 0
 
 
@@ -163,6 +176,16 @@ def _run_point_queries(summary, args: argparse.Namespace, prefix: str = "") -> b
 
 def _cmd_query(args: argparse.Namespace) -> int:
     summary = _load_summary(args.summary)
+    from .windows import WindowedSummary
+
+    if isinstance(summary, WindowedSummary):
+        # point queries live on the base type: answer from the merged
+        # view of the trailing window (the configured one by default)
+        summary = summary.window_query(window=args.window).summary
+    elif args.window is not None:
+        from .core import ParameterError
+
+        raise ParameterError("--window requires a windowed summary file")
     if not _run_point_queries(summary, args):
         raise SystemExit(
             "query needs one of --heavy-hitters/--quantile/--rank/"
@@ -183,8 +206,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_types(_args: argparse.Namespace) -> int:
-    for name in registered_names():
+def _cmd_types(args: argparse.Namespace) -> int:
+    for name in registered_names(kind=args.kind):
         print(name)
     return 0
 
@@ -192,7 +215,20 @@ def _cmd_types(_args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .engine import compile_aggregation, compile_fold, plan_step_waves
 
-    if args.topology is not None:
+    if args.windowed:
+        # bucket-aware fold over synthetic windowed operands: shows the
+        # per-level slice/union/stitch structure the engine executes
+        from .frequency import ExactCounter
+        from .windows.fold import compile_windowed_fold
+
+        parts = []
+        for i in range(args.count):
+            part = ExactCounter().windowed(eps=0.25, granularity=4)
+            for j in range(32):
+                part.update((i * 32 + j) % 7)
+            parts.append(part)
+        plan = compile_windowed_fold(parts)
+    elif args.topology is not None:
         from .distributed import build_topology
 
         schedule = build_topology(
@@ -540,6 +576,8 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
             where=_parse_where(args.where),
             group_by=group_by,
             use_rollups=not args.no_rollups,
+            window=args.window,
+            window_eps=args.window_eps,
         )
         if args.explain:
             print(result.plan.describe())
@@ -566,7 +604,13 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
             f"{args.dir} is a flat store; --where/--group-by only apply "
             f"to dimension cubes"
         )
-    result = store.query(args.lo, args.hi, use_rollups=not args.no_rollups)
+    result = store.query(
+        args.lo,
+        args.hi,
+        use_rollups=not args.no_rollups,
+        window=args.window,
+        window_eps=args.window_eps,
+    )
     if args.explain:
         print(result.plan.describe())
     ran = _run_point_queries(result["value"], args)
@@ -663,6 +707,20 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--arg", action="append", help="constructor argument name=value", default=None
     )
+    build.add_argument(
+        "--window", type=float, default=None, metavar="N",
+        help="lift to sliding-window semantics over the last N items "
+        "(count-based; omit to window without expiry)",
+    )
+    build.add_argument(
+        "--eps", type=float, default=None, metavar="E",
+        help="window mass-envelope error (default 0.25; implies a "
+        "windowed build even without --window)",
+    )
+    build.add_argument(
+        "--granularity", type=float, default=1, metavar="G",
+        help="items per level-0 window bucket (with --window/--eps)",
+    )
     build.set_defaults(func=_cmd_build)
 
     merge = sub.add_parser("merge", help="merge summary files")
@@ -686,6 +744,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--rank", type=float, default=None, metavar="X")
     query.add_argument("--estimate", default=None, metavar="ITEM")
     query.add_argument("--distinct", action="store_true")
+    query.add_argument(
+        "--window", type=float, default=None, metavar="N",
+        help="for windowed summary files: query the trailing N items "
+        "(default: the window the file was built with)",
+    )
     query.set_defaults(func=_cmd_query)
 
     inspect = sub.add_parser("inspect", help="show a summary's metadata")
@@ -693,6 +756,11 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.set_defaults(func=_cmd_inspect)
 
     types = sub.add_parser("types", help="list registered summary types")
+    types.add_argument(
+        "--kind", default=None, choices=["base", "windowed"],
+        help="filter: directly implemented types vs auto-derived "
+        "windowed.<name> variants (default: all)",
+    )
     types.set_defaults(func=_cmd_types)
 
     plan = sub.add_parser(
@@ -709,8 +777,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["balanced", "chain", "star", "kary", "random"],
         help="compile a distributed aggregation schedule instead of a fold",
     )
+    mode.add_argument(
+        "--windowed", action="store_true",
+        help="compile the bucket-aware windowed fold (per-level "
+        "slice/union/stitch) over --count synthetic operands",
+    )
     plan.add_argument("--count", type=int, default=8,
-                      help="number of fold inputs (with --strategy)")
+                      help="number of fold inputs (with --strategy/--windowed)")
     plan.add_argument("--nodes", type=int, default=16,
                       help="number of leaves (with --topology)")
     plan.add_argument("--seed", type=int, default=None,
@@ -834,8 +907,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "query", help="answer a point query over a key range [lo, hi)"
     )
     squery.add_argument("--dir", required=True)
-    squery.add_argument("--lo", type=float, required=True)
-    squery.add_argument("--hi", type=float, required=True)
+    squery.add_argument("--lo", type=float, default=None,
+                        help="range start (with --hi; or use --window)")
+    squery.add_argument("--hi", type=float, default=None,
+                        help="range end; with --window: the window's "
+                        "end anchor (default: end of the ingested span)")
+    squery.add_argument(
+        "--window", type=float, default=None, metavar="W",
+        help="trailing window: the last W key units ending at --hi "
+        "(default: end of the ingested span) instead of --lo/--hi",
+    )
+    squery.add_argument(
+        "--window-eps", type=float, default=0.0, metavar="E",
+        help="with --window: let the planner absorb one straddling "
+        "roll-up whole (exponential-histogram rule) — at most a "
+        "(1+E) mass overshoot for fewer merges",
+    )
     squery.add_argument("--no-rollups", action="store_true",
                         help="force the naive one-merge-per-segment scan")
     squery.add_argument(

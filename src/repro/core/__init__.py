@@ -28,7 +28,12 @@ from .merge import (
     merge_tree,
 )
 from .parallel import ParallelExecutor, resolve_executor
-from .registry import get_summary_class, register_summary, registered_names
+from .registry import (
+    add_registration_hook,
+    get_summary_class,
+    register_summary,
+    registered_names,
+)
 from .rng import resolve_rng, spawn
 from .serialization import dumps, from_envelope, loads, to_envelope
 
@@ -52,6 +57,7 @@ __all__ = [
     "ParallelExecutor",
     "resolve_executor",
     "register_summary",
+    "add_registration_hook",
     "get_summary_class",
     "registered_names",
     "resolve_rng",

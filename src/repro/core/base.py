@@ -85,6 +85,18 @@ class Summary(abc.ABC):
     #: total weight (number of item occurrences) summarized so far.
     _n: int
 
+    #: whether the type supports the generic sliding-window lifting of
+    #: :mod:`repro.windows`.  ``False`` for types whose merge carries
+    #: structural preconditions the window combinator cannot honor
+    #: (e.g. ``EqualWeightQuantiles`` requires equal-weight operands,
+    #: and window buckets have arbitrary masses).
+    windowable: bool = True
+
+    #: "base" for directly implemented summaries; "windowed" for the
+    #: auto-derived ``windowed.<name>`` combinator variants.  Drives the
+    #: ``kind`` filter of :func:`repro.core.registry.registered_names`.
+    summary_kind: str = "base"
+
     def __init__(self) -> None:
         self._n = 0
 
@@ -248,6 +260,41 @@ class Summary(abc.ABC):
         """
         for other in others:
             self._merge_same_type(other)
+
+    def windowed(
+        self,
+        eps: float = 0.25,
+        window: Optional[float] = None,
+        mode: str = "count",
+        granularity: float = 1,
+    ) -> "Summary":
+        """Lift this (empty) summary to sliding-window semantics.
+
+        Returns a fresh instance of the auto-registered
+        ``windowed.<name>`` variant for this summary type, using ``self``
+        as the prototype from which the window's per-bucket sub-summaries
+        are spawned.  ``self`` must be empty (it defines parameters, not
+        data) and its type must be windowable.  See
+        :class:`repro.windows.WindowedSummary` for the semantics of
+        ``eps``, ``window``, ``mode`` and ``granularity``.
+        """
+        from .registry import get_summary_class
+
+        if not self.windowable:
+            raise ParameterError(
+                f"{type(self).__name__} is not windowable: "
+                "its merge preconditions are incompatible with "
+                "window-bucket masses"
+            )
+        name = getattr(type(self), "registry_name", None)
+        if name is None:
+            raise ParameterError(
+                f"{type(self).__name__} is not a registered summary type"
+            )
+        cls = get_summary_class(f"windowed.{name}")
+        return cls.from_prototype(
+            self, eps=eps, window=window, mode=mode, granularity=granularity
+        )
 
     def compatible_with(self, other: "Summary") -> str | None:
         """Return ``None`` when ``other`` can merge into ``self``.

@@ -1,36 +1,40 @@
-"""Sliding-window heavy hitters via time-bucketed Misra-Gries summaries.
+"""Sliding-window Misra-Gries — now a shim over :mod:`repro.windows`.
 
-The second future-work direction in the paper's conclusion is sliding
-windows.  Exact sliding-window mergeability is impossible with small
-space (expired items must be *subtracted*, and MG-style summaries only
-add), so this module implements the standard practical compromise used
-by production systems (time-bucketed roll-ups, Druid/M3-style):
+.. deprecated::
+    ``WindowedMisraGries`` predates the generic sliding-window
+    combinator and is retained as a compatibility alias.  New code
+    should use ``MisraGries(k).windowed(...)`` (or the registered
+    ``windowed.misra_gries`` variant), which adds exponential-histogram
+    compaction, count-based windows and the ``(1 + eps)`` mass
+    envelope this fixed-bucket layout lacks.
 
-- time is divided into fixed-width *buckets*; each live bucket holds an
-  independent MG(k) summary of the items that arrived in it;
-- at most ``num_buckets`` recent buckets are retained, bounding both
-  space (``num_buckets * k`` counters) and the queryable horizon;
-- a window query merges the summaries of the covered buckets — since
-  per-bucket MG summaries are fully mergeable, the merged result
-  carries the exact MG guarantee over the *covered bucket span*;
-- two windowed summaries merge bucket-by-bucket (aligned by absolute
-  bucket index), so the structure is itself mergeable.
-
-The only approximation versus a true sliding window is *bucket
-granularity*: a query window is rounded outward to whole buckets, so
-up to one bucket's worth of stale items may be included.  That slack is
-reported explicitly by :meth:`query` so callers can account for it.
+The class subclasses the auto-derived ``windowed.misra_gries``
+combinator in *time* mode with one level-0 bucket per fixed
+``bucket_width`` stripe, and overrides bucket routing, eviction and
+merging to the legacy index-aligned semantics: every event lands in the
+bucket ``floor(t / bucket_width)``, exactly ``num_buckets`` recent
+buckets are retained (index-based, not watermark-based), and merges
+align buckets by absolute index.  ``eps`` is chosen so the EH per-level
+cap exceeds ``num_buckets`` — the cascade never fires, so the layout
+stays plain fixed-width buckets and every historical answer is
+preserved bit for bit.  Legacy serialized payloads (dict-shaped
+``buckets`` keyed by absolute index) migrate transparently in
+:meth:`~WindowedMisraGries.from_dict`.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import warnings
 from typing import Any, Dict, Optional
 
-from ..core.base import Summary, normalize_batch
+from ..core.base import normalize_batch
 from ..core.exceptions import ParameterError, QueryError
 from ..core.registry import register_summary
 from ..frequency.misra_gries import MisraGries
+from ..windows.eh import Bucket, sorted_union
+from ..windows.windowed import windowed_class
 
 __all__ = ["WindowedMisraGries", "WindowQueryResult"]
 
@@ -70,8 +74,8 @@ class WindowQueryResult:
 
 
 @register_summary("windowed_misra_gries")
-class WindowedMisraGries(Summary):
-    """Bucketed sliding-window Misra-Gries.
+class WindowedMisraGries(windowed_class("misra_gries")):
+    """Bucketed sliding-window Misra-Gries (legacy fixed-bucket layout).
 
     Parameters
     ----------
@@ -84,45 +88,72 @@ class WindowedMisraGries(Summary):
     """
 
     def __init__(self, k: int, bucket_width: float, num_buckets: int) -> None:
-        super().__init__()
+        warnings.warn(
+            "WindowedMisraGries is deprecated; use "
+            "MisraGries(k).windowed(eps=..., window=..., mode='time') "
+            "or any other base summary's .windowed(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not isinstance(k, int) or k < 1:
             raise ParameterError(f"k must be a positive integer, got {k!r}")
         if bucket_width <= 0:
-            raise ParameterError(f"bucket_width must be positive, got {bucket_width!r}")
+            raise ParameterError(
+                f"bucket_width must be positive, got {bucket_width!r}"
+            )
         if num_buckets < 1:
             raise ParameterError(f"num_buckets must be >= 1, got {num_buckets!r}")
-        self.k = k
-        self.bucket_width = float(bucket_width)
-        self.num_buckets = int(num_buckets)
-        # absolute bucket index -> MG summary
-        self._buckets: Dict[int, MisraGries] = {}
-        # highest bucket index ever evicted (None until first eviction);
-        # distinguishes "expired data" from "before any data arrived"
-        self._evicted_through: Optional[int] = None
+        # cap = num_buckets + 1 > live buckets, so the EH cascade never
+        # merges across the fixed bucket boundaries
+        super().__init__(
+            eps=1.0 / int(num_buckets),
+            window=float(bucket_width) * int(num_buckets),
+            mode="time",
+            granularity=float(bucket_width),
+            k=k,
+        )
+
+    # legacy geometry, derived from the combinator configuration
+
+    @property
+    def k(self) -> int:
+        return json.loads(self._proto_json)["k"]
+
+    @property
+    def bucket_width(self) -> float:
+        return self.granularity
+
+    @property
+    def num_buckets(self) -> int:
+        return round(self.window / self.granularity)
+
+    @property
+    def horizon(self) -> float:
+        """Queryable time span: ``num_buckets * bucket_width``."""
+        return self.window
 
     # ------------------------------------------------------------------
-    # Updates
+    # Updates (index-aligned routing, no pending bucket)
     # ------------------------------------------------------------------
 
-    def _bucket_index(self, timestamp: float) -> int:
-        return int(math.floor(timestamp / self.bucket_width))
-
-    def observe(self, item: Any, timestamp: float, weight: int = 1) -> None:
-        """Record ``weight`` occurrences of ``item`` at ``timestamp``."""
-        if weight <= 0:
-            raise ParameterError(f"weight must be positive, got {weight!r}")
-        index = self._bucket_index(timestamp)
-        bucket = self._buckets.get(index)
-        if bucket is None:
-            bucket = self._buckets[index] = MisraGries(self.k)
-        bucket.update(item, weight)
-        self._n += weight
-        self._evict_expired()
+    def _time_target(self, timestamp: float) -> Bucket:
+        """The level-0 bucket for index ``floor(t / width)``, created
+        in span order if absent — the legacy dict-by-index layout."""
+        width = self.granularity
+        aligned = math.floor(timestamp / width) * width
+        for bucket in reversed(self._buckets):
+            if bucket.start == aligned:
+                return bucket
+            if bucket.start < aligned:
+                break
+        fresh = Bucket(self._spawn(), 0, 0, aligned, aligned + width)
+        self._buckets = sorted_union(self._buckets, [fresh])
+        return fresh
 
     def update(self, item: Any, weight: int = 1) -> None:
         """Timestamp-less update lands in the most recent bucket."""
-        latest = max(self._buckets, default=0)
-        self.observe(item, latest * self.bucket_width, weight)
+        latest = max((b.start for b in self._buckets), default=0.0)
+        self.observe(item, latest, weight)
 
     def update_batch(
         self,
@@ -140,36 +171,46 @@ class WindowedMisraGries(Summary):
         items, weights, total = normalize_batch(items, weights)
         if len(items) == 0:
             return
-        latest = max(self._buckets, default=0)
-        bucket = self._buckets.get(latest)
-        if bucket is None:
-            bucket = self._buckets[latest] = MisraGries(self.k)
-        bucket.update_batch(items, weights)
-        self._n += total
-        self._evict_expired()
+        latest = max((b.start for b in self._buckets), default=0.0)
+        target = self._time_target(latest)
+        before = target.summary.n
+        target.summary.update_batch(items, weights)
+        self._n += target.summary.n - before
+        target.count += total
+        if self._clock is None or latest > self._clock:
+            self._clock = latest
+        self._expire()
 
-    def _evict_expired(self) -> None:
-        if not self._buckets:
+    def _expire(self) -> None:
+        """Legacy index-based eviction: keep ``num_buckets`` recent
+        bucket *indices* counted from the newest live bucket (the
+        combinator's watermark-based cutoff would retain one extra
+        straddling bucket mid-stripe)."""
+        if self._prealigned or not self._buckets:
             return
-        horizon = max(self._buckets) - self.num_buckets + 1
-        for index in [i for i in self._buckets if i < horizon]:
-            self._n -= self._buckets[index].n
-            del self._buckets[index]
-            if self._evicted_through is None or index > self._evicted_through:
-                self._evicted_through = index
+        latest = max(b.start for b in self._buckets)
+        floor = latest - (self.num_buckets - 1) * self.granularity
+        kept = []
+        for bucket in self._buckets:
+            if bucket.start < floor:
+                self._n -= bucket.summary.n
+                if self._expired_end is None or bucket.end > self._expired_end:
+                    self._expired_end = bucket.end
+            else:
+                kept.append(bucket)
+        self._buckets = kept
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
-    @property
-    def horizon(self) -> float:
-        """Queryable time span: ``num_buckets * bucket_width``."""
-        return self.num_buckets * self.bucket_width
-
     def live_buckets(self) -> Dict[int, int]:
         """Bucket index -> item count (diagnostics)."""
-        return {index: bucket.n for index, bucket in sorted(self._buckets.items())}
+        width = self.granularity
+        return {
+            int(math.floor(b.start / width)): b.summary.n
+            for b in self._buckets
+        }
 
     def estimate(self, item: Any) -> int:
         """Lower-bound count of ``item`` across all live buckets.
@@ -178,7 +219,7 @@ class WindowedMisraGries(Summary):
         most its bucket's ``n / (k + 1)``, so the total underestimate is
         at most ``n_live / (k + 1)`` over the retained horizon.
         """
-        return sum(bucket.estimate(item) for bucket in self._buckets.values())
+        return sum(b.summary.estimate(item) for b in self._buckets)
 
     def query(self, window_end: float, window_length: float) -> WindowQueryResult:
         """Heavy-hitter summary of ``[window_end - window_length, window_end]``.
@@ -193,36 +234,37 @@ class WindowedMisraGries(Summary):
             )
         if not self._buckets:
             raise QueryError("windowed summary holds no data")
-        last_index = self._bucket_index(window_end)
-        first_index = self._bucket_index(window_end - window_length)
-        if self._evicted_through is not None and first_index <= self._evicted_through:
+        width = self.granularity
+        last_index = int(math.floor(window_end / width))
+        first_index = int(math.floor((window_end - window_length) / width))
+        if (
+            self._expired_end is not None
+            and first_index * width < self._expired_end
+        ):
+            evicted_through = int(round(self._expired_end / width)) - 1
             raise QueryError(
                 f"window reaches bucket {first_index} but buckets up to "
-                f"{self._evicted_through} have expired (horizon {self.horizon})"
+                f"{evicted_through} have expired (horizon {self.horizon})"
             )
-        merged = MisraGries(self.k)
+        merged = self._spawn()
         covered = 0
-        for index in range(first_index, last_index + 1):
-            bucket = self._buckets.get(index)
-            if bucket is not None:
-                merged.merge(bucket)
+        for bucket in self._buckets:
+            index = int(math.floor(bucket.start / width))
+            if first_index <= index <= last_index:
+                merged.merge(bucket.summary)
                 covered += 1
         return WindowQueryResult(
             summary=merged,
             buckets_covered=covered,
-            window_start=first_index * self.bucket_width,
-            window_end=(last_index + 1) * self.bucket_width,
+            window_start=first_index * width,
+            window_end=(last_index + 1) * width,
         )
 
-    def size(self) -> int:
-        return sum(bucket.size() for bucket in self._buckets.values())
-
     # ------------------------------------------------------------------
-    # Merge
+    # Merge (absolute-index alignment)
     # ------------------------------------------------------------------
 
     def compatible_with(self, other: "WindowedMisraGries") -> Optional[str]:
-        assert isinstance(other, WindowedMisraGries)
         mine = (self.k, self.bucket_width, self.num_buckets)
         theirs = (other.k, other.bucket_width, other.num_buckets)
         if mine != theirs:
@@ -230,50 +272,60 @@ class WindowedMisraGries(Summary):
         return None
 
     def _merge_same_type(self, other: "WindowedMisraGries") -> None:
-        assert isinstance(other, WindowedMisraGries)
-        for index, bucket in other._buckets.items():
-            mine = self._buckets.get(index)
+        if self._prealigned or other._prealigned:
+            # engine slices go through the combinator's lazy-union path
+            super()._merge_same_type(other)
+            return
+        for theirs in other._buckets:
+            clone = theirs.clone()
+            mine = next(
+                (b for b in self._buckets if b.start == clone.start), None
+            )
             if mine is None:
-                clone = MisraGries.from_dict(bucket.to_dict())
-                self._buckets[index] = clone
+                self._buckets = sorted_union(self._buckets, [clone])
             else:
-                mine.merge(bucket)
-            self._n += bucket.n
-        if other._evicted_through is not None and (
-            self._evicted_through is None
-            or other._evicted_through > self._evicted_through
+                mine.summary.merge(clone.summary)
+                mine.count += clone.count
+        self._n += other._n
+        if other._expired_end is not None and (
+            self._expired_end is None
+            or other._expired_end > self._expired_end
         ):
-            self._evicted_through = other._evicted_through
-        self._evict_expired()
+            self._expired_end = other._expired_end
+        if other._clock is not None and (
+            self._clock is None or other._clock > self._clock
+        ):
+            self._clock = other._clock
+        self._expire()
 
     # ------------------------------------------------------------------
-    # Serialization
+    # Serialization (combinator schema, with legacy-payload migration)
     # ------------------------------------------------------------------
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "k": self.k,
-            "bucket_width": self.bucket_width,
-            "num_buckets": self.num_buckets,
-            "n": self._n,
-            "evicted_through": self._evicted_through,
-            "buckets": {
-                str(index): bucket.to_dict()
-                for index, bucket in self._buckets.items()
-            },
-        }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "WindowedMisraGries":
-        summary = cls(
-            k=payload["k"],
-            bucket_width=payload["bucket_width"],
-            num_buckets=payload["num_buckets"],
-        )
-        summary._buckets = {
-            int(index): MisraGries.from_dict(state)
-            for index, state in payload["buckets"].items()
-        }
-        summary._n = payload["n"]
-        summary._evicted_through = payload.get("evicted_through")
-        return summary
+        if isinstance(payload.get("buckets"), dict):
+            # legacy fixed-bucket payload: {k, bucket_width, num_buckets,
+            # n, evicted_through, buckets: {str(index): mg_state}}
+            width = float(payload["bucket_width"])
+            summary = cls(
+                k=payload["k"],
+                bucket_width=width,
+                num_buckets=payload["num_buckets"],
+            )
+            for index, state in sorted(
+                payload["buckets"].items(), key=lambda kv: int(kv[0])
+            ):
+                mg = MisraGries.from_dict(state)
+                start = int(index) * width
+                summary._buckets.append(
+                    Bucket(mg, mg.n, 0, start, start + width)
+                )
+            summary._n = payload["n"]
+            if summary._buckets:
+                summary._clock = max(b.start for b in summary._buckets)
+            evicted_through = payload.get("evicted_through")
+            if evicted_through is not None:
+                summary._expired_end = (evicted_through + 1) * width
+            return summary
+        return super().from_dict(payload)

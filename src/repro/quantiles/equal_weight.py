@@ -66,6 +66,11 @@ class EqualWeightQuantiles(QuantileSummary):
     fully mergeable summary of Section 3.2 lifts.
     """
 
+    #: the equal-weight merge precondition (operands of equal total
+    #: weight) is structurally incompatible with the arbitrary bucket
+    #: masses of the sliding-window combinator
+    windowable = False
+
     def __init__(self, s: int, rng: RngLike = None) -> None:
         super().__init__()
         if s < 1:

@@ -97,7 +97,9 @@ class _CubeGroup:
         self.rollups: Dict[Tuple[int, int], Segment] = {}
         self.max_level = 0
 
-    def plan(self, lo_epoch: int, hi_epoch: int, use_rollups: bool):
+    def plan(
+        self, lo_epoch: int, hi_epoch: int, use_rollups: bool, slack_lo: int = 0
+    ):
         return plan_range(
             lo_epoch,
             hi_epoch,
@@ -105,6 +107,7 @@ class _CubeGroup:
             self.rollups,
             max_level=max(self.max_level, 1),
             use_rollups=use_rollups,
+            slack_lo=slack_lo,
         )
 
     def drop_covering_rollups(self, epoch: int) -> int:
@@ -140,6 +143,9 @@ class CubePlan:
     rollup_nodes: int = 0
     stale_epochs: int = 0
     degraded_blocks: int = 0
+    #: largest per-chain epoch overhang absorbed under window slack
+    #: (window queries with ``window_eps`` only)
+    window_slack_used: int = 0
 
     def describe(self) -> str:
         """One-line human-readable plan summary."""
@@ -852,12 +858,14 @@ class CubeStore:
 
     def query(
         self,
-        lo: float,
-        hi: float,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
         *,
         where: Optional[Mapping[str, Any]] = None,
         group_by: Optional[Sequence[str]] = None,
         use_rollups: bool = True,
+        window: Optional[float] = None,
+        window_eps: float = 0.0,
     ) -> CubeResult:
         """Answer a sub-population range query from the covering cells.
 
@@ -874,9 +882,45 @@ class CubeStore:
         Epochs whose roll-up cells were invalidated by later ingest are
         transparently served from base cells (never stale data), counted
         in ``plan.stale_epochs``.
+
+        ``window=W`` asks for the trailing window — the last ``W`` key
+        units ending at ``hi`` (default: the end of the ingested span).
+        ``window_eps`` lets each contributing cell chain absorb one
+        materialized time roll-up straddling the window start (the
+        exponential-histogram rule), so every group's answer covers at
+        most a ``(1 + window_eps)`` factor more than the exact window
+        while reusing the largest pre-merged cells available.
         """
         if not self._schema:
             raise QueryError("cube has no members; add_member() first")
+        slack_lo = 0
+        if window is not None:
+            if lo is not None:
+                raise ParameterError(
+                    "pass either an explicit [lo, hi) range or window=, "
+                    "not both"
+                )
+            if not window > 0:
+                raise ParameterError(f"window must be positive, got {window!r}")
+            if not 0.0 <= window_eps <= 1.0:
+                raise ParameterError(
+                    f"window_eps must be in [0, 1], got {window_eps!r}"
+                )
+            if hi is None:
+                span = self.key_span()
+                if span is None:
+                    raise QueryError(
+                        "window query on an empty cube: no key span to "
+                        "anchor the window end (pass hi= explicitly)"
+                    )
+                hi = span[1]
+            window_epochs = max(1, int(math.ceil(float(window) / self.width)))
+            lo = hi - window_epochs * self.width
+            slack_lo = int(math.floor(window_eps * window_epochs))
+        elif lo is None or hi is None:
+            raise ParameterError(
+                "query needs an explicit [lo, hi) range or window="
+            )
         if not hi > lo:
             raise ParameterError(
                 f"query range must satisfy lo < hi, got [{lo!r}, {hi!r})"
@@ -891,13 +935,18 @@ class CubeStore:
             )
         needed = self._as_mask({d for d, _ in where_items} | set(group_mask))
         self._query_log[needed] = self._query_log.get(needed, 0) + 1
-        lo_epoch = self.epoch_of(lo)
         hi_epoch = int(math.ceil(float(hi) / self.width))
+        # window mode: exact epoch arithmetic, immune to float rounding
+        # in the derived lo
+        lo_epoch = (
+            hi_epoch - window_epochs if window is not None else self.epoch_of(lo)
+        )
 
         cache_key = (
             self._generation,
             lo_epoch,
             hi_epoch,
+            slack_lo,
             where_items,
             group_mask,
             use_rollups,
@@ -944,13 +993,18 @@ class CubeStore:
             for coarse, chain in self._masks[serving].items():
                 if not matches(coarse) or not chain.base:
                     continue
-                sub = chain.plan(lo_epoch, hi_epoch, use_rollups=True)
+                sub = chain.plan(
+                    lo_epoch, hi_epoch, use_rollups=True, slack_lo=slack_lo
+                )
                 if not sub.segments:
                     continue
                 out = chosen.setdefault(out_key_of(coarse), [])
                 out.extend(sub.segments)
                 plan.rollup_nodes += sub.rollup_nodes
                 plan.degraded_blocks += sub.degraded_blocks
+                plan.window_slack_used = max(
+                    plan.window_slack_used, sub.window_slack_used
+                )
             # stale epochs: transparently re-read the base cells
             for coarse, epochs in self._stale.get(serving, {}).items():
                 if not matches(coarse):
@@ -976,7 +1030,9 @@ class CubeStore:
             for key, chain in self._groups.items():
                 if not matches(key):
                     continue
-                sub = chain.plan(lo_epoch, hi_epoch, use_rollups=use_rollups)
+                sub = chain.plan(
+                    lo_epoch, hi_epoch, use_rollups=use_rollups, slack_lo=slack_lo
+                )
                 if not sub.segments:
                     continue
                 out = chosen.setdefault(out_key_of(key), [])
@@ -984,6 +1040,9 @@ class CubeStore:
                 plan.rollup_nodes += sub.rollup_nodes
                 if use_rollups:
                     plan.degraded_blocks += sub.degraded_blocks
+                plan.window_slack_used = max(
+                    plan.window_slack_used, sub.window_slack_used
+                )
 
         groups: Dict[Key, Dict[str, Summary]] = {}
         for out_key in sorted(chosen, key=repr):
@@ -1007,7 +1066,10 @@ class CubeStore:
         result = CubeResult(
             groups,
             plan,
-            key_range=(lo_epoch * self.width, hi_epoch * self.width),
+            key_range=(
+                (lo_epoch - plan.window_slack_used) * self.width,
+                hi_epoch * self.width,
+            ),
         )
         self._views.put(cache_key, result)
         return result

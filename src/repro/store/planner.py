@@ -45,6 +45,11 @@ class QueryPlan:
     lo_epoch: int
     hi_epoch: int
     segments: List[Segment] = field(default_factory=list)
+    #: epochs before ``lo_epoch`` absorbed by taking a materialized
+    #: roll-up that straddles the window start whole instead of
+    #: splitting it (window queries with ``eps`` slack only; bounded by
+    #: ``floor(eps * window_epochs)``)
+    window_slack_used: int = 0
     #: dyadic blocks that held data and lay inside the range but had no
     #: materialized roll-up (compaction pending, or invalidated by fresh
     #: ingest) — each forced a split toward base segments.  Zero on a
@@ -84,6 +89,12 @@ class QueryPlan:
         """Total records covered by the plan."""
         return sum(s.count for s in self.segments)
 
+    @property
+    def covered_lo_epoch(self) -> int:
+        """First epoch the cover actually reaches (``lo_epoch`` unless a
+        straddling roll-up was absorbed under window slack)."""
+        return self.lo_epoch - self.window_slack_used
+
     def describe(self) -> str:
         """One-line human-readable plan summary."""
         parts = ", ".join(
@@ -120,6 +131,7 @@ def plan_range(
     rollups: Dict[Tuple[int, int], Segment],
     max_level: int,
     use_rollups: bool = True,
+    slack_lo: int = 0,
 ) -> QueryPlan:
     """Compile epoch range ``[lo_epoch, hi_epoch)`` into a segment cover.
 
@@ -130,6 +142,16 @@ def plan_range(
     into its two children, bottoming out at base segments.  With
     ``use_rollups=False`` the plan is the naive full scan (every
     covered base segment) — the benchmark baseline.
+
+    ``slack_lo`` is the window-query relaxation: a *materialized*
+    roll-up that straddles ``lo_epoch`` may be taken whole — covering up
+    to ``slack_lo`` extra epochs before the window start — instead of
+    splitting toward its children.  This is exactly the exponential
+    histogram's oldest-bucket rule: the answer covers ``[lo - s, hi)``
+    for some ``0 <= s <= slack_lo``, so with
+    ``slack_lo = floor(eps * window_epochs)`` the covered mass is within
+    a ``(1 + eps)`` factor of the exact window.  The plan reports the
+    absorbed epochs in ``window_slack_used``.
     """
     if hi_epoch <= lo_epoch:
         raise ParameterError(
@@ -155,13 +177,22 @@ def plan_range(
                 plan._present[segment.segment_id] = 1
             return
         inside = lo_epoch <= block_lo and block_hi <= hi_epoch
-        if inside and use_rollups:
+        # left-edge slack: the one block straddling the window start may
+        # be absorbed whole when its roll-up is materialized and the
+        # overhang fits the eps budget
+        absorbable = (
+            block_lo < lo_epoch < block_hi <= hi_epoch
+            and lo_epoch - block_lo <= slack_lo
+        )
+        if (inside or absorbable) and use_rollups:
             node = rollups.get((level, start))
             if node is not None:
                 plan.segments.append(node)
                 plan._present[node.segment_id] = present(block_lo, block_hi)
+                if not inside:
+                    plan.window_slack_used = lo_epoch - block_lo
                 return
-            if present(block_lo, block_hi):
+            if inside and present(block_lo, block_hi):
                 plan.degraded_blocks += 1
         half = span >> 1
         cover(level - 1, start)

@@ -141,6 +141,8 @@ class SegmentStore:
         self._records = 0
         self._views = ViewCache(view_capacity)
         self._degraded_blocks_total = 0
+        self._window_queries = 0
+        self._window_slack_total = 0
         self._wal = None
         self._wal_seq = 0
         self._snapshot = 0
@@ -617,8 +619,70 @@ class SegmentStore:
         self._degraded_blocks_total += plan.degraded_blocks
         return plan
 
+    def _window_range(
+        self, window: float, end: Optional[float]
+    ) -> Tuple[int, int, int]:
+        """Resolve a trailing window to ``(lo_epoch, hi_epoch, window_epochs)``.
+
+        ``end`` defaults to the end of the ingested key span (the
+        store's "now"); the window is rounded outward to whole epochs.
+        """
+        if not window > 0:
+            raise ParameterError(f"window must be positive, got {window!r}")
+        if end is None:
+            span = self.key_span()
+            if span is None:
+                raise QueryError(
+                    "window query on an empty store: no key span to anchor "
+                    "the window end (pass hi= explicitly)"
+                )
+            end = span[1]
+        hi_epoch = int(math.ceil(float(end) / self.width))
+        window_epochs = max(1, int(math.ceil(float(window) / self.width)))
+        return hi_epoch - window_epochs, hi_epoch, window_epochs
+
+    def plan_window(
+        self,
+        window: float,
+        end: Optional[float] = None,
+        eps: float = 0.0,
+        use_rollups: bool = True,
+    ) -> QueryPlan:
+        """Compile the trailing window ``[end - window, end)`` into a cover.
+
+        This is the exponential-histogram view of the roll-up tree: a
+        trailing window's dyadic cover uses at most two blocks per level
+        (the EH per-level invariant), and with ``eps > 0`` the one
+        roll-up straddling the window start may be absorbed whole —
+        covering at most ``floor(eps * window_epochs)`` extra epochs, so
+        the answer's mass is within a ``(1 + eps)`` factor of the exact
+        window while reusing the largest materialized blocks available.
+        """
+        if not 0.0 <= eps <= 1.0:
+            raise ParameterError(f"eps must be in [0, 1], got {eps!r}")
+        lo_epoch, hi_epoch, window_epochs = self._window_range(window, end)
+        plan = plan_range(
+            lo_epoch,
+            hi_epoch,
+            self._base,
+            self._rollups,
+            max_level=max(self._max_level, 1),
+            use_rollups=use_rollups,
+            slack_lo=int(math.floor(eps * window_epochs)),
+        )
+        self._degraded_blocks_total += plan.degraded_blocks
+        self._window_queries += 1
+        self._window_slack_total += plan.window_slack_used
+        return plan
+
     def query(
-        self, lo: float, hi: float, use_rollups: bool = True
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        use_rollups: bool = True,
+        *,
+        window: Optional[float] = None,
+        window_eps: float = 0.0,
     ) -> QueryResult:
         """Answer a ``[lo, hi)`` range query from pre-merged segments.
 
@@ -628,19 +692,57 @@ class SegmentStore:
         at the same store generation are served without re-merging.
         ``use_rollups=False`` forces the naive full scan over base
         segments (the benchmark baseline; answers are equivalent).
+
+        ``window=W`` asks for the trailing window instead: the last
+        ``W`` key units ending at ``hi`` (default: the end of the
+        ingested span).  ``window_eps`` relaxes the window start so the
+        planner may absorb one straddling materialized roll-up whole —
+        the exponential-histogram rule — trading at most a
+        ``(1 + window_eps)`` mass overshoot for strictly fewer merges
+        (see :meth:`plan_window`).
         """
         if not self._schema:
             raise QueryError("store has no members; add_member() first")
-        cache_key = (
-            self._generation,
-            self.epoch_of(lo),
-            int(math.ceil(float(hi) / self.width)),
-            use_rollups,
-        )
-        cached = self._views.get(cache_key)
-        if cached is not None:
-            return cached
-        plan = self.plan(lo, hi, use_rollups=use_rollups)
+        if window is not None:
+            if lo is not None:
+                raise ParameterError(
+                    "pass either an explicit [lo, hi) range or window=, "
+                    "not both"
+                )
+            lo_epoch, hi_epoch, window_epochs = self._window_range(window, hi)
+            cache_key = (
+                self._generation,
+                "window",
+                lo_epoch,
+                hi_epoch,
+                window_epochs,
+                float(window_eps),
+                use_rollups,
+            )
+            cached = self._views.get(cache_key)
+            if cached is not None:
+                return cached
+            plan = self.plan_window(
+                window,
+                end=hi,
+                eps=window_eps,
+                use_rollups=use_rollups,
+            )
+        else:
+            if lo is None or hi is None:
+                raise ParameterError(
+                    "query needs an explicit [lo, hi) range or window="
+                )
+            cache_key = (
+                self._generation,
+                self.epoch_of(lo),
+                int(math.ceil(float(hi) / self.width)),
+                use_rollups,
+            )
+            cached = self._views.get(cache_key)
+            if cached is not None:
+                return cached
+            plan = self.plan(lo, hi, use_rollups=use_rollups)
         members: Dict[str, Summary] = {}
         for name, spec in self._schema.items():
             parts = [segment.members[name] for segment in plan.segments]
@@ -654,7 +756,7 @@ class SegmentStore:
             members,
             plan,
             key_range=(
-                plan.lo_epoch * self.width,
+                plan.covered_lo_epoch * self.width,
                 plan.hi_epoch * self.width,
             ),
         )
@@ -689,7 +791,11 @@ class SegmentStore:
             "rollups_per_level": {str(k): per_level[k] for k in sorted(per_level)},
             "key_span": self.key_span(),
             "view_cache": self._views.stats,
-            "planner": {"degraded_blocks_total": self._degraded_blocks_total},
+            "planner": {
+                "degraded_blocks_total": self._degraded_blocks_total,
+                "window_queries": self._window_queries,
+                "window_slack_epochs_total": self._window_slack_total,
+            },
         }
 
     # ------------------------------------------------------------------

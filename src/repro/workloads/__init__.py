@@ -16,6 +16,7 @@ from .timeseries import (
     bursty_events,
     diurnal_events,
     regime_change_events,
+    window_replay_events,
     with_late_arrivals,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "regime_change_events",
     "bursty_events",
     "diurnal_events",
+    "window_replay_events",
     "with_late_arrivals",
 ]

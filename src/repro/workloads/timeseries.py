@@ -18,6 +18,7 @@ __all__ = [
     "regime_change_events",
     "bursty_events",
     "diurnal_events",
+    "window_replay_events",
     "with_late_arrivals",
 ]
 
@@ -107,6 +108,42 @@ def diurnal_events(
         hour = (t % day_length) / day_length
         item = day_item if hour < 0.5 else night_item
         events.append((item, float(t)))
+    return events
+
+
+def window_replay_events(
+    n: int,
+    span: float,
+    universe: int = 1_000,
+    skew: float = 1.5,
+    late_fraction: float = 0.0,
+    max_delay: float = 0.0,
+    rng: RngLike = None,
+) -> List[Event]:
+    """A skewed event stream in *delivery* order, for window replay.
+
+    Event timestamps are uniform over ``[0, span)`` and items are drawn
+    Zipf-like (exponent ``skew``) from ``universe`` values, so every
+    window stripe sees the same heavy hitters a sliding-window summary
+    should surface.  ``late_fraction`` / ``max_delay`` perturb the
+    delivery order while preserving each event's timestamp — the
+    out-of-order input the time-mode windowed combinator must tolerate
+    (see :func:`with_late_arrivals`).  Deterministic under a seed.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n!r}")
+    if span <= 0:
+        raise ParameterError(f"span must be positive, got {span!r}")
+    if universe < 1:
+        raise ParameterError(f"universe must be >= 1, got {universe!r}")
+    if skew <= 1.0:
+        raise ParameterError(f"skew must be > 1, got {skew!r}")
+    gen = resolve_rng(rng)
+    times = np.sort(gen.random(n)) * span
+    items = (gen.zipf(skew, size=n) - 1) % universe
+    events = [(int(item), float(t)) for item, t in zip(items, times)]
+    if late_fraction > 0.0:
+        return with_late_arrivals(events, late_fraction, max_delay, rng=gen)
     return events
 
 

@@ -81,6 +81,13 @@ def _build_all_registered():
         ),
         "eps_kernel": EpsKernel(0.1).extend_points(points),
     }
+    # auto-derived windowed.<name> variants: built from the conformance
+    # suite's prototype factories so no per-type code is needed here
+    from tests.test_protocol_conformance import SPECS as conformance_specs
+
+    for name, spec in conformance_specs.items():
+        if name.startswith("windowed."):
+            instances[name] = spec.factory().extend(spec.feed_a())
     return instances
 
 

@@ -7,6 +7,10 @@ import pytest
 from repro.core import MergeError, ParameterError, QueryError
 from repro.decay import WindowedMisraGries
 
+# the class under test is a deprecated alias; constructing it warns by
+# design (tests/windows/test_windowed.py pins the warning itself)
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _build(events, **kwargs):
     summary = WindowedMisraGries(**kwargs)

@@ -318,6 +318,29 @@ STORE_MEMBERS = {
     ),
 }
 
+
+def _windowed_members():
+    """Derive a member entry for every ``windowed.<name>`` variant.
+
+    Count-mode with no expiry window: the store's n-accounting stays
+    exact, and the EH bucket structure (which legitimately differs
+    between merge orders) is checked by the generic envelope check
+    below instead of bit-for-bit.
+    """
+    from repro.windows import windowed_names
+
+    derived = {}
+    for name in windowed_names():
+        base_kwargs, kind = STORE_MEMBERS[name.split(".", 1)[1]]
+        derived[name] = (
+            {"eps": 0.25, "granularity": 8, **base_kwargs},
+            kind,
+        )
+    return derived
+
+
+STORE_MEMBERS.update(_windowed_members())
+
 #: associative merges: the roll-up tree must reproduce the naive scan's
 #: state bit-for-bit (canonicalized: volatile seed stripped, KMV's
 #: heap order sorted)
@@ -425,6 +448,45 @@ def _check_moment_sketch(rollup, naive, feeds):
             assert abs(rank - true_rank) <= 0.05 * n + 1, (q, estimate)
 
 
+def _check_windowed(name):
+    """Generic equivalence check for a ``windowed.<base>`` member.
+
+    The EH bucket layout legitimately depends on merge order (the
+    cascade fires at different points along the roll-up tree vs the
+    naive chain), so the check is semantic: both answers must satisfy
+    the (1+eps) window-count envelope against the *true* trailing count
+    (count mode: the last W of n unit-weight items is exactly W), and
+    the full-window merged content must match per the base type's own
+    classification — bit-for-bit for associative bases, error-bounded
+    for bounded bases.  Custom-check bases (decay timelines, float
+    accumulation orders) are covered by the envelope alone: their
+    content checks assume one ingest order, which bucketing re-chunks.
+    """
+    base = name.split(".", 1)[1]
+
+    def check(rollup, naive, feeds):
+        n = rollup.n
+        eps = rollup.eps
+        for frac in (0.25, 0.5, 1.0):
+            w = max(1, int(frac * n))
+            for summary in (rollup, naive):
+                bounds = summary.window_count_bounds(window=w)
+                assert bounds.lower <= w <= bounds.upper
+                assert (
+                    bounds.upper - bounds.lower
+                    <= 2 * eps * bounds.upper + summary.granularity
+                )
+        merged_rollup = rollup.window_query().summary
+        merged_naive = naive.window_query().summary
+        assert merged_rollup.n == merged_naive.n == n
+        if base in STATE_IDENTICAL:
+            assert _canon(merged_rollup) == _canon(merged_naive)
+        elif base in MERGE_SPECS and MERGE_SPECS[base].mode == "bounded":
+            MERGE_SPECS[base].check(merged_naive, merged_rollup, feeds)
+
+    return check
+
+
 CUSTOM_CHECKS = {
     "bottom_k_sample": _check_bottom_k,
     "conservative_count_min": _check_conservative_cm,
@@ -434,6 +496,13 @@ CUSTOM_CHECKS = {
     "eps_approximation": _check_eps_approximation,
     "moment_sketch": _check_moment_sketch,
 }
+CUSTOM_CHECKS.update(
+    {
+        name: _check_windowed(name)
+        for name in STORE_MEMBERS
+        if name.startswith("windowed.")
+    }
+)
 
 
 def test_every_registered_type_is_classified():

@@ -223,7 +223,39 @@ def _specs() -> List[BatchSpec]:
     ]
 
 
-SPECS: Dict[str, BatchSpec] = {spec.name: spec for spec in _specs()}
+def _windowed_specs(base_specs: List[BatchSpec]) -> List[BatchSpec]:
+    """Derive a spec for every auto-registered ``windowed.<name>`` variant.
+
+    The combinator inherits the generic per-item ``update_batch``
+    fallback, so batch ingestion is *exactly* the sequential loop —
+    every derived spec pins mode="exact" (``weight_in_n`` follows the
+    base type, since the window's ``n`` is the sum of its bucket
+    sub-summaries' ``n``).
+    """
+    from repro.windows import windowed_names
+
+    derived = set(windowed_names())
+    specs = []
+    for spec in base_specs:
+        name = f"windowed.{spec.name}"
+        if name not in derived:
+            continue
+        specs.append(
+            BatchSpec(
+                name,
+                lambda s=spec: s.factory().windowed(eps=0.25, granularity=4),
+                spec.feed,
+                mode="exact",
+                max_weight=spec.max_weight,
+                weight_in_n=spec.weight_in_n,
+            )
+        )
+    return specs
+
+
+BASE_SPECS: Dict[str, BatchSpec] = {spec.name: spec for spec in _specs()}
+SPECS: Dict[str, BatchSpec] = dict(BASE_SPECS)
+SPECS.update({spec.name: spec for spec in _windowed_specs(list(BASE_SPECS.values()))})
 
 
 def test_every_registered_type_has_a_batch_spec():

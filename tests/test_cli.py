@@ -387,3 +387,153 @@ class TestInspectAndTypes:
         out = capsys.readouterr().out
         assert "misra_gries" in out
         assert "hyperloglog" in out
+
+
+class TestWindowedCli:
+    """The sliding-window surface: build --window/--eps, types --kind,
+    plan --windowed, store query --window/--window-eps."""
+
+    def test_build_windowed(self, item_files, tmp_path, capsys):
+        a, _ = item_files
+        out = tmp_path / "w.json"
+        assert main(["build", "--type", "misra_gries", "--arg", "k=8",
+                     "--window", "40", "--eps", "0.25",
+                     "--input", str(a), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["type"] == "windowed.misra_gries"
+        text = capsys.readouterr().out
+        assert "built windowed.misra_gries" in text
+        # the window retains roughly the trailing 40 of 50 items
+        assert "n=4" in text
+
+    def test_build_eps_alone_windows_without_expiry(
+        self, item_files, tmp_path, capsys
+    ):
+        a, _ = item_files
+        out = tmp_path / "w.json"
+        assert main(["build", "--type", "exact_counter", "--eps", "0.5",
+                     "--input", str(a), "--out", str(out)]) == 0
+        assert "built windowed.exact_counter: n=50" in capsys.readouterr().out
+
+    def test_windowed_summary_round_trips_through_inspect(
+        self, item_files, tmp_path, capsys
+    ):
+        a, _ = item_files
+        out = tmp_path / "w.json"
+        main(["build", "--type", "misra_gries", "--arg", "k=8",
+              "--window", "40", "--input", str(a), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        assert "type: windowed.misra_gries" in capsys.readouterr().out
+
+    def test_query_answers_from_the_window_view(
+        self, item_files, tmp_path, capsys
+    ):
+        # items: 30x "7" then 0..19; a 20-item window covers the tail,
+        # so 7 must NOT dominate the windowed answer
+        a, _ = item_files
+        out = tmp_path / "w.json"
+        main(["build", "--type", "exact_counter", "--window", "20",
+              "--granularity", "5", "--input", str(a), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["query", str(out), "--estimate", "7"]) == 0
+        windowed_sevens = int(capsys.readouterr().out.strip())
+        assert windowed_sevens < 30
+        # an explicit narrower --window narrows further
+        assert main(["query", str(out), "--window", "5",
+                     "--estimate", "7"]) == 0
+        assert int(capsys.readouterr().out.strip()) <= windowed_sevens
+
+    def test_query_window_flag_rejected_on_flat_summary(
+        self, item_files, tmp_path, capsys
+    ):
+        a, _ = item_files
+        out = tmp_path / "s.json"
+        main(["build", "--type", "exact_counter",
+              "--input", str(a), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["query", str(out), "--window", "10",
+                     "--estimate", "7"]) == 1
+        assert "windowed summary" in capsys.readouterr().err
+
+    def test_types_kind_filter(self, capsys):
+        assert main(["types", "--kind", "windowed"]) == 0
+        windowed = capsys.readouterr().out.split()
+        assert windowed
+        assert all(
+            name.startswith("windowed.") or name == "windowed_misra_gries"
+            for name in windowed
+        )
+        assert main(["types", "--kind", "base"]) == 0
+        base = capsys.readouterr().out.split()
+        assert "misra_gries" in base
+        assert not any(name.startswith("windowed.") for name in base)
+        assert main(["types"]) == 0
+        assert set(capsys.readouterr().out.split()) == set(windowed) | set(base)
+
+    def test_plan_windowed_fold(self, capsys):
+        assert main(["plan", "--windowed", "--count", "4", "--waves"]) == 0
+        out = capsys.readouterr().out
+        assert "fold:windowed[4x" in out
+        assert "groupable" in out
+        assert "wave 0" in out
+
+    @pytest.fixture
+    def window_store(self, tmp_path):
+        items = tmp_path / "items.txt"
+        keys = tmp_path / "keys.txt"
+        values = [i % 11 for i in range(640)]
+        items.write_text("\n".join(str(v) for v in values))
+        keys.write_text("\n".join(str(i // 10) for i in range(640)))
+        assert main(["store", "ingest", "--dir", str(tmp_path / "st"),
+                     "--type", "exact_counter", "--width", "1",
+                     "--input", str(items), "--keys", str(keys)]) == 0
+        assert main(["store", "compact", "--dir", str(tmp_path / "st")]) == 0
+        return tmp_path / "st", values
+
+    def test_store_window_query_equals_explicit_range(
+        self, window_store, capsys
+    ):
+        store_dir, values = window_store
+        capsys.readouterr()
+        answers = []
+        for flags in (["--window", "16"], ["--lo", "48", "--hi", "64"]):
+            assert main(["store", "query", "--dir", str(store_dir),
+                         *flags, "--estimate", "3"]) == 0
+            answers.append(capsys.readouterr().out.strip())
+        assert answers[0] == answers[1]
+        assert int(answers[0]) == sum(
+            1 for i, v in enumerate(values) if v == 3 and i >= 480
+        )
+
+    def test_store_window_eps_absorbs_rollup(self, window_store, capsys):
+        store_dir, _ = window_store
+        capsys.readouterr()
+        assert main(["store", "query", "--dir", str(store_dir),
+                     "--window", "48", "--window-eps", "0.5",
+                     "--estimate", "3", "--explain"]) == 0
+        relaxed = capsys.readouterr().out
+        assert main(["store", "query", "--dir", str(store_dir),
+                     "--window", "48", "--estimate", "3", "--explain"]) == 0
+        exact = capsys.readouterr().out
+        # the relaxed plan serves the whole-store roll-up: one segment
+        assert "fan_in=1" in relaxed
+        assert "fan_in=1" not in exact
+
+    def test_store_window_and_range_mutually_exclusive(
+        self, window_store, capsys
+    ):
+        store_dir, _ = window_store
+        assert main(["store", "query", "--dir", str(store_dir),
+                     "--lo", "0", "--window", "8", "--estimate", "3"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_store_window_validation(self, window_store, capsys):
+        store_dir, _ = window_store
+        assert main(["store", "query", "--dir", str(store_dir),
+                     "--window", "-4", "--estimate", "3"]) == 1
+        assert "window must be positive" in capsys.readouterr().err
+        assert main(["store", "query", "--dir", str(store_dir),
+                     "--window", "8", "--window-eps", "3",
+                     "--estimate", "3"]) == 1
+        assert "eps must be in" in capsys.readouterr().err

@@ -232,7 +232,39 @@ def _specs() -> List[MergeSpec]:
     ]
 
 
-MERGE_SPECS = {spec.name: spec for spec in _specs()}
+def _windowed_specs(base_specs: List[MergeSpec]) -> List[MergeSpec]:
+    """Derive a spec for every auto-registered ``windowed.<name>`` variant.
+
+    The windowed combinator inherits the generic sequential
+    ``merge_many`` loop, which *is* the chain fold — so every windowed
+    variant is "exact", regardless of the base type's own k-way mode:
+    the reordering fast paths live inside the bucket sub-summaries and
+    both sides replay them in the same order.
+    """
+    from repro.windows import windowed_names
+
+    derived = set(windowed_names())
+    specs = []
+    for spec in base_specs:
+        name = f"windowed.{spec.name}"
+        if name not in derived:
+            continue
+        specs.append(
+            MergeSpec(
+                name,
+                lambda i, s=spec: s.factory(i).windowed(eps=0.25, granularity=4),
+                spec.feed,
+                "exact",
+            )
+        )
+    return specs
+
+
+BASE_MERGE_SPECS = {spec.name: spec for spec in _specs()}
+MERGE_SPECS = dict(BASE_MERGE_SPECS)
+MERGE_SPECS.update(
+    {spec.name: spec for spec in _windowed_specs(list(BASE_MERGE_SPECS.values()))}
+)
 
 #: registered types with no meaningful k-way fold, with the reason
 SKIPPED_TYPES = {
@@ -389,6 +421,18 @@ def _aggregation_setup(name: str):
         "decayed_misra_gries": ("ints", lambda i: DecayedMisraGries(8, half_life=10.0)),
         "windowed_misra_gries": ("ints", lambda i: WindowedMisraGries(8, bucket_width=5.0, num_buckets=8)),
     }
+    from repro.windows import windowed_names
+
+    # every windowed.<name> variant rides its base type's data and
+    # factory; coarse granularity keeps the bucket count modest
+    for derived in windowed_names():
+        base = derived.split(".", 1)[1]
+        base_kind, base_factory = table[base]
+        table[derived] = (
+            base_kind,
+            lambda i, f=base_factory: f(i).windowed(eps=0.25, granularity=16),
+        )
+
     kind, factory = table[name]
     return AGGREGATION_DATA[kind](), factory
 

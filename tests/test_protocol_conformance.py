@@ -83,7 +83,13 @@ def _specs() -> List[Spec]:
         return DecayedMisraGries(8, half_life=10.0)
 
     def windowed_factory():
-        return WindowedMisraGries(8, bucket_width=5.0, num_buckets=8)
+        import warnings
+
+        with warnings.catch_warnings():
+            # deprecated alias; the deprecation itself is pinned in
+            # tests/windows/test_windowed.py
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return WindowedMisraGries(8, bucket_width=5.0, num_buckets=8)
 
     return [
         Spec("misra_gries", lambda: MisraGries(8), lambda: _items(1), lambda: _items(2)),
@@ -159,7 +165,37 @@ def _specs() -> List[Spec]:
     ]
 
 
-SPECS = {spec.name: spec for spec in _specs()}
+def _windowed_specs(base_specs: List[Spec]) -> List[Spec]:
+    """Derive a spec for every auto-registered ``windowed.<name>`` variant.
+
+    Zero per-type code: the windowed combinator is parametrized by an
+    empty prototype, so each base spec's factory doubles as the
+    prototype factory.  Coarse granularity keeps the sub-summary count
+    (and suite runtime) small while still exercising the EH cascade.
+    """
+    from repro.windows import windowed_names
+
+    derived = set(windowed_names())
+    specs = []
+    for spec in base_specs:
+        name = f"windowed.{spec.name}"
+        if name not in derived:
+            continue
+        specs.append(
+            Spec(
+                name,
+                lambda s=spec: s.factory().windowed(eps=0.25, granularity=4),
+                spec.feed_a,
+                spec.feed_b,
+                spec.supports_plain_update,
+            )
+        )
+    return specs
+
+
+BASE_SPECS = {spec.name: spec for spec in _specs()}
+SPECS = dict(BASE_SPECS)
+SPECS.update({spec.name: spec for spec in _windowed_specs(list(BASE_SPECS.values()))})
 
 
 def test_every_registered_type_has_a_spec():

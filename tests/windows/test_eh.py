@@ -1,0 +1,151 @@
+"""Unit tests for the exponential-histogram bucket machinery.
+
+Covers the :mod:`repro.windows.eh` primitives directly (Bucket
+lifecycle, canonicalize's per-level cap invariant and deterministic
+cascade order, sorted_union's stable span ordering) plus the resulting
+space bound through the combinator: a window of mass W is held in
+``O(cap * log W)`` buckets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frequency import ExactCounter
+from repro.windows.eh import Bucket, canonicalize, sorted_union
+
+
+def _bucket(items, level=0, start=0, end=1):
+    return Bucket(ExactCounter().extend(items), len(items), level, start, end)
+
+
+def _total_counts(buckets):
+    merged = ExactCounter()
+    merged.merge_many([b.summary for b in buckets])
+    return merged
+
+
+class TestBucket:
+    def test_absorb_merges_mass_level_and_span(self):
+        a = _bucket([1, 2], level=3, start=4, end=6)
+        b = _bucket([2, 3], level=3, start=2, end=4)
+        a.absorb(b)
+        assert a.count == 4
+        assert a.level == 4
+        assert (a.start, a.end) == (2, 6)
+        assert a.summary.estimate(2) == 2
+        assert a.summary.n == 4
+
+    def test_clone_is_deep(self):
+        original = _bucket([1, 1, 2], start=0, end=3)
+        copy = original.clone()
+        copy.summary.update(9)
+        copy.count += 1
+        assert original.count == 3
+        assert original.summary.estimate(9) == 0
+        assert copy.summary.estimate(9) == 1
+
+    def test_clone_offset_shifts_span(self):
+        copy = _bucket([1], start=5, end=8).clone(offset=100)
+        assert (copy.start, copy.end) == (105, 108)
+
+    def test_to_dict_round_trips_span_metadata(self):
+        row = _bucket([1, 2], level=2, start=3, end=7).to_dict()
+        assert row["level"] == 2
+        assert row["count"] == 2
+        assert (row["start"], row["end"]) == (3, 7)
+        assert ExactCounter.from_dict(row["state"]).n == 2
+
+
+class TestCanonicalize:
+    def test_enforces_per_level_cap(self):
+        for n in (1, 3, 7, 13, 40):
+            buckets = [_bucket([i], start=i, end=i + 1) for i in range(n)]
+            cap = 3
+            canonicalize(buckets, cap)
+            per_level = {}
+            for b in buckets:
+                per_level[b.level] = per_level.get(b.level, 0) + 1
+            assert all(count <= cap for count in per_level.values()), per_level
+
+    def test_preserves_mass_and_content(self):
+        buckets = [_bucket([i % 5], start=i, end=i + 1) for i in range(23)]
+        canonicalize(buckets, 2)
+        assert sum(b.count for b in buckets) == 23
+        merged = _total_counts(buckets)
+        assert merged.n == 23
+        assert merged.estimate(0) == 5
+
+    def test_merges_two_oldest_of_overflowing_level(self):
+        # cap=2, three level-0 buckets: the two OLDEST merge up, the
+        # newest survives at level 0
+        buckets = [_bucket([i], start=i, end=i + 1) for i in range(3)]
+        canonicalize(buckets, 2)
+        assert [b.level for b in buckets] == [1, 0]
+        assert (buckets[0].start, buckets[0].end) == (0, 2)
+        assert (buckets[1].start, buckets[1].end) == (2, 3)
+
+    def test_overflow_cascades_to_coarser_levels(self):
+        # cap=2: 7 unit buckets canonicalize into the EH ladder
+        # {level 2: one 4-bucket, level 1: one 2-bucket, level 0: one}
+        buckets = [_bucket([i], start=i, end=i + 1) for i in range(7)]
+        canonicalize(buckets, 2)
+        assert sorted((b.level, b.count) for b in buckets) == [
+            (0, 1),
+            (1, 2),
+            (2, 4),
+        ]
+
+    def test_deterministic(self):
+        def run():
+            buckets = [
+                _bucket([i % 3], start=i, end=i + 1) for i in range(17)
+            ]
+            canonicalize(buckets, 3)
+            return [(b.level, b.count, b.start, b.end) for b in buckets]
+
+        assert run() == run()
+
+    def test_noop_when_within_cap(self):
+        buckets = [_bucket([i], start=i, end=i + 1) for i in range(3)]
+        before = [(b.level, b.start, b.end) for b in buckets]
+        canonicalize(buckets, 5)
+        assert [(b.level, b.start, b.end) for b in buckets] == before
+
+
+class TestSortedUnion:
+    def test_interleaves_by_span(self):
+        mine = [_bucket([0], start=s, end=s + 1) for s in (0, 4, 8)]
+        theirs = [_bucket([1], start=s, end=s + 1) for s in (2, 6)]
+        union = sorted_union(mine, theirs)
+        assert [b.start for b in union] == [0, 2, 4, 6, 8]
+
+    def test_ties_break_toward_mine(self):
+        mine = [_bucket([0], start=1, end=2)]
+        theirs = [_bucket([1], start=1, end=2)]
+        union = sorted_union(mine, theirs)
+        assert union[0] is mine[0]
+        assert union[1] is theirs[0]
+
+    def test_empty_sides(self):
+        only = [_bucket([0], start=0, end=1)]
+        assert sorted_union(only, []) == only
+        assert sorted_union([], only) == only
+        assert sorted_union([], []) == []
+
+
+class TestSpaceBound:
+    def test_bucket_count_is_logarithmic_in_mass(self):
+        # the EH guarantee surfaced through the combinator: cap buckets
+        # per level, O(log W) levels
+        win = ExactCounter().windowed(eps=0.25, granularity=1)
+        for i in range(4096):
+            win.update(i)
+        levels = math.log2(4096) + 2
+        assert win.num_buckets <= win.cap * levels
+        assert win.n == 4096
+
+    def test_cap_tracks_eps(self):
+        for eps, expected in ((1.0, 2), (0.5, 3), (0.25, 5), (0.1, 11)):
+            win = ExactCounter().windowed(eps=eps)
+            assert win.cap == expected

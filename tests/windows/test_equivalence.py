@@ -1,0 +1,254 @@
+"""Window-query ≡ rebuild-from-scratch, for every registered variant.
+
+The ISSUE's acceptance criterion: for each auto-derived
+``windowed.<name>`` summary, querying the trailing window must agree
+with a summary rebuilt from scratch over the *covered* stream slice —
+under sequential ingest and under adversarial merge trees — within the
+``(1 + eps)`` mass envelope.  The suite is registry-driven
+(:func:`repro.windows.windowed_names`), so a newly registered windowable
+base type is covered automatically and a dodged one fails loudly.
+
+Three layers of agreement, pinned per base type exactly like the store
+suite:
+
+- every type: the covered span is bucket-aligned and exact — the
+  window query's merged summary and the rebuild summarize the *same*
+  items (``n`` matches the slice length), and the window-mass bounds
+  bracket the requested window within the envelope;
+- ``STREAM_IDENTICAL`` (associative state: linear sketches, exact
+  baselines, order-insensitive samples): canonical serialized state
+  matches bit-for-bit;
+- bounded types reuse the merge-runtime checkers (the bucket merge
+  tree is just another merge order, which mergeability says costs no
+  accuracy); ``conservative_count_min`` keeps its one-sided bound.
+
+The remaining types (order-sensitive internals: decay timelines,
+float-summation order, Boyer–Moore votes) are pinned by the universal
+layer here and byte-exactly by the merge-runtime suite's
+``windowed.*`` specs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.windows import windowed_names
+from tests.test_merge_runtime import BASE_MERGE_SPECS
+
+EPS = 0.25
+WINDOW = 64
+GRAN = 4
+STREAM = 320
+
+#: bases whose merged state is invariant to how the stream was chunked
+STREAM_IDENTICAL = frozenset(
+    {
+        "ams_f2",
+        "bloom_filter",
+        "count_min",
+        "count_sketch",
+        "exact_counter",
+        "exact_quantiles",
+        "hyperloglog",
+        "k_min_values",
+    }
+)
+
+ALL_VARIANTS = sorted(windowed_names())
+
+
+def _canon(summary) -> str:
+    """Canonical state: volatile re-seeds stripped, lists order-free."""
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k != "seed"}
+        if isinstance(value, list):
+            return sorted(
+                (strip(v) for v in value),
+                key=lambda v: json.dumps(v, sort_keys=True),
+            )
+        return value
+
+    return json.dumps(strip(summary.to_dict()), sort_keys=True)
+
+
+def _stream(spec, n: int) -> list:
+    out: list = []
+    seed = 0
+    while len(out) < n:
+        out.extend(spec.feed(seed))
+        seed += 1
+    return out[:n]
+
+
+def _check_equivalence(name: str, win, stream: list) -> None:
+    """The shared assertion core: view vs rebuild over the covered span."""
+    base = name.split(".", 1)[1]
+    spec = BASE_MERGE_SPECS[base]
+
+    bounds = win.window_count_bounds()
+    assert bounds.lower <= WINDOW <= bounds.upper
+    # the straddling-bucket slack the (1 + eps) envelope prices
+    assert bounds.upper - bounds.lower <= 2 * EPS * bounds.upper + GRAN
+
+    view = win.window_query()
+    assert (view.bounds.lower, view.bounds.upper) == (
+        bounds.lower,
+        bounds.upper,
+    )
+    covered = stream[view.covered_start : view.covered_end]
+    rebuild = win._spawn().extend(covered)
+
+    # exact item coverage: the merged view and the from-scratch rebuild
+    # summarize precisely the covered slice — nothing lost, nothing
+    # double-counted by the bucket merges
+    assert view.summary.n == rebuild.n == len(covered)
+
+    if base in STREAM_IDENTICAL:
+        assert _canon(view.summary) == _canon(rebuild)
+    elif spec.mode == "bounded":
+        spec.check(rebuild, view.summary, [covered])
+    elif base == "conservative_count_min":
+        from collections import Counter
+
+        truth = Counter(covered)
+        for item, count in truth.most_common(10):
+            assert view.summary.estimate(item) >= count
+            assert rebuild.estimate(item) >= count
+
+
+@pytest.mark.parametrize("name", ALL_VARIANTS)
+def test_sequential_ingest(name):
+    base = name.split(".", 1)[1]
+    spec = BASE_MERGE_SPECS[base]
+    win = spec.factory(0).windowed(eps=EPS, window=WINDOW, granularity=GRAN)
+    stream = _stream(spec, STREAM)
+    for item in stream:
+        win.update(item)
+    _check_equivalence(name, win, stream)
+
+
+def _chain(parts, fresh):
+    acc = fresh()
+    acc.merge_many(parts)
+    return acc
+
+
+def _balanced_tree(parts, fresh):
+    nodes = list(parts)
+    while len(nodes) > 1:
+        merged = []
+        for i in range(0, len(nodes), 2):
+            if i + 1 < len(nodes):
+                acc = fresh()
+                acc.merge_many([nodes[i], nodes[i + 1]])
+                merged.append(acc)
+            else:
+                merged.append(nodes[i])
+        nodes = merged
+    return nodes[0]
+
+
+def _skewed(parts, fresh):
+    # one accumulator swallowing operands one at a time, biggest first:
+    # the worst case for cascade interleaving
+    acc = fresh()
+    for part in parts:
+        acc.merge(part)
+    return acc
+
+
+TREES = {
+    "chain": _chain,
+    "balanced": _balanced_tree,
+    "skewed": _skewed,
+}
+
+
+@pytest.mark.parametrize("name", ALL_VARIANTS)
+@pytest.mark.parametrize("tree", sorted(TREES))
+def test_adversarial_merge_trees(name, tree):
+    """Same acceptance bar when the window was *assembled*, not streamed.
+
+    The stream is split into uneven parts (one large, many small — the
+    shapes that maximally desynchronize the EH cascade), each ingested
+    into its own windowed summary, then combined under an adversarial
+    merge tree.  Count-mode concat semantics make operand order the
+    stream order, so the rebuilt reference is still a contiguous slice
+    of the original stream.
+    """
+    base = name.split(".", 1)[1]
+    spec = BASE_MERGE_SPECS[base]
+    stream = _stream(spec, STREAM)
+    # uneven split: half the stream in one part, the rest in slivers
+    cuts = [0, STREAM // 2]
+    while cuts[-1] < STREAM:
+        cuts.append(min(STREAM, cuts[-1] + 13))
+    parts = []
+    for i, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+        part = spec.factory(i).windowed(eps=EPS, window=WINDOW, granularity=GRAN)
+        for item in stream[lo:hi]:
+            part.update(item)
+        parts.append(part)
+
+    def fresh():
+        return spec.factory(99).windowed(
+            eps=EPS, window=WINDOW, granularity=GRAN
+        )
+
+    win = TREES[tree](parts, fresh)
+    _check_equivalence(name, win, stream)
+
+
+@pytest.mark.parametrize("name", ALL_VARIANTS)
+def test_codec_round_trip(name):
+    """Populated windowed state survives every registered codec.
+
+    The acceptance criterion's serialization leg: windowed variants are
+    first-class registry citizens, so all three codecs must round-trip
+    a mid-stream window — buckets, pending granule, clock, expiry
+    horizon — without changing any answer.
+    """
+    from repro.core import dumps, loads, registered_codecs
+
+    base = name.split(".", 1)[1]
+    spec = BASE_MERGE_SPECS[base]
+    win = spec.factory(0).windowed(eps=EPS, window=WINDOW, granularity=GRAN)
+    for item in _stream(spec, 150):
+        win.update(item)
+    for codec in registered_codecs():
+        clone = loads(dumps(win, codec))
+        assert type(clone) is type(win)
+        assert clone.n == win.n
+        assert clone._clock == win._clock
+        assert clone._expired_end == win._expired_end
+        assert clone.window_count_bounds() == win.window_count_bounds()
+        assert _canon(clone.window_query().summary) == _canon(
+            win.window_query().summary
+        )
+
+
+def test_registry_is_covered():
+    """The parametrization is complete and each variant's checks bind.
+
+    Every windowable base registration must appear in ``ALL_VARIANTS``
+    (so a new summary type cannot dodge this suite) and every variant's
+    base must carry a merge spec (so ``_check_equivalence`` has a feed
+    and, where applicable, a bounded checker for it).
+    """
+    from repro.core import get_summary_class, registered_names
+
+    windowable_bases = {
+        name
+        for name in registered_names(kind="base")
+        if getattr(get_summary_class(name), "windowable", True)
+    }
+    assert {f"windowed.{name}" for name in windowable_bases} == set(
+        ALL_VARIANTS
+    )
+    assert len(ALL_VARIANTS) >= 20
+    for name in ALL_VARIANTS:
+        assert name.split(".", 1)[1] in BASE_MERGE_SPECS
