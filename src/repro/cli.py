@@ -362,11 +362,10 @@ def _is_cube_dir(directory: str) -> bool:
 
 
 def _open_store(directory: str):
-    from .store import CubeStore, SegmentStore
+    from .store import load
 
-    if _is_cube_dir(directory):
-        return CubeStore.open(directory)
-    return SegmentStore.open(directory)
+    # the manifest names the kind; load() returns the matching class
+    return load(directory)
 
 
 def _read_records(path: str) -> List[Dict[str, Any]]:
@@ -407,10 +406,11 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
     if (target / "manifest.json").exists():
         if _is_cube_dir(args.dir):
             if args.wal:
-                raise SystemExit(
-                    "--wal is not supported for dimension cubes"
+                store = CubeStore.open_durable(
+                    args.dir, fsync_every=args.fsync_every
                 )
-            store = CubeStore.open(args.dir)
+            else:
+                store = CubeStore.open(args.dir)
             if dims and dims != store.dims:
                 raise SystemExit(
                     f"{args.dir} is keyed by dims {list(store.dims)}; "
@@ -431,10 +431,6 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
         if not args.type:
             raise SystemExit("--type is required when creating a new store")
         if dims:
-            if args.wal:
-                raise SystemExit(
-                    "--wal is not supported for dimension cubes"
-                )
             store = CubeStore(
                 width=args.width,
                 dims=dims,
@@ -473,25 +469,19 @@ def _cmd_store_ingest(args: argparse.Namespace) -> int:
         )
     stats = store.ingest(records, keys, weights)
     report = store.save(args.dir)
-    if is_cube:
-        print(
-            f"ingested {stats['records']} records: "
-            f"cells +{stats['cells_created']} "
-            f"(replaced {stats['cells_replaced']}, "
-            f"invalidated {stats['rollups_invalidated']} roll-ups) "
-            f"-> {args.dir}"
-        )
-        return 0
     wal_note = ""
     if args.wal:
         wal_note = (
             f" [wal seq {store.wal_seq}, "
             f"retired {report.get('wal_retired', 0)} file(s)]"
         )
+    unit = "cells" if is_cube else "segments"
+    created = stats["cells_created" if is_cube else "segments_created"]
+    replaced = stats["cells_replaced" if is_cube else "segments_replaced"]
     print(
         f"ingested {stats['records']} records: "
-        f"segments +{stats['segments_created']} "
-        f"(replaced {stats['segments_replaced']}, "
+        f"{unit} +{created} "
+        f"(replaced {replaced}, "
         f"invalidated {stats['rollups_invalidated']} roll-ups) "
         f"-> {args.dir}{wal_note}"
     )

@@ -8,13 +8,25 @@ tree, and the planner answers ``[lo, hi)`` range queries from
 :class:`CubeStore` generalizes the store to (dimension-value x epoch)
 cells for ``where``/``group_by`` sub-population queries served from a
 workload-chosen lattice of pre-merged dimension roll-ups.
+
+Both kinds are layerings of one storage kernel: the
+:class:`~repro.store.chain.EpochChain` (the flat store is one chain, a
+cube is many), the shared scaffolding of
+:class:`~repro.store.common.StoreBase`, and one kind-tagged persistence
+format (:func:`save`/:func:`load`, with kind-generic
+:func:`recover_store`/:func:`verify_store` behind the CLI).
 """
 
+from .chain import EpochChain
+from .common import StoreBase
 from .cube import CubePlan, CubeResult, CubeStore
 from .persistence import (
     RecoveryReport,
+    load,
     load_cube,
+    load_store,
     recover_store,
+    save,
     save_cube,
     save_store,
     verify_store,
@@ -37,8 +49,14 @@ __all__ = [
     "CubeStore",
     "CubePlan",
     "CubeResult",
+    "EpochChain",
+    "StoreBase",
+    "save",
+    "load",
     "save_cube",
     "load_cube",
+    "save_store",
+    "load_store",
     "build_members",
     "QueryPlan",
     "plan_range",
@@ -55,6 +73,5 @@ __all__ = [
     "wal_files",
     "RecoveryReport",
     "recover_store",
-    "save_store",
     "verify_store",
 ]

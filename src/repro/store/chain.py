@@ -1,0 +1,285 @@
+"""The storage kernel: one epoch chain, shared by both store kinds.
+
+The paper's thesis is that one merge operation composes everywhere;
+this module is where the repo's storage layer finally says it once.  An
+:class:`EpochChain` owns the per-epoch level-0 segments of *one* series
+plus their incremental dyadic roll-up tree — exactly the structure
+:class:`~repro.store.store.SegmentStore` keeps for its single time
+axis, and :class:`~repro.store.cube.CubeStore` keeps per
+(dimension-value x epoch) cell chain.  Storyboard (Gan et al.,
+PAPERS.md) treats segment summaries and cube cells as the same
+precomputed-summary object; here they literally are:
+
+- the flat store is **one** chain;
+- a cube is **many** chains (one per full dimension key, plus one per
+  materialized coarse cell), planned and compacted with the same code.
+
+Everything layered on top — query planning
+(:func:`~repro.store.planner.plan_range` via :meth:`EpochChain.plan`,
+including the PR 9 ``window=``/``window_eps`` slack rule resolved by
+:func:`resolve_window`), invalidation
+(:meth:`EpochChain.drop_covering_rollups`), roll-up compilation
+(:func:`compile_rollup_steps`), and fault-tolerant plan execution
+(:func:`run_store_plan`) — lives here exactly once, so every future
+store feature lands once instead of twice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.exceptions import ParameterError, QueryError
+from ..engine import MergeLedger, MergePlan, MergeStep, execute_plan
+from .planner import QueryPlan, plan_range
+from .segment import Segment, copy_summary
+
+__all__ = [
+    "EpochChain",
+    "seed_segment",
+    "compile_rollup_steps",
+    "dyadic_levels",
+    "resolve_window",
+    "check_compaction_fault_model",
+    "run_store_plan",
+]
+
+#: a dyadic tree coordinate: (level, start), ``start`` aligned to ``2**level``
+Block = Tuple[int, int]
+
+
+class EpochChain:
+    """One series of immutable per-epoch segments + dyadic roll-ups.
+
+    ``base`` maps epoch -> level-0 segment; ``rollups`` maps
+    ``(level, start)`` -> pre-merged segment covering the aligned block
+    of ``2**level`` epochs; ``max_level`` records the tallest tree ever
+    attempted (the planner's recursion depth — kept even when a build
+    failed, so future compactions retry the blocks).
+    """
+
+    __slots__ = ("base", "rollups", "max_level")
+
+    def __init__(self) -> None:
+        self.base: Dict[int, Segment] = {}
+        self.rollups: Dict[Block, Segment] = {}
+        self.max_level = 0
+
+    def node(self, level: int, start: int) -> Optional[Segment]:
+        """The materialized node covering block ``(level, start)``, if any."""
+        if level == 0:
+            return self.base.get(start)
+        return self.rollups.get((level, start))
+
+    def plan(
+        self,
+        lo_epoch: int,
+        hi_epoch: int,
+        *,
+        use_rollups: bool = True,
+        slack_lo: int = 0,
+    ) -> QueryPlan:
+        """Minimal dyadic cover of ``[lo_epoch, hi_epoch)`` over this chain.
+
+        Delegates to :func:`~repro.store.planner.plan_range`;
+        ``slack_lo`` is the window-query left-edge relaxation (the
+        exponential-histogram oldest-bucket rule — see
+        :func:`resolve_window`, its single resolution site).
+        """
+        return plan_range(
+            lo_epoch,
+            hi_epoch,
+            self.base,
+            self.rollups,
+            max_level=max(self.max_level, 1),
+            use_rollups=use_rollups,
+            slack_lo=slack_lo,
+        )
+
+    def drop_covering_rollups(self, epoch: int) -> int:
+        """Drop every roll-up whose block contains ``epoch``; returns count."""
+        dropped = 0
+        for level in range(1, self.max_level + 1):
+            start = (epoch >> level) << level
+            if self.rollups.pop((level, start), None) is not None:
+                dropped += 1
+        return dropped
+
+    def segments(self) -> List[Segment]:
+        """Live segments: base in epoch order, then roll-ups by block."""
+        base = [self.base[e] for e in sorted(self.base)]
+        ups = [self.rollups[k] for k in sorted(self.rollups)]
+        return base + ups
+
+
+def dyadic_levels(chain: EpochChain) -> int:
+    """Roll-up tree height for the chain's current epoch span."""
+    lo, hi = min(chain.base), max(chain.base)
+    span = hi - lo + 1
+    return max(1, math.ceil(math.log2(span))) if span > 1 else 1
+
+
+def seed_segment(
+    segment_id: str, level: int, start: int
+) -> Callable[[Segment], Segment]:
+    """Copy-on-write builder for a roll-up's merge step.
+
+    Receives the first child segment of the block and returns the fresh
+    roll-up seeded with member-wise copies of it (exactly how
+    :func:`~repro.store.segment.merged_segment` starts); the engine then
+    merges the remaining children in.
+    """
+
+    def seed(first: Segment) -> Segment:
+        return Segment(
+            segment_id=segment_id,
+            level=level,
+            start=start,
+            count=first.count,
+            members={
+                name: copy_summary(summary)
+                for name, summary in first.members.items()
+            },
+        )
+
+    return seed
+
+
+def compile_rollup_steps(
+    chain: EpochChain,
+    levels: int,
+    *,
+    slot_of: Callable[[Block], Any],
+    new_segment_id: Callable[[int, int], str],
+    steps: List[MergeStep],
+    inputs: Dict[Any, Segment],
+) -> Set[Block]:
+    """Compile one chain's incremental dyadic roll-up into merge steps.
+
+    Jobs are discovered level by level exactly like the historical loop
+    — same block iteration, same skip of materialized roll-ups, same
+    segment-id allocation order — but a job may reference a *planned*
+    sibling from the level below as a source slot, which is what lets
+    the whole tree execute as one plan (the engine's wave packer
+    rediscovers the per-level barriers from the slot conflicts).
+
+    ``slot_of`` maps a ``(level, start)`` block to the caller's plan
+    slot (the flat store uses the block itself; the cube prefixes its
+    chain id so many chains share one plan).  Merge steps are appended
+    to ``steps`` and their source segments to ``inputs``; the caller
+    appends the ``emit`` steps so it controls their ordering.  Returns
+    the set of planned blocks.
+    """
+    lo, hi = min(chain.base), max(chain.base)
+    planned: Set[Block] = set()
+    for level in range(1, levels + 1):
+        block = 1 << level
+        half = block >> 1
+        first = (lo // block) * block
+        for start in range(first, hi + 1, block):
+            if (level, start) in chain.rollups:
+                continue
+            srcs: List[Any] = []
+            for child_start in (start, start + half):
+                child = (level - 1, child_start)
+                if level - 1 >= 1 and child in planned:
+                    srcs.append(slot_of(child))
+                    continue
+                node = chain.node(level - 1, child_start)
+                if node is not None:
+                    child_slot = slot_of(child)
+                    inputs[child_slot] = node
+                    srcs.append(child_slot)
+            if not srcs:
+                continue
+            steps.append(
+                MergeStep(
+                    "merge",
+                    slot_of((level, start)),
+                    tuple(srcs),
+                    builder=seed_segment(
+                        new_segment_id(level, start), level, start
+                    ),
+                )
+            )
+            planned.add((level, start))
+    return planned
+
+
+def resolve_window(
+    window: float,
+    end: Optional[float],
+    eps: float,
+    *,
+    width: float,
+    span: Optional[Tuple[float, float]],
+    noun: str = "store",
+    eps_name: str = "eps",
+) -> Tuple[int, int, int, int]:
+    """Resolve a trailing window to epoch coordinates and its slack.
+
+    The single implementation of the PR 9 window rule shared by both
+    store kinds: ``end`` defaults to the end of the ingested key span
+    (the store's "now"), the window is rounded outward to whole epochs,
+    and ``eps`` buys the planner ``floor(eps * window_epochs)`` epochs
+    of left-edge slack — the exponential histogram's oldest-bucket
+    budget, spent by :func:`~repro.store.planner.plan_range` when a
+    materialized roll-up straddles the window start.  Returns
+    ``(lo_epoch, hi_epoch, window_epochs, slack_lo)``.
+    """
+    if not window > 0:
+        raise ParameterError(f"window must be positive, got {window!r}")
+    if not 0.0 <= eps <= 1.0:
+        raise ParameterError(f"{eps_name} must be in [0, 1], got {eps!r}")
+    if end is None:
+        if span is None:
+            raise QueryError(
+                f"window query on an empty {noun}: no key span to anchor "
+                "the window end (pass hi= explicitly)"
+            )
+        end = span[1]
+    hi_epoch = int(math.ceil(float(end) / width))
+    window_epochs = max(1, int(math.ceil(float(window) / width)))
+    slack_lo = int(math.floor(eps * window_epochs))
+    return hi_epoch - window_epochs, hi_epoch, window_epochs, slack_lo
+
+
+def check_compaction_fault_model(fault_model: Any) -> None:
+    """Reject fault models that cannot apply to in-process compaction."""
+    if fault_model is not None and fault_model.corruption:
+        raise ParameterError(
+            "compaction never serializes segments, so corruption "
+            "injection cannot apply; use loss/duplicate/crash faults"
+        )
+
+
+def run_store_plan(
+    plan: MergePlan,
+    inputs: Dict[Any, Segment],
+    *,
+    executor: Any = None,
+    fault_model: Any = None,
+    retry_policy: Any = None,
+    exactly_once: bool = True,
+):
+    """Execute one store-maintenance plan through the engine.
+
+    The single place both store kinds thread
+    ``fault_model``/``retry_policy``/``exactly_once``/``executor`` into
+    :func:`repro.engine.execute_plan`: with a fault model and
+    ``exactly_once`` every fresh roll-up keeps a merge ledger so
+    injected duplicate deliveries merge exactly once, and plan-level
+    accounting stays off (the compaction counters come from the plan
+    itself; size/coverage tracking is only needed under faults, where
+    ``execute_plan`` forces it back on).
+    """
+    use_ledger = fault_model is not None and exactly_once
+    return execute_plan(
+        plan,
+        inputs,
+        executor=executor,
+        fault_model=fault_model,
+        retry_policy=retry_policy,
+        ledger_factory=MergeLedger if use_ledger else None,
+        accounting=False,
+    )

@@ -1,0 +1,413 @@
+"""Shared store scaffolding: schema, ingest validation, WAL, stats.
+
+:class:`StoreBase` is everything the flat
+:class:`~repro.store.store.SegmentStore` and the dimension
+:class:`~repro.store.cube.CubeStore` have in common once their chains
+live in :mod:`repro.store.chain`: member schema management, batch
+validation, the write-ahead-log ingest template (append durably, then
+apply — so a crash at any later instant is recoverable by replay),
+fingerprinting, the unified ``stats()`` schema, and the persistence
+entry points (one :func:`~repro.store.persistence.save`/``load`` pair,
+kind-generic recovery and verification).
+
+Subclasses provide the kind-specific surface through a small hook set:
+
+======================== ==================================================
+``_has_data()``          any segments exist (freezes the schema)
+``_apply_ingest(...)``   partition one validated batch into segments
+``_epoch_span()``        (lo, hi) epochs covered, or ``None``
+``_chain_index()``       ordered ``(chain_id, EpochChain)`` pairs
+``_attach_chain(...)``   adopt one loaded chain (persistence)
+``_manifest_extra()``    kind-specific manifest fields
+``_fingerprint_extra()`` kind-specific fingerprint state
+``_stats_extra()``       kind-specific ``stats()`` fields
+======================== ==================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.base import normalize_batch
+from ..core.codecs import DEFAULT_CODEC, get_codec
+from ..core.exceptions import ParameterError
+from .chain import EpochChain
+from .segment import MemberSpec
+from .views import ViewCache
+
+__all__ = ["StoreBase"]
+
+
+class StoreBase:
+    """Common machinery under both store kinds (see module docstring)."""
+
+    #: manifest/persistence kind tag ("store" | "cube")
+    kind = "store"
+    #: how error messages name this store kind
+    kind_noun = "store"
+    #: what this kind calls its level-0 segments ("segments" | "cells")
+    unit_noun = "segments"
+    #: segment-id prefix ("s" for the flat store, "c" for cube cells)
+    _id_prefix = "s"
+
+    def __init__(
+        self,
+        width: float,
+        codec: str = DEFAULT_CODEC,
+        view_capacity: int = 8,
+    ) -> None:
+        if not width > 0:
+            raise ParameterError(f"width must be positive, got {width!r}")
+        get_codec(codec)  # fail fast on unknown codecs
+        self.width = float(width)
+        self.codec = codec
+        self._schema: Dict[str, MemberSpec] = {}
+        self._views = ViewCache(view_capacity)
+        self._generation = 0
+        self._records = 0
+        self._next_segment_id = 0
+        self._degraded_blocks_total = 0
+        self._window_queries = 0
+        self._window_slack_total = 0
+        self._wal = None
+        self._wal_seq = 0
+        self._snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def _has_data(self) -> bool:
+        raise NotImplementedError
+
+    def _check_member_field(self, field: Optional[str]) -> None:
+        """Kind-specific member-field validation hook (cube: no dims)."""
+
+    def add_member(
+        self,
+        name: str,
+        type_name: str,
+        field: Optional[str] = None,
+        **kwargs: Any,
+    ):
+        """Configure a summary member fed from record ``field``.
+
+        Must happen before the first ingest: segments are immutable, so
+        a member added later could never be backfilled.
+        """
+        if name in self._schema:
+            raise ParameterError(
+                f"{self.kind_noun} already has a member named {name!r}"
+            )
+        if self._has_data():
+            raise ParameterError(
+                "cannot add members after ingest has begun; the schema is "
+                f"fixed once {self.unit_noun} exist"
+            )
+        self._check_member_field(field)
+        spec = MemberSpec(type_name=type_name, field=field or name, kwargs=kwargs)
+        spec.build()  # validate the constructor arguments eagerly
+        self._schema[name] = spec
+        return self
+
+    @property
+    def schema(self) -> Dict[str, MemberSpec]:
+        """Snapshot of the member name -> spec mapping."""
+        return dict(self._schema)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic state version (bumped by ingest and compaction)."""
+        return self._generation
+
+    @property
+    def records(self) -> int:
+        """Total records ingested."""
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Epoch geometry
+    # ------------------------------------------------------------------
+
+    def epoch_of(self, key: float) -> int:
+        """The epoch (base-segment index) a key falls into."""
+        return int(math.floor(float(key) / self.width))
+
+    def _epoch_span(self) -> Optional[Tuple[int, int]]:
+        raise NotImplementedError
+
+    def key_span(self) -> Optional[Tuple[float, float]]:
+        """Half-open key range covered by ingested data, or ``None``."""
+        span = self._epoch_span()
+        if span is None:
+            return None
+        return (span[0] * self.width, (span[1] + 1) * self.width)
+
+    # ------------------------------------------------------------------
+    # Ingest (the WAL template)
+    # ------------------------------------------------------------------
+
+    def _new_segment_id(self, level: int, start: int) -> str:
+        self._next_segment_id += 1
+        return f"{self._id_prefix}{self._next_segment_id:06d}-L{level}-e{start}"
+
+    def _apply_ingest(
+        self,
+        records: List[Mapping[str, Any]],
+        keys: List[float],
+        weights,
+    ) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def ingest(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        keys: Optional[Sequence[float]] = None,
+        weights: Optional[Sequence[int]] = None,
+    ) -> Dict[str, int]:
+        """Partition ``records`` by key into immutable segments.
+
+        ``keys`` is a parallel sequence of numeric partition keys
+        (timestamps); when omitted, the running record index is used, so
+        epochs become fixed-size arrival batches.  ``weights`` is an
+        optional parallel sequence of positive integer multiplicities,
+        forwarded to each member's batched ingestion.
+
+        With a write-ahead log attached (:meth:`enable_wal`) the batch
+        is appended — and, per the log's fsync policy, made durable —
+        *before* the in-memory state changes, so a crash at any later
+        instant is recoverable by replay.
+        """
+        if not self._schema:
+            raise ParameterError(
+                f"{self.kind_noun} has no members; add_member() first"
+            )
+        records, weights, _total = normalize_batch(records, weights)
+        records = list(records)
+        if keys is None:
+            keys = [float(self._records + i) for i in range(len(records))]
+        else:
+            if len(keys) != len(records):
+                raise ParameterError(
+                    f"keys must align with records: got {len(records)} "
+                    f"record(s) and {len(keys)} key(s)"
+                )
+            keys = [float(key) for key in keys]
+        for key in keys:
+            if not math.isfinite(key):
+                raise ParameterError(f"partition keys must be finite, got {key!r}")
+        if self._wal is not None:
+            seq = self._wal_seq + 1
+            self._wal.append(
+                seq,
+                records,
+                keys,
+                None if weights is None else [int(w) for w in weights],
+            )
+            counters = self._apply_ingest(records, keys, weights)
+            self._wal_seq = seq
+            return counters
+        return self._apply_ingest(records, keys, weights)
+
+    # ------------------------------------------------------------------
+    # Durability: the write-ahead log and replay
+    # ------------------------------------------------------------------
+
+    def enable_wal(
+        self,
+        directory: str,
+        fsync_every: int = 1,
+        fs: Any = None,
+    ):
+        """Attach a write-ahead ingest log rooted at ``directory``.
+
+        Subsequent :meth:`ingest` calls append their batch to the log
+        before applying it; ``fsync_every`` is the durability/throughput
+        knob (see :mod:`repro.store.wal`).  :meth:`save` records the
+        covered sequence in the manifest and retires fully-covered log
+        files after the snapshot commits.  Returns the attached
+        :class:`~repro.store.wal.WriteAheadLog`.
+        """
+        from .wal import WriteAheadLog
+
+        if self._wal is not None:
+            raise ParameterError(
+                f"{self.kind_noun} already has a write-ahead log attached"
+            )
+        self._wal = WriteAheadLog(directory, fs=fs, fsync_every=fsync_every)
+        return self._wal
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.store.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    @property
+    def wal_seq(self) -> int:
+        """Sequence number of the last logged-and-applied ingest batch."""
+        return self._wal_seq
+
+    @property
+    def snapshot(self) -> int:
+        """Generation of the last committed snapshot (0 before any save)."""
+        return self._snapshot
+
+    def _replay_wal(self, record) -> None:
+        """Re-apply one logged ingest batch (recovery path; no re-logging)."""
+        records, weights, _total = normalize_batch(record.records, record.weights)
+        self._apply_ingest(list(records), record.keys, weights)
+        self._wal_seq = record.seq
+
+    def fingerprint(self) -> str:
+        """Digest of the logical store state, for crash-safety proofs.
+
+        Covers everything a snapshot persists and a query can observe —
+        schema, counters, every segment's metadata and member states —
+        but not administrative counters (snapshot generation, cache
+        stats).  Two stores with equal fingerprints give byte-identical
+        answers to every query.
+        """
+        state = {
+            "width": self.width,
+            "codec": self.codec,
+            "schema": {
+                name: spec.to_dict() for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "wal_seq": self._wal_seq,
+        }
+        state.update(self._fingerprint_extra())
+        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _fingerprint_extra(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection (one stats schema for both kinds)
+    # ------------------------------------------------------------------
+
+    def _stats_extra(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-level statistics for the CLI and the benchmarks.
+
+        Both store kinds report the same outer schema — ``kind``,
+        schema/counter fields, ``view_cache`` (the
+        :class:`~repro.store.views.ViewCache` hit/miss/size triple), and
+        a ``planner`` block with ``degraded_blocks_total``,
+        ``window_queries``, and ``window_slack_epochs_total`` — so
+        ``repro store stats`` prints one format; kind-specific fields
+        ride alongside via :meth:`_stats_extra`.
+        """
+        stats = {
+            "kind": self.kind,
+            "width": self.width,
+            "codec": self.codec,
+            "members": {
+                name: spec.to_dict() for name, spec in sorted(self._schema.items())
+            },
+            "records": self._records,
+            "generation": self._generation,
+        }
+        stats.update(self._stats_extra())
+        stats["key_span"] = self.key_span()
+        stats["view_cache"] = self._views.stats
+        stats["planner"] = {
+            "degraded_blocks_total": self._degraded_blocks_total,
+            "window_queries": self._window_queries,
+            "window_slack_epochs_total": self._window_slack_total,
+        }
+        return stats
+
+    # ------------------------------------------------------------------
+    # Persistence hooks and entry points
+    # ------------------------------------------------------------------
+
+    def _chain_index(self) -> List[Tuple[Tuple[Any, ...], EpochChain]]:
+        raise NotImplementedError
+
+    def _attach_chain(
+        self, chain_id: Tuple[Any, ...], chain: EpochChain
+    ) -> None:
+        raise NotImplementedError
+
+    def _manifest_extra(self) -> Dict[str, Any]:
+        """Kind-specific manifest fields (cube: dims, masks, stale marks)."""
+        return {}
+
+    def _apply_manifest_extra(self, manifest: Dict[str, Any]) -> None:
+        """Adopt kind-specific manifest fields before chains attach."""
+
+    def save(self, path, fs: Any = None) -> Dict[str, int]:
+        """Commit an atomic snapshot of the store to a directory.
+
+        Segments stage under temp names and the manifest rename is the
+        single commit point (:func:`~repro.store.persistence.save`), so
+        a crash mid-save always leaves a loadable store.  With a WAL
+        attached, log files fully covered by the committed snapshot are
+        retired afterwards (``wal_retired`` in the returned counters).
+        """
+        from .persistence import save
+
+        report = save(self, path, fs=fs)
+        if self._wal is not None:
+            report["wal_retired"] = self._wal.retire(self._wal_seq)
+        return report
+
+    @classmethod
+    def open(cls, path, fs: Any = None):
+        """Load the latest committed snapshot and replay the WAL tail.
+
+        Strict: damage anywhere raises
+        :class:`~repro.core.exceptions.SerializationError` (a torn WAL
+        tail points at :meth:`recover`, which quarantines instead).
+        """
+        from .persistence import load
+
+        return load(path, fs=fs, expect_kind=cls.kind)
+
+    @classmethod
+    def open_durable(
+        cls,
+        path,
+        fsync_every: int = 1,
+        fs: Any = None,
+    ):
+        """:meth:`open` + :meth:`enable_wal` under ``<path>/wal``.
+
+        The one-call way to get a crash-safe serving store: every
+        subsequent ingest is WAL-logged, every :meth:`save` commits
+        atomically and retires covered logs.
+        """
+        store = cls.open(path, fs=fs)
+        store.enable_wal(
+            os.path.join(str(path), "wal"), fsync_every=fsync_every, fs=fs
+        )
+        return store
+
+    @classmethod
+    def recover(cls, path, fs: Any = None):
+        """Crash recovery: quarantine damage, replay, re-commit.
+
+        Kind-generic — the manifest names the kind, so recovering a
+        cube directory through ``SegmentStore.recover`` (or the CLI)
+        just works.  Returns ``(store, report)`` — see
+        :func:`~repro.store.persistence.recover_store`.
+        """
+        from .persistence import recover_store
+
+        return recover_store(path, fs=fs)
+
+    @staticmethod
+    def verify(path, fs: Any = None) -> Dict[str, Any]:
+        """Read-only, kind-generic audit of a store directory
+        (:func:`~repro.store.persistence.verify_store`)."""
+        from .persistence import verify_store
+
+        return verify_store(path, fs=fs)

@@ -12,10 +12,14 @@ country=X, version=Y, last 6h" answered by merging a handful of
 pre-aggregated cells instead of rescanning raw data, with the merged
 answer carrying exactly the guarantees of a from-scratch build.
 
-The cube planner covers a query along two axes:
+Structurally the cube is *many* instances of the same storage kernel
+the flat store is one of: every cell chain — full-key or materialized
+coarse — is an :class:`~repro.store.chain.EpochChain`, so per-chain
+planning, invalidation, and roll-up compilation are literally the flat
+store's code.  The cube planner covers a query along two axes:
 
 - **time** — each contributing cell chain is covered dyadically by
-  :func:`~repro.store.planner.plan_range`, the same O(log S)
+  :meth:`~repro.store.chain.EpochChain.plan`, the same O(log S)
   segment-tree decomposition the flat store proves;
 - **dimensions** — the lattice of *roll-up masks*.  A mask is the
   subset of dimensions kept (the rest summed out); a materialized mask
@@ -34,20 +38,25 @@ cells for exactly those epochs (counted in
 
 All cube maintenance — building roll-up cells across the dimension
 lattice and the dyadic time tree within every chain — compiles into one
-:class:`~repro.engine.plan.MergePlan` executed by
-:func:`repro.engine.execute_plan`, so cube compaction inherits the
-engine's parallel runtime and exactly-once fault tolerance unchanged.
+:class:`~repro.engine.plan.MergePlan` executed through the shared
+:func:`~repro.store.chain.run_store_plan`, so cube compaction inherits
+the engine's parallel runtime and exactly-once fault tolerance
+unchanged.
 
 Which masks to materialize is the Storyboard question:
 :meth:`CubeStore.compact` takes a cell ``budget`` and a ``workload``
 (query-shape log; the store also records one) and greedily picks the
 masks with the best saved-merges-per-cell ratio under the budget.
+
+Durability rides :class:`~repro.store.common.StoreBase` unchanged:
+:meth:`CubeStore.enable_wal`/:meth:`CubeStore.open_durable` log every
+ingest batch — dimension tags and all, since they are ordinary record
+fields — before it mutates the cube, and recovery replays the tail
+over the last atomic snapshot exactly as the flat store does.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import math
 from dataclasses import dataclass
 from itertools import combinations
@@ -63,21 +72,22 @@ from typing import (
     Tuple,
 )
 
-from ..core.base import Summary, normalize_batch
-from ..core.codecs import DEFAULT_CODEC, get_codec
+from ..core.base import Summary
+from ..core.codecs import DEFAULT_CODEC
 from ..core.exceptions import ParameterError, QueryError
 from ..core.parallel import ExecutorLike
-from ..engine import (
-    FaultModel,
-    MergeLedger,
-    MergePlan,
-    MergeStep,
-    RetryPolicy,
-    execute_plan,
+from ..engine import FaultModel, MergePlan, MergeStep, RetryPolicy
+from .chain import (
+    EpochChain,
+    check_compaction_fault_model,
+    compile_rollup_steps,
+    dyadic_levels,
+    resolve_window,
+    run_store_plan,
+    seed_segment,
 )
-from .planner import plan_range
-from .segment import MemberSpec, Segment, build_members, copy_summary, merged_segment
-from .views import ViewCache
+from .common import StoreBase
+from .segment import Segment, build_members, copy_summary, merged_segment
 
 __all__ = ["CubeStore", "CubePlan", "CubeResult"]
 
@@ -85,38 +95,6 @@ __all__ = ["CubeStore", "CubePlan", "CubeResult"]
 Key = Tuple[Any, ...]
 #: a roll-up mask: the subset of dimensions kept, in cube dimension order
 Mask = Tuple[str, ...]
-
-
-class _CubeGroup:
-    """One cell chain: per-epoch segments + their dyadic time roll-ups."""
-
-    __slots__ = ("base", "rollups", "max_level")
-
-    def __init__(self) -> None:
-        self.base: Dict[int, Segment] = {}
-        self.rollups: Dict[Tuple[int, int], Segment] = {}
-        self.max_level = 0
-
-    def plan(
-        self, lo_epoch: int, hi_epoch: int, use_rollups: bool, slack_lo: int = 0
-    ):
-        return plan_range(
-            lo_epoch,
-            hi_epoch,
-            self.base,
-            self.rollups,
-            max_level=max(self.max_level, 1),
-            use_rollups=use_rollups,
-            slack_lo=slack_lo,
-        )
-
-    def drop_covering_rollups(self, epoch: int) -> int:
-        dropped = 0
-        for level in range(1, self.max_level + 1):
-            start = (epoch >> level) << level
-            if self.rollups.pop((level, start), None) is not None:
-                dropped += 1
-        return dropped
 
 
 @dataclass
@@ -226,7 +204,7 @@ def _mask_label(mask: Mask) -> str:
     return ",".join(mask) or "()"
 
 
-class CubeStore:
+class CubeStore(StoreBase):
     """Multi-dimensional sketch cube over (dimension-value x epoch) cells.
 
     Parameters
@@ -243,6 +221,11 @@ class CubeStore:
         Size of the merged-query-view LRU (0 disables caching).
     """
 
+    kind = "cube"
+    kind_noun = "cube"
+    unit_noun = "cells"
+    _id_prefix = "c"
+
     def __init__(
         self,
         width: float,
@@ -250,9 +233,7 @@ class CubeStore:
         codec: str = DEFAULT_CODEC,
         view_capacity: int = 8,
     ) -> None:
-        if not width > 0:
-            raise ParameterError(f"width must be positive, got {width!r}")
-        get_codec(codec)  # fail fast on unknown codecs
+        super().__init__(width, codec=codec, view_capacity=view_capacity)
         dims = tuple(dims)
         if not dims:
             raise ParameterError("a cube needs at least one dimension")
@@ -263,15 +244,12 @@ class CubeStore:
                 raise ParameterError(
                     f"dimension names must be non-empty strings, got {dim!r}"
                 )
-        self.width = float(width)
         self.dims: Mask = dims
-        self.codec = codec
         self._dim_pos = {dim: i for i, dim in enumerate(dims)}
-        self._schema: Dict[str, MemberSpec] = {}
         #: full-key cell chains — the ground truth
-        self._groups: Dict[Key, _CubeGroup] = {}
+        self._groups: Dict[Key, EpochChain] = {}
         #: materialized dimension roll-ups: mask -> coarse key -> chain
-        self._masks: Dict[Mask, Dict[Key, _CubeGroup]] = {}
+        self._masks: Dict[Mask, Dict[Key, EpochChain]] = {}
         #: per (mask, coarse key): epochs whose roll-up cell is missing
         #: or invalidated — served from base cells until recompacted
         self._stale: Dict[Mask, Dict[Key, Set[int]]] = {}
@@ -279,54 +257,24 @@ class CubeStore:
         self._epoch_keys: Dict[int, Set[Key]] = {}
         #: query-shape log for workload-aware compaction
         self._query_log: Dict[Mask, int] = {}
-        self._views = ViewCache(view_capacity)
-        self._generation = 0
-        self._records = 0
-        self._next_segment_id = 0
-        self._degraded_blocks_total = 0
-        self._snapshot = 0
 
     # ------------------------------------------------------------------
     # Schema
     # ------------------------------------------------------------------
 
-    def add_member(
-        self,
-        name: str,
-        type_name: str,
-        field: Optional[str] = None,
-        **kwargs: Any,
-    ) -> "CubeStore":
-        """Configure a summary member fed from record ``field``."""
-        if name in self._schema:
-            raise ParameterError(f"cube already has a member named {name!r}")
-        if self._groups:
-            raise ParameterError(
-                "cannot add members after ingest has begun; the schema is "
-                "fixed once cells exist"
-            )
+    def _has_data(self) -> bool:
+        return bool(self._groups)
+
+    def _check_member_field(self, field: Optional[str]) -> None:
         if field in self._dim_pos:
             raise ParameterError(
                 f"member field {field!r} is a cube dimension; members "
                 "summarize measure fields, dimensions partition them"
             )
-        self._schema[name] = MemberSpec(
-            type_name=type_name, field=field or name, kwargs=kwargs
-        )
-        self._schema[name].build()  # fail fast on bad kwargs
-        return self
 
     @property
-    def members(self) -> Dict[str, MemberSpec]:
+    def members(self) -> Dict[str, Any]:
         return dict(self._schema)
-
-    @property
-    def records(self) -> int:
-        return self._records
-
-    @property
-    def generation(self) -> int:
-        return self._generation
 
     @property
     def num_groups(self) -> int:
@@ -341,15 +289,10 @@ class CubeStore:
     def materialized_masks(self) -> List[Mask]:
         return sorted(self._masks)
 
-    def epoch_of(self, key: float) -> int:
-        return int(math.floor(float(key) / self.width))
-
-    def key_span(self) -> Optional[Tuple[float, float]]:
+    def _epoch_span(self) -> Optional[Tuple[int, int]]:
         if not self._epoch_keys:
             return None
-        lo = min(self._epoch_keys) * self.width
-        hi = (max(self._epoch_keys) + 1) * self.width
-        return (lo, hi)
+        return (min(self._epoch_keys), max(self._epoch_keys))
 
     def _project(self, key: Key, mask: Mask) -> Key:
         return tuple(key[self._dim_pos[dim]] for dim in mask)
@@ -368,10 +311,6 @@ class CubeStore:
     # Ingest
     # ------------------------------------------------------------------
 
-    def _new_segment_id(self, level: int, start: int) -> str:
-        self._next_segment_id += 1
-        return f"c{self._next_segment_id:06d}-L{level}-e{start}"
-
     def _dim_key(self, record: Mapping[str, Any], index: int) -> Key:
         key = []
         for dim in self.dims:
@@ -388,43 +327,34 @@ class CubeStore:
             key.append(value)
         return tuple(key)
 
-    def ingest(
-        self,
-        records: Iterable[Mapping[str, Any]],
-        keys: Optional[Sequence[float]] = None,
-        weights: Optional[Sequence[int]] = None,
-    ) -> Dict[str, int]:
+    def ingest(self, records, keys=None, weights=None) -> Dict[str, int]:
         """Partition ``records`` into immutable (dimension x epoch) cells.
 
         ``keys``/``weights`` behave as in
-        :meth:`~repro.store.store.SegmentStore.ingest`.  Re-ingesting
-        into an existing cell replaces it with the merge of old and new
-        (cells are immutable), and every covering roll-up — the time
-        roll-ups of that chain *and* the dimension roll-up cells of
-        every materialized mask — is invalidated: dropped where
-        materialized, marked stale so queries transparently fall back to
-        base cells until the next :meth:`compact`.
+        :meth:`~repro.store.store.SegmentStore.ingest` — including the
+        write-ahead-log path when one is attached
+        (:meth:`~repro.store.common.StoreBase.enable_wal`): the batch,
+        dimension tags and all, is logged durably before the cube
+        mutates.  Re-ingesting into an existing cell replaces it with
+        the merge of old and new (cells are immutable), and every
+        covering roll-up — the time roll-ups of that chain *and* the
+        dimension roll-up cells of every materialized mask — is
+        invalidated: dropped where materialized, marked stale so queries
+        transparently fall back to base cells until the next
+        :meth:`compact`.
 
         Returns counters: ``cells_created``, ``cells_replaced``,
         ``rollups_invalidated``, ``records``.
         """
-        if not self._schema:
-            raise ParameterError("cube has no members; add_member() first")
-        records, weights, _total = normalize_batch(records, weights)
-        records = list(records)
-        if keys is None:
-            keys = [float(self._records + i) for i in range(len(records))]
-        else:
-            if len(keys) != len(records):
-                raise ParameterError(
-                    f"keys must align with records: got {len(records)} "
-                    f"record(s) and {len(keys)} key(s)"
-                )
-            keys = [float(key) for key in keys]
-        for key in keys:
-            if not math.isfinite(key):
-                raise ParameterError(f"partition keys must be finite, got {key!r}")
+        return super().ingest(records, keys, weights)
 
+    def _apply_ingest(
+        self,
+        records: List[Mapping[str, Any]],
+        keys: List[float],
+        weights,
+    ) -> Dict[str, int]:
+        """Partition a validated batch into cells (the WAL replay path)."""
         by_cell: Dict[Tuple[Key, int], List[int]] = {}
         for index, record in enumerate(records):
             cell = (self._dim_key(record, index), self.epoch_of(keys[index]))
@@ -445,7 +375,7 @@ class CubeStore:
                 count=len(batch),
                 members=build_members(self._schema, batch, batch_weights),
             )
-            group = self._groups.setdefault(dim_key, _CubeGroup())
+            group = self._groups.setdefault(dim_key, EpochChain())
             old = group.base.get(epoch)
             if old is None:
                 group.base[epoch] = fresh
@@ -483,23 +413,6 @@ class CubeStore:
     # ------------------------------------------------------------------
     # Compaction: dimension lattice + dyadic time tree, one merge plan
     # ------------------------------------------------------------------
-
-    def _seed_cell(self, segment_id: str, level: int, start: int):
-        """Copy-on-write builder: seed a fresh cell from its first source."""
-
-        def seed(first: Segment) -> Segment:
-            return Segment(
-                segment_id=segment_id,
-                level=level,
-                start=start,
-                count=first.count,
-                members={
-                    name: copy_summary(summary)
-                    for name, summary in first.members.items()
-                },
-            )
-
-        return seed
 
     def _normalize_workload(
         self, workload: Optional[Iterable[Any]]
@@ -627,15 +540,18 @@ class CubeStore:
         """Materialize dimension roll-ups and time roll-up trees.
 
         Two phases, each one :class:`~repro.engine.plan.MergePlan` run
-        by :func:`repro.engine.execute_plan` (parallel with an
-        ``executor``, fault-tolerant with a ``fault_model`` — exactly
-        the contract of :meth:`SegmentStore.compact`):
+        through the shared :func:`~repro.store.chain.run_store_plan`
+        (parallel with an ``executor``, fault-tolerant with a
+        ``fault_model`` — exactly the contract of
+        :meth:`SegmentStore.compact`):
 
         1. **dimension cells** — for every chosen mask, each missing or
            stale (coarse key, epoch) cell is rebuilt as the k-way merge
            of its matching base cells;
         2. **time roll-ups** — every chain (base and roll-up) with more
-           than one epoch gets its incremental dyadic tree.
+           than one epoch gets its incremental dyadic tree, compiled by
+           the same :func:`~repro.store.chain.compile_rollup_steps` the
+           flat store uses.
 
         Mask choice is workload-aware (see :meth:`_choose_masks`):
         ``budget`` caps total materialized roll-up cells, ``workload``
@@ -651,11 +567,7 @@ class CubeStore:
             raise ParameterError(
                 f"budget must be a non-negative cell count, got {budget}"
             )
-        if fault_model is not None and fault_model.corruption:
-            raise ParameterError(
-                "compaction never serializes segments, so corruption "
-                "injection cannot apply; use loss/duplicate/crash faults"
-            )
+        check_compaction_fault_model(fault_model)
         counters = {
             "masks": 0,
             "dim_cells_built": 0,
@@ -667,17 +579,15 @@ class CubeStore:
             counters["cells_failed"] = 0
         if not self._groups:
             return counters
-        use_ledger = fault_model is not None and exactly_once
 
         def run(plan: MergePlan, inputs: Dict[Any, Any]):
-            return execute_plan(
+            return run_store_plan(
                 plan,
                 inputs,
                 executor=executor,
                 fault_model=fault_model,
                 retry_policy=retry_policy,
-                ledger_factory=MergeLedger if use_ledger else None,
-                accounting=False,
+                exactly_once=exactly_once,
             )
 
         chosen, choice_stats = self._choose_masks(workload, budget)
@@ -715,7 +625,7 @@ class CubeStore:
                         "merge",
                         ("cell",) + target,
                         tuple(pending[target]),
-                        builder=self._seed_cell(
+                        builder=seed_segment(
                             self._new_segment_id(0, epoch), 0, epoch
                         ),
                     )
@@ -734,7 +644,7 @@ class CubeStore:
             for slot, segment in result.outputs.items():
                 _tag, mask, coarse, epoch = slot
                 chain = self._masks.setdefault(mask, {}).setdefault(
-                    coarse, _CubeGroup()
+                    coarse, EpochChain()
                 )
                 chain.base[epoch] = segment
                 chain.drop_covering_rollups(epoch)
@@ -756,7 +666,7 @@ class CubeStore:
         # phase 2: dyadic time trees inside every chain with > 1 epoch
         steps = []
         inputs = {}
-        chains: List[Tuple[Any, _CubeGroup]] = [
+        chains: List[Tuple[Any, EpochChain]] = [
             (("g", key), group) for key, group in self._groups.items()
         ]
         for mask, groups in self._masks.items():
@@ -764,50 +674,20 @@ class CubeStore:
                 (("m", mask, coarse), group)
                 for coarse, group in groups.items()
             )
-        chain_levels: Dict[Any, Tuple[_CubeGroup, int]] = {}
+        chain_levels: Dict[Any, Tuple[EpochChain, int]] = {}
         for chain_id, group in chains:
             if len(group.base) < 2:
                 continue
-            lo, hi = min(group.base), max(group.base)
-            span = hi - lo + 1
-            levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
+            levels = dyadic_levels(group)
             chain_levels[chain_id] = (group, levels)
-            planned: Set[Tuple[int, int]] = set()
-            for level in range(1, levels + 1):
-                block = 1 << level
-                half = block >> 1
-                first = (lo // block) * block
-                for start in range(first, hi + 1, block):
-                    if (level, start) in group.rollups:
-                        continue
-                    srcs: List[Any] = []
-                    for child_start in (start, start + half):
-                        child = (level - 1, child_start)
-                        child_slot = chain_id + child
-                        if level - 1 >= 1 and child in planned:
-                            srcs.append(child_slot)
-                            continue
-                        node = (
-                            group.base.get(child_start)
-                            if level == 1
-                            else group.rollups.get(child)
-                        )
-                        if node is not None:
-                            inputs[child_slot] = node
-                            srcs.append(child_slot)
-                    if not srcs:
-                        continue
-                    steps.append(
-                        MergeStep(
-                            "merge",
-                            chain_id + (level, start),
-                            tuple(srcs),
-                            builder=self._seed_cell(
-                                self._new_segment_id(level, start), level, start
-                            ),
-                        )
-                    )
-                    planned.add((level, start))
+            planned = compile_rollup_steps(
+                group,
+                levels,
+                slot_of=lambda block, chain_id=chain_id: chain_id + block,
+                new_segment_id=self._new_segment_id,
+                steps=steps,
+                inputs=inputs,
+            )
             steps.extend(
                 MergeStep("emit", chain_id + slot) for slot in sorted(planned)
             )
@@ -887,9 +767,11 @@ class CubeStore:
         units ending at ``hi`` (default: the end of the ingested span).
         ``window_eps`` lets each contributing cell chain absorb one
         materialized time roll-up straddling the window start (the
-        exponential-histogram rule), so every group's answer covers at
-        most a ``(1 + window_eps)`` factor more than the exact window
-        while reusing the largest pre-merged cells available.
+        exponential-histogram rule, resolved once for both store kinds
+        by :func:`~repro.store.chain.resolve_window`), so every group's
+        answer covers at most a ``(1 + window_eps)`` factor more than
+        the exact window while reusing the largest pre-merged cells
+        available.
         """
         if not self._schema:
             raise QueryError("cube has no members; add_member() first")
@@ -900,31 +782,26 @@ class CubeStore:
                     "pass either an explicit [lo, hi) range or window=, "
                     "not both"
                 )
-            if not window > 0:
-                raise ParameterError(f"window must be positive, got {window!r}")
-            if not 0.0 <= window_eps <= 1.0:
+            lo_epoch, hi_epoch, _window_epochs, slack_lo = resolve_window(
+                window,
+                hi,
+                window_eps,
+                width=self.width,
+                span=self.key_span(),
+                noun=self.kind_noun,
+                eps_name="window_eps",
+            )
+        else:
+            if lo is None or hi is None:
                 raise ParameterError(
-                    f"window_eps must be in [0, 1], got {window_eps!r}"
+                    "query needs an explicit [lo, hi) range or window="
                 )
-            if hi is None:
-                span = self.key_span()
-                if span is None:
-                    raise QueryError(
-                        "window query on an empty cube: no key span to "
-                        "anchor the window end (pass hi= explicitly)"
-                    )
-                hi = span[1]
-            window_epochs = max(1, int(math.ceil(float(window) / self.width)))
-            lo = hi - window_epochs * self.width
-            slack_lo = int(math.floor(window_eps * window_epochs))
-        elif lo is None or hi is None:
-            raise ParameterError(
-                "query needs an explicit [lo, hi) range or window="
-            )
-        if not hi > lo:
-            raise ParameterError(
-                f"query range must satisfy lo < hi, got [{lo!r}, {hi!r})"
-            )
+            if not hi > lo:
+                raise ParameterError(
+                    f"query range must satisfy lo < hi, got [{lo!r}, {hi!r})"
+                )
+            lo_epoch = self.epoch_of(lo)
+            hi_epoch = int(math.ceil(float(hi) / self.width))
         where_items = self._check_where(where)
         group_mask = self._as_mask(group_by or ())
         overlap = {d for d, _ in where_items} & set(group_mask)
@@ -935,12 +812,6 @@ class CubeStore:
             )
         needed = self._as_mask({d for d, _ in where_items} | set(group_mask))
         self._query_log[needed] = self._query_log.get(needed, 0) + 1
-        hi_epoch = int(math.ceil(float(hi) / self.width))
-        # window mode: exact epoch arithmetic, immune to float rounding
-        # in the derived lo
-        lo_epoch = (
-            hi_epoch - window_epochs if window is not None else self.epoch_of(lo)
-        )
 
         cache_key = (
             self._generation,
@@ -1014,7 +885,10 @@ class CubeStore:
                 )
                 for epoch in in_range:
                     out = None
-                    for key in self._epoch_keys.get(epoch, ()):
+                    # sorted: patch-segment merge order must not depend on
+                    # set iteration order, or bounded-type states drift
+                    # across processes
+                    for key in sorted(self._epoch_keys.get(epoch, ()), key=repr):
                         if self._project(key, serving) != coarse:
                             continue
                         segment = self._groups[key].base.get(epoch)
@@ -1063,6 +937,9 @@ class CubeStore:
             }
         plan.groups = len(groups)
         self._degraded_blocks_total += plan.degraded_blocks
+        if window is not None:
+            self._window_queries += 1
+            self._window_slack_total += plan.window_slack_used
         result = CubeResult(
             groups,
             plan,
@@ -1078,8 +955,7 @@ class CubeStore:
     # Introspection
     # ------------------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
-        """Cube-level statistics for the CLI and the benchmarks."""
+    def _stats_extra(self) -> Dict[str, Any]:
         masks: Dict[str, Any] = {}
         for mask in sorted(self._masks):
             groups = self._masks[mask]
@@ -1093,16 +969,7 @@ class CubeStore:
                 ),
             }
         return {
-            "kind": "cube",
-            "width": self.width,
             "dims": list(self.dims),
-            "codec": self.codec,
-            "members": {
-                name: spec.to_dict()
-                for name, spec in sorted(self._schema.items())
-            },
-            "records": self._records,
-            "generation": self._generation,
             "groups": len(self._groups),
             "base_cells": self.num_cells,
             "time_rollups": sum(
@@ -1114,18 +981,15 @@ class CubeStore:
                 for g in groups.values()
             ),
             "masks": masks,
-            "key_span": self.key_span(),
             "query_log": {
                 _mask_label(mask): count
                 for mask, count in sorted(self._query_log.items())
             },
-            "view_cache": self._views.stats,
-            "planner": {"degraded_blocks_total": self._degraded_blocks_total},
         }
 
-    def _chains(self) -> List[Tuple[Any, _CubeGroup]]:
-        """Every chain with a stable sort key (fingerprint/persistence)."""
-        chains: List[Tuple[Any, _CubeGroup]] = [
+    def _chains(self) -> List[Tuple[Any, EpochChain]]:
+        """Every chain with a stable sort key (fingerprint ordering)."""
+        chains: List[Tuple[Any, EpochChain]] = [
             (("g", key), group) for key, group in self._groups.items()
         ]
         for mask, groups in self._masks.items():
@@ -1135,17 +999,9 @@ class CubeStore:
             )
         return sorted(chains, key=lambda item: repr(item[0]))
 
-    def fingerprint(self) -> str:
-        """Digest of the logical cube state (for persistence proofs)."""
-        state = {
-            "width": self.width,
+    def _fingerprint_extra(self) -> Dict[str, Any]:
+        return {
             "dims": list(self.dims),
-            "codec": self.codec,
-            "schema": {
-                name: spec.to_dict()
-                for name, spec in sorted(self._schema.items())
-            },
-            "records": self._records,
             "chains": [
                 {
                     "id": repr(chain_id),
@@ -1176,22 +1032,67 @@ class CubeStore:
                 if epochs
             ),
         }
-        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
-    # Persistence (delegates to repro.store.persistence)
+    # Persistence hooks (entry points live on StoreBase)
     # ------------------------------------------------------------------
 
-    def save(self, path, fs: Any = None) -> Dict[str, int]:
-        """Commit an atomic snapshot of the cube to a directory."""
-        from .persistence import save_cube
+    def _chain_index(self) -> List[Tuple[Tuple[Any, ...], EpochChain]]:
+        """Chains in manifest order: full keys, then each mask's cells."""
+        chains: List[Tuple[Tuple[Any, ...], EpochChain]] = [
+            (("g", key), group)
+            for key, group in sorted(
+                self._groups.items(), key=lambda item: repr(item[0])
+            )
+        ]
+        for mask in sorted(self._masks):
+            chains.extend(
+                (("m", mask, coarse), group)
+                for coarse, group in sorted(
+                    self._masks[mask].items(), key=lambda item: repr(item[0])
+                )
+            )
+        return chains
 
-        return save_cube(self, path, fs=fs)
+    def _attach_chain(
+        self, chain_id: Tuple[Any, ...], chain: EpochChain
+    ) -> None:
+        if chain_id[0] == "g":
+            key = chain_id[1]
+            self._groups[key] = chain
+            for epoch in chain.base:
+                self._epoch_keys.setdefault(epoch, set()).add(key)
+        else:
+            self._masks.setdefault(chain_id[1], {})[chain_id[2]] = chain
 
-    @classmethod
-    def open(cls, path, fs: Any = None) -> "CubeStore":
-        """Load a cube previously committed with :meth:`save`."""
-        from .persistence import load_cube
+    def _manifest_extra(self) -> Dict[str, Any]:
+        return {
+            "dims": list(self.dims),
+            "masks": [list(mask) for mask in sorted(self._masks)],
+            "stale": [
+                [list(mask), list(coarse), sorted(epochs)]
+                for mask in sorted(self._masks)
+                for coarse, epochs in sorted(
+                    self._stale.get(mask, {}).items(),
+                    key=lambda item: repr(item[0]),
+                )
+                if epochs
+            ],
+        }
 
-        return load_cube(path, fs=fs)
+    def _apply_manifest_extra(self, manifest: Dict[str, Any]) -> None:
+        if "chains" in manifest:
+            for mask in manifest.get("masks", []):
+                self._masks.setdefault(tuple(mask), {})
+            for mask, coarse, epochs in manifest.get("stale", []):
+                self._stale.setdefault(tuple(mask), {})[tuple(coarse)] = {
+                    int(e) for e in epochs
+                }
+        else:  # legacy (format 2) cube manifest: masks carried their chains
+            for entry in manifest.get("masks", []):
+                mask = tuple(entry["dims"])
+                self._masks.setdefault(mask, {})
+                for coarse, epochs in entry.get("stale", []):
+                    self._stale.setdefault(mask, {})[tuple(coarse)] = {
+                        int(e) for e in epochs
+                    }

@@ -1,10 +1,16 @@
 """Store persistence: crash-safe snapshots, recovery, and verification.
 
+One container format serves both store kinds — the manifest carries a
+``kind`` tag (``"store"`` | ``"cube"``) and a list of per-chain
+sub-manifests, one per :class:`~repro.store.chain.EpochChain` the store
+owns (the flat store has exactly one; a cube has one per cell chain).
 Layout of a store directory::
 
-    manifest.json          # the COMMIT POINT: format, counters, schema,
-                           # snapshot generation, wal_seq, segment index
-    segments/<id>.rseg     # one immutable container per live segment
+    manifest.json          # the COMMIT POINT: format, kind, counters,
+                           # schema, snapshot generation, wal_seq, and
+                           # one sub-manifest per chain
+    segments/<id>.rseg     # flat store: one container per live segment
+    cells/<id>.rseg        # cube: one container per live cell
     wal/wal-<n>.log        # write-ahead ingest log (repro.store.wal)
     quarantine/            # damaged bytes recovery refused to drop
 
@@ -22,15 +28,21 @@ payload.  The container framing is deliberately tiny::
 framing or metadata — not just the codec payloads — is detected.
 Version-1 containers, which lacked the CRC field, still load.)
 
+Manifest format 3 is the chain-kernel unification; formats 1 and 2 —
+the flat store's flat ``segments`` list and the cube's nested
+``groups``/``masks`` trees — still load (:func:`_chain_specs` adapts
+either shape into chain sub-manifests), so stores saved before the
+refactor open unchanged.
+
 Commit protocol
 ---------------
 
-:func:`save_store` never has a window where a crash loses both the old
-and the new state:
+:func:`save` never has a window where a crash loses both the old and
+the new state:
 
 1. every segment not already covered by the *committed* manifest is
    staged as ``<id>.rseg.tmp``, fsynced, renamed into place, and the
-   segment directory is fsynced (segments are immutable, so files the
+   container directory is fsynced (segments are immutable, so files the
    previous snapshot committed are simply kept);
 2. the new manifest — carrying a monotonic ``snapshot`` generation and
    the WAL sequence it covers — is published with the canonical
@@ -47,15 +59,17 @@ the next save or recovery — never loaded.
 Recovery
 --------
 
-:func:`load_store` (behind :meth:`SegmentStore.open`) is *strict*: it
-loads the committed snapshot, replays any WAL tail past ``wal_seq``,
-and raises :class:`~repro.core.exceptions.SerializationError` on any
-damage.  :func:`recover_store` is the crash path: same load + replay,
-but torn WAL tails and checksum-failing segments are moved into
-``quarantine/`` (never silently dropped) with a written recovery
-report, the reconverged state is committed as a fresh snapshot, and
-fully-replayed WAL files are retired.  :func:`verify_store` is the
-read-only auditor behind ``repro store verify``.
+:func:`load` (behind :meth:`StoreBase.open`) is *strict*: it loads the
+committed snapshot, replays any WAL tail past ``wal_seq``, and raises
+:class:`~repro.core.exceptions.SerializationError` on any damage.
+:func:`recover_store` is the crash path: same load + replay, but torn
+WAL tails and checksum-failing segments are moved into ``quarantine/``
+(never silently dropped) with a written recovery report, the
+reconverged state is committed as a fresh snapshot, and fully-replayed
+WAL files are retired.  :func:`verify_store` is the read-only auditor
+behind ``repro store verify``.  All three are kind-generic: the
+manifest names the kind, so the CLI (and the :class:`StoreBase`
+classmethods) need no cube-vs-flat dispatch.
 """
 
 from __future__ import annotations
@@ -65,15 +79,18 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass, field as dataclass_field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.codecs import decode_summary, encode_summary
 from ..core.exceptions import SerializationError
 from ..core.fsio import Filesystem, REAL_FS, write_file_durable
+from .chain import EpochChain
 from .segment import MemberSpec, Segment
 from .wal import WalScan, scan_wal, wal_files
 
 __all__ = [
+    "save",
+    "load",
     "save_store",
     "load_store",
     "save_cube",
@@ -85,8 +102,8 @@ __all__ = [
     "RecoveryReport",
 ]
 
-_MANIFEST_FORMAT = 2
-_ACCEPTED_MANIFEST_FORMATS = (1, 2)
+_MANIFEST_FORMAT = 3
+_ACCEPTED_MANIFEST_FORMATS = (1, 2, 3)
 _SEGMENT_MAGIC = b"RSEG"
 _SEGMENT_VERSION = 2
 _U8 = struct.Struct("!B")
@@ -132,8 +149,8 @@ def write_segment(
     """Serialize one segment into an ``.rseg`` container; returns bytes written.
 
     With ``durable=True`` the container is fsynced before the handle
-    closes (what :func:`save_store` stages through); the plain call
-    keeps the historical fire-and-forget behaviour.
+    closes (what :func:`save` stages through); the plain call keeps the
+    historical fire-and-forget behaviour.
     """
     fs = fs or REAL_FS
     blob = _segment_blob(segment, codec)
@@ -256,6 +273,15 @@ def _segments_dir(path: str) -> str:
     return os.path.join(str(path), "segments")
 
 
+def _cells_dir(path: str) -> str:
+    return os.path.join(str(path), "cells")
+
+
+def _container_dir(path: str, kind: str) -> str:
+    """Where a kind keeps its ``.rseg`` containers."""
+    return _cells_dir(path) if kind == "cube" else _segments_dir(path)
+
+
 def _wal_dir(path: str) -> str:
     return os.path.join(str(path), "wal")
 
@@ -300,42 +326,102 @@ def _read_manifest(path: str, fs: Filesystem) -> Dict[str, Any]:
     return manifest
 
 
+def _encode_chain_id(chain_id: Tuple[Any, ...]) -> List[Any]:
+    """Chain id tuple -> its JSON form (tuples become lists)."""
+    return [list(part) if isinstance(part, tuple) else part for part in chain_id]
+
+
+def _decode_chain_id(raw: List[Any]) -> Tuple[Any, ...]:
+    return tuple(tuple(part) if isinstance(part, list) else part for part in raw)
+
+
+def _chain_specs(
+    manifest: Dict[str, Any],
+) -> Iterator[Tuple[Tuple[Any, ...], int, List[Dict[str, Any]]]]:
+    """Yield ``(chain_id, max_level, segment metas)`` for any manifest format.
+
+    Format 3 carries chains directly; legacy flat manifests (one
+    implicit chain under a top-level ``segments`` list) and legacy cube
+    manifests (``groups`` plus nested per-mask ``groups``) are adapted
+    to the same shape, which is the whole legacy-load path.
+    """
+    if "chains" in manifest:
+        for entry in manifest["chains"]:
+            yield (
+                _decode_chain_id(entry["id"]),
+                int(entry.get("max_level", 0)),
+                entry.get("segments", []),
+            )
+    elif manifest.get("kind") == "cube":
+        for chain in manifest.get("groups", []):
+            yield (
+                ("g", tuple(chain["key"])),
+                int(chain.get("max_level", 0)),
+                chain.get("segments", []),
+            )
+        for mask_entry in manifest.get("masks", []):
+            mask = tuple(mask_entry["dims"])
+            for chain in mask_entry.get("groups", []):
+                yield (
+                    ("m", mask, tuple(chain["key"])),
+                    int(chain.get("max_level", 0)),
+                    chain.get("segments", []),
+                )
+    else:
+        yield (
+            ("flat",),
+            int(manifest.get("max_level", 0)),
+            manifest.get("segments", []),
+        )
+
+
+def _manifest_segment_metas(manifest: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Every segment meta the manifest references, across all chains."""
+    return [meta for _id, _level, metas in _chain_specs(manifest) for meta in metas]
+
+
 def _committed_segment_ids(path: str, fs: Filesystem) -> Dict[str, Any]:
     """Ids the durable manifest references (empty when none is loadable)."""
     try:
         manifest = _read_manifest(path, fs)
     except SerializationError:
         return {}
-    return {meta["id"]: meta for meta in manifest.get("segments", [])}
+    return {meta["id"]: meta for meta in _manifest_segment_metas(manifest)}
 
 
 # ---------------------------------------------------------------------------
-# Atomic snapshot save
+# Atomic snapshot save (both kinds)
 # ---------------------------------------------------------------------------
 
 
-def save_store(
-    store: Any, path: str, fs: Optional[Filesystem] = None
-) -> Dict[str, int]:
-    """Persist a :class:`~repro.store.store.SegmentStore` atomically.
+def save(store: Any, path: str, fs: Optional[Filesystem] = None) -> Dict[str, int]:
+    """Persist any :class:`~repro.store.common.StoreBase` atomically.
 
     Follows the module-docstring commit protocol: stage-and-fsync new
-    segments, publish the manifest by atomic rename, then garbage-
-    collect.  Returns counters: ``segments`` live in the snapshot,
+    containers, publish the manifest by atomic rename, then garbage-
+    collect.  The store contributes its chains
+    (``StoreBase._chain_index``) and kind-specific manifest fields
+    (``StoreBase._manifest_extra`` — the cube's dimension names, mask
+    lattice, and stale marks); everything else is shared.  Returns
+    counters: ``segments`` live in the snapshot (cells, for a cube),
     ``written`` containers actually staged this save (committed files
     are reused — segments are immutable), payload ``bytes`` written,
     the committed ``snapshot`` generation, and stale files ``gc``-ed.
     """
     fs = fs or REAL_FS
     path = str(path)
-    seg_dir = _segments_dir(path)
+    seg_dir = _container_dir(path, store.kind)
     fs.makedirs(seg_dir)
     previous = _committed_segment_ids(path, fs)
     prior_snapshot = int(getattr(store, "_snapshot", 0))
 
-    segments = store.segments()
+    chains = store._chain_index()
+    live_segments: List[Segment] = []
+    for _chain_id, chain in chains:
+        live_segments.extend(chain.segments())
+
     total = written = 0
-    for segment in segments:
+    for segment in live_segments:
         final = os.path.join(seg_dir, f"{segment.segment_id}.rseg")
         if segment.segment_id in previous and fs.exists(final):
             continue  # immutable and already durable under the old manifest
@@ -348,18 +434,26 @@ def save_store(
 
     manifest = {
         "format": _MANIFEST_FORMAT,
+        "kind": store.kind,
         "snapshot": prior_snapshot + 1,
         "wal_seq": int(getattr(store, "_wal_seq", 0)),
         "width": store.width,
         "codec": store.codec,
         "generation": store.generation,
         "records": store.records,
-        "max_level": store._max_level,
         "next_segment_id": store._next_segment_id,
         "view_capacity": store._views.capacity,
         "schema": {name: spec.to_dict() for name, spec in store.schema.items()},
-        "segments": [segment.meta() for segment in segments],
+        "chains": [
+            {
+                "id": _encode_chain_id(chain_id),
+                "max_level": chain.max_level,
+                "segments": [segment.meta() for segment in chain.segments()],
+            }
+            for chain_id, chain in chains
+        ],
     }
+    manifest.update(store._manifest_extra())
     manifest["checksum"] = _manifest_checksum(manifest)
     payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
     write_file_durable(fs, _manifest_path(path), payload)  # ← commit point
@@ -368,7 +462,7 @@ def save_store(
     # post-commit GC: stale containers and staging leftovers are garbage
     # the new manifest can never reference; deleting them cannot lose a
     # committed state (and a crash here just leaves them for next time)
-    live = {f"{segment.segment_id}.rseg" for segment in segments}
+    live = {f"{segment.segment_id}.rseg" for segment in live_segments}
     gc = 0
     for name in fs.listdir(seg_dir):
         if name in live:
@@ -377,7 +471,7 @@ def save_store(
             fs.remove(os.path.join(seg_dir, name))
             gc += 1
     return {
-        "segments": len(segments),
+        "segments": len(live_segments),
         "written": written,
         "bytes": total,
         "snapshot": manifest["snapshot"],
@@ -385,8 +479,22 @@ def save_store(
     }
 
 
+def save_store(
+    store: Any, path: str, fs: Optional[Filesystem] = None
+) -> Dict[str, int]:
+    """Persist a :class:`~repro.store.store.SegmentStore` (see :func:`save`)."""
+    return save(store, path, fs=fs)
+
+
+def save_cube(
+    cube: Any, path: str, fs: Optional[Filesystem] = None
+) -> Dict[str, int]:
+    """Persist a :class:`~repro.store.cube.CubeStore` (see :func:`save`)."""
+    return save(cube, path, fs=fs)
+
+
 # ---------------------------------------------------------------------------
-# Strict load (SegmentStore.open)
+# Strict load (StoreBase.open)
 # ---------------------------------------------------------------------------
 
 
@@ -397,36 +505,52 @@ def _store_from_manifest(
     *,
     on_bad_segment: Optional[Any] = None,
 ) -> Any:
-    """Build a store from a parsed manifest.
+    """Build a store of the manifest's kind from a parsed manifest.
 
     ``on_bad_segment`` is the recovery hook: called with
     ``(meta, file_path, error)`` for a segment that fails to load, and
     the segment is skipped; without it the error propagates (strict).
     """
+    from .cube import CubeStore
     from .store import SegmentStore
 
-    store = SegmentStore(
-        width=manifest["width"],
-        codec=manifest["codec"],
-        view_capacity=manifest.get("view_capacity", 8),
-    )
+    kind = manifest.get("kind", "store")
+    if kind == "cube":
+        store = CubeStore(
+            width=manifest["width"],
+            dims=manifest["dims"],
+            codec=manifest["codec"],
+            view_capacity=manifest.get("view_capacity", 8),
+        )
+    else:
+        store = SegmentStore(
+            width=manifest["width"],
+            codec=manifest["codec"],
+            view_capacity=manifest.get("view_capacity", 8),
+        )
     for name, spec in manifest["schema"].items():
         store._schema[name] = MemberSpec.from_dict(spec)
-    seg_dir = _segments_dir(path)
-    for meta in manifest["segments"]:
-        file_path = os.path.join(seg_dir, f"{meta['id']}.rseg")
-        try:
-            segment = read_segment(file_path, fs=fs)
-        except SerializationError as exc:
-            if on_bad_segment is None:
-                raise
-            on_bad_segment(meta, file_path, exc)
-            continue
-        if segment.level == 0:
-            store._base[segment.start] = segment
-        else:
-            store._rollups[(segment.level, segment.start)] = segment
-    store._max_level = int(manifest.get("max_level", 0))
+    # kind extras (cube masks + stale marks) attach before the chains so
+    # mask insertion order matches the manifest's sorted order
+    store._apply_manifest_extra(manifest)
+    seg_dir = _container_dir(path, kind)
+    for chain_id, max_level, metas in _chain_specs(manifest):
+        chain = EpochChain()
+        for meta in metas:
+            file_path = os.path.join(seg_dir, f"{meta['id']}.rseg")
+            try:
+                segment = read_segment(file_path, fs=fs)
+            except SerializationError as exc:
+                if on_bad_segment is None:
+                    raise
+                on_bad_segment(meta, file_path, exc)
+                continue
+            if segment.level == 0:
+                chain.base[segment.start] = segment
+            else:
+                chain.rollups[(segment.level, segment.start)] = segment
+        chain.max_level = max_level
+        store._attach_chain(chain_id, chain)
     store._generation = int(manifest.get("generation", 0))
     store._records = int(manifest.get("records", 0))
     store._next_segment_id = int(manifest.get("next_segment_id", 0))
@@ -435,22 +559,36 @@ def _store_from_manifest(
     return store
 
 
-def load_store(path: str, fs: Optional[Filesystem] = None) -> Any:
-    """Load a store saved by :func:`save_store`, replaying the WAL tail.
+def load(
+    path: str,
+    fs: Optional[Filesystem] = None,
+    expect_kind: Optional[str] = None,
+) -> Any:
+    """Load a store saved by :func:`save`, replaying the WAL tail.
 
-    Strict: any damaged segment, manifest, or WAL file raises
-    :class:`~repro.core.exceptions.SerializationError`.  A torn WAL
-    tail is *expected* after a crash — the error says to run
+    Kind-generic: the manifest names the kind, so the caller gets back
+    a :class:`SegmentStore` or :class:`CubeStore` as appropriate;
+    ``expect_kind`` pins it (what ``SegmentStore.open`` and
+    ``CubeStore.open`` pass) and mismatches raise with a pointer at the
+    right entry point.  Strict: any damaged segment, manifest, or WAL
+    file raises :class:`~repro.core.exceptions.SerializationError`.  A
+    torn WAL tail is *expected* after a crash — the error says to run
     ``repro store recover`` (:func:`recover_store`), which quarantines
     the tail instead of refusing to load.
     """
     fs = fs or REAL_FS
     path = str(path)
     manifest = _read_manifest(path, fs)
-    if manifest.get("kind") == "cube":
+    kind = manifest.get("kind", "store")
+    if expect_kind == "store" and kind == "cube":
         raise SerializationError(
             f"{path}: this directory holds a dimension cube; open it with "
             "CubeStore.open (repro.store.load_cube)"
+        )
+    if expect_kind == "cube" and kind != "cube":
+        raise SerializationError(
+            f"{path}: this directory holds a flat segment store; open it "
+            "with SegmentStore.open (repro.store.load_store)"
         )
     store = _store_from_manifest(manifest, path, fs)
     for wal_path in wal_files(_wal_dir(path), fs):
@@ -466,6 +604,16 @@ def load_store(path: str, fs: Optional[Filesystem] = None) -> Any:
                 continue
             store._replay_wal(record)
     return store
+
+
+def load_store(path: str, fs: Optional[Filesystem] = None) -> Any:
+    """Load a flat segment store (see :func:`load`)."""
+    return load(path, fs=fs, expect_kind="store")
+
+
+def load_cube(path: str, fs: Optional[Filesystem] = None) -> Any:
+    """Load a dimension cube (see :func:`load`)."""
+    return load(path, fs=fs, expect_kind="cube")
 
 
 # ---------------------------------------------------------------------------
@@ -532,12 +680,14 @@ def _quarantine_file(path: str, file_path: str, fs: Filesystem) -> str:
 def recover_store(path: str, fs: Optional[Filesystem] = None):
     """Crash recovery: load, quarantine damage, replay, re-commit.
 
-    Returns ``(store, report)``.  The recovered state is committed as a
-    fresh snapshot before returning, so recovery is idempotent: running
-    it again finds a clean store and changes nothing.  Damaged bytes
-    are *moved* to ``quarantine/`` — with a ``recovery-<snapshot>.json``
-    report beside them — never deleted, so a post-mortem can still
-    inspect exactly what the crash tore.
+    Kind-generic (works on flat store and cube directories alike; the
+    manifest names the kind).  Returns ``(store, report)``.  The
+    recovered state is committed as a fresh snapshot before returning,
+    so recovery is idempotent: running it again finds a clean store and
+    changes nothing.  Damaged bytes are *moved* to ``quarantine/`` —
+    with a ``recovery-<snapshot>.json`` report beside them — never
+    deleted, so a post-mortem can still inspect exactly what the crash
+    tore.
     """
     fs = fs or REAL_FS
     path = str(path)
@@ -566,8 +716,10 @@ def recover_store(path: str, fs: Optional[Filesystem] = None):
 
     # uncommitted staging leftovers and orphaned containers: garbage
     # from a crashed half-save, never referenced by the commit point
-    seg_dir = _segments_dir(path)
-    referenced = {f"{meta['id']}.rseg" for meta in manifest.get("segments", [])}
+    seg_dir = _container_dir(path, manifest.get("kind", "store"))
+    referenced = {
+        f"{meta['id']}.rseg" for meta in _manifest_segment_metas(manifest)
+    }
     if fs.exists(seg_dir):
         for name in sorted(fs.listdir(seg_dir)):
             if name in referenced:
@@ -608,8 +760,8 @@ def recover_store(path: str, fs: Optional[Filesystem] = None):
             clean_wal.append(scan)
 
     # commit the reconverged state, then retire fully-covered WAL files
-    save = save_store(store, path, fs=fs)
-    report.snapshot_committed = save["snapshot"]
+    saved = save(store, path, fs=fs)
+    report.snapshot_committed = saved["snapshot"]
     for scan in clean_wal:
         if scan.last_seq <= store._wal_seq and fs.exists(scan.path):
             fs.remove(scan.path)
@@ -635,12 +787,12 @@ def recover_store(path: str, fs: Optional[Filesystem] = None):
 
 
 def verify_store(path: str, fs: Optional[Filesystem] = None) -> Dict[str, Any]:
-    """Audit a store directory without touching it.
+    """Audit a store directory without touching it (kind-generic).
 
     Returns a JSON-compatible report: manifest status, per-segment
     container health, orphaned files, and WAL frame accounting.  The
-    top-level ``ok`` is True only when a strict :func:`load_store`
-    would succeed and no garbage is lying around.
+    top-level ``ok`` is True only when a strict :func:`load` would
+    succeed and no garbage is lying around.
     """
     fs = fs or REAL_FS
     path = str(path)
@@ -652,11 +804,12 @@ def verify_store(path: str, fs: Optional[Filesystem] = None) -> Dict[str, Any]:
         report["ok"] = False
         return report
     report["manifest"] = "ok"
+    report["kind"] = manifest.get("kind", "store")
     report["snapshot"] = int(manifest.get("snapshot", 0))
     report["wal_seq"] = int(manifest.get("wal_seq", 0))
 
-    seg_dir = _segments_dir(path)
-    referenced = [meta["id"] for meta in manifest.get("segments", [])]
+    seg_dir = _container_dir(path, report["kind"])
+    referenced = [meta["id"] for meta in _manifest_segment_metas(manifest)]
     seg_report: Dict[str, Any] = {
         "referenced": len(referenced),
         "ok": 0,
@@ -720,191 +873,3 @@ def verify_store(path: str, fs: Optional[Filesystem] = None) -> Dict[str, Any]:
         and not orphans
     )
     return report
-
-
-# ---------------------------------------------------------------------------
-# Dimension cube snapshots
-# ---------------------------------------------------------------------------
-
-
-def _cells_dir(path: str) -> str:
-    return os.path.join(str(path), "cells")
-
-
-def _chain_manifest(key: List[Any], group: Any) -> Dict[str, Any]:
-    segments = [group.base[e] for e in sorted(group.base)]
-    segments += [group.rollups[k] for k in sorted(group.rollups)]
-    return {
-        "key": list(key),
-        "max_level": group.max_level,
-        "segments": [segment.meta() for segment in segments],
-    }
-
-
-def save_cube(cube: Any, path: str, fs: Optional[Filesystem] = None) -> Dict[str, int]:
-    """Persist a :class:`~repro.store.cube.CubeStore` atomically.
-
-    Same commit protocol as :func:`save_store` — stage-and-fsync new
-    cell containers under ``cells/``, publish the manifest by atomic
-    rename (the single commit point), then garbage-collect — with the
-    cube's extra state (dimension names, per-chain cell indices, the
-    materialized mask lattice and its stale marks) carried by the
-    manifest.  Cells are immutable, so containers committed by the
-    previous snapshot are reused; returns the same counters as
-    :func:`save_store` (``segments`` counts live cells).
-    """
-    fs = fs or REAL_FS
-    path = str(path)
-    cell_dir = _cells_dir(path)
-    fs.makedirs(cell_dir)
-    try:
-        previous_manifest = _read_manifest(path, fs)
-    except SerializationError:
-        previous_manifest = {}
-    previous: set = set()
-    if previous_manifest.get("kind") == "cube":
-        for chain in previous_manifest.get("groups", []):
-            previous.update(meta["id"] for meta in chain.get("segments", []))
-        for mask in previous_manifest.get("masks", []):
-            for chain in mask.get("groups", []):
-                previous.update(meta["id"] for meta in chain.get("segments", []))
-    prior_snapshot = int(getattr(cube, "_snapshot", 0))
-
-    live_segments = []
-    for group in cube._groups.values():
-        live_segments.extend(group.base.values())
-        live_segments.extend(group.rollups.values())
-    for groups in cube._masks.values():
-        for group in groups.values():
-            live_segments.extend(group.base.values())
-            live_segments.extend(group.rollups.values())
-
-    total = written = 0
-    for segment in live_segments:
-        final = os.path.join(cell_dir, f"{segment.segment_id}.rseg")
-        if segment.segment_id in previous and fs.exists(final):
-            continue  # immutable and already durable under the old manifest
-        staging = final + ".tmp"
-        total += write_segment(segment, staging, cube.codec, fs=fs, durable=True)
-        fs.replace(staging, final)
-        written += 1
-    if written:
-        fs.fsync_dir(cell_dir)
-
-    manifest = {
-        "format": _MANIFEST_FORMAT,
-        "kind": "cube",
-        "snapshot": prior_snapshot + 1,
-        "width": cube.width,
-        "dims": list(cube.dims),
-        "codec": cube.codec,
-        "generation": cube.generation,
-        "records": cube.records,
-        "next_segment_id": cube._next_segment_id,
-        "view_capacity": cube._views.capacity,
-        "schema": {
-            name: spec.to_dict() for name, spec in cube.members.items()
-        },
-        "groups": [
-            _chain_manifest(list(key), group)
-            for key, group in sorted(cube._groups.items(), key=lambda i: repr(i[0]))
-        ],
-        "masks": [
-            {
-                "dims": list(mask),
-                "groups": [
-                    _chain_manifest(list(coarse), group)
-                    for coarse, group in sorted(
-                        cube._masks[mask].items(), key=lambda i: repr(i[0])
-                    )
-                ],
-                "stale": [
-                    [list(coarse), sorted(epochs)]
-                    for coarse, epochs in sorted(
-                        cube._stale.get(mask, {}).items(),
-                        key=lambda i: repr(i[0]),
-                    )
-                    if epochs
-                ],
-            }
-            for mask in sorted(cube._masks)
-        ],
-    }
-    manifest["checksum"] = _manifest_checksum(manifest)
-    payload = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
-    write_file_durable(fs, _manifest_path(path), payload)  # <- commit point
-    cube._snapshot = manifest["snapshot"]
-
-    live = {f"{segment.segment_id}.rseg" for segment in live_segments}
-    gc = 0
-    for name in fs.listdir(cell_dir):
-        if name in live:
-            continue
-        if name.endswith(".rseg") or name.endswith(".tmp"):
-            fs.remove(os.path.join(cell_dir, name))
-            gc += 1
-    return {
-        "segments": len(live_segments),
-        "written": written,
-        "bytes": total,
-        "snapshot": manifest["snapshot"],
-        "gc": gc,
-    }
-
-
-def _load_chain(
-    chain_manifest: Dict[str, Any], cell_dir: str, fs: Filesystem, group: Any
-) -> None:
-    for meta in chain_manifest.get("segments", []):
-        file_path = os.path.join(cell_dir, f"{meta['id']}.rseg")
-        segment = read_segment(file_path, fs=fs)
-        if segment.level == 0:
-            group.base[segment.start] = segment
-        else:
-            group.rollups[(segment.level, segment.start)] = segment
-    group.max_level = int(chain_manifest.get("max_level", 0))
-
-
-def load_cube(path: str, fs: Optional[Filesystem] = None) -> Any:
-    """Load a cube saved by :func:`save_cube` (strict, like :func:`load_store`)."""
-    from .cube import CubeStore, _CubeGroup
-
-    fs = fs or REAL_FS
-    path = str(path)
-    manifest = _read_manifest(path, fs)
-    if manifest.get("kind") != "cube":
-        raise SerializationError(
-            f"{path}: this directory holds a flat segment store; open it "
-            "with SegmentStore.open (repro.store.load_store)"
-        )
-    cube = CubeStore(
-        width=manifest["width"],
-        dims=manifest["dims"],
-        codec=manifest["codec"],
-        view_capacity=manifest.get("view_capacity", 8),
-    )
-    for name, spec in manifest["schema"].items():
-        cube._schema[name] = MemberSpec.from_dict(spec)
-    cell_dir = _cells_dir(path)
-    for chain_manifest in manifest.get("groups", []):
-        key = tuple(chain_manifest["key"])
-        group = cube._groups.setdefault(key, _CubeGroup())
-        _load_chain(chain_manifest, cell_dir, fs, group)
-        for epoch in group.base:
-            cube._epoch_keys.setdefault(epoch, set()).add(key)
-    for mask_manifest in manifest.get("masks", []):
-        mask = tuple(mask_manifest["dims"])
-        groups = cube._masks.setdefault(mask, {})
-        for chain_manifest in mask_manifest.get("groups", []):
-            coarse = tuple(chain_manifest["key"])
-            group = groups.setdefault(coarse, _CubeGroup())
-            _load_chain(chain_manifest, cell_dir, fs, group)
-        for coarse, epochs in mask_manifest.get("stale", []):
-            cube._stale.setdefault(mask, {})[tuple(coarse)] = set(
-                int(e) for e in epochs
-            )
-    cube._generation = int(manifest.get("generation", 0))
-    cube._records = int(manifest.get("records", 0))
-    cube._next_segment_id = int(manifest.get("next_segment_id", 0))
-    cube._snapshot = int(manifest.get("snapshot", 0))
-    return cube

@@ -12,6 +12,12 @@ range query is then compiled by :mod:`repro.store.planner` into
 every summary is mergeable, the roll-up answers carry exactly the same
 guarantees as the naive scan would.
 
+Structurally the store is *one* :class:`~repro.store.chain.EpochChain`
+— the shared storage kernel a :class:`~repro.store.cube.CubeStore`
+instantiates once per cell — layered with the scaffolding of
+:class:`~repro.store.common.StoreBase` (schema, WAL ingest,
+persistence, stats).
+
 The store's persistence (:mod:`repro.store.persistence`) and the
 distributed wire format share one serialization layer
 (:mod:`repro.core.codecs`), so a segment written with the compact
@@ -27,33 +33,25 @@ pre-crash answers by replaying the WAL tail over the last snapshot.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import math
-import os
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.base import Summary, normalize_batch
-from ..core.codecs import DEFAULT_CODEC, get_codec
+from ..core.base import Summary
+from ..core.codecs import DEFAULT_CODEC
 from ..core.exceptions import ParameterError, QueryError
 from ..core.parallel import ExecutorLike
-from ..engine import (
-    FaultModel,
-    MergeLedger,
-    MergePlan,
-    MergeStep,
-    RetryPolicy,
-    execute_plan,
+from ..engine import FaultModel, MergePlan, MergeStep, RetryPolicy
+from .chain import (
+    EpochChain,
+    check_compaction_fault_model,
+    compile_rollup_steps,
+    dyadic_levels,
+    resolve_window,
+    run_store_plan,
 )
-from .planner import QueryPlan, plan_range
-from .segment import (
-    MemberSpec,
-    Segment,
-    build_members,
-    copy_summary,
-    merged_segment,
-)
-from .views import ViewCache
+from .common import StoreBase
+from .planner import QueryPlan
+from .segment import Segment, build_members, copy_summary, merged_segment
 
 __all__ = ["SegmentStore", "QueryResult"]
 
@@ -107,7 +105,7 @@ class QueryResult:
         )
 
 
-class SegmentStore:
+class SegmentStore(StoreBase):
     """A segmented summary store with dyadic roll-ups and a query planner.
 
     Parameters
@@ -121,104 +119,63 @@ class SegmentStore:
         Size of the merged-query-view LRU (0 disables caching).
     """
 
+    kind = "store"
+    kind_noun = "store"
+    unit_noun = "segments"
+    _id_prefix = "s"
+
     def __init__(
         self,
         width: float,
         codec: str = DEFAULT_CODEC,
         view_capacity: int = 8,
     ) -> None:
-        if not width > 0:
-            raise ParameterError(f"width must be positive, got {width!r}")
-        get_codec(codec)  # fail fast on unknown codecs
-        self.width = float(width)
-        self.codec = codec
-        self._schema: Dict[str, MemberSpec] = {}
-        self._base: Dict[int, Segment] = {}
-        self._rollups: Dict[Tuple[int, int], Segment] = {}
-        self._max_level = 0
-        self._generation = 0
-        self._next_segment_id = 0
-        self._records = 0
-        self._views = ViewCache(view_capacity)
-        self._degraded_blocks_total = 0
-        self._window_queries = 0
-        self._window_slack_total = 0
-        self._wal = None
-        self._wal_seq = 0
-        self._snapshot = 0
+        super().__init__(width, codec=codec, view_capacity=view_capacity)
+        self._chain = EpochChain()
 
     # ------------------------------------------------------------------
-    # Schema
+    # The chain kernel, exposed under the historical attribute names
     # ------------------------------------------------------------------
 
-    def add_member(
-        self,
-        name: str,
-        type_name: str,
-        field: Optional[str] = None,
-        **kwargs: Any,
-    ) -> "SegmentStore":
-        """Configure a summary member fed from record ``field``.
-
-        Must happen before the first ingest: segments are immutable, so
-        a member added later could never be backfilled.
-        """
-        if name in self._schema:
-            raise ParameterError(f"store already has a member named {name!r}")
-        if self._base:
-            raise ParameterError(
-                "cannot add members after ingest has begun; the schema is "
-                "fixed once segments exist"
-            )
-        spec = MemberSpec(type_name=type_name, field=field or name, kwargs=kwargs)
-        spec.build()  # validate the constructor arguments eagerly
-        self._schema[name] = spec
-        return self
+    @property
+    def _base(self) -> Dict[int, Segment]:
+        """Live epoch -> level-0 segment mapping (the chain's, shared)."""
+        return self._chain.base
 
     @property
-    def schema(self) -> Dict[str, MemberSpec]:
-        """Snapshot of the member name -> spec mapping."""
-        return dict(self._schema)
+    def _rollups(self) -> Dict[Tuple[int, int], Segment]:
+        """Live (level, start) -> roll-up mapping (the chain's, shared)."""
+        return self._chain.rollups
 
     @property
-    def generation(self) -> int:
-        """Monotonic state version (bumped by ingest and compaction)."""
-        return self._generation
+    def _max_level(self) -> int:
+        return self._chain.max_level
 
-    @property
-    def records(self) -> int:
-        """Total records ingested."""
-        return self._records
+    @_max_level.setter
+    def _max_level(self, value: int) -> None:
+        self._chain.max_level = value
+
+    def _has_data(self) -> bool:
+        return bool(self._chain.base)
 
     @property
     def num_segments(self) -> int:
         """Live level-0 segments."""
-        return len(self._base)
+        return len(self._chain.base)
 
     @property
     def num_rollups(self) -> int:
         """Materialized roll-up segments."""
-        return len(self._rollups)
+        return len(self._chain.rollups)
 
-    def epoch_of(self, key: float) -> int:
-        """The epoch (base-segment index) a key falls into."""
-        return int(math.floor(float(key) / self.width))
-
-    def key_span(self) -> Optional[Tuple[float, float]]:
-        """Half-open key range covered by ingested data, or ``None``."""
-        if not self._base:
+    def _epoch_span(self) -> Optional[Tuple[int, int]]:
+        if not self._chain.base:
             return None
-        lo = min(self._base) * self.width
-        hi = (max(self._base) + 1) * self.width
-        return (lo, hi)
+        return (min(self._chain.base), max(self._chain.base))
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-
-    def _new_segment_id(self, level: int, start: int) -> str:
-        self._next_segment_id += 1
-        return f"s{self._next_segment_id:06d}-L{level}-e{start}"
 
     def _build_base_segment(
         self,
@@ -234,69 +191,19 @@ class SegmentStore:
             members=build_members(self._schema, records, weights),
         )
 
-    def _invalidate_rollups(self, epoch: int) -> int:
-        """Drop every roll-up whose block contains ``epoch``."""
-        dropped = 0
-        for level in range(1, self._max_level + 1):
-            start = (epoch >> level) << level
-            if self._rollups.pop((level, start), None) is not None:
-                dropped += 1
-        return dropped
-
-    def ingest(
-        self,
-        records: Iterable[Mapping[str, Any]],
-        keys: Optional[Sequence[float]] = None,
-        weights: Optional[Sequence[int]] = None,
-    ) -> Dict[str, int]:
+    def ingest(self, records, keys=None, weights=None) -> Dict[str, int]:
         """Partition ``records`` by key into immutable base segments.
 
-        ``keys`` is a parallel sequence of numeric partition keys
-        (timestamps); when omitted, the running record index is used, so
-        epochs become fixed-size arrival batches.  ``weights`` is an
-        optional parallel sequence of positive integer multiplicities,
-        forwarded to each member's batched ingestion.
-
-        Re-ingesting into an epoch that already has a segment does not
-        mutate it: a fresh segment is built from the batch and *merged*
-        with the old one into a replacement, and every roll-up covering
-        that epoch is invalidated (rebuilt on the next :meth:`compact`).
-        Returns counters: ``segments_created``, ``segments_replaced``,
+        ``keys``/``weights`` behave as documented on
+        :meth:`~repro.store.common.StoreBase.ingest`.  Re-ingesting into
+        an epoch that already has a segment does not mutate it: a fresh
+        segment is built from the batch and *merged* with the old one
+        into a replacement, and every roll-up covering that epoch is
+        invalidated (rebuilt on the next :meth:`compact`).  Returns
+        counters: ``segments_created``, ``segments_replaced``,
         ``rollups_invalidated``, ``records``.
-
-        With a write-ahead log attached (:meth:`enable_wal`) the batch
-        is appended — and, per the log's fsync policy, made durable —
-        *before* the in-memory state changes, so a crash at any later
-        instant is recoverable by replay.
         """
-        if not self._schema:
-            raise ParameterError("store has no members; add_member() first")
-        records, weights, _total = normalize_batch(records, weights)
-        records = list(records)
-        if keys is None:
-            keys = [float(self._records + i) for i in range(len(records))]
-        else:
-            if len(keys) != len(records):
-                raise ParameterError(
-                    f"keys must align with records: got {len(records)} "
-                    f"record(s) and {len(keys)} key(s)"
-                )
-            keys = [float(key) for key in keys]
-        for key in keys:
-            if not math.isfinite(key):
-                raise ParameterError(f"partition keys must be finite, got {key!r}")
-        if self._wal is not None:
-            seq = self._wal_seq + 1
-            self._wal.append(
-                seq,
-                records,
-                keys,
-                None if weights is None else [int(w) for w in weights],
-            )
-            counters = self._apply_ingest(records, keys, weights)
-            self._wal_seq = seq
-            return counters
-        return self._apply_ingest(records, keys, weights)
+        return super().ingest(records, keys, weights)
 
     def _apply_ingest(
         self,
@@ -318,16 +225,16 @@ class SegmentStore:
                 None if weight_list is None else [weight_list[i] for i in idx]
             )
             fresh = self._build_base_segment(epoch, batch, batch_weights)
-            old = self._base.get(epoch)
+            old = self._chain.base.get(epoch)
             if old is None:
-                self._base[epoch] = fresh
+                self._chain.base[epoch] = fresh
                 created += 1
             else:
-                self._base[epoch] = merged_segment(
+                self._chain.base[epoch] = merged_segment(
                     self._new_segment_id(0, epoch), 0, epoch, [old, fresh]
                 )
                 replaced += 1
-            invalidated += self._invalidate_rollups(epoch)
+            invalidated += self._chain.drop_covering_rollups(epoch)
         self._records += len(records)
         self._generation += 1
         return {
@@ -337,71 +244,9 @@ class SegmentStore:
             "records": len(records),
         }
 
-    # ------------------------------------------------------------------
-    # Durability: the write-ahead log and replay
-    # ------------------------------------------------------------------
-
-    def enable_wal(
-        self,
-        directory: str,
-        fsync_every: int = 1,
-        fs: Any = None,
-    ):
-        """Attach a write-ahead ingest log rooted at ``directory``.
-
-        Subsequent :meth:`ingest` calls append their batch to the log
-        before applying it; ``fsync_every`` is the durability/throughput
-        knob (see :mod:`repro.store.wal`).  :meth:`save` records the
-        covered sequence in the manifest and retires fully-covered log
-        files after the snapshot commits.  Returns the attached
-        :class:`~repro.store.wal.WriteAheadLog`.
-        """
-        from .wal import WriteAheadLog
-
-        if self._wal is not None:
-            raise ParameterError("store already has a write-ahead log attached")
-        self._wal = WriteAheadLog(directory, fs=fs, fsync_every=fsync_every)
-        return self._wal
-
-    @property
-    def wal(self):
-        """The attached :class:`~repro.store.wal.WriteAheadLog`, or ``None``."""
-        return self._wal
-
-    @property
-    def wal_seq(self) -> int:
-        """Sequence number of the last logged-and-applied ingest batch."""
-        return self._wal_seq
-
-    @property
-    def snapshot(self) -> int:
-        """Generation of the last committed snapshot (0 before any save)."""
-        return self._snapshot
-
-    def _replay_wal(self, record) -> None:
-        """Re-apply one logged ingest batch (recovery path; no re-logging)."""
-        records, weights, _total = normalize_batch(record.records, record.weights)
-        self._apply_ingest(list(records), record.keys, weights)
-        self._wal_seq = record.seq
-
-    def fingerprint(self) -> str:
-        """Digest of the logical store state, for crash-safety proofs.
-
-        Covers everything a snapshot persists and a query can observe —
-        schema, counters, every segment's metadata and member states —
-        but not administrative counters (snapshot generation, cache
-        stats).  Two stores with equal fingerprints give byte-identical
-        answers to every query.
-        """
-        state = {
-            "width": self.width,
-            "codec": self.codec,
-            "schema": {
-                name: spec.to_dict() for name, spec in sorted(self._schema.items())
-            },
-            "records": self._records,
+    def _fingerprint_extra(self) -> Dict[str, Any]:
+        return {
             "max_level": self._max_level,
-            "wal_seq": self._wal_seq,
             "segments": [
                 {
                     "meta": segment.meta(),
@@ -413,88 +258,35 @@ class SegmentStore:
                 for segment in self.segments()
             ],
         }
-        canonical = json.dumps(state, separators=(",", ":"), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Compaction: the dyadic roll-up tree
     # ------------------------------------------------------------------
-
-    def _seed_rollup(self, segment_id: str, level: int, start: int):
-        """Copy-on-write builder for a roll-up's merge step.
-
-        Receives the first child segment of the block and returns the
-        fresh roll-up seeded with member-wise copies of it (exactly how
-        :func:`~repro.store.segment.merged_segment` starts); the engine
-        then merges the remaining children in.
-        """
-
-        def seed(first: Segment) -> Segment:
-            return Segment(
-                segment_id=segment_id,
-                level=level,
-                start=start,
-                count=first.count,
-                members={
-                    name: copy_summary(summary)
-                    for name, summary in first.members.items()
-                },
-            )
-
-        return seed
 
     def _compile_compaction(
         self, lo: int, hi: int, levels: int
     ) -> Tuple[MergePlan, Dict[Tuple[int, int], Segment]]:
         """Compile the incremental dyadic roll-up into a merge plan.
 
-        Slots are ``(level, start)`` block coordinates.  Jobs are
-        discovered level by level exactly like the historical loop —
-        same block iteration, same skip of materialized roll-ups, same
-        segment-id allocation order — but a job may now reference a
-        *planned* sibling from the level below as a source slot, which
-        is what lets the whole tree execute as one plan (the engine's
-        wave packer rediscovers the per-level barriers from the slot
-        conflicts).
+        Job discovery, slot layout, and segment-id allocation live in
+        :func:`~repro.store.chain.compile_rollup_steps` (shared with the
+        cube); slots are ``(level, start)`` block coordinates and every
+        planned block gets an ``emit`` step in block order.
         """
         steps: List[MergeStep] = []
         inputs: Dict[Tuple[int, int], Segment] = {}
-        planned: set = set()
-        for level in range(1, levels + 1):
-            block = 1 << level
-            half = block >> 1
-            first = (lo // block) * block
-            for start in range(first, hi + 1, block):
-                if (level, start) in self._rollups:
-                    continue
-                srcs: List[Tuple[int, int]] = []
-                for child_start in (start, start + half):
-                    child_slot = (level - 1, child_start)
-                    if level - 1 >= 1 and child_slot in planned:
-                        srcs.append(child_slot)
-                        continue
-                    child = self._child_node(level - 1, child_start)
-                    if child is not None:
-                        inputs[child_slot] = child
-                        srcs.append(child_slot)
-                if not srcs:
-                    continue
-                slot = (level, start)
-                steps.append(
-                    MergeStep(
-                        "merge",
-                        slot,
-                        tuple(srcs),
-                        builder=self._seed_rollup(
-                            self._new_segment_id(level, start), level, start
-                        ),
-                    )
-                )
-                planned.add(slot)
+        planned = compile_rollup_steps(
+            self._chain,
+            levels,
+            slot_of=lambda block: block,
+            new_segment_id=self._new_segment_id,
+            steps=steps,
+            inputs=inputs,
+        )
         for slot in sorted(planned):
             steps.append(MergeStep("emit", slot))
         plan = MergePlan(
-            name=f"compact[{len(self._base)} segments, {levels} levels]",
+            name=f"compact[{len(self._chain.base)} segments, {levels} levels]",
             steps=steps,
             groupable=True,
             fuse_fanin=False,
@@ -517,9 +309,11 @@ class SegmentStore:
         below.  Blocks whose roll-up is already materialized are
         skipped, so repeated compactions are incremental.  The roll-up
         is compiled into a :class:`~repro.engine.plan.MergePlan` and run
-        by :func:`repro.engine.execute_plan`; with an ``executor`` (int
-        worker count or :class:`~repro.core.parallel.ParallelExecutor`)
-        the independent merges of each level fan out across workers.
+        by :func:`repro.engine.execute_plan` (via the shared
+        :func:`~repro.store.chain.run_store_plan`); with an ``executor``
+        (int worker count or
+        :class:`~repro.core.parallel.ParallelExecutor`) the independent
+        merges of each level fan out across workers.
 
         ``fault_model`` runs the compaction over the engine's unreliable
         fabric: each child delivery is retried per ``retry_policy``, and
@@ -536,37 +330,27 @@ class SegmentStore:
         ``merge_inputs`` (summaries consumed by the new roll-ups); under
         a fault model also ``retries`` and ``rollups_failed``.
         """
-        if fault_model is not None and fault_model.corruption:
-            raise ParameterError(
-                "compaction never serializes segments, so corruption "
-                "injection cannot apply; use loss/duplicate/crash faults"
-            )
-        if len(self._base) == 0:
+        check_compaction_fault_model(fault_model)
+        if len(self._chain.base) == 0:
             return {"levels": 0, "rollups_built": 0, "merge_inputs": 0}
-        lo, hi = min(self._base), max(self._base)
-        span = hi - lo + 1
-        levels = max(1, math.ceil(math.log2(span))) if span > 1 else 1
+        levels = dyadic_levels(self._chain)
+        lo, hi = min(self._chain.base), max(self._chain.base)
         plan, inputs = self._compile_compaction(lo, hi, levels)
         built = merge_inputs = retries = failed = 0
         if plan.merge_steps:
-            use_ledger = fault_model is not None and exactly_once
-            result = execute_plan(
+            result = run_store_plan(
                 plan,
                 inputs,
                 executor=executor,
                 fault_model=fault_model,
                 retry_policy=retry_policy,
-                ledger_factory=MergeLedger if use_ledger else None,
-                # the compaction counters come from the plan itself;
-                # size/coverage tracking is only needed under faults
-                # (where execute_plan forces it back on)
-                accounting=False,
+                exactly_once=exactly_once,
             )
             fan_in = {
                 step.slot: len(step.srcs) for step in plan.merge_steps
             }
             for slot, segment in result.outputs.items():
-                self._rollups[slot] = segment
+                self._chain.rollups[slot] = segment
                 built += 1
                 merge_inputs += fan_in[slot]
             failed = len(fan_in) - built
@@ -587,9 +371,7 @@ class SegmentStore:
 
     def _child_node(self, level: int, start: int) -> Optional[Segment]:
         """The materialized node covering block ``(level, start)``, if any."""
-        if level == 0:
-            return self._base.get(start)
-        return self._rollups.get((level, start))
+        return self._chain.node(level, start)
 
     # ------------------------------------------------------------------
     # Query
@@ -608,14 +390,7 @@ class SegmentStore:
             )
         lo_epoch = self.epoch_of(lo)
         hi_epoch = int(math.ceil(float(hi) / self.width))
-        plan = plan_range(
-            lo_epoch,
-            hi_epoch,
-            self._base,
-            self._rollups,
-            max_level=max(self._max_level, 1),
-            use_rollups=use_rollups,
-        )
+        plan = self._chain.plan(lo_epoch, hi_epoch, use_rollups=use_rollups)
         self._degraded_blocks_total += plan.degraded_blocks
         return plan
 
@@ -625,21 +400,18 @@ class SegmentStore:
         """Resolve a trailing window to ``(lo_epoch, hi_epoch, window_epochs)``.
 
         ``end`` defaults to the end of the ingested key span (the
-        store's "now"); the window is rounded outward to whole epochs.
+        store's "now"); the window is rounded outward to whole epochs
+        (see :func:`~repro.store.chain.resolve_window`).
         """
-        if not window > 0:
-            raise ParameterError(f"window must be positive, got {window!r}")
-        if end is None:
-            span = self.key_span()
-            if span is None:
-                raise QueryError(
-                    "window query on an empty store: no key span to anchor "
-                    "the window end (pass hi= explicitly)"
-                )
-            end = span[1]
-        hi_epoch = int(math.ceil(float(end) / self.width))
-        window_epochs = max(1, int(math.ceil(float(window) / self.width)))
-        return hi_epoch - window_epochs, hi_epoch, window_epochs
+        lo_epoch, hi_epoch, window_epochs, _slack = resolve_window(
+            window,
+            end,
+            0.0,
+            width=self.width,
+            span=self.key_span(),
+            noun=self.kind_noun,
+        )
+        return lo_epoch, hi_epoch, window_epochs
 
     def plan_window(
         self,
@@ -658,17 +430,16 @@ class SegmentStore:
         the answer's mass is within a ``(1 + eps)`` factor of the exact
         window while reusing the largest materialized blocks available.
         """
-        if not 0.0 <= eps <= 1.0:
-            raise ParameterError(f"eps must be in [0, 1], got {eps!r}")
-        lo_epoch, hi_epoch, window_epochs = self._window_range(window, end)
-        plan = plan_range(
-            lo_epoch,
-            hi_epoch,
-            self._base,
-            self._rollups,
-            max_level=max(self._max_level, 1),
-            use_rollups=use_rollups,
-            slack_lo=int(math.floor(eps * window_epochs)),
+        lo_epoch, hi_epoch, _window_epochs, slack_lo = resolve_window(
+            window,
+            end,
+            eps,
+            width=self.width,
+            span=self.key_span(),
+            noun=self.kind_noun,
+        )
+        plan = self._chain.plan(
+            lo_epoch, hi_epoch, use_rollups=use_rollups, slack_lo=slack_lo
         )
         self._degraded_blocks_total += plan.degraded_blocks
         self._window_queries += 1
@@ -769,101 +540,26 @@ class SegmentStore:
 
     def segments(self) -> List[Segment]:
         """All live segments (base in epoch order, then roll-ups by level)."""
-        base = [self._base[e] for e in sorted(self._base)]
-        ups = [self._rollups[k] for k in sorted(self._rollups)]
-        return base + ups
+        return self._chain.segments()
 
-    def stats(self) -> Dict[str, Any]:
-        """Store-level statistics for the CLI and the benchmarks."""
+    def _stats_extra(self) -> Dict[str, Any]:
         per_level: Dict[int, int] = {}
-        for level, _start in self._rollups:
+        for level, _start in self._chain.rollups:
             per_level[level] = per_level.get(level, 0) + 1
         return {
-            "width": self.width,
-            "codec": self.codec,
-            "members": {
-                name: spec.to_dict() for name, spec in sorted(self._schema.items())
-            },
-            "records": self._records,
-            "generation": self._generation,
-            "base_segments": len(self._base),
-            "rollups": len(self._rollups),
+            "base_segments": len(self._chain.base),
+            "rollups": len(self._chain.rollups),
             "rollups_per_level": {str(k): per_level[k] for k in sorted(per_level)},
-            "key_span": self.key_span(),
-            "view_cache": self._views.stats,
-            "planner": {
-                "degraded_blocks_total": self._degraded_blocks_total,
-                "window_queries": self._window_queries,
-                "window_slack_epochs_total": self._window_slack_total,
-            },
         }
 
     # ------------------------------------------------------------------
-    # Persistence (delegates to repro.store.persistence)
+    # Persistence hooks (entry points live on StoreBase)
     # ------------------------------------------------------------------
 
-    def save(self, path, fs: Any = None) -> Dict[str, int]:
-        """Commit an atomic snapshot of the store to a directory.
+    def _chain_index(self) -> List[Tuple[Tuple[Any, ...], EpochChain]]:
+        return [(("flat",), self._chain)]
 
-        Segments stage under temp names and the manifest rename is the
-        single commit point (:func:`~repro.store.persistence.save_store`),
-        so a crash mid-save always leaves a loadable store.  With a WAL
-        attached, log files fully covered by the committed snapshot are
-        retired afterwards (``wal_retired`` in the returned counters).
-        """
-        from .persistence import save_store
-
-        report = save_store(self, path, fs=fs)
-        if self._wal is not None:
-            report["wal_retired"] = self._wal.retire(self._wal_seq)
-        return report
-
-    @classmethod
-    def open(cls, path, fs: Any = None) -> "SegmentStore":
-        """Load the latest committed snapshot and replay the WAL tail.
-
-        Strict: damage anywhere raises
-        :class:`~repro.core.exceptions.SerializationError` (a torn WAL
-        tail points at :meth:`recover`, which quarantines instead).
-        """
-        from .persistence import load_store
-
-        return load_store(path, fs=fs)
-
-    @classmethod
-    def open_durable(
-        cls,
-        path,
-        fsync_every: int = 1,
-        fs: Any = None,
-    ) -> "SegmentStore":
-        """:meth:`open` + :meth:`enable_wal` under ``<path>/wal``.
-
-        The one-call way to get a crash-safe serving store: every
-        subsequent ingest is WAL-logged, every :meth:`save` commits
-        atomically and retires covered logs.
-        """
-        store = cls.open(path, fs=fs)
-        store.enable_wal(
-            os.path.join(str(path), "wal"), fsync_every=fsync_every, fs=fs
-        )
-        return store
-
-    @classmethod
-    def recover(cls, path, fs: Any = None):
-        """Crash recovery: quarantine damage, replay, re-commit.
-
-        Returns ``(store, report)`` — see
-        :func:`~repro.store.persistence.recover_store`.
-        """
-        from .persistence import recover_store
-
-        return recover_store(path, fs=fs)
-
-    @staticmethod
-    def verify(path, fs: Any = None) -> Dict[str, Any]:
-        """Read-only audit of a store directory
-        (:func:`~repro.store.persistence.verify_store`)."""
-        from .persistence import verify_store
-
-        return verify_store(path, fs=fs)
+    def _attach_chain(
+        self, chain_id: Tuple[Any, ...], chain: EpochChain
+    ) -> None:
+        self._chain = chain

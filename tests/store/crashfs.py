@@ -288,12 +288,22 @@ class CrashFilesystem(Filesystem):
             with open(dpath(rel), "wb") as handle:
                 handle.write(data)
 
+        # paths the undo phase rewrites already hold their exact
+        # post-crash bytes (including the [:durable] slice for un-kept
+        # data); the truncation pass below must leave them alone — its
+        # durable_len entries describe the files the *operation* left
+        # behind, not the pre-operation bytes undo restores.  (A save
+        # whose manifest shrinks would otherwise see the restored old
+        # manifest truncated to the new manifest's durable length.)
+        restored: set = set()
+
         if not keep_meta:
             # undo uncommitted metadata, newest first
             for op in reversed(self.pending_meta):
                 kind = op["op"]
                 if kind == "create":
                     put(op["path"], None)
+                    restored.add(op["path"])
                 elif kind == "mkdir":
                     shutil.rmtree(dpath(op["path"]), ignore_errors=True)
                 elif kind == "truncate":
@@ -301,11 +311,13 @@ class CrashFilesystem(Filesystem):
                     if not keep_data:
                         data = data[: op["old_durable"]]
                     put(op["path"], data)
+                    restored.add(op["path"])
                 elif kind == "remove":
                     data = op["old_bytes"]
                     if data is not None and not keep_data:
                         data = data[: op["old_durable"]]
                     put(op["path"], data)
+                    restored.add(op["path"])
                 elif kind == "replace":
                     # the rename never happened: dst reverts, src returns
                     dst_data = op["dst_bytes"] if op["dst_existed"] else None
@@ -317,9 +329,13 @@ class CrashFilesystem(Filesystem):
                             src_data = src_data[: op["src_durable"]]
                     put(op["dst"], dst_data)
                     put(op["src"], src_data)
+                    restored.add(op["dst"])
+                    restored.add(op["src"])
 
         if not keep_data:
             for rel, durable in self.durable_len.items():
+                if rel in restored:
+                    continue
                 target = dpath(rel)
                 if not os.path.isfile(target):
                     continue

@@ -1,0 +1,231 @@
+"""Deterministic store/cube builders for the refactor-equivalence pin.
+
+The chain-kernel refactor (unifying :class:`SegmentStore` and
+:class:`CubeStore` on :mod:`repro.store.chain`) promises *behavior
+preservation*: every query answer — flat range, ``where=``,
+``group_by=``, and ``window=`` — must come out byte-identical to what
+the pre-refactor twin stacks produced.  This module builds one store of
+each kind, registry-driven (every ``STORE_MEMBERS`` entry, windowed
+variants included), runs a fixed battery of queries, and reduces each
+answer to a digest: the full canonical summary state hashed, plus the
+plan accounting (fan-in, cells merged, slack used) that pins the
+planner itself.
+
+Run as a script to (re)generate the checked-in fixture::
+
+    PYTHONPATH=src python -m tests.store.equivalence_harness
+
+The fixture in ``tests/store/fixtures/equivalence.json`` was generated
+by the PRE-refactor code; ``test_equivalence_fixtures.py`` asserts the
+current code reproduces it exactly.  Regenerating is the escape hatch
+for *intentional* behavior changes only — the mergeability envelope
+(pinned independently by ``test_store.py``/``test_cube.py``) is the
+semantic guarantee; this fixture pins the stronger bit-level claim the
+refactor makes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.store import CubeStore, SegmentStore
+
+from .test_store import STORE_MEMBERS, _kind_field
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "equivalence.json"
+)
+
+FLAT_EPOCHS = 40
+CUBE_EPOCHS = 16
+REGIONS = ("ap", "eu", "us")
+DEVICES = ("mobile", "web")
+
+
+def _member_digest(summary: Any) -> Dict[str, Any]:
+    canonical = json.dumps(summary.to_dict(), sort_keys=True)
+    return {
+        "n": summary.n,
+        "sha": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+    }
+
+
+def _epoch_feed(seed: int):
+    rng = np.random.default_rng(seed)
+    ints = rng.integers(0, 50, size=40).tolist()
+    floats = rng.random(40).tolist()
+    points = [p.tolist() for p in rng.random((8, 2))]
+    return ints, floats, points
+
+
+def _epoch_records(seed: int, tags: Dict[str, Any]):
+    """Records for one epoch: every feed kind, dimension tags attached."""
+    ints, floats, points = _epoch_feed(seed)
+    records = []
+    for i in range(len(ints)):
+        record = {"ints": ints[i], "floats": floats[i], **tags}
+        if i < len(points):
+            record["points"] = points[i]
+        records.append(record)
+    return records
+
+
+def _add_members(store: Any) -> None:
+    for name, (kwargs, _kind) in sorted(STORE_MEMBERS.items()):
+        store.add_member(name, name, field=_kind_field(name), **kwargs)
+
+
+def build_flat_store() -> SegmentStore:
+    """A compacted flat store: every registered member, 40 epochs."""
+    store = SegmentStore(width=1.0)
+    _add_members(store)
+    records, keys = [], []
+    for epoch in range(FLAT_EPOCHS):
+        batch = _epoch_records(9000 + epoch, {})
+        records.extend(batch)
+        keys.extend([float(epoch)] * len(batch))
+    store.ingest(records, keys)
+    store.compact()
+    # late re-ingest: one epoch replaced, its covering roll-ups dropped,
+    # so range queries exercise the degraded-block fallback too
+    late = _epoch_records(9600, {})
+    store.ingest(late, [7.25] * len(late))
+    return store
+
+
+def build_cube() -> CubeStore:
+    """A compacted two-dimension cube mirroring the flat build."""
+    cube = CubeStore(width=1.0, dims=("region", "device"))
+    _add_members(cube)
+    records, keys = [], []
+    for epoch in range(CUBE_EPOCHS):
+        for r, region in enumerate(REGIONS):
+            for d, device in enumerate(DEVICES):
+                seed = 5000 + (epoch * len(REGIONS) + r) * len(DEVICES) + d
+                batch = _epoch_records(seed, {"region": region, "device": device})
+                records.extend(batch)
+                keys.extend([float(epoch)] * len(batch))
+    cube.ingest(records, keys)
+    # log the query shapes compaction should serve, then materialize
+    cube.query(0.0, float(CUBE_EPOCHS))
+    cube.query(0.0, float(CUBE_EPOCHS), group_by=("region",))
+    cube.query(0.0, float(CUBE_EPOCHS), where={"region": "eu"})
+    cube.compact(budget=10**6)
+    # late re-ingest: stale-epoch fallback on every materialized mask
+    late = _epoch_records(5600, {"region": "eu", "device": "web"})
+    cube.ingest(late, [3.5] * len(late))
+    return cube
+
+
+def _flat_result_digest(result: Any) -> Dict[str, Any]:
+    return {
+        "plan": {
+            "fan_in": result.plan.fan_in,
+            "rollup_nodes": result.plan.rollup_nodes,
+            "base_covered": result.plan.base_covered,
+            "degraded_blocks": result.plan.degraded_blocks,
+            "window_slack_used": result.plan.window_slack_used,
+            "records": result.plan.records,
+        },
+        "key_range": list(result.key_range),
+        "members": {
+            name: _member_digest(summary)
+            for name, summary in sorted(result.members().items())
+        },
+    }
+
+
+def _cube_result_digest(result: Any) -> Dict[str, Any]:
+    plan = result.plan
+    return {
+        "plan": {
+            "groups": plan.groups,
+            "cells_merged": plan.cells_merged,
+            "rollup_nodes": plan.rollup_nodes,
+            "stale_epochs": plan.stale_epochs,
+            "degraded_blocks": plan.degraded_blocks,
+            "window_slack_used": plan.window_slack_used,
+            "serving_mask": (
+                None if plan.serving_mask is None else list(plan.serving_mask)
+            ),
+        },
+        "key_range": list(result.key_range),
+        "groups": {
+            repr(key): {
+                name: _member_digest(summary)
+                for name, summary in sorted(members.items())
+            }
+            for key, members in result.groups.items()
+        },
+    }
+
+
+def build_fixture() -> Dict[str, Any]:
+    store = build_flat_store()
+    flat_queries = {
+        "range": store.query(3.0, 37.0),
+        "range_naive": store.query(3.0, 37.0, use_rollups=False),
+        "prefix": store.query(0.0, 16.0),
+        "window": store.query(window=12.0),
+        "window_slack": store.query(window=12.0, window_eps=0.4),
+    }
+    cube = build_cube()
+    cube_queries = {
+        "flat": cube.query(1.0, 15.0),
+        "flat_naive": cube.query(1.0, 15.0, use_rollups=False),
+        "where": cube.query(1.0, 15.0, where={"region": "eu"}),
+        "group_by": cube.query(1.0, 15.0, group_by=("region",)),
+        "group_by_naive": cube.query(
+            1.0, 15.0, group_by=("region",), use_rollups=False
+        ),
+        "where_group": cube.query(
+            1.0, 15.0, where={"device": "web"}, group_by=("region",)
+        ),
+        "window": cube.query(window=6.0),
+        "window_slack": cube.query(
+            window=6.0, window_eps=0.5, group_by=("device",)
+        ),
+    }
+    return {
+        "flat": {
+            "stats": {
+                "records": store.records,
+                "base_segments": store.num_segments,
+                "rollups": store.num_rollups,
+            },
+            "queries": {
+                name: _flat_result_digest(result)
+                for name, result in flat_queries.items()
+            },
+        },
+        "cube": {
+            "stats": {
+                "records": cube.records,
+                "groups": cube.num_groups,
+                "base_cells": cube.num_cells,
+                "masks": [list(m) for m in cube.materialized_masks()],
+            },
+            "queries": {
+                name: _cube_result_digest(result)
+                for name, result in cube_queries.items()
+            },
+        },
+    }
+
+
+def main() -> None:
+    fixture = build_fixture()
+    os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+    with open(FIXTURE_PATH, "w") as handle:
+        json.dump(fixture, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,205 @@
+"""Crash-injection proofs for the cube's durability stack.
+
+The chain-kernel refactor gives :class:`CubeStore` the flat store's
+whole durability surface — WAL ingest, atomic snapshots, kind-generic
+recovery — so the cube must satisfy the same invariant the flat store
+proves in ``test_crash_injection.py``: *after a crash at any point
+during ingest, save, or compact, recovery yields either the
+pre-operation or the post-operation state, byte-identical, with no
+partial roll-ups served*.  Same methodology: every operation is killed
+at every mutating syscall, every kill point is materialized under every
+:data:`~tests.store.crashfs.CRASH_VARIANTS` disk outcome, and
+"byte-identical" is :meth:`CubeStore.fingerprint` — which covers every
+cell chain, the mask lattice, and the stale marks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.store import CubeStore
+
+from .crashfs import (
+    CRASH_VARIANTS,
+    CrashFilesystem,
+    copy_tree,
+    run_crash_sweep,
+)
+
+REGIONS = ("eu", "us")
+DEVICES = ("mobile", "web")
+
+# one shared ingest batch: epoch 0 already exists in the seed cube (so
+# the op replaces a cell, drops the covering mask cells, and leaves
+# stale marks the snapshot must carry), epochs 3 and 4 are new
+BATCH = [
+    {"value": i % 5, "region": REGIONS[i % 2], "device": DEVICES[i % 2]}
+    for i in range(6)
+]
+KEYS = [0.5, 0.75, 3.0, 3.5, 4.0, 4.5]
+
+
+def _seed_cube() -> CubeStore:
+    cube = CubeStore(width=1.0, dims=("region", "device"), codec="binary.v1")
+    cube.add_member("count", "exact_counter", field="value")
+    cube.add_member("hot", "misra_gries", field="value", k=8)
+    records, keys = [], []
+    for epoch in range(3):
+        for r, region in enumerate(REGIONS):
+            for device in DEVICES:
+                records.extend(
+                    {"value": (epoch + r + i) % 7, "region": region, "device": device}
+                    for i in range(4)
+                )
+                keys.extend([float(epoch)] * 4)
+    cube.ingest(records, keys)
+    cube.query(0.0, 3.0)  # log the grand-total shape compact should serve
+    cube.compact(budget=10**6)
+    return cube
+
+
+@pytest.fixture
+def initial(tmp_path):
+    """A committed cube snapshot (cells + mask + time roll-ups) on disk."""
+    target = tmp_path / "initial"
+    _seed_cube().save(target)
+    return str(target)
+
+
+def _fingerprints(initial: str, operation, scratch: str):
+    """(pre_fp, post_fp): the only two states recovery may land on."""
+    pre_fp = CubeStore.open(initial).fingerprint()
+    post_dir = copy_tree(initial, os.path.join(scratch, "post"))
+    operation(CrashFilesystem(post_dir), post_dir)
+    post_store, post_report = CubeStore.recover(post_dir)
+    assert post_report.clean  # an uncrashed run leaves nothing to fix
+    post_fp = post_store.fingerprint()
+    assert CubeStore.open(post_dir).fingerprint() == post_fp
+    assert post_fp != pre_fp  # the operation must actually change state
+    return pre_fp, post_fp
+
+
+def _assert_invariant(initial: str, operation, scratch: str) -> int:
+    """Sweep every kill point x variant; return the number of states."""
+    pre_fp, post_fp = _fingerprints(initial, operation, scratch)
+    states = 0
+    for kill, variant, crashed in run_crash_sweep(
+        initial, operation, os.path.join(scratch, "sweep")
+    ):
+        states += 1
+        context = f"kill={kill} variant={variant}"
+        recovered, report = CubeStore.recover(crashed)
+        assert isinstance(recovered, CubeStore), (
+            f"{context}: kind-generic recovery returned the wrong kind"
+        )
+        fp = recovered.fingerprint()
+        assert fp in (pre_fp, post_fp), (
+            f"{context}: recovery produced a third state (neither the "
+            f"pre- nor the post-operation fingerprint)"
+        )
+        # recovery is idempotent: a second pass finds a clean store
+        again, second = CubeStore.recover(crashed)
+        assert again.fingerprint() == fp, f"{context}: recovery not stable"
+        assert second.clean, f"{context}: second recovery still dirty"
+        # and the strict loader now serves the same answers
+        assert CubeStore.open(crashed).fingerprint() == fp, (
+            f"{context}: strict open disagrees with recovery"
+        )
+    assert states > 0
+    return states
+
+
+def op_wal_ingest(fs, root):
+    """Durable cube ingest: WAL append + fsync, no snapshot."""
+    cube = CubeStore.open(root, fs=fs)
+    cube.enable_wal(os.path.join(root, "wal"), fsync_every=1, fs=fs)
+    cube.ingest(BATCH, KEYS)
+
+
+def op_save(fs, root):
+    """Snapshot commit after an in-memory ingest (replaces a cell,
+    leaves stale mask marks the manifest must carry)."""
+    cube = CubeStore.open(root, fs=fs)
+    cube.ingest(BATCH, KEYS)
+    cube.save(root, fs=fs)
+
+
+def op_compact_save(fs, root):
+    """Mask + time roll-up rebuild, then snapshot commit."""
+    cube = CubeStore.open(root, fs=fs)
+    cube.ingest(BATCH, KEYS)
+    cube.compact(budget=10**6)
+    cube.save(root, fs=fs)
+
+
+def op_full_lifecycle(fs, root):
+    """WAL ingest, then snapshot + WAL retirement — the serving loop."""
+    cube = CubeStore.open_durable(root, fsync_every=1, fs=fs)
+    cube.ingest(BATCH, KEYS)
+    cube.save(root, fs=fs)
+
+
+@pytest.mark.parametrize(
+    "operation",
+    [op_wal_ingest, op_save, op_compact_save, op_full_lifecycle],
+    ids=["wal-ingest", "save", "compact-save", "full-lifecycle"],
+)
+def test_crash_at_every_syscall(initial, tmp_path, operation):
+    states = _assert_invariant(
+        initial, operation, str(tmp_path / operation.__name__)
+    )
+    # exhaustiveness sanity: each op has many kill points, and every one
+    # was tried under every variant
+    assert states % len(CRASH_VARIANTS) == 0
+    assert states // len(CRASH_VARIANTS) >= 5
+
+
+def test_wal_replay_restores_cube_answers(initial, tmp_path):
+    """open_durable on a crashed cube replays the WAL tail: queries
+    (where=, group_by=) answer as if the crash never happened."""
+    workdir = copy_tree(initial, str(tmp_path / "cube"))
+    cube = CubeStore.open_durable(workdir)
+    cube.ingest(BATCH, KEYS)
+    expected = {
+        key: members["count"].to_dict()
+        for key, members in cube.query(
+            0.0, 5.0, group_by=("region",)
+        ).groups.items()
+    }
+    # "crash": drop the in-memory cube, reopen from disk (snapshot is
+    # stale — the ingest lives only in the WAL)
+    recovered = CubeStore.open_durable(workdir)
+    assert recovered.records == cube.records
+    got = {
+        key: members["count"].to_dict()
+        for key, members in recovered.query(
+            0.0, 5.0, group_by=("region",)
+        ).groups.items()
+    }
+    assert got == expected
+
+
+def test_no_partial_rollups_after_crash(initial, tmp_path):
+    """A crash during compact+save never serves a mask or time roll-up
+    that merges only part of its block: every recovered grouped answer
+    equals the base-scan answer."""
+    for kill, variant, crashed in run_crash_sweep(
+        initial,
+        op_compact_save,
+        str(tmp_path / "sweep"),
+        variants=("sync-only", "torn-half"),
+    ):
+        recovered, _report = CubeStore.recover(crashed)
+        lo, hi = recovered.key_span()
+        fast = recovered.query(lo, hi, group_by=("region",), use_rollups=True)
+        slow = recovered.query(lo, hi, group_by=("region",), use_rollups=False)
+        assert sorted(fast.groups) == sorted(slow.groups)
+        for key in fast.groups:
+            assert (
+                fast[key]["count"].to_dict() == slow[key]["count"].to_dict()
+            ), (
+                f"kill={kill} variant={variant} group={key}: roll-up "
+                f"answer diverges from the base scan"
+            )

@@ -1,0 +1,150 @@
+"""Legacy (pre-chain-kernel) manifests still load, byte-identically.
+
+Manifest format 3 carries every chain explicitly under ``chains``;
+formats 1 and 2 predate the kernel — the flat store kept one implicit
+chain in a top-level ``segments`` list, and the cube nested per-mask
+``groups``.  These tests take a format-3 save, rewrite the manifest
+into each legacy shape in place (segment containers are untouched —
+the RSEG format never changed), and assert that :func:`repro.store.load`
+builds the same store: identical fingerprint, identical answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.store import CubeStore, SegmentStore, load
+from repro.store.persistence import _manifest_checksum
+
+
+def _rewrite_manifest(target, transform) -> None:
+    path = target / "manifest.json"
+    manifest = json.loads(path.read_text())
+    manifest = transform(manifest)
+    manifest.pop("checksum", None)
+    manifest["checksum"] = _manifest_checksum(manifest)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+
+def _populated_store() -> SegmentStore:
+    store = SegmentStore(width=1.0, codec="binary.v1")
+    store.add_member("count", "exact_counter", field="value")
+    store.add_member("hot", "misra_gries", field="value", k=8)
+    store.ingest(
+        [{"value": i % 7} for i in range(96)],
+        [float(i // 4) for i in range(96)],
+    )
+    store.compact()
+    return store
+
+
+def _populated_cube() -> CubeStore:
+    cube = CubeStore(width=1.0, dims=("region", "device"), codec="binary.v1")
+    cube.add_member("count", "exact_counter", field="value")
+    for epoch in range(3):
+        for region in ("eu", "us"):
+            for device in ("mobile", "web"):
+                cube.ingest(
+                    [
+                        {"value": (epoch + i) % 5, "region": region, "device": device}
+                        for i in range(4)
+                    ],
+                    [float(epoch)] * 4,
+                )
+    cube.query(0.0, 3.0)  # log the grand-total shape so compact builds a mask
+    cube.compact(budget=10**6)
+    # a post-compact ingest leaves stale mask marks the manifest must carry
+    cube.ingest([{"value": 1, "region": "eu", "device": "web"}], [0.25])
+    return cube
+
+
+def test_legacy_flat_manifest_loads(tmp_path):
+    store = _populated_store()
+    target = tmp_path / "store"
+    store.save(target)
+    expected_fp = SegmentStore.open(target).fingerprint()
+    expected = store.query(3.0, 21.0)
+
+    def to_format_1(manifest):
+        (chain,) = manifest.pop("chains")
+        assert chain["id"] == ["flat"]
+        manifest["segments"] = chain["segments"]
+        manifest["max_level"] = chain["max_level"]
+        manifest["format"] = 1
+        manifest.pop("kind", None)  # format 1 predates the kind tag
+        manifest.pop("checksum", None)  # ...and the manifest checksum
+        return manifest
+
+    _rewrite_manifest(target, to_format_1)
+    manifest = json.loads((target / "manifest.json").read_text())
+    manifest.pop("checksum")  # format 1 shipped without one: still loads
+    (target / "manifest.json").write_text(json.dumps(manifest))
+
+    loaded = load(target)
+    assert isinstance(loaded, SegmentStore)
+    assert loaded.fingerprint() == expected_fp
+    after = loaded.query(3.0, 21.0)
+    assert after.n == expected.n
+    assert after["count"].to_dict() == expected["count"].to_dict()
+
+
+def test_legacy_cube_manifest_loads(tmp_path):
+    cube = _populated_cube()
+    target = tmp_path / "cube"
+    cube.save(target)
+    expected_fp = CubeStore.open(target).fingerprint()
+    expected = {
+        key: members["count"].to_dict()
+        for key, members in cube.query(
+            0.0, 3.0, group_by=("region",)
+        ).groups.items()
+    }
+
+    def to_format_2(manifest):
+        groups = []
+        per_mask = {tuple(mask): [] for mask in manifest["masks"]}
+        for chain in manifest.pop("chains"):
+            chain_id = chain["id"]
+            entry = {
+                "key": chain_id[-1],
+                "max_level": chain["max_level"],
+                "segments": chain["segments"],
+            }
+            if chain_id[0] == "g":
+                groups.append(entry)
+            else:
+                per_mask[tuple(chain_id[1])].append(entry)
+        stale = {}
+        for mask, coarse, epochs in manifest.pop("stale"):
+            stale.setdefault(tuple(mask), []).append([coarse, epochs])
+        manifest["groups"] = groups
+        manifest["masks"] = [
+            {
+                "dims": list(mask),
+                "groups": chains,
+                "stale": stale.get(mask, []),
+            }
+            for mask, chains in per_mask.items()
+        ]
+        manifest["format"] = 2
+        return manifest
+
+    _rewrite_manifest(target, to_format_2)
+    loaded = load(target)
+    assert isinstance(loaded, CubeStore)
+    assert loaded.fingerprint() == expected_fp
+    got = {
+        key: members["count"].to_dict()
+        for key, members in loaded.query(
+            0.0, 3.0, group_by=("region",)
+        ).groups.items()
+    }
+    assert got == expected
+
+    # a save after a legacy load rewrites the manifest at format 3 and
+    # the round trip stays byte-identical
+    loaded.save(target)
+    manifest = json.loads((target / "manifest.json").read_text())
+    assert manifest["format"] == 3
+    assert manifest["kind"] == "cube"
+    assert CubeStore.open(target).fingerprint() == expected_fp

@@ -66,7 +66,13 @@ def test_save_removes_stale_segment_files(tmp_path):
     assert not stale.exists()
     listed = {p.name for p in (target / "segments").iterdir()}
     manifest = json.loads((target / "manifest.json").read_text())
-    assert listed == {f"{meta['id']}.rseg" for meta in manifest["segments"]}
+    assert manifest["kind"] == "store"
+    referenced = {
+        f"{meta['id']}.rseg"
+        for chain in manifest["chains"]
+        for meta in chain["segments"]
+    }
+    assert listed == referenced
 
 
 def test_segment_container_round_trip(tmp_path):

@@ -370,6 +370,101 @@ class TestStoreDurability:
         assert report["path"] == str(target)
 
 
+class TestCubeCli:
+    """recover/verify/stats are kind-generic: the CLI sniffs the kind
+    from the manifest, so the same subcommands serve cube directories."""
+
+    @pytest.fixture
+    def small_cube(self, tmp_path):
+        records = tmp_path / "records.jsonl"
+        records.write_text(
+            "\n".join(
+                json.dumps(
+                    {
+                        "value": i % 5,
+                        "region": ("eu", "us")[i % 2],
+                    }
+                )
+                for i in range(40)
+            )
+        )
+        keys = tmp_path / "keys.txt"
+        keys.write_text("\n".join(str(i // 10) for i in range(40)))
+        target = tmp_path / "cube"
+        assert main(["store", "ingest", "--dir", str(target),
+                     "--dims", "region", "--type", "misra_gries",
+                     "--arg", "k=8", "--width", "1",
+                     "--input", str(records), "--keys", str(keys)]) == 0
+        return target, records, keys
+
+    def test_ingest_reports_cells(self, small_cube, capsys):
+        target, records, keys = small_cube
+        capsys.readouterr()
+        assert main(["store", "ingest", "--dir", str(target),
+                     "--input", str(records), "--keys", str(keys)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 40 records" in out
+        assert "cells" in out  # the cube's unit, same report shape
+
+    def test_stats_schema_matches_flat_store(self, small_cube, tmp_path, capsys):
+        target, _records, _keys = small_cube
+        items = tmp_path / "items.txt"
+        items.write_text("\n".join(str(i % 5) for i in range(10)))
+        flat = tmp_path / "flat"
+        assert main(["store", "ingest", "--dir", str(flat),
+                     "--type", "misra_gries", "--arg", "k=8",
+                     "--width", "1", "--input", str(items)]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", str(target)]) == 0
+        cube_stats = json.loads(capsys.readouterr().out)
+        assert main(["store", "stats", "--dir", str(flat)]) == 0
+        flat_stats = json.loads(capsys.readouterr().out)
+        assert cube_stats["kind"] == "cube"
+        assert flat_stats["kind"] == "store"
+        # one schema: both kinds report the same shared keys, and the
+        # planner/view-cache sub-schemas are identical
+        shared = set(flat_stats) & set(cube_stats)
+        assert {"kind", "width", "codec", "members", "records",
+                "generation", "key_span", "view_cache",
+                "planner"} <= shared
+        assert set(cube_stats["planner"]) == set(flat_stats["planner"])
+        assert set(cube_stats["view_cache"]) == set(flat_stats["view_cache"])
+        assert cube_stats["records"] == 40
+
+    def test_verify_clean_and_damaged(self, small_cube, capsys):
+        target, _records, _keys = small_cube
+        capsys.readouterr()
+        assert main(["store", "verify", "--dir", str(target)]) == 0
+        assert capsys.readouterr().out.startswith("ok:")
+        victim = sorted((target / "cells").iterdir())[0]
+        victim.write_bytes(victim.read_bytes()[:10])
+        assert main(["store", "verify", "--dir", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT ok" in out and "corrupt segment" in out
+
+    def test_recover_replays_cube_wal(self, small_cube, capsys):
+        target, records, keys = small_cube
+        capsys.readouterr()
+        assert main(["store", "ingest", "--dir", str(target), "--wal",
+                     "--input", str(records), "--keys", str(keys)]) == 0
+        out = capsys.readouterr().out
+        assert "wal seq 1" in out
+        assert "retired 1 file(s)" in out
+        from repro.store import CubeStore
+
+        # a process that logged an ingest but died before save
+        cube = CubeStore.open_durable(target)
+        cube.ingest([{"value": 3, "region": "eu"}] * 4,
+                    [9.0, 9.1, 9.2, 9.3])
+        del cube  # no save
+        assert main(["store", "recover", "--dir", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 WAL batch(es)" in out
+        assert main(["store", "stats", "--dir", str(target)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 84  # 40 + 40 + the replayed 4
+
+
 class TestInspectAndTypes:
     def test_inspect(self, item_files, tmp_path, capsys):
         a, _ = item_files

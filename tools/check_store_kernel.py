@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Dead-duplication guard for the chain-kernel refactor.
+
+The storage kernel (``repro.store.chain`` + ``repro.store.common`` +
+the kind-generic ``repro.store.persistence``) exists so that the flat
+store and the cube share ONE implementation of epoch chains, dyadic
+roll-up compilation, window/slack resolution, and the snapshot/WAL
+lifecycle.  This script fails CI if a known pre-refactor duplicate
+creeps back in:
+
+* ``_CubeGroup`` — the cube's private chain type that the kernel's
+  :class:`~repro.store.chain.EpochChain` replaced;
+* cube-local persistence (``def save_cube`` / ``def load_cube`` /
+  ``def _cube_from_manifest`` outside ``persistence.py``) — both kinds
+  go through the one kind-tagged container format;
+* per-store roll-up compilers (``def _compile_rollup`` /
+  ``def _rollup_steps`` outside ``chain.py``) — dyadic roll-up plans
+  come from :func:`~repro.store.chain.compile_rollup_steps`;
+* per-store window/slack arithmetic (``def _resolve_window`` outside
+  ``chain.py``) — the PR 9 slack rule lives only in
+  :func:`~repro.store.chain.resolve_window`.
+
+Run from the repo root: ``python tools/check_store_kernel.py``.
+Exit status 0 = clean, 1 = duplicates found (each printed as
+``path:line: pattern``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+STORE_PKG = pathlib.Path("src/repro/store")
+
+# pattern -> module (relative to src/repro/store) allowed to define it;
+# None means the name must not appear as a definition anywhere
+BANNED_DEFINITIONS = {
+    r"class _CubeGroup\b": None,
+    r"def save_cube\b": "persistence.py",
+    r"def load_cube\b": "persistence.py",
+    r"def save_store\b": "persistence.py",
+    r"def load_store\b": "persistence.py",
+    r"def _cube_from_manifest\b": None,
+    r"def _store_from_manifest\b": "persistence.py",
+    r"def _compile_rollup\w*\b": None,
+    r"def _rollup_steps\b": None,
+    r"def compile_rollup_steps\b": "chain.py",
+    r"def _resolve_window\b": None,
+    r"def resolve_window\b": "chain.py",
+}
+
+
+def main() -> int:
+    if not STORE_PKG.is_dir():
+        print(f"error: {STORE_PKG} not found (run from the repo root)")
+        return 2
+    violations = []
+    for path in sorted(STORE_PKG.rglob("*.py")):
+        rel = path.relative_to(STORE_PKG).as_posix()
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for pattern, allowed in BANNED_DEFINITIONS.items():
+                if re.match(r"\s*" + pattern, line) and rel != allowed:
+                    violations.append((path.as_posix(), lineno, pattern, allowed))
+    for path, lineno, pattern, allowed in violations:
+        where = f"only {allowed} may define this" if allowed else "kernel owns this"
+        print(f"{path}:{lineno}: duplicated kernel surface {pattern!r} ({where})")
+    if violations:
+        print(
+            f"\n{len(violations)} duplication(s): the chain kernel "
+            "(chain.py/common.py/persistence.py) is the single home for "
+            "roll-up compilation, window slack, and store persistence."
+        )
+        return 1
+    print("store kernel clean: no duplicated chain/persistence surface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
